@@ -1,0 +1,106 @@
+// Command coaddgen generates and characterizes synthetic workload traces.
+//
+// Usage:
+//
+//	coaddgen -kind coadd -tasks 6000 -out coadd.json   # generate + save
+//	coaddgen -kind coadd-full                          # characterize only
+//	coaddgen -kind zipf -tasks 2000                    # other generators
+//	coaddgen -cdf                                      # Figure 1/3 data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gridsched/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "coaddgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("coaddgen", flag.ContinueOnError)
+	var (
+		kind  = fs.String("kind", "coadd", "workload kind: coadd, coadd-full, zipf, geometric, uniform")
+		tasks = fs.Int("tasks", 0, "task count (0 = kind default)")
+		seed  = fs.Int64("seed", workload.DefaultCoaddSeed, "generator seed")
+		out   = fs.String("out", "", "write the JSON trace to this path")
+		stats = fs.Bool("stats", true, "print Table 2 style statistics")
+		cdf   = fs.Bool("cdf", false, "print the reference CDF (Figure 1/3 data)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w, err := generate(*kind, *tasks, *seed)
+	if err != nil {
+		return err
+	}
+
+	if *stats {
+		s := workload.ComputeStats(w)
+		fmt.Printf("workload:              %s\n", w.Name)
+		fmt.Printf("tasks:                 %d\n", s.Tasks)
+		fmt.Printf("total files:           %d\n", s.TotalFiles)
+		fmt.Printf("files/task min:        %d\n", s.MinFilesPerTask)
+		fmt.Printf("files/task max:        %d\n", s.MaxFilesPerTask)
+		fmt.Printf("files/task avg:        %.4f\n", s.AvgFilesPerTask)
+		fmt.Printf("refs/file avg:         %.4f\n", s.AvgRefsPerFile)
+		fmt.Printf("%%files with >=6 refs:  %.1f\n", workload.PercentWithAtLeast(w, 6))
+	}
+	if *cdf {
+		fmt.Println("# min_refs  pct_files_with_at_least")
+		for _, pt := range workload.ReferenceCDF(w) {
+			fmt.Printf("%d %.3f\n", pt.MinRefs, pt.Percent)
+		}
+	}
+	if *out != "" {
+		if err := w.SaveFile(*out); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+	return nil
+}
+
+func generate(kind string, tasks int, seed int64) (*workload.Workload, error) {
+	switch kind {
+	case "coadd":
+		cfg := workload.CoaddSmallConfig(seed)
+		if tasks > 0 {
+			cfg.Tasks = tasks
+		}
+		return workload.GenerateCoadd(cfg)
+	case "coadd-full":
+		cfg := workload.CoaddFullConfig(seed)
+		if tasks > 0 {
+			cfg.Tasks = tasks
+		}
+		return workload.GenerateCoadd(cfg)
+	case "zipf":
+		cfg := workload.ZipfConfig{Seed: seed, Tasks: 2000, Files: 20000, MinFiles: 20, MaxFiles: 120, S: 1.5}
+		if tasks > 0 {
+			cfg.Tasks = tasks
+		}
+		return workload.GenerateZipf(cfg)
+	case "geometric":
+		cfg := workload.GeometricConfig{Seed: seed, Tasks: 2000, Datasets: 40, FilesPerSet: 60, PrivateFiles: 5, P: 0.25}
+		if tasks > 0 {
+			cfg.Tasks = tasks
+		}
+		return workload.GenerateGeometric(cfg)
+	case "uniform":
+		cfg := workload.UniformConfig{Seed: seed, Tasks: 2000, Files: 20000, MinFiles: 20, MaxFiles: 120}
+		if tasks > 0 {
+			cfg.Tasks = tasks
+		}
+		return workload.GenerateUniform(cfg)
+	default:
+		return nil, fmt.Errorf("unknown kind %q", kind)
+	}
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gridsched/internal/workload"
+)
+
+func TestGenerateAllKinds(t *testing.T) {
+	for _, kind := range []string{"coadd", "coadd-full", "zipf", "geometric", "uniform"} {
+		w, err := generate(kind, 200, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(w.Tasks) != 200 {
+			t.Fatalf("%s: %d tasks", kind, len(w.Tasks))
+		}
+	}
+	if _, err := generate("nope", 10, 1); err == nil {
+		t.Fatal("accepted unknown kind")
+	}
+}
+
+func TestRunStatsAndCDF(t *testing.T) {
+	if err := run([]string{"-kind", "coadd", "-tasks", "150", "-cdf"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSavesTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := run([]string{"-kind", "zipf", "-tasks", "100", "-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Tasks) != 100 {
+		t.Fatalf("loaded %d tasks", len(w.Tasks))
+	}
+}

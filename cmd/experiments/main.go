@@ -1,0 +1,141 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run all                      # every artifact, paper scale
+//	experiments -run figure4,figure7          # selected artifacts
+//	experiments -run figure6 -tasks 600 -seeds 1,2   # reduced scale
+//	experiments -run all -csv results/        # also write CSV per artifact
+//
+// Paper scale (6,000 tasks, 5 topology seeds) takes a few minutes on a
+// laptop; pass -tasks/-seeds to shrink.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"gridsched/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		runIDs   = fs.String("run", "all", "comma-separated artifact ids, or 'all' (available: "+strings.Join(experiment.IDs(), ", ")+")")
+		tasks    = fs.Int("tasks", 6000, "coadd tasks to simulate")
+		seedsRaw = fs.String("seeds", "1,2,3,4,5", "comma-separated topology seeds to average over")
+		par      = fs.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		csvDir   = fs.String("csv", "", "directory to also write <id>.csv files into")
+		plotOut  = fs.Bool("plot", false, "also draw each figure as a terminal chart")
+		list     = fs.Bool("list", false, "list artifact ids and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range experiment.IDs() {
+			def, _ := experiment.Lookup(id)
+			fmt.Printf("%-20s %s\n", id, def.Description)
+		}
+		return nil
+	}
+
+	seeds, err := parseSeeds(*seedsRaw)
+	if err != nil {
+		return err
+	}
+	opts := experiment.Options{Tasks: *tasks, Seeds: seeds, Parallelism: *par}
+
+	ids := experiment.IDs()
+	if *runIDs != "all" {
+		ids = strings.Split(*runIDs, ",")
+	}
+
+	// Shared sweeps (figure4+figure5, figure6+table3) emit both reports;
+	// skip an id whose report was already produced by its sibling.
+	emitted := make(map[string]bool)
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		if emitted[id] {
+			continue
+		}
+		def, err := experiment.Lookup(id)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		reports, err := def.Run(opts)
+		if err != nil {
+			return err
+		}
+		for _, rep := range reports {
+			if emitted[rep.ID] {
+				continue
+			}
+			emitted[rep.ID] = true
+			if err := rep.Render(os.Stdout); err != nil {
+				return err
+			}
+			if *plotOut {
+				if _, err := rep.RenderPlot(os.Stdout); err != nil {
+					return err
+				}
+			}
+			fmt.Println()
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, rep); err != nil {
+					return err
+				}
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func parseSeeds(raw string) ([]int64, error) {
+	var seeds []int64
+	for _, part := range strings.Split(raw, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %w", part, err)
+		}
+		seeds = append(seeds, v)
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("no seeds given")
+	}
+	return seeds, nil
+}
+
+func writeCSV(dir string, rep *experiment.Report) (err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, rep.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return rep.WriteCSV(f)
+}

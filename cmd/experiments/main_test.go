@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleArtifactReducedScale(t *testing.T) {
+	if err := run([]string{"-run", "table2", "-tasks", "500", "-seeds", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSweepWithCSVAndPlot(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-run", "figure8", "-tasks", "200", "-seeds", "1", "-csv", dir, "-plot"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "figure8.csv")); err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+}
+
+func TestRunSharedSweepEmitsBothReportsOnce(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-run", "figure4,figure5", "-tasks", "200", "-seeds", "1", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"figure4", "figure5"} {
+		if _, err := os.Stat(filepath.Join(dir, id+".csv")); err != nil {
+			t.Fatalf("%s.csv not written: %v", id, err)
+		}
+	}
+}
+
+func TestRunRejectsUnknownArtifact(t *testing.T) {
+	if err := run([]string{"-run", "figure99"}); err == nil {
+		t.Fatal("accepted unknown artifact")
+	}
+}
+
+func TestParseSeeds(t *testing.T) {
+	got, err := parseSeeds("1, 2,3")
+	if err != nil || len(got) != 3 || got[2] != 3 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if _, err := parseSeeds(""); err == nil {
+		t.Fatal("accepted empty seeds")
+	}
+	if _, err := parseSeeds("x"); err == nil {
+		t.Fatal("accepted non-numeric seed")
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSmallSimulation(t *testing.T) {
+	if err := run([]string{"-tasks", "120", "-sites", "3", "-capacity", "1500", "-alg", "rest"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	if err := run([]string{"-tasks", "80", "-sites", "2", "-capacity", "1500", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunListAlgorithms(t *testing.T) {
+	if err := run([]string{"-algs"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadAlgorithm(t *testing.T) {
+	if err := run([]string{"-tasks", "50", "-alg", "bogus"}); err == nil {
+		t.Fatal("accepted bogus algorithm")
+	}
+}
+
+func TestRunRejectsMissingTrace(t *testing.T) {
+	if err := run([]string{"-trace", "/definitely/not/here.json"}); err == nil {
+		t.Fatal("accepted missing trace file")
+	}
+}
+
+func TestRunWritesEventTimeline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	if err := run([]string{"-tasks", "60", "-sites", "2", "-capacity", "1500", "-events", path}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+// Command topogen generates Tiers-style hierarchical grid topologies and
+// dumps them as JSON or a human-readable summary.
+//
+// Usage:
+//
+//	topogen -seed 1                 # summary of the default 96-site topology
+//	topogen -seed 2 -json topo.json # full graph dump
+//	topogen -routes 10              # route diagnostics for 10 spread sites
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"gridsched/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("topogen", flag.ContinueOnError)
+	var (
+		seed     = fs.Int64("seed", 1, "generator seed")
+		jsonPath = fs.String("json", "", "write the full graph as JSON to this path")
+		routes   = fs.Int("routes", 0, "print route diagnostics for N spread sites")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := topology.DefaultTiersConfig(*seed)
+	topo, err := topology.GenerateTiers(cfg)
+	if err != nil {
+		return err
+	}
+	g := topo.Graph
+
+	kindCount := map[topology.NodeKind]int{}
+	for _, n := range g.Nodes {
+		kindCount[n.Kind]++
+	}
+	var bwMin, bwMax float64
+	for i, l := range g.Links {
+		if i == 0 || l.Bandwidth < bwMin {
+			bwMin = l.Bandwidth
+		}
+		if l.Bandwidth > bwMax {
+			bwMax = l.Bandwidth
+		}
+	}
+	fmt.Printf("seed:        %d\n", *seed)
+	fmt.Printf("nodes:       %d (wan %d, man %d, lan %d, sites %d)\n",
+		len(g.Nodes), kindCount[topology.KindWAN], kindCount[topology.KindMAN],
+		kindCount[topology.KindLAN], kindCount[topology.KindSite])
+	fmt.Printf("links:       %d (bandwidth %.1f..%.1f Mbit/s)\n", len(g.Links), bwMin*8/1e6, bwMax*8/1e6)
+	fmt.Printf("file server: node %d\n", topo.FileServer)
+	fmt.Printf("scheduler:   node %d\n", topo.Scheduler)
+
+	if *routes > 0 {
+		n := *routes
+		if n > len(topo.Sites) {
+			n = len(topo.Sites)
+		}
+		fmt.Println("\nsite  node  hops  latency(ms)  bottleneck(Mbit/s)")
+		for i := 0; i < n; i++ {
+			site := topo.Sites[i*len(topo.Sites)/n]
+			r, err := g.RouteBetween(site, topo.FileServer)
+			if err != nil {
+				return err
+			}
+			bottleneck := 0.0
+			for j, lid := range r.Links {
+				bw := g.Links[lid].Bandwidth
+				if j == 0 || bw < bottleneck {
+					bottleneck = bw
+				}
+			}
+			fmt.Printf("%4d  %4d  %4d  %11.2f  %18.2f\n",
+				i, site, len(r.Links), r.Latency*1000, bottleneck*8/1e6)
+		}
+	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		dump := struct {
+			Nodes      []topology.Node   `json:"nodes"`
+			Links      []topology.Link   `json:"links"`
+			Sites      []topology.NodeID `json:"sites"`
+			FileServer topology.NodeID   `json:"fileServer"`
+			Scheduler  topology.NodeID   `json:"scheduler"`
+		}{g.Nodes, g.Links, topo.Sites, topo.FileServer, topo.Scheduler}
+		if err := enc.Encode(dump); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+	}
+	return nil
+}

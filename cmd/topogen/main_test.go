@@ -1,0 +1,36 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSummaryAndRoutes(t *testing.T) {
+	if err := run([]string{"-seed", "5", "-routes", "8"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunJSONDump(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "topo.json")
+	if err := run([]string{"-seed", "2", "-json", path}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Nodes []json.RawMessage `json:"nodes"`
+		Links []json.RawMessage `json:"links"`
+		Sites []int             `json:"sites"`
+	}
+	if err := json.Unmarshal(raw, &dump); err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Sites) != 96 || len(dump.Nodes) == 0 || len(dump.Links) == 0 {
+		t.Fatalf("dump shape: %d sites, %d nodes, %d links", len(dump.Sites), len(dump.Nodes), len(dump.Links))
+	}
+}

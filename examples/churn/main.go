@@ -1,0 +1,63 @@
+// Churn: the paper motivates worker-centric scheduling with overloaded,
+// unreliable resource suppliers (§1, citing PlanetLab's "seven deadly
+// sins"). This example injects worker failures — each worker alternates
+// exponential up/down periods, and an execution in flight when its worker
+// dies is lost and requeued — and compares how pull-based strategies and
+// the task-centric baseline degrade as availability drops.
+//
+//	go run ./examples/churn
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gridsched"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("churn: ")
+
+	w, err := gridsched.NewCoaddWorkload(gridsched.DefaultCoaddSeed, 800)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const meanDownSec = 7200 // two-hour outages
+	algorithms := []string{"task-centric storage affinity", "rest", "combined.2"}
+
+	fmt.Printf("%-14s", "availability")
+	for _, a := range algorithms {
+		fmt.Printf("  %28s", a)
+	}
+	fmt.Println()
+	baselines := make(map[string]float64)
+	for _, avail := range []float64{1.0, 0.9, 0.7, 0.5} {
+		fmt.Printf("%13.0f%%", avail*100)
+		for _, name := range algorithms {
+			cfg := gridsched.SimulationConfig{
+				Workload:      w,
+				Sites:         6,
+				CapacityFiles: 3000,
+			}
+			if avail < 1 {
+				cfg.ChurnMeanDownSec = meanDownSec
+				cfg.ChurnMeanUpSec = meanDownSec * avail / (1 - avail)
+			}
+			res, err := gridsched.RunSimulation(cfg, name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mk := res.MakespanMinutes()
+			if avail == 1.0 {
+				baselines[name] = mk
+			}
+			fmt.Printf("  %15.0f min (x%.2f)", mk, mk/baselines[name])
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nthe multiplier shows degradation vs. full availability: the")
+	fmt.Println("pull-based strategies reassign lost work naturally, while the")
+	fmt.Println("task-centric baseline's up-front assignment amplifies outages.")
+}

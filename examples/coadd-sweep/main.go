@@ -1,0 +1,44 @@
+// Coadd capacity sweep: a reduced-scale rerun of the paper's Figure 4/5
+// experiment — how data-server storage capacity changes makespan and file
+// transfers for each strategy, and where the task-centric baseline's
+// premature scheduling decisions start to hurt.
+//
+//	go run ./examples/coadd-sweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"gridsched/internal/experiment"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("coadd-sweep: ")
+
+	opts := experiment.Options{
+		Tasks: 1200,          // paper: 6000
+		Seeds: []int64{1, 2}, // paper: 5 topology seeds
+	}
+	// The paper sweeps capacities 3000..30000 against 53k distinct files;
+	// this reduced workload has ~11k files over 10 sites, so the
+	// capacities shrink proportionally to keep eviction in play.
+	sw, err := experiment.CapacitySweep(opts, []int{600, 1200, 3000, 6000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, rep := range []*experiment.Report{
+		experiment.Figure4Style(sw),
+		experiment.Figure5Style(sw),
+	} {
+		if err := rep.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	fmt.Println("the storage-affinity column should degrade at the smallest")
+	fmt.Println("capacity (premature scheduling decisions, paper §3.1) while")
+	fmt.Println("the worker-centric columns stay nearly flat (paper §5.4).")
+}

@@ -1,0 +1,65 @@
+// Data-mining workload: the paper's introduction motivates worker-centric
+// scheduling with data-mining and image-processing applications whose tasks
+// share a hot corpus. This example builds a Zipf-popularity Bag-of-Tasks
+// (some files are much hotter than others), a geometric dataset workload
+// (Ranganathan-Foster style), and a uniform no-locality control, then shows
+// how much each strategy benefits from data reuse on each.
+//
+//	go run ./examples/datamining
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gridsched"
+	"gridsched/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("datamining: ")
+
+	zipf, err := workload.GenerateZipf(workload.ZipfConfig{
+		Seed: 1, Tasks: 800, Files: 12000, MinFiles: 30, MaxFiles: 90, S: 1.4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	geo, err := workload.GenerateGeometric(workload.GeometricConfig{
+		Seed: 1, Tasks: 800, Datasets: 30, FilesPerSet: 50, PrivateFiles: 4, P: 0.2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	uniform, err := workload.GenerateUniform(workload.UniformConfig{
+		Seed: 1, Tasks: 800, Files: 12000, MinFiles: 30, MaxFiles: 90,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	algorithms := []string{"workqueue", "task-centric storage affinity", "overlap", "rest", "combined.2"}
+	for _, w := range []*gridsched.Workload{zipf, geo, uniform} {
+		s := workload.ComputeStats(w)
+		fmt.Printf("\n== %s: %d tasks, %d files, %.1f refs/file ==\n",
+			w.Name, s.Tasks, s.TotalFiles, s.AvgRefsPerFile)
+		fmt.Printf("%-32s %14s %12s\n", "algorithm", "makespan (min)", "transfers")
+		for _, name := range algorithms {
+			cfg := gridsched.SimulationConfig{
+				Workload:       w,
+				Sites:          6,
+				WorkersPerSite: 2,
+				CapacityFiles:  2500,
+			}
+			res, err := gridsched.RunSimulation(cfg, name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-32s %14.0f %12d\n", name, res.MakespanMinutes(), res.Metrics.TotalFileTransfers())
+		}
+	}
+	fmt.Println("\ndata-aware strategies win where reuse exists (zipf, geometric);")
+	fmt.Println("on the uniform control all strategies converge, since there is")
+	fmt.Println("no locality to exploit.")
+}

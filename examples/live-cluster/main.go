@@ -1,0 +1,79 @@
+// Live cluster: the same worker-centric scheduler that drives the
+// simulator, running on real goroutines. Each worker goroutine pulls a
+// task when idle, stages inputs through its site's store (with a synthetic
+// staging latency standing in for the wide-area fetch), executes a real
+// function, and replica cancellation flows through contexts.
+//
+//	go run ./examples/live-cluster
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"gridsched"
+	"gridsched/internal/core"
+	"gridsched/internal/live"
+	"gridsched/internal/storage"
+	"gridsched/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("live-cluster: ")
+
+	w, err := gridsched.NewCoaddWorkload(gridsched.DefaultCoaddSeed, 300)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var checksum atomic.Uint64
+	cfg := live.Config{
+		Sites:          4,
+		WorkersPerSite: 3,
+		CapacityFiles:  2500,
+		Policy:         storage.LRU,
+		// Stand-in for the wide-area fetch: 50us per missing file.
+		StageDelay: func(missing int) time.Duration {
+			return time.Duration(missing) * 50 * time.Microsecond
+		},
+		// The "computation": fold the task's file ids into a checksum.
+		Execute: func(ctx context.Context, at core.WorkerRef, task workload.Task) error {
+			var sum uint64
+			for _, f := range task.Files {
+				sum += uint64(f)
+			}
+			checksum.Add(sum)
+			return nil
+		},
+	}
+
+	for _, name := range []string{"workqueue", "rest", "combined.2"} {
+		sched, err := gridsched.NewScheduler(name, w, gridsched.SimulationConfig{
+			Workload:       w,
+			Sites:          cfg.Sites,
+			WorkersPerSite: cfg.WorkersPerSite,
+			CapacityFiles:  cfg.CapacityFiles,
+		}, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cluster, err := live.NewCluster(cfg, w, sched)
+		if err != nil {
+			log.Fatal(err)
+		}
+		checksum.Store(0)
+		sum, err := cluster.Run(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s completed=%d transfers=%d cancelled=%d wall=%v checksum=%d\n",
+			name, sum.TasksCompleted, sum.FileTransfers, sum.CancelledExecutions,
+			sum.Wall.Round(time.Millisecond), checksum.Load())
+	}
+	fmt.Println("\nnote: fewer transfers = better data reuse; the checksum is")
+	fmt.Println("identical across strategies because every task runs exactly once.")
+}

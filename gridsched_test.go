@@ -1,0 +1,88 @@
+package gridsched
+
+import (
+	"testing"
+)
+
+func TestFacadeQuickstartPath(t *testing.T) {
+	w, err := NewCoaddWorkload(DefaultCoaddSeed, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Tasks) != 200 {
+		t.Fatalf("tasks = %d", len(w.Tasks))
+	}
+	res, err := RunSimulation(SimulationConfig{Workload: w, Sites: 4, CapacityFiles: 2000}, "combined.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.TasksCompleted != 200 || res.MakespanMinutes() <= 0 {
+		t.Fatalf("result = %+v", res.Metrics)
+	}
+}
+
+func TestFacadeAllAlgorithmNamesRun(t *testing.T) {
+	w, err := NewCoaddWorkload(DefaultCoaddSeed, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range AlgorithmNames() {
+		res, err := RunSimulation(SimulationConfig{Workload: w, Sites: 3, CapacityFiles: 1500}, name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Metrics.TasksCompleted != 100 {
+			t.Fatalf("%s: completed %d", name, res.Metrics.TasksCompleted)
+		}
+	}
+}
+
+func TestFacadeParsesWindowedNames(t *testing.T) {
+	w, err := NewCoaddWorkload(DefaultCoaddSeed, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SimulationConfig{Workload: w, Sites: 2, CapacityFiles: 1500}
+	for _, name := range []string{"overlap.3", "rest.5", "combined-literal", "combined-literal.2"} {
+		s, err := NewScheduler(name, w, cfg, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s == nil {
+			t.Fatalf("%s: nil scheduler", name)
+		}
+	}
+	if _, err := NewScheduler("bogus", w, cfg, 1); err == nil {
+		t.Fatal("accepted bogus algorithm")
+	}
+	if _, err := NewScheduler("rest.0", w, cfg, 1); err == nil {
+		t.Fatal("accepted rest.0")
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 14 {
+		t.Fatalf("ids = %v", ids)
+	}
+	reports, err := RunExperiment("table2", ExperimentOptions{Tasks: 6000, Seeds: []int64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 || reports[0].ID != "table2" {
+		t.Fatalf("reports = %+v", reports)
+	}
+	if _, err := RunExperiment("nope", ExperimentOptions{}); err == nil {
+		t.Fatal("accepted unknown experiment")
+	}
+}
+
+func TestFacadeFullWorkload(t *testing.T) {
+	w, err := NewCoaddFullWorkload(1, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Tasks) != 500 {
+		t.Fatalf("tasks = %d", len(w.Tasks))
+	}
+}

@@ -1,0 +1,170 @@
+// Package core implements the paper's scheduling strategies.
+//
+// Worker-centric scheduling (the contribution, §4): an idle worker asks the
+// global scheduler for a task; the scheduler weighs every pending task for
+// that worker's site with one of three data-reuse metrics — Overlap, Rest,
+// Combined — and picks among the best n with probability proportional to
+// weight (ChooseTask(n), §4.3).
+//
+// Task-centric storage affinity (the baseline, Santos-Neto et al. [14],
+// described in §3.1): tasks are assigned up front to the site with maximum
+// data affinity, workers drain their queues, and idle workers replicate
+// incomplete tasks; completion cancels outstanding replicas.
+//
+// Plain FIFO workqueue (Cirne et al. [6]) is included as the classic
+// worker-centric strategy without data awareness.
+//
+// Schedulers are engine-agnostic: the simulation engine (internal/grid) and
+// the live runtime (internal/live) drive them through the Scheduler
+// interface, feeding storage-content changes via NoteBatch.
+package core
+
+import (
+	"fmt"
+
+	"gridsched/internal/workload"
+)
+
+// Metric selects the weight function of CalculateWeight (§4.2).
+type Metric int
+
+// Weight metrics.
+const (
+	// MetricOverlap is the overlap cardinality |Ft|: the number of files
+	// the task needs that are already at the requesting worker's site.
+	MetricOverlap Metric = iota + 1
+	// MetricRest is 1/(|t|-|Ft|): the inverse of the number of files that
+	// would still have to be transferred.
+	MetricRest
+	// MetricCombined is ref_t/totalRef + rest_t/totalRest: normalized past
+	// references plus normalized rest (the paper's stated intent; see
+	// DESIGN.md on the formula's typo).
+	MetricCombined
+	// MetricCombinedLiteral is ref_t/totalRef + totalRest/rest_t, the
+	// formula exactly as typeset in the paper. Kept for the ablation.
+	MetricCombinedLiteral
+)
+
+func (m Metric) String() string {
+	switch m {
+	case MetricOverlap:
+		return "overlap"
+	case MetricRest:
+		return "rest"
+	case MetricCombined:
+		return "combined"
+	case MetricCombinedLiteral:
+		return "combined-literal"
+	default:
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+}
+
+// Status is the outcome of a NextFor call.
+type Status int
+
+// NextFor outcomes.
+const (
+	// Assigned: the returned task is assigned to the worker.
+	Assigned Status = iota + 1
+	// Wait: nothing to run now, but work may appear (e.g. a replication
+	// candidate after another worker progresses); ask again later.
+	Wait
+	// Done: the worker can exit; it will never receive another task.
+	Done
+)
+
+// WorkerRef identifies a worker as (site index, worker index within site).
+type WorkerRef struct {
+	Site   int `json:"site"`
+	Worker int `json:"worker"`
+}
+
+// Scheduler is the engine-facing contract shared by all strategies.
+//
+// The engine must call AttachSite for every site before the first NextFor,
+// call NoteBatch after each data-server batch commit, and call
+// OnTaskComplete when an execution finishes; the returned refs are
+// outstanding replicas of the same task that should be interrupted.
+type Scheduler interface {
+	Name() string
+	AttachSite(site int)
+	NoteBatch(site int, batch, fetched, evicted []workload.FileID)
+	NextFor(at WorkerRef) (workload.Task, Status)
+	OnTaskComplete(id workload.TaskID, at WorkerRef) (cancel []WorkerRef)
+	// OnExecutionFailed reports that the worker lost its execution of the
+	// task (crash, overload eviction) without completing it. The
+	// scheduler must make the task dispatchable again unless it has
+	// already completed elsewhere.
+	OnExecutionFailed(id workload.TaskID, at WorkerRef)
+	// Remaining returns the number of tasks not yet completed.
+	Remaining() int
+}
+
+// fileIndex maps every file to the tasks referencing it. It is immutable
+// after construction and shared by all site mirrors.
+type fileIndex struct {
+	byFile [][]workload.TaskID
+}
+
+func newFileIndex(w *workload.Workload) *fileIndex {
+	idx := &fileIndex{byFile: make([][]workload.TaskID, w.NumFiles)}
+	for _, t := range w.Tasks {
+		for _, f := range t.Files {
+			idx.byFile[f] = append(idx.byFile[f], t.ID)
+		}
+	}
+	return idx
+}
+
+// siteMirror is the scheduler's view of one site's storage: which files are
+// resident, how often each file has been referenced there, and — maintained
+// incrementally — each task's overlap cardinality and overlap-reference sum
+// against that storage. Incremental maintenance turns each scheduling
+// request from O(tasks × files/task) into O(tasks).
+type siteMirror struct {
+	idx      *fileIndex
+	resident map[workload.FileID]struct{}
+	refs     map[workload.FileID]int
+	overlap  []int32 // per task: |Ft|
+	refSum   []int64 // per task: sum of refs over overlapping files
+}
+
+func newSiteMirror(idx *fileIndex, tasks int) *siteMirror {
+	return &siteMirror{
+		idx:      idx,
+		resident: make(map[workload.FileID]struct{}),
+		refs:     make(map[workload.FileID]int),
+		overlap:  make([]int32, tasks),
+		refSum:   make([]int64, tasks),
+	}
+}
+
+// noteBatch applies one committed batch: evictions leave, fetched files
+// arrive, and every batch file gains one reference.
+func (m *siteMirror) noteBatch(batch, fetched, evicted []workload.FileID) {
+	for _, f := range evicted {
+		delete(m.resident, f)
+		r := int64(m.refs[f])
+		for _, t := range m.idx.byFile[f] {
+			m.overlap[t]--
+			m.refSum[t] -= r
+		}
+	}
+	for _, f := range fetched {
+		m.resident[f] = struct{}{}
+		r := int64(m.refs[f])
+		for _, t := range m.idx.byFile[f] {
+			m.overlap[t]++
+			m.refSum[t] += r
+		}
+	}
+	for _, f := range batch {
+		m.refs[f]++
+		if _, ok := m.resident[f]; ok {
+			for _, t := range m.idx.byFile[f] {
+				m.refSum[t]++
+			}
+		}
+	}
+}

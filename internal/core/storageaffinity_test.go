@@ -1,0 +1,243 @@
+package core
+
+import (
+	"testing"
+
+	"gridsched/internal/storage"
+	"gridsched/internal/workload"
+)
+
+func newSA(t *testing.T, w *workload.Workload, sites, workers, capacity, maxReplicas int) *StorageAffinity {
+	t.Helper()
+	s, err := NewStorageAffinity(w, StorageAffinityConfig{
+		Sites:          sites,
+		WorkersPerSite: workers,
+		CapacityFiles:  capacity,
+		Policy:         storage.LRU,
+		MaxReplicas:    maxReplicas,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sites; i++ {
+		s.AttachSite(i)
+	}
+	return s
+}
+
+func TestStorageAffinityConfigValidation(t *testing.T) {
+	w := wl(t, 2, []int{0}, []int{1})
+	bad := []StorageAffinityConfig{
+		{Sites: 0, WorkersPerSite: 1, CapacityFiles: 10, Policy: storage.LRU, MaxReplicas: 1},
+		{Sites: 1, WorkersPerSite: 0, CapacityFiles: 10, Policy: storage.LRU, MaxReplicas: 1},
+		{Sites: 1, WorkersPerSite: 1, CapacityFiles: 0, Policy: storage.LRU, MaxReplicas: 1},
+		{Sites: 1, WorkersPerSite: 1, CapacityFiles: 10, Policy: storage.LRU, MaxReplicas: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := NewStorageAffinity(w, cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestStorageAffinityDraftBalancesCounts(t *testing.T) {
+	cfg := workload.CoaddSmallConfig(1)
+	cfg.Tasks = 100
+	w, err := workload.GenerateCoadd(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sites, workers = 4, 2
+	s := newSA(t, w, sites, workers, 1000, 3)
+	// Trigger the initial assignment via a first request.
+	task, st := s.NextFor(WorkerRef{Site: 0, Worker: 0})
+	if st != Assigned {
+		t.Fatalf("status = %v", st)
+	}
+	_ = task
+	// Count queue lengths: draft must give each site 25 tasks.
+	for site := 0; site < sites; site++ {
+		total := 0
+		for wi := 0; wi < workers; wi++ {
+			total += len(s.queues[site][wi])
+		}
+		if total != 25 {
+			t.Fatalf("site %d drafted %d tasks, want 25", site, total)
+		}
+	}
+}
+
+func TestStorageAffinityDraftExploitsLocality(t *testing.T) {
+	// Spatial workload: tasks drafted by the same site should be more
+	// similar (share more files) than a random split would give. Check
+	// that each site's drafted tasks reference far fewer distinct files
+	// than (tasks * files/task).
+	cfg := workload.CoaddSmallConfig(1)
+	cfg.Tasks = 200
+	w, err := workload.GenerateCoadd(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sites = 4
+	s := newSA(t, w, sites, 1, 4000, 3)
+	s.NextFor(WorkerRef{Site: 0, Worker: 0}) // trigger assignment
+	for site := 0; site < sites; site++ {
+		distinct := make(map[workload.FileID]struct{})
+		var refs int
+		for _, id := range s.queues[site][0] {
+			for _, f := range w.Tasks[id].Files {
+				distinct[f] = struct{}{}
+				refs++
+			}
+		}
+		if refs == 0 {
+			continue
+		}
+		reuse := float64(refs) / float64(len(distinct))
+		if reuse < 2 {
+			t.Fatalf("site %d reuse factor %.2f; draft ignored locality", site, reuse)
+		}
+	}
+}
+
+func TestStorageAffinityDrainsOwnQueueInOrder(t *testing.T) {
+	w := wl(t, 6, []int{0}, []int{1}, []int{2}, []int{3})
+	s := newSA(t, w, 1, 1, 10, 3)
+	var got []workload.TaskID
+	for i := 0; i < 4; i++ {
+		task, st := s.NextFor(WorkerRef{Site: 0, Worker: 0})
+		if st != Assigned {
+			t.Fatalf("status = %v at %d", st, i)
+		}
+		got = append(got, task.ID)
+		s.OnTaskComplete(task.ID, WorkerRef{Site: 0, Worker: 0})
+	}
+	if len(got) != 4 {
+		t.Fatalf("got %v", got)
+	}
+	if _, st := s.NextFor(WorkerRef{Site: 0, Worker: 0}); st != Done {
+		t.Fatalf("want Done after all tasks complete, got %v", st)
+	}
+}
+
+func TestStorageAffinityReplicatesWhenQueueEmpty(t *testing.T) {
+	// 2 sites, 1 worker each, 2 tasks. Draft gives one task per site.
+	// Site 0's worker finishes its task; site 1's task is still running,
+	// so site 0's worker must receive a replica of it.
+	w := wl(t, 4, []int{0, 1}, []int{2, 3})
+	s := newSA(t, w, 2, 1, 10, 3)
+
+	t0, st := s.NextFor(WorkerRef{Site: 0, Worker: 0})
+	if st != Assigned {
+		t.Fatal("site 0 got nothing")
+	}
+	t1, st := s.NextFor(WorkerRef{Site: 1, Worker: 0})
+	if st != Assigned {
+		t.Fatal("site 1 got nothing")
+	}
+	if t0.ID == t1.ID {
+		t.Fatalf("draft duplicated task %d", t0.ID)
+	}
+	// Site 0 finishes; asks again -> replica of site 1's task.
+	s.OnTaskComplete(t0.ID, WorkerRef{Site: 0, Worker: 0})
+	rep, st := s.NextFor(WorkerRef{Site: 0, Worker: 0})
+	if st != Assigned || rep.ID != t1.ID {
+		t.Fatalf("replica = %v (%v), want task %d", rep.ID, st, t1.ID)
+	}
+	// Replica completes first: the original execution must be cancelled.
+	cancel := s.OnTaskComplete(t1.ID, WorkerRef{Site: 0, Worker: 0})
+	if len(cancel) != 1 || cancel[0] != (WorkerRef{Site: 1, Worker: 0}) {
+		t.Fatalf("cancel = %v, want the site-1 execution", cancel)
+	}
+	if s.Remaining() != 0 {
+		t.Fatalf("remaining = %d", s.Remaining())
+	}
+}
+
+func TestStorageAffinityReplicaCap(t *testing.T) {
+	// One incomplete task, replica cap 2: first two executions granted,
+	// third worker must Wait.
+	w := wl(t, 2, []int{0, 1})
+	s := newSA(t, w, 3, 1, 10, 2)
+	got := 0
+	for site := 0; site < 3; site++ {
+		_, st := s.NextFor(WorkerRef{Site: site, Worker: 0})
+		if st == Assigned {
+			got++
+		} else if st != Wait {
+			t.Fatalf("site %d: status %v", site, st)
+		}
+	}
+	if got != 2 {
+		t.Fatalf("granted %d executions, want 2 (cap)", got)
+	}
+}
+
+func TestStorageAffinityNoReplicaOnSameWorker(t *testing.T) {
+	// One task, one worker: after starting it, the same worker asking
+	// again must not receive a replica of its own running task.
+	w := wl(t, 2, []int{0, 1})
+	s := newSA(t, w, 1, 2, 10, 5)
+	_, st := s.NextFor(WorkerRef{Site: 0, Worker: 0})
+	if st != Assigned {
+		t.Fatal("no initial assignment")
+	}
+	_, st = s.NextFor(WorkerRef{Site: 0, Worker: 0})
+	if st != Wait {
+		t.Fatalf("same worker got status %v, want Wait", st)
+	}
+	// The other worker may replicate it.
+	_, st = s.NextFor(WorkerRef{Site: 0, Worker: 1})
+	if st != Assigned {
+		t.Fatalf("other worker got %v, want Assigned", st)
+	}
+}
+
+func TestStorageAffinitySkipsCompletedQueueEntries(t *testing.T) {
+	// Worker 1 replicates worker 0's queued task; when worker 0 reaches
+	// it, the entry must be skipped.
+	w := wl(t, 6, []int{0}, []int{1}, []int{2})
+	s := newSA(t, w, 1, 2, 10, 3)
+	// Draft across 2 workers at 1 site: round-robin w0, w1, w0.
+	t0, _ := s.NextFor(WorkerRef{Site: 0, Worker: 0})
+	t1, _ := s.NextFor(WorkerRef{Site: 0, Worker: 1})
+	_ = t1
+	// Worker 1 finishes t1, then replicates worker 0's queued task 2
+	// (steered there by affinity: the site now holds file 2).
+	s.OnTaskComplete(t1.ID, WorkerRef{Site: 0, Worker: 1})
+	s.NoteBatch(0, fids(2), fids(2), nil)
+	rep, st := s.NextFor(WorkerRef{Site: 0, Worker: 1})
+	if st != Assigned || rep.ID != 2 {
+		t.Fatalf("replica = %d (%v), want task 2", rep.ID, st)
+	}
+	s.OnTaskComplete(rep.ID, WorkerRef{Site: 0, Worker: 1})
+	s.OnTaskComplete(t0.ID, WorkerRef{Site: 0, Worker: 0})
+	// Worker 0 asks again: its remaining queue entry (rep.ID) is done, so
+	// it must not be handed out again.
+	task, st := s.NextFor(WorkerRef{Site: 0, Worker: 0})
+	if st == Assigned && task.ID == rep.ID {
+		t.Fatalf("completed task %d dispatched again", rep.ID)
+	}
+	if st != Done {
+		t.Fatalf("status = %v, want Done (all complete)", st)
+	}
+}
+
+func TestStorageAffinityReplicationPrefersAffinity(t *testing.T) {
+	// Two incomplete tasks running elsewhere; the idle worker's site has
+	// task 1's files resident, so the replica must be task 1.
+	w := wl(t, 8, []int{0, 1}, []int{2, 3}, []int{4, 5})
+	s := newSA(t, w, 3, 1, 10, 3)
+	a, _ := s.NextFor(WorkerRef{Site: 0, Worker: 0})
+	b, _ := s.NextFor(WorkerRef{Site: 1, Worker: 0})
+	c, _ := s.NextFor(WorkerRef{Site: 2, Worker: 0})
+	// Site 0 finishes its task; its storage now holds the files of task
+	// c (simulated via NoteBatch).
+	s.OnTaskComplete(a.ID, WorkerRef{Site: 0, Worker: 0})
+	s.NoteBatch(0, w.Tasks[c.ID].Files, w.Tasks[c.ID].Files, nil)
+	rep, st := s.NextFor(WorkerRef{Site: 0, Worker: 0})
+	if st != Assigned || rep.ID != c.ID {
+		t.Fatalf("replica = %d (%v), want %d (affinity)", rep.ID, st, c.ID)
+	}
+	_ = b
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gridsched/internal/workload"
+)
+
+// WorkerCentricConfig parameterizes the paper's basic algorithm (Fig. 2).
+type WorkerCentricConfig struct {
+	Metric Metric `json:"metric"`
+	// ChooseN is the n of ChooseTask(n): the scheduler picks among the n
+	// best-weighted tasks with probability proportional to weight. n = 1
+	// is the deterministic variant; the paper evaluates n = 1 and n = 2.
+	ChooseN int   `json:"chooseN"`
+	Seed    int64 `json:"seed"`
+}
+
+// Validate checks the configuration.
+func (c WorkerCentricConfig) Validate() error {
+	switch c.Metric {
+	case MetricOverlap, MetricRest, MetricCombined, MetricCombinedLiteral:
+	default:
+		return fmt.Errorf("core: unknown metric %v", c.Metric)
+	}
+	if c.ChooseN < 1 {
+		return fmt.Errorf("core: ChooseN = %d, need >= 1", c.ChooseN)
+	}
+	return nil
+}
+
+// WorkerCentric is the paper's worker-centric scheduler: one global task
+// queue; each request from an idle worker weighs every pending task against
+// that worker's site storage and assigns one.
+type WorkerCentric struct {
+	cfg WorkerCentricConfig
+	w   *workload.Workload
+	idx *fileIndex
+	rng *rand.Rand
+
+	pending   []workload.TaskID // ascending task id
+	alive     []bool            // pending membership by task id
+	completed []bool
+	remaining int
+	mirrors   map[int]*siteMirror
+
+	// scratch reused across requests
+	cand []candidate
+}
+
+type candidate struct {
+	id     workload.TaskID
+	weight float64
+}
+
+var _ Scheduler = (*WorkerCentric)(nil)
+
+// NewWorkerCentric builds the scheduler over the workload's full task set.
+func NewWorkerCentric(w *workload.Workload, cfg WorkerCentricConfig) (*WorkerCentric, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &WorkerCentric{
+		cfg:       cfg,
+		w:         w,
+		idx:       newFileIndex(w),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		pending:   make([]workload.TaskID, len(w.Tasks)),
+		alive:     make([]bool, len(w.Tasks)),
+		completed: make([]bool, len(w.Tasks)),
+		remaining: len(w.Tasks),
+		mirrors:   make(map[int]*siteMirror),
+	}
+	for i := range w.Tasks {
+		s.pending[i] = workload.TaskID(i)
+		s.alive[i] = true
+	}
+	return s, nil
+}
+
+// Name implements Scheduler. It matches the paper's algorithm labels:
+// "overlap", "rest", "combined", and with n >= 2 "rest.2" etc.
+func (s *WorkerCentric) Name() string {
+	if s.cfg.ChooseN == 1 {
+		return s.cfg.Metric.String()
+	}
+	return fmt.Sprintf("%s.%d", s.cfg.Metric, s.cfg.ChooseN)
+}
+
+// AttachSite implements Scheduler.
+func (s *WorkerCentric) AttachSite(site int) {
+	if _, ok := s.mirrors[site]; !ok {
+		s.mirrors[site] = newSiteMirror(s.idx, len(s.w.Tasks))
+	}
+}
+
+// NoteBatch implements Scheduler.
+func (s *WorkerCentric) NoteBatch(site int, batch, fetched, evicted []workload.FileID) {
+	m, ok := s.mirrors[site]
+	if !ok {
+		panic(fmt.Sprintf("core: NoteBatch for unattached site %d", site))
+	}
+	m.noteBatch(batch, fetched, evicted)
+}
+
+// Remaining implements Scheduler.
+func (s *WorkerCentric) Remaining() int { return s.remaining }
+
+// Pending returns the number of unassigned tasks.
+func (s *WorkerCentric) Pending() int { return len(s.pending) }
+
+// NextFor implements Scheduler: CalculateWeight over every pending task for
+// the requesting worker's site, then ChooseTask(n).
+func (s *WorkerCentric) NextFor(at WorkerRef) (workload.Task, Status) {
+	if len(s.pending) == 0 {
+		// Worker-centric scheduling never replicates (§3.2), so a worker
+		// with no pending tasks is finished for good.
+		return workload.Task{}, Done
+	}
+	m, ok := s.mirrors[at.Site]
+	if !ok {
+		panic(fmt.Sprintf("core: NextFor for unattached site %d", at.Site))
+	}
+	id := s.chooseTask(m)
+	s.removePending(id)
+	return s.w.Tasks[id], Assigned
+}
+
+// chooseTask runs CalculateWeight + ChooseTask(n) for one request.
+func (s *WorkerCentric) chooseTask(m *siteMirror) workload.TaskID {
+	// Tasks that fully overlap the site's storage need zero transfers;
+	// rest_t = 1/0 diverges there, which we resolve (documented in
+	// DESIGN.md) by always preferring full-overlap tasks, ranked by
+	// overlap cardinality. The Overlap metric needs no special class —
+	// |Ft| is already finite and maximal for those tasks.
+	if s.cfg.Metric != MetricOverlap {
+		s.cand = s.cand[:0]
+		for _, id := range s.pending {
+			if m.overlap[id] == int32(len(s.w.Tasks[id].Files)) {
+				s.cand = append(s.cand, candidate{id: id, weight: float64(m.overlap[id])})
+			}
+		}
+		if len(s.cand) > 0 {
+			return s.pickTopN(s.cand)
+		}
+	}
+
+	// Pre-compute totals for the combined metrics.
+	var totalRef, totalRest float64
+	if s.cfg.Metric == MetricCombined || s.cfg.Metric == MetricCombinedLiteral {
+		for _, id := range s.pending {
+			totalRef += float64(m.refSum[id])
+			missing := len(s.w.Tasks[id].Files) - int(m.overlap[id])
+			totalRest += 1 / float64(missing) // missing >= 1 here
+		}
+	}
+
+	s.cand = s.cand[:0]
+	for _, id := range s.pending {
+		ov := float64(m.overlap[id])
+		missing := float64(len(s.w.Tasks[id].Files)) - ov
+		var weight float64
+		switch s.cfg.Metric {
+		case MetricOverlap:
+			weight = ov
+		case MetricRest:
+			weight = 1 / missing
+		case MetricCombined:
+			rest := 1 / missing
+			weight = norm(float64(m.refSum[id]), totalRef) + norm(rest, totalRest)
+		case MetricCombinedLiteral:
+			// As typeset: ref_t/totalRef + totalRest/rest_t. Larger rest_t
+			// (fewer transfers) lowers the second term; kept verbatim for
+			// the ablation.
+			rest := 1 / missing
+			weight = norm(float64(m.refSum[id]), totalRef) + totalRest/rest
+		}
+		s.cand = append(s.cand, candidate{id: id, weight: weight})
+	}
+	return s.pickTopN(s.cand)
+}
+
+// norm returns v/total, or 0 when the total is degenerate.
+func norm(v, total float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return v / total
+}
+
+// pickTopN implements ChooseTask(n): keep the n largest weights (ties break
+// to the lower task id, because candidates arrive in ascending id order and
+// replacement requires strictly greater weight), then sample among them
+// with probability proportional to weight.
+//
+// When every candidate weighs zero — a cold storage and the Overlap metric,
+// typically — the weights carry no information, and always defaulting to
+// the lowest task id would herd every site onto the same end of the task
+// list, where spatially adjacent tasks make the sites fetch each other's
+// files over and over. We instead pick uniformly over all candidates, which
+// disperses sites across the workload and matches the spirit of
+// probability-proportional choice (see DESIGN.md).
+func (s *WorkerCentric) pickTopN(cand []candidate) workload.TaskID {
+	informative := false
+	for _, c := range cand {
+		if c.weight > 0 {
+			informative = true
+			break
+		}
+	}
+	if !informative {
+		return cand[s.rng.Intn(len(cand))].id
+	}
+	n := s.cfg.ChooseN
+	if n > len(cand) {
+		n = len(cand)
+	}
+	// Partial selection: top n of len(cand), n is tiny (1 or 2 in the
+	// paper), so insertion into a sorted window is O(len(cand) * n).
+	top := make([]candidate, 0, n)
+	for _, c := range cand {
+		if len(top) < n {
+			top = append(top, c)
+			for i := len(top) - 1; i > 0 && top[i].weight > top[i-1].weight; i-- {
+				top[i], top[i-1] = top[i-1], top[i]
+			}
+			continue
+		}
+		if c.weight > top[n-1].weight {
+			top[n-1] = c
+			for i := n - 1; i > 0 && top[i].weight > top[i-1].weight; i-- {
+				top[i], top[i-1] = top[i-1], top[i]
+			}
+		}
+	}
+	if len(top) == 1 {
+		return top[0].id
+	}
+	var sum float64
+	for _, c := range top {
+		if math.IsInf(c.weight, 1) {
+			return c.id
+		}
+		sum += c.weight
+	}
+	if sum <= 0 {
+		return top[s.rng.Intn(len(top))].id
+	}
+	r := s.rng.Float64() * sum
+	for _, c := range top {
+		r -= c.weight
+		if r < 0 {
+			return c.id
+		}
+	}
+	return top[len(top)-1].id
+}
+
+// removePending drops id from the pending list (which stays sorted).
+func (s *WorkerCentric) removePending(id workload.TaskID) {
+	if !s.alive[id] {
+		panic(fmt.Sprintf("core: task %d assigned twice", id))
+	}
+	s.alive[id] = false
+	// Binary search for the slot.
+	lo, hi := 0, len(s.pending)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.pending[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	s.pending = append(s.pending[:lo], s.pending[lo+1:]...)
+}
+
+// OnTaskComplete implements Scheduler. Worker-centric scheduling has no
+// replicas to cancel.
+func (s *WorkerCentric) OnTaskComplete(id workload.TaskID, at WorkerRef) []WorkerRef {
+	if !s.completed[id] {
+		s.completed[id] = true
+		s.remaining--
+	}
+	return nil
+}
+
+// OnExecutionFailed implements Scheduler: the task goes back into the
+// pending queue to be weighed again by future requests.
+func (s *WorkerCentric) OnExecutionFailed(id workload.TaskID, at WorkerRef) {
+	if s.completed[id] || s.alive[id] {
+		return
+	}
+	s.alive[id] = true
+	// Sorted re-insert keeps the deterministic ascending iteration order.
+	lo, hi := 0, len(s.pending)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.pending[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	s.pending = append(s.pending, 0)
+	copy(s.pending[lo+1:], s.pending[lo:])
+	s.pending[lo] = id
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"gridsched/internal/workload"
+)
+
+// Workqueue is the classic worker-centric baseline (Cirne et al. [6]):
+// dispatch tasks in FIFO order to whichever worker asks, with no data
+// awareness at all.
+type Workqueue struct {
+	w         *workload.Workload
+	next      int
+	retry     []workload.TaskID
+	completed []bool
+	remaining int
+}
+
+var _ Scheduler = (*Workqueue)(nil)
+
+// NewWorkqueue builds the FIFO scheduler over the workload's task set.
+func NewWorkqueue(w *workload.Workload) *Workqueue {
+	return &Workqueue{
+		w:         w,
+		completed: make([]bool, len(w.Tasks)),
+		remaining: len(w.Tasks),
+	}
+}
+
+// Name implements Scheduler.
+func (s *Workqueue) Name() string { return "workqueue" }
+
+// AttachSite implements Scheduler; workqueue tracks no site state.
+func (s *Workqueue) AttachSite(site int) {}
+
+// NoteBatch implements Scheduler; workqueue ignores storage contents.
+func (s *Workqueue) NoteBatch(site int, batch, fetched, evicted []workload.FileID) {}
+
+// NextFor implements Scheduler: strict FIFO dispatch; failed tasks are
+// retried before fresh ones.
+func (s *Workqueue) NextFor(at WorkerRef) (workload.Task, Status) {
+	for len(s.retry) > 0 {
+		id := s.retry[0]
+		s.retry = s.retry[1:]
+		if !s.completed[id] {
+			return s.w.Tasks[id], Assigned
+		}
+	}
+	if s.next >= len(s.w.Tasks) {
+		if s.remaining > 0 {
+			// Stragglers may still fail and need a retry slot.
+			return workload.Task{}, Wait
+		}
+		return workload.Task{}, Done
+	}
+	t := s.w.Tasks[s.next]
+	s.next++
+	return t, Assigned
+}
+
+// OnExecutionFailed implements Scheduler: the task rejoins the queue.
+func (s *Workqueue) OnExecutionFailed(id workload.TaskID, at WorkerRef) {
+	if !s.completed[id] {
+		s.retry = append(s.retry, id)
+	}
+}
+
+// OnTaskComplete implements Scheduler.
+func (s *Workqueue) OnTaskComplete(id workload.TaskID, at WorkerRef) []WorkerRef {
+	if !s.completed[id] {
+		s.completed[id] = true
+		s.remaining--
+	}
+	return nil
+}
+
+// Remaining implements Scheduler.
+func (s *Workqueue) Remaining() int { return s.remaining }

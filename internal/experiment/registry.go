@@ -1,0 +1,88 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Definition is a registry entry: one reproducible paper artifact.
+type Definition struct {
+	ID          string
+	Description string
+	Run         func(Options) ([]*Report, error)
+}
+
+// Registry returns every experiment, keyed by id. Entries that share a
+// sweep (figure4/figure5, figure6/table3) run it once and emit both
+// reports when invoked through their combined ids.
+func Registry() map[string]Definition {
+	single := func(f func(Options) (*Report, error)) func(Options) ([]*Report, error) {
+		return func(o Options) ([]*Report, error) {
+			rep, err := f(o)
+			if err != nil {
+				return nil, err
+			}
+			return []*Report{rep}, nil
+		}
+	}
+	return map[string]Definition{
+		"table2":  {ID: "table2", Description: "Coadd-6000 workload characteristics", Run: single(Table2)},
+		"figure1": {ID: "figure1", Description: "file-access CDF, full Coadd", Run: single(Figure1)},
+		"figure3": {ID: "figure3", Description: "file-access CDF, Coadd-6000", Run: single(Figure3)},
+		"figure4": {ID: "figure4", Description: "makespan vs. data-server capacity (also emits figure5)", Run: func(o Options) ([]*Report, error) {
+			f4, f5, err := Figure4And5(o)
+			if err != nil {
+				return nil, err
+			}
+			return []*Report{f4, f5}, nil
+		}},
+		"figure5": {ID: "figure5", Description: "file transfers vs. capacity (also emits figure4)", Run: func(o Options) ([]*Report, error) {
+			f4, f5, err := Figure4And5(o)
+			if err != nil {
+				return nil, err
+			}
+			return []*Report{f5, f4}, nil
+		}},
+		"figure6": {ID: "figure6", Description: "makespan vs. workers per site (also emits table3)", Run: func(o Options) ([]*Report, error) {
+			f6, t3, err := Figure6AndTable3(o)
+			if err != nil {
+				return nil, err
+			}
+			return []*Report{f6, t3}, nil
+		}},
+		"table3": {ID: "table3", Description: "per-site data-server breakdown for rest (also emits figure6)", Run: func(o Options) ([]*Report, error) {
+			f6, t3, err := Figure6AndTable3(o)
+			if err != nil {
+				return nil, err
+			}
+			return []*Report{t3, f6}, nil
+		}},
+		"figure7":              {ID: "figure7", Description: "makespan vs. number of sites", Run: single(Figure7)},
+		"figure8":              {ID: "figure8", Description: "makespan vs. file size", Run: single(Figure8)},
+		"ablation-churn":       {ID: "ablation-churn", Description: "makespan vs. worker availability (failure injection)", Run: single(AblationChurn)},
+		"ablation-combined":    {ID: "ablation-combined", Description: "Combined formula: intended vs. literal", Run: single(AblationCombined)},
+		"ablation-choosetask":  {ID: "ablation-choosetask", Description: "ChooseTask(n) window sweep", Run: single(AblationChooseTask)},
+		"ablation-eviction":    {ID: "ablation-eviction", Description: "LRU vs FIFO at capacity 3000", Run: single(AblationEviction)},
+		"ablation-replication": {ID: "ablation-replication", Description: "proactive data replication on/off at capacity 3000", Run: single(AblationReplication)},
+	}
+}
+
+// IDs returns all registry ids, sorted.
+func IDs() []string {
+	reg := Registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Lookup fetches a definition by id.
+func Lookup(id string) (Definition, error) {
+	def, ok := Registry()[id]
+	if !ok {
+		return Definition{}, fmt.Errorf("experiment: unknown id %q (have %v)", id, IDs())
+	}
+	return def, nil
+}

@@ -1,0 +1,149 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gridsched/internal/plot"
+)
+
+// Report is a rendered experiment result: a titled table plus the
+// underlying numeric series for plotting.
+type Report struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	XLabel  string     `json:"xLabel"`
+	YLabel  string     `json:"yLabel"`
+	Columns []string   `json:"columns"` // first column is the x label
+	Rows    [][]string `json:"rows"`
+	// Series mirrors Rows numerically: Series[algIdx][pointIdx], indexed
+	// by Columns[1:]. Nil for purely tabular reports (Table 2).
+	Series [][]float64 `json:"series,omitempty"`
+	// Notes records interpretation decisions relevant to reading the
+	// report (e.g. what "file transfers" counts).
+	Notes []string `json:"notes,omitempty"`
+}
+
+// Render writes the report as an aligned text table.
+func (r *Report) Render(out io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n", r.ID, r.Title)
+	if r.XLabel != "" || r.YLabel != "" {
+		fmt.Fprintf(&b, "# x: %s, y: %s\n", r.XLabel, r.YLabel)
+	}
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "# note: %s\n", n)
+	}
+	_, err := io.WriteString(out, b.String())
+	return err
+}
+
+// WriteCSV emits the table as CSV (header row first).
+func (r *Report) WriteCSV(out io.Writer) error {
+	cw := csv.NewWriter(out)
+	if err := cw.Write(r.Columns); err != nil {
+		return fmt.Errorf("experiment: csv: %w", err)
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiment: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("experiment: csv: %w", err)
+	}
+	return nil
+}
+
+// RenderPlot draws the report's numeric series as a terminal line chart.
+// It returns ok=false for purely tabular reports (no Series data).
+func (r *Report) RenderPlot(out io.Writer) (ok bool, err error) {
+	if len(r.Series) == 0 {
+		return false, nil
+	}
+	xs := make([]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		label := strings.TrimSuffix(row[0], "%")
+		v, perr := strconv.ParseFloat(label, 64)
+		if perr != nil {
+			v = float64(i) // categorical x axis: fall back to the index
+		}
+		xs[i] = v
+	}
+	series := make([]plot.Series, 0, len(r.Series))
+	for ai, ys := range r.Series {
+		series = append(series, plot.Series{Name: r.Columns[ai+1], X: xs, Y: ys})
+	}
+	text, err := plot.Render(plot.Config{
+		Title:  fmt.Sprintf("%s — %s", r.ID, r.Title),
+		XLabel: r.XLabel,
+		YLabel: r.YLabel,
+	}, series)
+	if err != nil {
+		return false, err
+	}
+	_, err = io.WriteString(out, text)
+	return true, err
+}
+
+// sweepReport renders one metric of a sweep as a Report with one column per
+// algorithm, averaging each cell over seeds.
+func sweepReport(id, title, xLabel, yLabel string, sw *Sweep, metric func(*CellResults) []float64) *Report {
+	rep := &Report{
+		ID:      id,
+		Title:   title,
+		XLabel:  xLabel,
+		YLabel:  yLabel,
+		Columns: append([]string{xLabel}, sw.Algorithms...),
+	}
+	rep.Series = make([][]float64, len(sw.Algorithms))
+	for pi, label := range sw.PointLabels {
+		row := []string{label}
+		for ai := range sw.Algorithms {
+			mean := meanOf(metric(sw.Cells[pi][ai]))
+			rep.Series[ai] = append(rep.Series[ai], mean)
+			row = append(row, fmt.Sprintf("%.0f", mean))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep
+}
+
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

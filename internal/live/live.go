@@ -1,0 +1,305 @@
+// Package live runs the schedulers on a real concurrent runtime instead of
+// the discrete-event simulator: one goroutine per worker pulls tasks from a
+// shared scheduler service, stages files through a per-site store, executes
+// a user-supplied function, and supports replica cancellation via contexts.
+//
+// It demonstrates that the core schedulers are engine-agnostic (the same
+// core.Scheduler drives both the simulator and this runtime) and is the
+// piece a downstream user would embed to schedule actual work: plug a real
+// Execute function (and, if staging is remote, a real StageDelay).
+package live
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"gridsched/internal/core"
+	"gridsched/internal/storage"
+	"gridsched/internal/workload"
+)
+
+// Config describes a live cluster.
+type Config struct {
+	Sites          int
+	WorkersPerSite int
+	CapacityFiles  int
+	Policy         storage.Policy
+	// Execute runs one task. It must honor ctx cancellation promptly:
+	// when another replica of the same task completes first, ctx is
+	// cancelled. A nil Execute is a no-op (scheduling-only run).
+	Execute func(ctx context.Context, at core.WorkerRef, task workload.Task) error
+	// StageDelay models the time to fetch the given number of missing
+	// files into a site store. Nil means staging is instantaneous.
+	StageDelay func(missingFiles int) time.Duration
+	// PollInterval is how long a worker in Wait status sleeps before
+	// asking again. Defaults to 10ms.
+	PollInterval time.Duration
+	// RetryOnError controls what an Execute error means. False (default):
+	// the error is fatal and aborts the whole run. True: the execution is
+	// reported to the scheduler as failed (transient worker trouble) and
+	// the task is retried per the strategy's failure path.
+	RetryOnError bool
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	switch {
+	case c.Sites < 1:
+		return fmt.Errorf("live: Sites = %d", c.Sites)
+	case c.WorkersPerSite < 1:
+		return fmt.Errorf("live: WorkersPerSite = %d", c.WorkersPerSite)
+	case c.CapacityFiles < 1:
+		return fmt.Errorf("live: CapacityFiles = %d", c.CapacityFiles)
+	}
+	return nil
+}
+
+// Summary is the outcome of a live run.
+type Summary struct {
+	TasksCompleted      int           `json:"tasksCompleted"`
+	CancelledExecutions int           `json:"cancelledExecutions"`
+	FailedExecutions    int           `json:"failedExecutions"`
+	FileTransfers       int64         `json:"fileTransfers"`
+	Wall                time.Duration `json:"wallNanos"`
+}
+
+// site is a live data server: a mutex-serialized store (assumption 3: one
+// batch request at a time).
+type site struct {
+	mu    sync.Mutex
+	store *storage.Store
+}
+
+// Cluster wires a scheduler to a pool of worker goroutines.
+type Cluster struct {
+	cfg   Config
+	w     *workload.Workload
+	sched core.Scheduler
+	sites []*site
+
+	mu        sync.Mutex // guards sched, execs, and the fields below
+	execs     map[core.WorkerRef]*execution
+	completed int
+	cancelled int
+	failed    int
+	transfers int64
+	execErr   error              // first Execute failure; aborts the run
+	abort     context.CancelFunc // cancels every worker
+}
+
+type execution struct {
+	task   workload.TaskID
+	cancel context.CancelFunc
+}
+
+// NewCluster builds a cluster over the workload with the given scheduler.
+// The scheduler must be freshly constructed and is driven exclusively by
+// the cluster from here on.
+func NewCluster(cfg Config, w *workload.Workload, sched core.Scheduler) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 10 * time.Millisecond
+	}
+	maxFiles := 0
+	for _, t := range w.Tasks {
+		if len(t.Files) > maxFiles {
+			maxFiles = len(t.Files)
+		}
+	}
+	if cfg.CapacityFiles < maxFiles {
+		return nil, fmt.Errorf("live: capacity %d below largest task (%d files)", cfg.CapacityFiles, maxFiles)
+	}
+	c := &Cluster{
+		cfg:   cfg,
+		w:     w,
+		sched: sched,
+		execs: make(map[core.WorkerRef]*execution),
+	}
+	for i := 0; i < cfg.Sites; i++ {
+		st, err := storage.New(cfg.CapacityFiles, cfg.Policy)
+		if err != nil {
+			return nil, err
+		}
+		c.sites = append(c.sites, &site{store: st})
+		sched.AttachSite(i)
+	}
+	return c, nil
+}
+
+// Run starts every worker goroutine and blocks until the workload is
+// complete, an Execute call fails, or ctx is cancelled. All goroutines have
+// exited when it returns.
+func (c *Cluster) Run(ctx context.Context) (*Summary, error) {
+	start := time.Now()
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	c.mu.Lock()
+	c.abort = cancel
+	c.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for s := 0; s < c.cfg.Sites; s++ {
+		for wi := 0; wi < c.cfg.WorkersPerSite; wi++ {
+			ref := core.WorkerRef{Site: s, Worker: wi}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c.worker(runCtx, ref)
+			}()
+		}
+	}
+	wg.Wait()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.execErr != nil {
+		return nil, fmt.Errorf("live: task execution failed: %w", c.execErr)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("live: run aborted: %w", err)
+	}
+	if c.sched.Remaining() != 0 {
+		return nil, fmt.Errorf("live: %d tasks incomplete after all workers exited", c.sched.Remaining())
+	}
+	return &Summary{
+		TasksCompleted:      c.completed,
+		CancelledExecutions: c.cancelled,
+		FailedExecutions:    c.failed,
+		FileTransfers:       c.transfers,
+		Wall:                time.Since(start),
+	}, nil
+}
+
+// worker is the pull loop: request task → stage files → execute → repeat.
+func (c *Cluster) worker(ctx context.Context, ref core.WorkerRef) {
+	for ctx.Err() == nil {
+		c.mu.Lock()
+		task, status := c.sched.NextFor(ref)
+		var runCtx context.Context
+		if status == core.Assigned {
+			var cancel context.CancelFunc
+			runCtx, cancel = context.WithCancel(ctx)
+			c.execs[ref] = &execution{task: task.ID, cancel: cancel}
+		}
+		c.mu.Unlock()
+
+		switch status {
+		case core.Done:
+			return
+		case core.Wait:
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(c.cfg.PollInterval):
+			}
+			continue
+		case core.Assigned:
+		default:
+			panic(fmt.Sprintf("live: unknown scheduler status %v", status))
+		}
+
+		outcome := c.runTask(runCtx, ref, task)
+
+		c.mu.Lock()
+		exec := c.execs[ref]
+		delete(c.execs, ref)
+		if outcome == outcomeFailed {
+			// Already reported to the scheduler by runTask.
+			c.mu.Unlock()
+			continue
+		}
+		// Re-check under the lock: a replica elsewhere may have completed
+		// (and cancelled us) after runTask returned but before we got
+		// here; completions are decided in lock order.
+		if outcome == outcomeCancelled || runCtx.Err() != nil || ctx.Err() != nil {
+			c.cancelled++
+			c.mu.Unlock()
+			continue
+		}
+		c.completed++
+		victims := c.sched.OnTaskComplete(task.ID, ref)
+		for _, v := range victims {
+			if ve, ok := c.execs[v]; ok && ve.task == task.ID {
+				ve.cancel()
+			}
+		}
+		c.mu.Unlock()
+		exec.cancel() // release the context's resources
+	}
+}
+
+// outcome of one runTask call.
+type outcome int
+
+const (
+	outcomeCompleted outcome = iota + 1
+	outcomeCancelled
+	outcomeFailed
+)
+
+// runTask stages the task's inputs at the worker's site and executes it.
+// The site mutex is held across the staging delay: the data server serves
+// one batch request at a time (assumption 3), so same-site workers queue
+// behind it.
+func (c *Cluster) runTask(ctx context.Context, ref core.WorkerRef, task workload.Task) outcome {
+	s := c.sites[ref.Site]
+	s.mu.Lock()
+	missing := s.store.Missing(task.Files)
+	if c.cfg.StageDelay != nil && len(missing) > 0 {
+		if delay := c.cfg.StageDelay(len(missing)); delay > 0 {
+			select {
+			case <-ctx.Done():
+				s.mu.Unlock()
+				return outcomeCancelled // abandoned before the fetch committed
+			case <-time.After(delay):
+			}
+		}
+	}
+	fetched, evicted, err := s.store.CommitBatch(task.Files)
+	if err != nil {
+		s.mu.Unlock()
+		panic(fmt.Sprintf("live: commit at site %d: %v", ref.Site, err))
+	}
+	c.mu.Lock()
+	c.transfers += int64(len(fetched))
+	c.sched.NoteBatch(ref.Site, task.Files, fetched, evicted)
+	c.mu.Unlock()
+	s.mu.Unlock()
+
+	if ctx.Err() != nil {
+		return outcomeCancelled
+	}
+	if c.cfg.Execute != nil {
+		err := c.cfg.Execute(ctx, ref, task)
+		if ctx.Err() != nil {
+			return outcomeCancelled // cancellation, whatever Execute returned
+		}
+		if err != nil {
+			if c.cfg.RetryOnError {
+				c.mu.Lock()
+				c.failed++
+				c.sched.OnExecutionFailed(task.ID, ref)
+				c.mu.Unlock()
+				return outcomeFailed
+			}
+			// Fatal: abort the whole run rather than hang the job on a
+			// silently lost task.
+			c.mu.Lock()
+			if c.execErr == nil {
+				c.execErr = fmt.Errorf("task %d at %+v: %w", task.ID, ref, err)
+			}
+			abort := c.abort
+			c.mu.Unlock()
+			abort()
+			return outcomeFailed
+		}
+	}
+	if ctx.Err() != nil {
+		return outcomeCancelled
+	}
+	return outcomeCompleted
+}

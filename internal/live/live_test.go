@@ -1,0 +1,268 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gridsched/internal/core"
+	"gridsched/internal/storage"
+	"gridsched/internal/workload"
+)
+
+func liveWorkload(t *testing.T, tasks int) *workload.Workload {
+	t.Helper()
+	cfg := workload.CoaddSmallConfig(workload.DefaultCoaddSeed)
+	cfg.Tasks = tasks
+	w, err := workload.GenerateCoadd(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func baseCfg() Config {
+	return Config{
+		Sites:          3,
+		WorkersPerSite: 2,
+		CapacityFiles:  2000,
+		Policy:         storage.LRU,
+	}
+}
+
+func newWC(t *testing.T, w *workload.Workload, metric core.Metric, n int) core.Scheduler {
+	t.Helper()
+	s, err := core.NewWorkerCentric(w, core.WorkerCentricConfig{Metric: metric, ChooseN: n, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestLiveRunCompletesAllTasks(t *testing.T) {
+	w := liveWorkload(t, 120)
+	var executed atomic.Int64
+	cfg := baseCfg()
+	cfg.Execute = func(ctx context.Context, at core.WorkerRef, task workload.Task) error {
+		executed.Add(1)
+		return nil
+	}
+	c, err := NewCluster(cfg, w, newWC(t, w, core.MetricRest, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TasksCompleted != 120 {
+		t.Fatalf("completed %d of 120", sum.TasksCompleted)
+	}
+	if executed.Load() != 120 {
+		t.Fatalf("executed %d", executed.Load())
+	}
+	if sum.FileTransfers == 0 {
+		t.Fatal("no transfers recorded")
+	}
+}
+
+func TestLiveRunAllSchedulers(t *testing.T) {
+	w := liveWorkload(t, 80)
+	cfg := baseCfg()
+	scheds := []func() core.Scheduler{
+		func() core.Scheduler { return newWC(t, w, core.MetricOverlap, 1) },
+		func() core.Scheduler { return newWC(t, w, core.MetricCombined, 2) },
+		func() core.Scheduler { return core.NewWorkqueue(w) },
+		func() core.Scheduler {
+			s, err := core.NewStorageAffinity(w, core.StorageAffinityConfig{
+				Sites:          cfg.Sites,
+				WorkersPerSite: cfg.WorkersPerSite,
+				CapacityFiles:  cfg.CapacityFiles,
+				Policy:         storage.LRU,
+				MaxReplicas:    2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+	}
+	for _, mk := range scheds {
+		sched := mk()
+		c, err := NewCluster(cfg, w, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := c.Run(context.Background())
+		if err != nil {
+			t.Fatalf("%s: %v", sched.Name(), err)
+		}
+		if sum.TasksCompleted != 80 {
+			t.Fatalf("%s: completed %d", sched.Name(), sum.TasksCompleted)
+		}
+	}
+}
+
+func TestLiveStageDelaySlowsRun(t *testing.T) {
+	w := liveWorkload(t, 20)
+	cfg := baseCfg()
+	cfg.StageDelay = func(missing int) time.Duration {
+		return 200 * time.Microsecond
+	}
+	c, err := NewCluster(cfg, w, newWC(t, w, core.MetricRest, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TasksCompleted != 20 {
+		t.Fatalf("completed %d", sum.TasksCompleted)
+	}
+	if sum.Wall <= 0 {
+		t.Fatal("no wall time recorded")
+	}
+}
+
+func TestLiveContextCancellationAborts(t *testing.T) {
+	w := liveWorkload(t, 500)
+	cfg := baseCfg()
+	cfg.Execute = func(ctx context.Context, at core.WorkerRef, task workload.Task) error {
+		select {
+		case <-ctx.Done():
+		case <-time.After(time.Millisecond):
+		}
+		return nil
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c, err := NewCluster(cfg, w, newWC(t, w, core.MetricRest, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := c.Run(ctx); err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+}
+
+func TestLiveExecuteErrorAbortsRun(t *testing.T) {
+	w := liveWorkload(t, 200)
+	boom := errors.New("disk on fire")
+	var calls atomic.Int64
+	cfg := baseCfg()
+	cfg.Execute = func(ctx context.Context, at core.WorkerRef, task workload.Task) error {
+		if calls.Add(1) == 10 {
+			return boom
+		}
+		return nil
+	}
+	c, err := NewCluster(cfg, w, newWC(t, w, core.MetricRest, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(context.Background())
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestLiveReplicaCancellation(t *testing.T) {
+	// One task, two sites with one worker each, replica cap 2, and an
+	// Execute that blocks until cancelled for the first runner: the
+	// second execution completes and must cancel the first.
+	w := &workload.Workload{
+		Name:     "single",
+		NumFiles: 2,
+		Tasks:    []workload.Task{{ID: 0, Files: []workload.FileID{0, 1}}},
+	}
+	sa, err := core.NewStorageAffinity(w, core.StorageAffinityConfig{
+		Sites:          2,
+		WorkersPerSite: 1,
+		CapacityFiles:  10,
+		Policy:         storage.LRU,
+		MaxReplicas:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var starts atomic.Int64
+	cfg := Config{
+		Sites:          2,
+		WorkersPerSite: 1,
+		CapacityFiles:  10,
+		Policy:         storage.LRU,
+		PollInterval:   time.Millisecond,
+		Execute: func(ctx context.Context, at core.WorkerRef, task workload.Task) error {
+			if starts.Add(1) == 1 {
+				// First runner hangs until its replica finishes.
+				<-ctx.Done()
+				return nil
+			}
+			return nil
+		},
+	}
+	c, err := NewCluster(cfg, w, sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	sum, err := c.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TasksCompleted != 1 {
+		t.Fatalf("completed %d, want 1", sum.TasksCompleted)
+	}
+	if sum.CancelledExecutions != 1 {
+		t.Fatalf("cancelled %d, want 1 (the hung replica)", sum.CancelledExecutions)
+	}
+}
+
+func TestLiveValidation(t *testing.T) {
+	w := liveWorkload(t, 10)
+	bad := baseCfg()
+	bad.Sites = 0
+	if _, err := NewCluster(bad, w, newWC(t, w, core.MetricRest, 1)); err == nil {
+		t.Error("accepted Sites = 0")
+	}
+	bad = baseCfg()
+	bad.CapacityFiles = 5 // below max task size
+	if _, err := NewCluster(bad, w, newWC(t, w, core.MetricRest, 1)); err == nil {
+		t.Error("accepted capacity below largest task")
+	}
+}
+
+func TestLiveRetryOnErrorRecovers(t *testing.T) {
+	w := liveWorkload(t, 60)
+	var calls atomic.Int64
+	cfg := baseCfg()
+	cfg.RetryOnError = true
+	cfg.Execute = func(ctx context.Context, at core.WorkerRef, task workload.Task) error {
+		// Every 7th execution fails transiently.
+		if calls.Add(1)%7 == 0 {
+			return errors.New("transient overload")
+		}
+		return nil
+	}
+	c, err := NewCluster(cfg, w, newWC(t, w, core.MetricRest, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TasksCompleted != 60 {
+		t.Fatalf("completed %d of 60 with retries", sum.TasksCompleted)
+	}
+	if sum.FailedExecutions == 0 {
+		t.Fatal("no failures recorded despite injected errors")
+	}
+}

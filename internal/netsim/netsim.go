@@ -1,0 +1,265 @@
+// Package netsim simulates wide-area data transfers at flow level.
+//
+// Concurrent flows share link capacity max-min fairly (progressive
+// filling), the bandwidth-sharing model SimGrid uses for TCP-like flows.
+// Whenever a flow starts or finishes, every active flow's rate is
+// recomputed and its completion event rescheduled, so contention between
+// sites transferring through shared WAN links is modeled continuously.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gridsched/internal/sim"
+	"gridsched/internal/topology"
+)
+
+// completionSlack guards against floating-point drift when rescheduling
+// completion events: a flow whose remaining bytes fall below this many
+// bytes is considered finished.
+const completionSlack = 1e-6
+
+// Flow is an active transfer between two nodes.
+type Flow struct {
+	ID        int
+	Src, Dst  topology.NodeID
+	Bytes     float64 // total payload
+	remaining float64
+	rate      float64 // current allocation, bytes/s
+	route     []topology.LinkID
+	completed *sim.Event
+	done      *sim.Signal
+	started   sim.Time
+	updated   sim.Time // last time remaining was settled
+
+	// progressive-filling scratch state
+	frozen bool
+}
+
+// Rate returns the flow's current max-min fair allocation in bytes/s.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Remaining returns the bytes not yet delivered as of the last re-rate.
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Stats aggregates network activity over a run.
+type Stats struct {
+	FlowsStarted   int
+	FlowsCompleted int
+	BytesDelivered float64
+	// LinkBytes accumulates payload bytes carried per link (a flow's bytes
+	// count once on every link of its route).
+	LinkBytes map[topology.LinkID]float64
+}
+
+// Network is the flow-level simulator bound to a kernel and a graph.
+type Network struct {
+	k     *sim.Kernel
+	g     *topology.Graph
+	flows map[int]*Flow
+	seq   int
+	stats Stats
+}
+
+// New returns a Network simulating transfers over g, driven by k.
+func New(k *sim.Kernel, g *topology.Graph) *Network {
+	return &Network{
+		k:     k,
+		g:     g,
+		flows: make(map[int]*Flow),
+		stats: Stats{LinkBytes: make(map[topology.LinkID]float64)},
+	}
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (n *Network) Stats() Stats {
+	cp := n.stats
+	cp.LinkBytes = make(map[topology.LinkID]float64, len(n.stats.LinkBytes))
+	for k, v := range n.stats.LinkBytes {
+		cp.LinkBytes[k] = v
+	}
+	return cp
+}
+
+// ActiveFlows returns the number of in-flight flows.
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// Transfer moves bytes from src to dst, blocking the calling process for the
+// route propagation latency plus the congestion-dependent transfer time.
+// A zero-byte transfer still pays the route latency (a request round-trip).
+func (n *Network) Transfer(p *sim.Proc, src, dst topology.NodeID, bytes float64) error {
+	route, err := n.g.RouteBetween(src, dst)
+	if err != nil {
+		return err
+	}
+	if route.Latency > 0 {
+		p.Sleep(route.Latency)
+	}
+	if bytes <= 0 {
+		return nil
+	}
+	f, err := n.StartFlow(src, dst, bytes)
+	if err != nil {
+		return err
+	}
+	f.done.Wait(p)
+	return nil
+}
+
+// StartFlow begins a transfer and returns the flow; f.done fires on
+// completion. Most callers want Transfer instead.
+func (n *Network) StartFlow(src, dst topology.NodeID, bytes float64) (*Flow, error) {
+	if bytes <= 0 {
+		return nil, fmt.Errorf("netsim: non-positive flow size %v", bytes)
+	}
+	route, err := n.g.RouteBetween(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	if len(route.Links) == 0 {
+		return nil, fmt.Errorf("netsim: src %d and dst %d are the same node", src, dst)
+	}
+	n.seq++
+	f := &Flow{
+		ID:        n.seq,
+		Src:       src,
+		Dst:       dst,
+		Bytes:     bytes,
+		remaining: bytes,
+		route:     route.Links,
+		done:      sim.NewSignal(n.k),
+		started:   n.k.Now(),
+		updated:   n.k.Now(),
+	}
+	n.flows[f.ID] = f
+	n.stats.FlowsStarted++
+	n.rerate()
+	return f, nil
+}
+
+// rerate recomputes every active flow's max-min fair rate and reschedules
+// completion events. Called on each flow arrival and departure.
+//
+// All iteration is over flow-ID- and link-ID-sorted slices, never directly
+// over maps: max-min allocation is unique, but floating-point accumulation
+// order is not, and a map-order-dependent rounding difference would break
+// deterministic replay.
+func (n *Network) rerate() {
+	now := n.k.Now()
+
+	active := make([]*Flow, 0, len(n.flows))
+	for _, f := range n.flows {
+		active = append(active, f)
+	}
+	sort.Slice(active, func(i, j int) bool { return active[i].ID < active[j].ID })
+
+	// 1. Charge progress since the last re-rate.
+	for _, f := range active {
+		f.remaining -= f.rate * (now - f.updated)
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+		f.updated = now
+	}
+
+	// 2. Progressive filling over the links used by active flows.
+	type linkState struct {
+		id       topology.LinkID
+		capacity float64
+		flows    []*Flow
+	}
+	byLink := make(map[topology.LinkID]*linkState)
+	var links []*linkState
+	for _, f := range active {
+		f.frozen = false
+		for _, lid := range f.route {
+			ls, ok := byLink[lid]
+			if !ok {
+				ls = &linkState{id: lid, capacity: n.g.Links[lid].Bandwidth}
+				byLink[lid] = ls
+				links = append(links, ls)
+			}
+			ls.flows = append(ls.flows, f)
+		}
+	}
+	sort.Slice(links, func(i, j int) bool { return links[i].id < links[j].id })
+
+	unfrozen := len(active)
+	for unfrozen > 0 {
+		// Find the bottleneck: the link with the smallest fair share among
+		// links that still carry unfrozen flows. Ties resolve to the lowest
+		// link id (same allocation either way; the tie-break keeps the
+		// floating-point accumulation order reproducible).
+		var bottleneck *linkState
+		share := math.MaxFloat64
+		for _, ls := range links {
+			cnt := 0
+			for _, f := range ls.flows {
+				if !f.frozen {
+					cnt++
+				}
+			}
+			if cnt == 0 {
+				continue
+			}
+			if s := ls.capacity / float64(cnt); s < share {
+				share = s
+				bottleneck = ls
+			}
+		}
+		if bottleneck == nil {
+			break
+		}
+		// Freeze every unfrozen flow through the bottleneck at the fair
+		// share and charge its rate against the rest of its route.
+		for _, f := range bottleneck.flows {
+			if f.frozen {
+				continue
+			}
+			f.frozen = true
+			f.rate = share
+			unfrozen--
+			for _, lid := range f.route {
+				ls := byLink[lid]
+				ls.capacity -= share
+				if ls.capacity < 0 {
+					ls.capacity = 0
+				}
+			}
+		}
+	}
+
+	// 3. Reschedule completions.
+	for _, f := range active {
+		if f.completed != nil {
+			f.completed.Cancel()
+			f.completed = nil
+		}
+		if f.rate <= 0 {
+			// No capacity at all (should not happen with positive link
+			// capacities); leave the flow stalled until the next re-rate.
+			continue
+		}
+		eta := f.remaining / f.rate
+		if f.remaining <= completionSlack {
+			eta = 0
+		}
+		ff := f
+		f.completed = n.k.Schedule(eta, func() { n.finish(ff) })
+	}
+}
+
+func (n *Network) finish(f *Flow) {
+	delete(n.flows, f.ID)
+	f.remaining = 0
+	f.rate = 0
+	n.stats.FlowsCompleted++
+	n.stats.BytesDelivered += f.Bytes
+	for _, lid := range f.route {
+		n.stats.LinkBytes[lid] += f.Bytes
+	}
+	n.rerate()
+	f.done.Fire(f)
+}

@@ -1,0 +1,189 @@
+// Package plot renders multi-series line charts as plain text, so the
+// experiment harness can show the paper's figures directly in a terminal
+// (the CSV output feeds real plotting tools).
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line on the chart. X and Y must have equal length.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Config sizes and labels the chart.
+type Config struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot-area columns (default 60)
+	Height int // plot-area rows (default 16)
+}
+
+// markers are assigned to series in order.
+const markers = "ox+*#@%&"
+
+// Render draws the series onto a character grid with axes, tick labels,
+// and a legend. Points are plotted at their nearest cell; consecutive
+// points of a series are connected with linear interpolation.
+func Render(cfg Config, series []Series) (string, error) {
+	if len(series) == 0 {
+		return "", fmt.Errorf("plot: no series")
+	}
+	if len(series) > len(markers) {
+		return "", fmt.Errorf("plot: %d series exceeds %d supported", len(series), len(markers))
+	}
+	if cfg.Width == 0 {
+		cfg.Width = 60
+	}
+	if cfg.Height == 0 {
+		cfg.Height = 16
+	}
+	if cfg.Width < 8 || cfg.Height < 4 {
+		return "", fmt.Errorf("plot: area %dx%d too small", cfg.Width, cfg.Height)
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("plot: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			points++
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	if points == 0 {
+		return "", fmt.Errorf("plot: all series empty")
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// A little headroom so extremes don't sit on the frame.
+	pad := (ymax - ymin) * 0.05
+	ymin -= pad
+	ymax += pad
+
+	grid := make([][]byte, cfg.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cfg.Width))
+	}
+	toCol := func(x float64) int {
+		c := int(math.Round((x - xmin) / (xmax - xmin) * float64(cfg.Width-1)))
+		return clamp(c, 0, cfg.Width-1)
+	}
+	toRow := func(y float64) int {
+		r := int(math.Round((ymax - y) / (ymax - ymin) * float64(cfg.Height-1)))
+		return clamp(r, 0, cfg.Height-1)
+	}
+	for si, s := range series {
+		mark := markers[si]
+		for i := range s.X {
+			if i > 0 {
+				// Interpolated connector drawn with '.', not overwriting
+				// existing markers.
+				drawLine(grid, toCol(s.X[i-1]), toRow(s.Y[i-1]), toCol(s.X[i]), toRow(s.Y[i]))
+			}
+		}
+		for i := range s.X {
+			grid[toRow(s.Y[i])][toCol(s.X[i])] = mark
+		}
+	}
+
+	var b strings.Builder
+	if cfg.Title != "" {
+		fmt.Fprintf(&b, "%s\n", cfg.Title)
+	}
+	yLo, yHi := formatTick(ymin+pad), formatTick(ymax-pad)
+	yMid := formatTick((ymin + ymax) / 2)
+	labelWidth := len(yLo)
+	for _, l := range []string{yHi, yMid} {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+	}
+	for r := 0; r < cfg.Height; r++ {
+		label := strings.Repeat(" ", labelWidth)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", labelWidth, yHi)
+		case cfg.Height - 1:
+			label = fmt.Sprintf("%*s", labelWidth, yLo)
+		case cfg.Height / 2:
+			label = fmt.Sprintf("%*s", labelWidth, yMid)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelWidth), strings.Repeat("-", cfg.Width))
+	xLo, xHi := formatTick(xmin), formatTick(xmax)
+	gap := cfg.Width - len(xLo) - len(xHi)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", labelWidth), xLo, strings.Repeat(" ", gap), xHi)
+	if cfg.XLabel != "" || cfg.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s, y: %s\n", strings.Repeat(" ", labelWidth), cfg.XLabel, cfg.YLabel)
+	}
+	for si, s := range series {
+		fmt.Fprintf(&b, "%s  %c = %s\n", strings.Repeat(" ", labelWidth), markers[si], s.Name)
+	}
+	return b.String(), nil
+}
+
+// drawLine rasterizes a connector with '.' cells, skipping cells already
+// holding a marker.
+func drawLine(grid [][]byte, c0, r0, c1, r1 int) {
+	steps := abs(c1-c0) + abs(r1-r0)
+	if steps == 0 {
+		return
+	}
+	for s := 0; s <= steps; s++ {
+		c := c0 + (c1-c0)*s/steps
+		r := r0 + (r1-r0)*s/steps
+		if grid[r][c] == ' ' {
+			grid[r][c] = '.'
+		}
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.2gM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	case av == math.Trunc(av):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

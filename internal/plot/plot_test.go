@@ -1,0 +1,112 @@
+package plot
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRenderBasics(t *testing.T) {
+	out, err := Render(Config{
+		Title:  "demo",
+		XLabel: "capacity",
+		YLabel: "makespan",
+	}, []Series{
+		{Name: "rest", X: []float64{0, 1, 2, 3}, Y: []float64{10, 8, 7, 7}},
+		{Name: "overlap", X: []float64{0, 1, 2, 3}, Y: []float64{12, 11, 10, 10}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"demo", "o = rest", "x = overlap", "x: capacity, y: makespan"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if _, err := Render(Config{}, nil); err == nil {
+		t.Error("accepted no series")
+	}
+	if _, err := Render(Config{}, []Series{{Name: "bad", X: []float64{1}, Y: nil}}); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+	if _, err := Render(Config{Width: 2, Height: 2}, []Series{{Name: "s", X: []float64{1}, Y: []float64{1}}}); err == nil {
+		t.Error("accepted tiny area")
+	}
+	if _, err := Render(Config{}, []Series{{Name: "empty"}}); err == nil {
+		t.Error("accepted all-empty series")
+	}
+	many := make([]Series, 9)
+	for i := range many {
+		many[i] = Series{Name: "s", X: []float64{0}, Y: []float64{0}}
+	}
+	if _, err := Render(Config{}, many); err == nil {
+		t.Error("accepted more series than markers")
+	}
+}
+
+func TestRenderSinglePointAndFlatLine(t *testing.T) {
+	// Degenerate ranges must not divide by zero.
+	out, err := Render(Config{}, []Series{{Name: "pt", X: []float64{5}, Y: []float64{3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "o") {
+		t.Fatalf("single point not plotted:\n%s", out)
+	}
+	out, err = Render(Config{}, []Series{{Name: "flat", X: []float64{0, 1, 2}, Y: []float64{4, 4, 4}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "o") < 3 {
+		t.Fatalf("flat line lost points:\n%s", out)
+	}
+}
+
+// Property: rendering never panics and every line of the plot area has the
+// same width, for arbitrary finite inputs.
+func TestRenderProperty(t *testing.T) {
+	f := func(xs, ys []int16) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		if n == 0 {
+			return true
+		}
+		s := Series{Name: "s"}
+		for i := 0; i < n; i++ {
+			s.X = append(s.X, float64(xs[i]))
+			s.Y = append(s.Y, float64(ys[i]))
+		}
+		out, err := Render(Config{Width: 40, Height: 10}, []Series{s})
+		if err != nil {
+			return false
+		}
+		lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+		width := -1
+		body := 0
+		for _, l := range lines {
+			if i := strings.IndexByte(l, '|'); i >= 0 {
+				body++
+				if width < 0 {
+					width = len(l)
+				}
+				if len(l) != width {
+					return false
+				}
+			}
+		}
+		return body == 10
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

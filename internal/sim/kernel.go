@@ -1,0 +1,154 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel maintains a virtual clock and a priority queue of events.
+// Events scheduled for the same virtual time fire in scheduling order, so a
+// simulation driven by a fixed seed replays identically.
+//
+// On top of the raw event API, the package offers a coroutine-style process
+// model (Proc): each process runs on its own goroutine, but the kernel
+// resumes at most one process at a time, preserving determinism while
+// letting actors (workers, servers) be written as straight-line pull loops.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is virtual simulation time in seconds.
+type Time = float64
+
+// Forever is a sentinel meaning "run until no events remain".
+const Forever Time = math.MaxFloat64
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether Cancel was called.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use from multiple goroutines except through the Proc API, which
+// serializes all process execution.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+
+	procs     int // live (not yet finished) processes
+	procSeq   int
+	parkedSet map[*Proc]struct{}
+
+	// stats
+	fired uint64
+}
+
+// NewKernel returns an empty kernel at time 0.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// EventsFired returns the number of events executed so far.
+func (k *Kernel) EventsFired() uint64 { return k.fired }
+
+// Schedule registers fn to run after delay seconds of virtual time.
+// A negative delay is an error in the caller; it panics to surface the bug.
+func (k *Kernel) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return k.ScheduleAt(k.now+delay, fn)
+}
+
+// ScheduleAt registers fn to run at absolute virtual time at.
+func (k *Kernel) ScheduleAt(at Time, fn func()) *Event {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: schedule in the past: at=%v now=%v", at, k.now))
+	}
+	k.seq++
+	e := &Event{at: at, seq: k.seq, fn: fn}
+	heap.Push(&k.events, e)
+	return e
+}
+
+// Stop makes Run return after the current event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events in timestamp order until the queue is empty or Stop is
+// called. It returns the final virtual time.
+func (k *Kernel) Run() Time { return k.RunUntil(Forever) }
+
+// RunUntil executes events with timestamp <= limit. Events scheduled beyond
+// the limit remain queued; the clock advances to the last executed event (or
+// stays put if none ran).
+func (k *Kernel) RunUntil(limit Time) Time {
+	k.stopped = false
+	for !k.stopped && len(k.events) > 0 {
+		next := k.events[0]
+		if next.at > limit {
+			break
+		}
+		heap.Pop(&k.events)
+		if next.canceled {
+			continue
+		}
+		k.now = next.at
+		k.fired++
+		next.fn()
+	}
+	return k.now
+}
+
+// Pending returns the number of queued (possibly cancelled) events.
+func (k *Kernel) Pending() int { return len(k.events) }

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// errKilled is the sentinel panic value used to unwind a process goroutine
+// during Kernel.Shutdown. It never escapes the package.
+var errKilled = errors.New("sim: process killed")
+
+type resumeMsg struct {
+	killed bool
+	val    any
+}
+
+// Proc is a simulated process: a goroutine whose execution is serialized by
+// the kernel so that at most one process runs at any instant. All blocking
+// methods (Sleep, Queue.Recv, Signal.Wait, ...) must be called from the
+// process's own goroutine.
+type Proc struct {
+	k    *Kernel
+	name string
+	id   int
+
+	resume chan resumeMsg // kernel -> proc
+	yield  chan struct{}  // proc -> kernel
+	done   bool           // set by the proc goroutine before its final yield
+	parked bool
+	err    any // captured panic from the body, re-raised on the kernel side
+}
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the kernel-unique process id.
+func (p *Proc) ID() int { return p.id }
+
+// Kernel returns the kernel this process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Go spawns a new process whose body starts at the current virtual time.
+// The body must only block through Proc methods.
+func (k *Kernel) Go(name string, body func(p *Proc)) *Proc {
+	k.procSeq++
+	p := &Proc{
+		k:      k,
+		name:   name,
+		id:     k.procSeq,
+		resume: make(chan resumeMsg),
+		yield:  make(chan struct{}),
+	}
+	k.procs++
+	k.Schedule(0, func() {
+		go func() {
+			defer func() {
+				if r := recover(); r != nil && r != errKilled { //nolint:errorlint // sentinel identity check
+					p.err = r
+				}
+				p.done = true
+				p.yield <- struct{}{}
+			}()
+			body(p)
+		}()
+		k.await(p)
+	})
+	return p
+}
+
+// await blocks the kernel until p parks or finishes, then performs
+// end-of-life bookkeeping. It must be called from kernel context.
+func (k *Kernel) await(p *Proc) {
+	<-p.yield
+	if p.done {
+		k.procs--
+		delete(k.parkedSet, p)
+		if p.err != nil {
+			panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, p.err))
+		}
+	}
+}
+
+// park suspends the calling process until a wake delivers a resumeMsg.
+// It must only be called from the process goroutine, after arranging a
+// wake-up (timer event, queue registration, or signal registration).
+func (p *Proc) park() resumeMsg {
+	p.parked = true
+	if p.k.parkedSet == nil {
+		p.k.parkedSet = make(map[*Proc]struct{})
+	}
+	p.k.parkedSet[p] = struct{}{}
+	p.yield <- struct{}{}
+	msg := <-p.resume
+	p.parked = false
+	if msg.killed {
+		panic(errKilled)
+	}
+	return msg
+}
+
+// wake resumes a parked process and blocks kernel execution until the
+// process parks again or finishes. Must be called from kernel context
+// (inside an event callback or from Shutdown).
+func (k *Kernel) wake(p *Proc, msg resumeMsg) {
+	delete(k.parkedSet, p)
+	p.resume <- msg
+	k.await(p)
+}
+
+// wakeEvent schedules an immediate wake for p carrying val.
+func (k *Kernel) wakeEvent(p *Proc, val any) *Event {
+	return k.Schedule(0, func() { k.wake(p, resumeMsg{val: val}) })
+}
+
+// Sleep suspends the process for d seconds of virtual time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %v", d))
+	}
+	p.k.Schedule(d, func() { p.k.wake(p, resumeMsg{}) })
+	p.park()
+}
+
+// Yield suspends the process and reschedules it at the same virtual time,
+// after all currently queued same-time events.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// LiveProcs returns the number of processes that have been spawned and have
+// not yet finished.
+func (k *Kernel) LiveProcs() int { return k.procs }
+
+// Shutdown force-terminates every parked process. It must be called after
+// Run returns (kernel context). Each parked process unwinds via an internal
+// panic that runs its deferred cleanups; its goroutine exits before Shutdown
+// returns, so no goroutines leak.
+func (k *Kernel) Shutdown() {
+	for len(k.parkedSet) > 0 {
+		// Pick the parked proc with the smallest id for determinism.
+		var victim *Proc
+		for p := range k.parkedSet {
+			if victim == nil || p.id < victim.id {
+				victim = p
+			}
+		}
+		k.wake(victim, resumeMsg{killed: true})
+	}
+}

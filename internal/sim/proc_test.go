@@ -1,0 +1,290 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestProcSleepAdvancesClock(t *testing.T) {
+	k := NewKernel()
+	var wake Time
+	k.Go("sleeper", func(p *Proc) {
+		p.Sleep(3.5)
+		wake = p.Now()
+	})
+	k.Run()
+	if wake != 3.5 {
+		t.Fatalf("woke at %v, want 3.5", wake)
+	}
+	if k.LiveProcs() != 0 {
+		t.Fatalf("live procs = %d, want 0", k.LiveProcs())
+	}
+}
+
+func TestProcsInterleaveDeterministically(t *testing.T) {
+	k := NewKernel()
+	var trace []string
+	for _, name := range []string{"a", "b"} {
+		name := name
+		k.Go(name, func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				trace = append(trace, name)
+				p.Sleep(1)
+			}
+		})
+	}
+	k.Run()
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v", trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestQueuePushRecv(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k)
+	var got []int
+	k.Go("consumer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, q.Recv(p))
+		}
+	})
+	k.Go("producer", func(p *Proc) {
+		for i := 1; i <= 3; i++ {
+			p.Sleep(1)
+			q.Push(i * 10)
+		}
+	})
+	k.Run()
+	if len(got) != 3 || got[0] != 10 || got[1] != 20 || got[2] != 30 {
+		t.Fatalf("got = %v, want [10 20 30]", got)
+	}
+}
+
+func TestQueueBuffersWhenNoWaiter(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[string](k)
+	q.Push("x")
+	q.Push("y")
+	if q.Len() != 2 {
+		t.Fatalf("len = %d, want 2", q.Len())
+	}
+	var got []string
+	k.Go("late", func(p *Proc) {
+		got = append(got, q.Recv(p), q.Recv(p))
+	})
+	k.Run()
+	if got[0] != "x" || got[1] != "y" {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestQueueMultipleWaitersFIFO(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Go("w", func(p *Proc) {
+			v := q.Recv(p)
+			order = append(order, i*100+v)
+		})
+	}
+	k.Go("producer", func(p *Proc) {
+		p.Sleep(1)
+		for v := 1; v <= 3; v++ {
+			q.Push(v)
+		}
+	})
+	k.Run()
+	if len(order) != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	// Waiter 0 gets value 1, waiter 1 gets 2, waiter 2 gets 3.
+	for i, want := range []int{1, 102, 203} {
+		if order[i] != want {
+			t.Fatalf("order = %v, want [1 102 203]", order)
+		}
+	}
+}
+
+func TestSignalBroadcast(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k)
+	woken := 0
+	for i := 0; i < 4; i++ {
+		k.Go("waiter", func(p *Proc) {
+			if v := s.Wait(p); v != "go" {
+				t.Errorf("signal value = %v", v)
+			}
+			woken++
+		})
+	}
+	k.Go("firer", func(p *Proc) {
+		p.Sleep(2)
+		s.Fire("go")
+	})
+	k.Run()
+	if woken != 4 {
+		t.Fatalf("woken = %d, want 4", woken)
+	}
+}
+
+func TestSignalWaitAfterFireReturnsImmediately(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k)
+	s.Fire(7)
+	var got any
+	var at Time
+	k.Go("late", func(p *Proc) {
+		got = s.Wait(p)
+		at = p.Now()
+	})
+	k.Run()
+	if got != 7 || at != 0 {
+		t.Fatalf("got=%v at=%v", got, at)
+	}
+}
+
+func TestSignalWaitTimeoutFires(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k)
+	var fired bool
+	var at Time
+	k.Go("waiter", func(p *Proc) {
+		_, fired = s.WaitTimeout(p, 10)
+		at = p.Now()
+	})
+	k.Go("firer", func(p *Proc) {
+		p.Sleep(3)
+		s.Fire(nil)
+	})
+	k.Run()
+	if !fired || at != 3 {
+		t.Fatalf("fired=%v at=%v, want true at 3", fired, at)
+	}
+}
+
+func TestSignalWaitTimeoutExpires(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k)
+	var fired bool
+	var at Time
+	k.Go("waiter", func(p *Proc) {
+		_, fired = s.WaitTimeout(p, 2)
+		at = p.Now()
+	})
+	k.Run()
+	if fired || at != 2 {
+		t.Fatalf("fired=%v at=%v, want false at 2", fired, at)
+	}
+	// A later Fire must not try to wake the already-resumed proc.
+	s.Fire(nil)
+	k.Run()
+}
+
+func TestSignalDoubleFirePanics(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k)
+	s.Fire(nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on double fire")
+		}
+	}()
+	s.Fire(nil)
+}
+
+func TestShutdownReleasesParkedProcs(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k)
+	cleaned := 0
+	for i := 0; i < 3; i++ {
+		k.Go("stuck", func(p *Proc) {
+			defer func() { cleaned++ }()
+			q.Recv(p) // never pushed
+		})
+	}
+	k.Run()
+	if k.LiveProcs() != 3 {
+		t.Fatalf("live procs = %d before shutdown, want 3", k.LiveProcs())
+	}
+	k.Shutdown()
+	if k.LiveProcs() != 0 {
+		t.Fatalf("live procs = %d after shutdown, want 0", k.LiveProcs())
+	}
+	if cleaned != 3 {
+		t.Fatalf("deferred cleanups ran %d times, want 3", cleaned)
+	}
+}
+
+func TestProcBodyPanicPropagates(t *testing.T) {
+	k := NewKernel()
+	k.Go("bomb", func(p *Proc) {
+		panic("boom")
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("process panic did not propagate to Run")
+		}
+	}()
+	k.Run()
+}
+
+func TestProcSpawnsProc(t *testing.T) {
+	k := NewKernel()
+	var childAt Time
+	k.Go("parent", func(p *Proc) {
+		p.Sleep(5)
+		k.Go("child", func(c *Proc) {
+			c.Sleep(1)
+			childAt = c.Now()
+		})
+	})
+	k.Run()
+	if childAt != 6 {
+		t.Fatalf("child woke at %v, want 6", childAt)
+	}
+}
+
+// TestRequestReplyPattern exercises the mailbox+signal idiom used by the
+// grid actors: client pushes a request carrying a reply signal, server
+// serves requests one at a time.
+func TestRequestReplyPattern(t *testing.T) {
+	type req struct {
+		work  Time
+		reply *Signal
+	}
+	k := NewKernel()
+	q := NewQueue[req](k)
+	k.Go("server", func(p *Proc) {
+		for {
+			r := q.Recv(p)
+			p.Sleep(r.work) // serialized service
+			r.reply.Fire(p.Now())
+		}
+	})
+	var done []Time
+	for i := 0; i < 3; i++ {
+		k.Go("client", func(p *Proc) {
+			r := req{work: 10, reply: NewSignal(k)}
+			q.Push(r)
+			done = append(done, r.reply.Wait(p).(Time))
+		})
+	}
+	k.Run()
+	k.Shutdown()
+	if len(done) != 3 {
+		t.Fatalf("done = %v", done)
+	}
+	// Service is serialized: completions at 10, 20, 30.
+	for i, want := range []Time{10, 20, 30} {
+		if done[i] != want {
+			t.Fatalf("done = %v, want [10 20 30]", done)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package sim
+
+// Signal is a one-shot broadcast condition. Processes block in Wait (or
+// WaitTimeout) until Fire is called; Fire releases all current and future
+// waiters. Signals are the reply channel of choice for request/response
+// interactions between processes.
+type Signal struct {
+	k     *Kernel
+	fired bool
+	val   any
+
+	waiters map[*Proc]*Event // parked proc -> its timeout event (nil if none)
+	order   []*Proc          // wake order (registration order) for determinism
+}
+
+// NewSignal returns an unfired signal bound to k.
+func NewSignal(k *Kernel) *Signal {
+	return &Signal{k: k, waiters: make(map[*Proc]*Event)}
+}
+
+// Fired reports whether Fire has been called.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Value returns the value passed to Fire (nil before Fire).
+func (s *Signal) Value() any { return s.val }
+
+// Fire marks the signal fired with val and schedules every waiter to resume
+// at the current virtual time, in registration order. Firing twice panics:
+// a one-shot signal with two producers is a logic error worth surfacing.
+func (s *Signal) Fire(val any) {
+	if s.fired {
+		panic("sim: signal fired twice")
+	}
+	s.fired = true
+	s.val = val
+	for _, p := range s.order {
+		timer, ok := s.waiters[p]
+		if !ok {
+			continue // already timed out and removed
+		}
+		if timer != nil {
+			timer.Cancel()
+		}
+		delete(s.waiters, p)
+		s.k.wakeEvent(p, signalOutcome{fired: true, val: val})
+	}
+	s.order = nil
+}
+
+type signalOutcome struct {
+	fired bool
+	val   any
+}
+
+// Wait blocks p until the signal fires, returning the fired value.
+// If the signal already fired, it returns immediately.
+func (s *Signal) Wait(p *Proc) any {
+	if s.fired {
+		return s.val
+	}
+	s.waiters[p] = nil
+	s.order = append(s.order, p)
+	msg := p.park()
+	out, ok := msg.val.(signalOutcome)
+	if !ok {
+		panic("sim: signal delivered value of unexpected type")
+	}
+	return out.val
+}
+
+// WaitTimeout blocks p until the signal fires or d seconds elapse.
+// It reports whether the signal fired (true) or the timeout won (false).
+// This is the primitive behind interruptible work such as cancellable task
+// computation.
+func (s *Signal) WaitTimeout(p *Proc, d Time) (any, bool) {
+	if s.fired {
+		return s.val, true
+	}
+	timer := s.k.Schedule(d, func() {
+		if _, ok := s.waiters[p]; !ok {
+			return // signal beat the timer
+		}
+		delete(s.waiters, p)
+		s.k.wake(p, resumeMsg{val: signalOutcome{fired: false}})
+	})
+	s.waiters[p] = timer
+	s.order = append(s.order, p)
+	msg := p.park()
+	out, ok := msg.val.(signalOutcome)
+	if !ok {
+		panic("sim: signal delivered value of unexpected type")
+	}
+	return out.val, out.fired
+}

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnownSample(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Sample stdev of this classic set is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7)
+	if math.Abs(s.Stdev-want) > 1e-12 {
+		t.Fatalf("stdev = %v, want %v", s.Stdev, want)
+	}
+	if s.Median != 4.5 {
+		t.Fatalf("median = %v, want 4.5", s.Median)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{3})
+	if s.N != 1 || s.Mean != 3 || s.Stdev != 0 || s.Median != 3 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3, 4}); m != 2.5 {
+		t.Fatalf("mean = %v", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Fatalf("mean(nil) = %v", m)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {50, 30}, {100, 50}, {25, 20}, {62.5, 35},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("p%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Error("accepted empty sample")
+	}
+	if _, err := Percentile([]float64{1}, -1); err == nil {
+		t.Error("accepted p < 0")
+	}
+	if _, err := Percentile([]float64{1}, 101); err == nil {
+		t.Error("accepted p > 100")
+	}
+}
+
+// Property: Min <= Median <= Max, Min <= Mean <= Max, stdev >= 0, and
+// summarize is permutation-invariant.
+func TestSummarizeProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		s := Summarize(xs)
+		if s.Min > s.Median || s.Median > s.Max || s.Min > s.Mean || s.Mean > s.Max || s.Stdev < 0 {
+			return false
+		}
+		shuffled := append([]float64(nil), xs...)
+		rand.New(rand.NewSource(1)).Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		s2 := Summarize(shuffled)
+		return s2.Mean == s.Mean && s2.Median == s.Median && s2.Min == s.Min && s2.Max == s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

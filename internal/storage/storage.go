@@ -1,0 +1,199 @@
+// Package storage implements a site's data-server storage: a bounded file
+// cache with LRU (or FIFO) replacement, plus the per-file past-reference
+// counters the paper's Combined metric consumes (§4.2).
+//
+// Capacity is counted in files, matching the paper's equal-file-size
+// assumption (§2.2, assumption 8); byte-based accounting is the same
+// mechanism scaled by the constant file size.
+package storage
+
+import (
+	"container/list"
+	"fmt"
+
+	"gridsched/internal/workload"
+)
+
+// Policy selects the replacement policy.
+type Policy int
+
+// Replacement policies. The paper does not name one; LRU is the default and
+// FIFO exists for the eviction ablation.
+const (
+	LRU Policy = iota + 1
+	FIFO
+)
+
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case FIFO:
+		return "fifo"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Stats counts cache activity since creation.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Inserts   int64
+}
+
+// Store is a bounded file cache. It is not safe for concurrent use; in the
+// simulator all access is serialized by the kernel, and the live runtime
+// wraps it in its own lock.
+type Store struct {
+	capacity int
+	policy   Policy
+	order    *list.List // front = most recently used
+	index    map[workload.FileID]*list.Element
+	refs     map[workload.FileID]int
+	stats    Stats
+}
+
+// New returns an empty store holding at most capacity files.
+func New(capacity int, policy Policy) (*Store, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("storage: capacity = %d", capacity)
+	}
+	if policy != LRU && policy != FIFO {
+		return nil, fmt.Errorf("storage: unknown policy %v", policy)
+	}
+	return &Store{
+		capacity: capacity,
+		policy:   policy,
+		order:    list.New(),
+		index:    make(map[workload.FileID]*list.Element),
+		refs:     make(map[workload.FileID]int),
+	}, nil
+}
+
+// Capacity returns the maximum number of resident files.
+func (s *Store) Capacity() int { return s.capacity }
+
+// Len returns the number of resident files.
+func (s *Store) Len() int { return s.order.Len() }
+
+// Stats returns a copy of the activity counters.
+func (s *Store) Stats() Stats { return s.stats }
+
+// Contains reports whether f is resident.
+func (s *Store) Contains(f workload.FileID) bool {
+	_, ok := s.index[f]
+	return ok
+}
+
+// References returns how many past task executions at this site referenced
+// f. The count survives eviction: it is site history, not cache state.
+func (s *Store) References(f workload.FileID) int { return s.refs[f] }
+
+// Missing returns the subset of files not resident, preserving order.
+func (s *Store) Missing(files []workload.FileID) []workload.FileID {
+	var out []workload.FileID
+	for _, f := range files {
+		if !s.Contains(f) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Overlap returns |files ∩ resident| — the paper's overlap cardinality
+// between a task and this storage (§2.2).
+func (s *Store) Overlap(files []workload.FileID) int {
+	n := 0
+	for _, f := range files {
+		if s.Contains(f) {
+			n++
+		}
+	}
+	return n
+}
+
+// CommitBatch makes every file in files resident and counts one reference
+// per file, evicting non-batch files as needed. It returns the files that
+// were fetched (previously missing) and the files evicted to make room.
+// The batch itself is never evicted: a task needs all its inputs resident
+// at once (assumption 5), so a batch larger than capacity is an error.
+func (s *Store) CommitBatch(files []workload.FileID) (fetched, evicted []workload.FileID, err error) {
+	if len(files) > s.capacity {
+		return nil, nil, fmt.Errorf("storage: batch of %d exceeds capacity %d", len(files), s.capacity)
+	}
+	inBatch := make(map[workload.FileID]struct{}, len(files))
+	for _, f := range files {
+		inBatch[f] = struct{}{}
+	}
+	for _, f := range files {
+		s.refs[f]++
+		if el, ok := s.index[f]; ok {
+			s.stats.Hits++
+			if s.policy == LRU {
+				s.order.MoveToFront(el)
+			}
+			continue
+		}
+		s.stats.Misses++
+		fetched = append(fetched, f)
+		// Make room, skipping batch members.
+		for s.order.Len() >= s.capacity {
+			victim := s.evictOne(inBatch)
+			if victim < 0 {
+				return nil, nil, fmt.Errorf("storage: cannot evict, all %d resident files belong to the batch", s.order.Len())
+			}
+			evicted = append(evicted, victim)
+		}
+		s.index[f] = s.order.PushFront(f)
+		s.stats.Inserts++
+	}
+	return fetched, evicted, nil
+}
+
+// Preload makes f resident without counting a task reference — the entry
+// point for proactive data replication (a server push, not a task access).
+// It reports whether the file was actually added (false if already
+// resident) and any file evicted to make room.
+func (s *Store) Preload(f workload.FileID) (added bool, evicted []workload.FileID) {
+	if s.Contains(f) {
+		return false, nil
+	}
+	for s.order.Len() >= s.capacity {
+		victim := s.evictOne(nil)
+		if victim < 0 {
+			return false, evicted // cannot happen with capacity >= 1
+		}
+		evicted = append(evicted, victim)
+	}
+	s.index[f] = s.order.PushFront(f)
+	s.stats.Inserts++
+	return true, evicted
+}
+
+// evictOne removes the least-recently-used (or oldest, under FIFO) file not
+// in keep. It returns -1 if every resident file is in keep.
+func (s *Store) evictOne(keep map[workload.FileID]struct{}) workload.FileID {
+	for el := s.order.Back(); el != nil; el = el.Prev() {
+		f := el.Value.(workload.FileID)
+		if _, pinned := keep[f]; pinned {
+			continue
+		}
+		s.order.Remove(el)
+		delete(s.index, f)
+		s.stats.Evictions++
+		return f
+	}
+	return -1
+}
+
+// Resident returns the resident files in recency order (most recent first).
+// It allocates a fresh slice.
+func (s *Store) Resident() []workload.FileID {
+	out := make([]workload.FileID, 0, s.order.Len())
+	for el := s.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(workload.FileID))
+	}
+	return out
+}

@@ -1,0 +1,272 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gridsched/internal/workload"
+)
+
+func mustNew(t *testing.T, capacity int, p Policy) *Store {
+	t.Helper()
+	s, err := New(capacity, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func ids(vals ...int) []workload.FileID {
+	out := make([]workload.FileID, len(vals))
+	for i, v := range vals {
+		out[i] = workload.FileID(v)
+	}
+	return out
+}
+
+func TestNewRejectsBadArgs(t *testing.T) {
+	if _, err := New(0, LRU); err == nil {
+		t.Error("accepted capacity 0")
+	}
+	if _, err := New(10, Policy(0)); err == nil {
+		t.Error("accepted unknown policy")
+	}
+}
+
+func TestCommitBatchBasics(t *testing.T) {
+	s := mustNew(t, 10, LRU)
+	fetched, evicted, err := s.CommitBatch(ids(1, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fetched) != 3 || len(evicted) != 0 {
+		t.Fatalf("fetched=%v evicted=%v", fetched, evicted)
+	}
+	if s.Len() != 3 || !s.Contains(1) || !s.Contains(2) || !s.Contains(3) {
+		t.Fatalf("resident = %v", s.Resident())
+	}
+	// Second commit of an overlapping batch fetches only the new file.
+	fetched, evicted, err = s.CommitBatch(ids(2, 3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fetched) != 1 || fetched[0] != 4 || len(evicted) != 0 {
+		t.Fatalf("fetched=%v evicted=%v", fetched, evicted)
+	}
+	st := s.Stats()
+	if st.Hits != 2 || st.Misses != 4 || st.Inserts != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestReferencesSurviveEviction(t *testing.T) {
+	s := mustNew(t, 2, LRU)
+	if _, _, err := s.CommitBatch(ids(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.CommitBatch(ids(3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains(1) || s.Contains(2) {
+		t.Fatal("old files not evicted")
+	}
+	if s.References(1) != 1 || s.References(2) != 1 {
+		t.Fatal("references lost on eviction")
+	}
+	if _, _, err := s.CommitBatch(ids(4)); err != nil {
+		t.Fatal(err)
+	}
+	if s.References(4) != 2 {
+		t.Fatalf("refs(4) = %d, want 2", s.References(4))
+	}
+}
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	s := mustNew(t, 3, LRU)
+	if _, _, err := s.CommitBatch(ids(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.CommitBatch(ids(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.CommitBatch(ids(3)); err != nil {
+		t.Fatal(err)
+	}
+	// Touch 1 so 2 becomes LRU.
+	if _, _, err := s.CommitBatch(ids(1)); err != nil {
+		t.Fatal(err)
+	}
+	_, evicted, err := s.CommitBatch(ids(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 1 || evicted[0] != 2 {
+		t.Fatalf("evicted = %v, want [2]", evicted)
+	}
+}
+
+func TestFIFOIgnoresRecency(t *testing.T) {
+	s := mustNew(t, 3, FIFO)
+	for _, f := range []int{1, 2, 3} {
+		if _, _, err := s.CommitBatch(ids(f)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touching 1 must NOT save it under FIFO.
+	if _, _, err := s.CommitBatch(ids(1)); err != nil {
+		t.Fatal(err)
+	}
+	_, evicted, err := s.CommitBatch(ids(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 1 || evicted[0] != 1 {
+		t.Fatalf("evicted = %v, want [1] (oldest insert)", evicted)
+	}
+}
+
+func TestBatchNeverEvictsItself(t *testing.T) {
+	s := mustNew(t, 3, LRU)
+	if _, _, err := s.CommitBatch(ids(1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	fetched, evicted, err := s.CommitBatch(ids(3, 4, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fetched) != 2 {
+		t.Fatalf("fetched = %v", fetched)
+	}
+	for _, f := range ids(3, 4, 5) {
+		if !s.Contains(f) {
+			t.Fatalf("batch file %d not resident after commit", f)
+		}
+	}
+	// 1 and 2 evicted, never 3/4/5.
+	for _, v := range evicted {
+		if v == 3 || v == 4 || v == 5 {
+			t.Fatalf("evicted batch member %d", v)
+		}
+	}
+}
+
+func TestBatchLargerThanCapacityFails(t *testing.T) {
+	s := mustNew(t, 2, LRU)
+	if _, _, err := s.CommitBatch(ids(1, 2, 3)); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+}
+
+func TestMissingAndOverlap(t *testing.T) {
+	s := mustNew(t, 10, LRU)
+	if _, _, err := s.CommitBatch(ids(1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	miss := s.Missing(ids(2, 3, 4, 5))
+	if len(miss) != 2 || miss[0] != 4 || miss[1] != 5 {
+		t.Fatalf("missing = %v", miss)
+	}
+	if got := s.Overlap(ids(2, 3, 4, 5)); got != 2 {
+		t.Fatalf("overlap = %d, want 2", got)
+	}
+	if got := s.Overlap(ids(7, 8)); got != 0 {
+		t.Fatalf("overlap = %d, want 0", got)
+	}
+}
+
+// Property: under any commit sequence, Len() <= capacity, every batch is
+// fully resident right after its commit, and hits+misses == total file
+// references.
+func TestStoreInvariantsProperty(t *testing.T) {
+	f := func(seed int64, capRaw uint8, ops []uint16) bool {
+		capacity := 5 + int(capRaw)%50
+		s, err := New(capacity, LRU)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var totalRefs int64
+		for range ops {
+			n := 1 + rng.Intn(capacity)
+			batch := make([]workload.FileID, 0, n)
+			seen := make(map[workload.FileID]struct{}, n)
+			for len(batch) < n {
+				f := workload.FileID(rng.Intn(200))
+				if _, dup := seen[f]; dup {
+					continue
+				}
+				seen[f] = struct{}{}
+				batch = append(batch, f)
+			}
+			totalRefs += int64(len(batch))
+			if _, _, err := s.CommitBatch(batch); err != nil {
+				return false
+			}
+			if s.Len() > capacity {
+				return false
+			}
+			for _, f := range batch {
+				if !s.Contains(f) {
+					return false
+				}
+			}
+		}
+		st := s.Stats()
+		return st.Hits+st.Misses == totalRefs && st.Inserts == st.Misses
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResidentRecencyOrder(t *testing.T) {
+	s := mustNew(t, 5, LRU)
+	if _, _, err := s.CommitBatch(ids(1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Resident()
+	// Most recent insert first: 3, 2, 1.
+	want := ids(3, 2, 1)
+	if len(got) != 3 {
+		t.Fatalf("resident = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("resident = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPreloadAddsWithoutReferences(t *testing.T) {
+	s := mustNew(t, 3, LRU)
+	added, evicted := s.Preload(7)
+	if !added || len(evicted) != 0 {
+		t.Fatalf("added=%v evicted=%v", added, evicted)
+	}
+	if !s.Contains(7) {
+		t.Fatal("preloaded file not resident")
+	}
+	if s.References(7) != 0 {
+		t.Fatalf("preload counted a reference: %d", s.References(7))
+	}
+	// Idempotent on resident files.
+	added, _ = s.Preload(7)
+	if added {
+		t.Fatal("re-preload reported added")
+	}
+	// Preload evicts when full.
+	for _, f := range ids(1, 2, 3) {
+		if _, _, err := s.CommitBatch([]workload.FileID{f}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	added, evicted = s.Preload(9)
+	if !added || len(evicted) != 1 {
+		t.Fatalf("added=%v evicted=%v", added, evicted)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}

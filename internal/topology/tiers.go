@@ -1,0 +1,167 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SpeedDist describes a per-tier link speed/latency distribution. Each
+// generated link draws bandwidth and latency uniformly from
+// [Mean*(1-Jitter), Mean*(1+Jitter)].
+type SpeedDist struct {
+	BandwidthBps float64 // mean capacity, bytes/second
+	LatencySec   float64 // mean propagation latency, seconds
+	Jitter       float64 // relative spread in [0, 1)
+}
+
+func (d SpeedDist) draw(rng *rand.Rand) (bw, lat float64) {
+	j := func(mean float64) float64 {
+		if d.Jitter <= 0 {
+			return mean
+		}
+		return mean * (1 - d.Jitter + 2*d.Jitter*rng.Float64())
+	}
+	return j(d.BandwidthBps), j(d.LatencySec)
+}
+
+const mbps = 1e6 / 8 // bytes/second per Mbit/s
+
+// TiersConfig parameterizes the hierarchical generator. The generated
+// topology is a WAN core (ring + chords) with MAN trees hanging off WAN
+// nodes, LANs hanging off MAN nodes, and sites attached to LANs. The global
+// file server and scheduler attach to the first WAN node.
+type TiersConfig struct {
+	Seed int64 `json:"seed"`
+
+	WANNodes       int `json:"wanNodes"`       // nodes in the WAN core ring
+	WANChords      int `json:"wanChords"`      // extra random WAN-level edges
+	MANsPerWANNode int `json:"mansPerWanNode"` // MAN subtrees per WAN node
+	MANNodes       int `json:"manNodes"`       // nodes per MAN (chain off the WAN node)
+	LANsPerMANNode int `json:"lansPerManNode"` // LANs per MAN node
+	SitesPerLAN    int `json:"sitesPerLan"`    // grid sites per LAN
+
+	WAN SpeedDist `json:"wan"`
+	MAN SpeedDist `json:"man"`
+	LAN SpeedDist `json:"lan"`
+}
+
+// DefaultTiersConfig mirrors the paper's setup scale: 96 generated sites
+// (>= the 90 the paper mentions), slow shared WAN links and fast LANs,
+// so wide-area transfers dominate — the regime data-intensive scheduling
+// targets.
+func DefaultTiersConfig(seed int64) TiersConfig {
+	return TiersConfig{
+		Seed:           seed,
+		WANNodes:       4,
+		WANChords:      2,
+		MANsPerWANNode: 3,
+		MANNodes:       2,
+		LANsPerMANNode: 2,
+		SitesPerLAN:    2,
+		WAN:            SpeedDist{BandwidthBps: 4 * mbps, LatencySec: 0.040, Jitter: 0.5},
+		MAN:            SpeedDist{BandwidthBps: 100 * mbps, LatencySec: 0.010, Jitter: 0.5},
+		LAN:            SpeedDist{BandwidthBps: 1000 * mbps, LatencySec: 0.001, Jitter: 0.5},
+	}
+}
+
+// SiteCount returns the number of sites the config will generate.
+func (c TiersConfig) SiteCount() int {
+	return c.WANNodes * c.MANsPerWANNode * c.MANNodes * c.LANsPerMANNode * c.SitesPerLAN
+}
+
+// Validate checks structural parameters.
+func (c TiersConfig) Validate() error {
+	switch {
+	case c.WANNodes < 1:
+		return fmt.Errorf("topology: WANNodes = %d, need >= 1", c.WANNodes)
+	case c.MANsPerWANNode < 1 || c.MANNodes < 1 || c.LANsPerMANNode < 1 || c.SitesPerLAN < 1:
+		return fmt.Errorf("topology: all tier fan-outs must be >= 1")
+	case c.WAN.BandwidthBps <= 0 || c.MAN.BandwidthBps <= 0 || c.LAN.BandwidthBps <= 0:
+		return fmt.Errorf("topology: bandwidths must be positive")
+	}
+	return nil
+}
+
+// Topology is a generated grid topology: the graph plus the ids of the
+// special nodes the simulator wires actors to.
+type Topology struct {
+	Graph      *Graph
+	Sites      []NodeID // all generated site nodes, in generation order
+	FileServer NodeID
+	Scheduler  NodeID
+}
+
+// GenerateTiers builds a topology from the config. Generation is fully
+// deterministic given cfg (including the seed).
+func GenerateTiers(cfg TiersConfig) (*Topology, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := NewGraph()
+	topo := &Topology{Graph: g}
+
+	wan := make([]NodeID, cfg.WANNodes)
+	for i := range wan {
+		wan[i] = g.AddNode(KindWAN, fmt.Sprintf("wan%d", i))
+	}
+	// WAN ring.
+	for i := 0; i < cfg.WANNodes; i++ {
+		next := (i + 1) % cfg.WANNodes
+		if next == i { // single-node core: no self loops
+			break
+		}
+		bw, lat := cfg.WAN.draw(rng)
+		g.AddLink(wan[i], wan[next], bw, lat)
+		if cfg.WANNodes == 2 { // avoid a duplicate second ring edge
+			break
+		}
+	}
+	// Random WAN chords for Tiers-style redundancy.
+	for c := 0; c < cfg.WANChords && cfg.WANNodes > 3; c++ {
+		a := rng.Intn(cfg.WANNodes)
+		b := rng.Intn(cfg.WANNodes)
+		if a == b || (a+1)%cfg.WANNodes == b || (b+1)%cfg.WANNodes == a {
+			continue
+		}
+		bw, lat := cfg.WAN.draw(rng)
+		g.AddLink(wan[a], wan[b], bw, lat)
+	}
+
+	siteIdx := 0
+	for wi, wnode := range wan {
+		for m := 0; m < cfg.MANsPerWANNode; m++ {
+			parent := wnode
+			parentDist := cfg.WAN
+			for mn := 0; mn < cfg.MANNodes; mn++ {
+				man := g.AddNode(KindMAN, fmt.Sprintf("man%d.%d.%d", wi, m, mn))
+				bw, lat := parentDist.draw(rng)
+				g.AddLink(parent, man, bw, lat)
+				parent = man
+				parentDist = cfg.MAN
+				for l := 0; l < cfg.LANsPerMANNode; l++ {
+					lan := g.AddNode(KindLAN, fmt.Sprintf("lan%d.%d.%d.%d", wi, m, mn, l))
+					mbw, mlat := cfg.MAN.draw(rng)
+					g.AddLink(man, lan, mbw, mlat)
+					for s := 0; s < cfg.SitesPerLAN; s++ {
+						site := g.AddNode(KindSite, fmt.Sprintf("site%d", siteIdx))
+						siteIdx++
+						lbw, llat := cfg.LAN.draw(rng)
+						g.AddLink(lan, site, lbw, llat)
+						topo.Sites = append(topo.Sites, site)
+					}
+				}
+			}
+		}
+	}
+
+	// Global services hang off the first WAN node over fast dedicated links.
+	topo.FileServer = g.AddNode(KindFileServer, "fileserver")
+	fbw, flat := cfg.MAN.draw(rng)
+	g.AddLink(wan[0], topo.FileServer, fbw, flat)
+	topo.Scheduler = g.AddNode(KindScheduler, "scheduler")
+	sbw, slat := cfg.MAN.draw(rng)
+	g.AddLink(wan[0], topo.Scheduler, sbw, slat)
+
+	return topo, nil
+}

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// WorkerStats summarizes one worker's timeline.
+type WorkerStats struct {
+	Site, Worker int
+	// Tasks started (assignments), completed, cancelled, failed here.
+	Assigned, Completed, Cancelled, Failed int
+	// StageSec is time between each batch-enqueued and the matching
+	// compute-start (or terminal event); ComputeSec between compute-start
+	// and the execution's terminal event.
+	StageSec   float64
+	ComputeSec float64
+	// DownSec is total recorded outage time (worker-down to worker-up).
+	DownSec float64
+}
+
+// BusyFraction returns the fraction of the horizon this worker spent
+// staging or computing.
+func (w *WorkerStats) BusyFraction(horizon float64) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	return (w.StageSec + w.ComputeSec) / horizon
+}
+
+// Analysis is the digest of a run timeline.
+type Analysis struct {
+	Horizon float64 // timestamp of the last event
+	Workers []WorkerStats
+	// TasksCompleted counts distinct completed tasks.
+	TasksCompleted int
+}
+
+// MeanBusyFraction averages BusyFraction over workers.
+func (a *Analysis) MeanBusyFraction() float64 {
+	if len(a.Workers) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range a.Workers {
+		sum += a.Workers[i].BusyFraction(a.Horizon)
+	}
+	return sum / float64(len(a.Workers))
+}
+
+type workerKey struct{ site, worker int }
+
+// Analyze digests a timeline into per-worker statistics. Events must be in
+// chronological order (as tracers record them).
+func Analyze(events []Event) (*Analysis, error) {
+	a := &Analysis{}
+	byWorker := make(map[workerKey]*WorkerStats)
+	type open struct {
+		enqueuedAt float64
+		computeAt  float64 // -1 until compute started
+		task       int64
+	}
+	inflight := make(map[workerKey]*open)
+	downAt := make(map[workerKey]float64)
+	completedTasks := make(map[int64]struct{})
+
+	get := func(k workerKey) *WorkerStats {
+		ws, ok := byWorker[k]
+		if !ok {
+			ws = &WorkerStats{Site: k.site, Worker: k.worker}
+			byWorker[k] = ws
+		}
+		return ws
+	}
+
+	last := 0.0
+	for i, e := range events {
+		if e.At < last {
+			return nil, fmt.Errorf("trace: event %d out of order (%v after %v)", i, e.At, last)
+		}
+		last = e.At
+		k := workerKey{e.Site, e.Worker}
+		switch e.Kind {
+		case TaskAssigned:
+			get(k).Assigned++
+		case BatchEnqueued:
+			inflight[k] = &open{enqueuedAt: e.At, computeAt: -1, task: e.Task}
+		case ComputeStart:
+			if o := inflight[k]; o != nil {
+				o.computeAt = e.At
+				get(k).StageSec += e.At - o.enqueuedAt
+			}
+		case TaskCompleted, TaskCancelled, TaskFailed:
+			ws := get(k)
+			switch e.Kind {
+			case TaskCompleted:
+				ws.Completed++
+				completedTasks[e.Task] = struct{}{}
+			case TaskCancelled:
+				ws.Cancelled++
+			case TaskFailed:
+				ws.Failed++
+			}
+			if o := inflight[k]; o != nil {
+				if o.computeAt >= 0 {
+					ws.ComputeSec += e.At - o.computeAt
+				} else {
+					// Never reached compute; whole span was staging.
+					ws.StageSec += e.At - o.enqueuedAt
+				}
+				delete(inflight, k)
+			}
+		case WorkerDown:
+			downAt[k] = e.At
+		case WorkerUp:
+			if at, ok := downAt[k]; ok {
+				get(k).DownSec += e.At - at
+				delete(downAt, k)
+			}
+		}
+	}
+	a.Horizon = last
+	a.TasksCompleted = len(completedTasks)
+	for _, ws := range byWorker {
+		a.Workers = append(a.Workers, *ws)
+	}
+	sort.Slice(a.Workers, func(i, j int) bool {
+		if a.Workers[i].Site != a.Workers[j].Site {
+			return a.Workers[i].Site < a.Workers[j].Site
+		}
+		return a.Workers[i].Worker < a.Workers[j].Worker
+	})
+	return a, nil
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestAnalyzeBasicTimeline(t *testing.T) {
+	events := []Event{
+		{At: 0, Kind: TaskAssigned, Site: 0, Worker: 0, Task: 1},
+		{At: 0, Kind: BatchEnqueued, Site: 0, Worker: 0, Task: 1},
+		{At: 10, Kind: ComputeStart, Site: 0, Worker: 0, Task: 1},
+		{At: 30, Kind: TaskCompleted, Site: 0, Worker: 0, Task: 1},
+		{At: 30, Kind: TaskAssigned, Site: 0, Worker: 0, Task: 2},
+		{At: 30, Kind: BatchEnqueued, Site: 0, Worker: 0, Task: 2},
+		{At: 35, Kind: ComputeStart, Site: 0, Worker: 0, Task: 2},
+		{At: 50, Kind: TaskCompleted, Site: 0, Worker: 0, Task: 2},
+	}
+	a, err := Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Horizon != 50 || a.TasksCompleted != 2 {
+		t.Fatalf("analysis = %+v", a)
+	}
+	if len(a.Workers) != 1 {
+		t.Fatalf("workers = %+v", a.Workers)
+	}
+	w := a.Workers[0]
+	if w.Assigned != 2 || w.Completed != 2 {
+		t.Fatalf("worker = %+v", w)
+	}
+	if w.StageSec != 15 { // 10 + 5
+		t.Fatalf("stage = %v, want 15", w.StageSec)
+	}
+	if w.ComputeSec != 35 { // 20 + 15
+		t.Fatalf("compute = %v, want 35", w.ComputeSec)
+	}
+	if got := w.BusyFraction(a.Horizon); got != 1.0 {
+		t.Fatalf("busy = %v, want 1.0 (fully busy)", got)
+	}
+	if got := a.MeanBusyFraction(); got != 1.0 {
+		t.Fatalf("mean busy = %v", got)
+	}
+}
+
+func TestAnalyzeCancelledBeforeCompute(t *testing.T) {
+	events := []Event{
+		{At: 0, Kind: TaskAssigned, Site: 1, Worker: 0, Task: 7},
+		{At: 0, Kind: BatchEnqueued, Site: 1, Worker: 0, Task: 7},
+		{At: 20, Kind: TaskCancelled, Site: 1, Worker: 0, Task: 7},
+	}
+	a, err := Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := a.Workers[0]
+	if w.Cancelled != 1 || w.StageSec != 20 || w.ComputeSec != 0 {
+		t.Fatalf("worker = %+v", w)
+	}
+	if a.TasksCompleted != 0 {
+		t.Fatalf("completed = %d", a.TasksCompleted)
+	}
+}
+
+func TestAnalyzeChurnDowntime(t *testing.T) {
+	events := []Event{
+		{At: 5, Kind: WorkerDown, Site: 0, Worker: 1},
+		{At: 25, Kind: WorkerUp, Site: 0, Worker: 1},
+		{At: 40, Kind: WorkerDown, Site: 0, Worker: 1},
+		{At: 45, Kind: WorkerUp, Site: 0, Worker: 1},
+	}
+	a, err := Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Workers[0].DownSec != 25 {
+		t.Fatalf("down = %v, want 25", a.Workers[0].DownSec)
+	}
+}
+
+func TestAnalyzeRejectsOutOfOrder(t *testing.T) {
+	events := []Event{
+		{At: 10, Kind: TaskAssigned},
+		{At: 5, Kind: TaskCompleted},
+	}
+	if _, err := Analyze(events); err == nil {
+		t.Fatal("accepted out-of-order timeline")
+	}
+}
+
+func TestAnalyzeDistinctCompletions(t *testing.T) {
+	// The same task completing at two workers (replica race at the same
+	// instant) counts once.
+	events := []Event{
+		{At: 0, Kind: TaskAssigned, Site: 0, Worker: 0, Task: 3},
+		{At: 0, Kind: TaskAssigned, Site: 1, Worker: 0, Task: 3},
+		{At: 9, Kind: TaskCompleted, Site: 0, Worker: 0, Task: 3},
+		{At: 9, Kind: TaskCompleted, Site: 1, Worker: 0, Task: 3},
+	}
+	a, err := Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TasksCompleted != 1 {
+		t.Fatalf("completed = %d, want 1", a.TasksCompleted)
+	}
+}

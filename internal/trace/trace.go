@@ -1,0 +1,159 @@
+// Package trace records structured simulation timelines: every scheduling,
+// staging, computation, and failure event of a run, for debugging
+// schedulers and for post-hoc analysis beyond the aggregate metrics.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Kind classifies timeline events.
+type Kind string
+
+// Event kinds emitted by the grid engine.
+const (
+	TaskAssigned  Kind = "task-assigned"  // scheduler handed the task to a worker
+	BatchEnqueued Kind = "batch-enqueued" // worker queued its file request
+	BatchServed   Kind = "batch-served"   // data server finished staging the batch
+	ComputeStart  Kind = "compute-start"
+	TaskCompleted Kind = "task-completed"
+	TaskCancelled Kind = "task-cancelled" // replica interrupted after another completed
+	TaskFailed    Kind = "task-failed"    // execution lost to worker churn
+	WorkerDown    Kind = "worker-down"
+	WorkerUp      Kind = "worker-up"
+	// FileReplicated marks a proactive replica push arriving at a site.
+	FileReplicated Kind = "file-replicated"
+)
+
+// Event is one timeline record. Fields not meaningful for a kind are zero.
+type Event struct {
+	At     float64 `json:"at"` // virtual seconds
+	Kind   Kind    `json:"kind"`
+	Site   int     `json:"site"`
+	Worker int     `json:"worker"`
+	Task   int64   `json:"task,omitempty"`
+	// Files carries the batch size for staging events (missing files for
+	// BatchServed).
+	Files int `json:"files,omitempty"`
+}
+
+// Tracer consumes events. Implementations used from the simulator may
+// assume single-threaded delivery; the live runtime wraps its tracer in a
+// lock.
+type Tracer interface {
+	Record(Event)
+}
+
+// Memory accumulates events in order.
+type Memory struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+var _ Tracer = (*Memory)(nil)
+
+// NewMemory returns an empty in-memory tracer.
+func NewMemory() *Memory { return &Memory{} }
+
+// Record implements Tracer.
+func (m *Memory) Record(e Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.events = append(m.events, e)
+}
+
+// Events returns a copy of the recorded timeline.
+func (m *Memory) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Event(nil), m.events...)
+}
+
+// Len returns the number of recorded events.
+func (m *Memory) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.events)
+}
+
+// OfKind returns the recorded events of one kind, in order.
+func (m *Memory) OfKind(k Kind) []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []Event
+	for _, e := range m.events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TaskTimeline returns every event touching the given task, in order.
+func (m *Memory) TaskTimeline(task int64) []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []Event
+	for _, e := range m.events {
+		if e.Task == task {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// JSONWriter streams events as JSON lines.
+type JSONWriter struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+var _ Tracer = (*JSONWriter)(nil)
+
+// NewJSONWriter wraps w; call Flush when done.
+func NewJSONWriter(w io.Writer) *JSONWriter {
+	bw := bufio.NewWriter(w)
+	return &JSONWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Record implements Tracer. The first encoding error sticks and is
+// reported by Flush.
+func (j *JSONWriter) Record(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	j.err = j.enc.Encode(e)
+}
+
+// Flush drains the buffer and returns the first error seen.
+func (j *JSONWriter) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return fmt.Errorf("trace: %w", j.err)
+	}
+	if err := j.bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// Multi fans events out to several tracers.
+type Multi []Tracer
+
+var _ Tracer = Multi(nil)
+
+// Record implements Tracer.
+func (m Multi) Record(e Event) {
+	for _, t := range m {
+		t.Record(e)
+	}
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestMemoryTracer(t *testing.T) {
+	m := NewMemory()
+	m.Record(Event{At: 1, Kind: TaskAssigned, Task: 5})
+	m.Record(Event{At: 2, Kind: ComputeStart, Task: 5})
+	m.Record(Event{At: 3, Kind: TaskAssigned, Task: 6})
+	m.Record(Event{At: 4, Kind: TaskCompleted, Task: 5})
+
+	if m.Len() != 4 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	if got := m.OfKind(TaskAssigned); len(got) != 2 || got[0].Task != 5 || got[1].Task != 6 {
+		t.Fatalf("OfKind = %+v", got)
+	}
+	tl := m.TaskTimeline(5)
+	if len(tl) != 3 || tl[0].Kind != TaskAssigned || tl[2].Kind != TaskCompleted {
+		t.Fatalf("timeline = %+v", tl)
+	}
+	// Events() must be a copy.
+	ev := m.Events()
+	ev[0].Task = 99
+	if m.Events()[0].Task != 5 {
+		t.Fatal("Events leaked internal slice")
+	}
+}
+
+func TestJSONWriterRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONWriter(&buf)
+	j.Record(Event{At: 1.5, Kind: BatchServed, Site: 2, Worker: -1, Files: 7})
+	j.Record(Event{At: 2.5, Kind: TaskCompleted, Site: 2, Worker: 0, Task: 9})
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var got []Event
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, e)
+	}
+	if len(got) != 2 || got[0].Files != 7 || got[1].Task != 9 {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) {
+	return 0, bytes.ErrTooLarge
+}
+
+func TestJSONWriterStickyError(t *testing.T) {
+	j := NewJSONWriter(failWriter{})
+	for i := 0; i < 10000; i++ { // overflow the bufio buffer to force a write
+		j.Record(Event{At: float64(i), Kind: TaskAssigned})
+	}
+	if err := j.Flush(); err == nil {
+		t.Fatal("expected sticky error")
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	a, b := NewMemory(), NewMemory()
+	m := Multi{a, b}
+	m.Record(Event{At: 1, Kind: WorkerDown})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatalf("fan out: %d, %d", a.Len(), b.Len())
+	}
+}

@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ZipfConfig parameterizes a generic data-sharing Bag-of-Tasks where file
+// popularity is Zipf-distributed — the data-mining / image-processing
+// regime the paper's introduction cites (tasks over a shared corpus where
+// some inputs are much hotter than others).
+type ZipfConfig struct {
+	Seed     int64   `json:"seed"`
+	Tasks    int     `json:"tasks"`
+	Files    int     `json:"files"`
+	MinFiles int     `json:"minFilesPerTask"`
+	MaxFiles int     `json:"maxFilesPerTask"`
+	S        float64 `json:"s"` // Zipf exponent, > 1
+}
+
+// Validate checks the configuration.
+func (c ZipfConfig) Validate() error {
+	switch {
+	case c.Tasks < 1 || c.Files < 1:
+		return fmt.Errorf("zipf: Tasks = %d, Files = %d", c.Tasks, c.Files)
+	case c.MinFiles < 1 || c.MaxFiles < c.MinFiles || c.MaxFiles > c.Files:
+		return fmt.Errorf("zipf: file range [%d, %d] with %d files", c.MinFiles, c.MaxFiles, c.Files)
+	case c.S <= 1:
+		return fmt.Errorf("zipf: S = %v, need > 1", c.S)
+	}
+	return nil
+}
+
+// GenerateZipf builds a workload whose per-task file sets draw from a Zipf
+// popularity distribution over the file universe.
+func GenerateZipf(cfg ZipfConfig) (*Workload, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	z := rand.NewZipf(rng, cfg.S, 1, uint64(cfg.Files-1))
+	w := &Workload{
+		Name:     fmt.Sprintf("zipf-%d", cfg.Tasks),
+		NumFiles: cfg.Files,
+		Tasks:    make([]Task, cfg.Tasks),
+	}
+	for i := 0; i < cfg.Tasks; i++ {
+		n := cfg.MinFiles
+		if cfg.MaxFiles > cfg.MinFiles {
+			n += rng.Intn(cfg.MaxFiles - cfg.MinFiles + 1)
+		}
+		seen := make(map[FileID]struct{}, n)
+		files := make([]FileID, 0, n)
+		for len(files) < n {
+			f := FileID(z.Uint64())
+			if _, dup := seen[f]; dup {
+				continue
+			}
+			seen[f] = struct{}{}
+			files = append(files, f)
+		}
+		w.Tasks[i] = Task{ID: TaskID(i), Files: files}
+	}
+	return w, nil
+}
+
+// GeometricConfig parameterizes the Ranganathan-Foster style workload
+// (HPDC'02, cited as [13]): tasks request whole datasets whose popularity
+// follows a geometric distribution, plus a few task-private files.
+type GeometricConfig struct {
+	Seed         int64   `json:"seed"`
+	Tasks        int     `json:"tasks"`
+	Datasets     int     `json:"datasets"`
+	FilesPerSet  int     `json:"filesPerSet"`
+	PrivateFiles int     `json:"privateFiles"` // per-task non-shared files
+	P            float64 `json:"p"`            // geometric parameter in (0, 1)
+}
+
+// Validate checks the configuration.
+func (c GeometricConfig) Validate() error {
+	switch {
+	case c.Tasks < 1 || c.Datasets < 1 || c.FilesPerSet < 1:
+		return fmt.Errorf("geometric: Tasks=%d Datasets=%d FilesPerSet=%d", c.Tasks, c.Datasets, c.FilesPerSet)
+	case c.PrivateFiles < 0:
+		return fmt.Errorf("geometric: PrivateFiles = %d", c.PrivateFiles)
+	case c.P <= 0 || c.P >= 1:
+		return fmt.Errorf("geometric: P = %v, need (0,1)", c.P)
+	}
+	return nil
+}
+
+// GenerateGeometric builds the dataset-popularity workload.
+func GenerateGeometric(cfg GeometricConfig) (*Workload, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	shared := cfg.Datasets * cfg.FilesPerSet
+	w := &Workload{
+		Name:     fmt.Sprintf("geometric-%d", cfg.Tasks),
+		NumFiles: shared + cfg.Tasks*cfg.PrivateFiles,
+		Tasks:    make([]Task, cfg.Tasks),
+	}
+	for i := 0; i < cfg.Tasks; i++ {
+		// Geometric dataset pick, truncated to the universe.
+		d := 0
+		for rng.Float64() > cfg.P && d < cfg.Datasets-1 {
+			d++
+		}
+		files := make([]FileID, 0, cfg.FilesPerSet+cfg.PrivateFiles)
+		for f := 0; f < cfg.FilesPerSet; f++ {
+			files = append(files, FileID(d*cfg.FilesPerSet+f))
+		}
+		for p := 0; p < cfg.PrivateFiles; p++ {
+			files = append(files, FileID(shared+i*cfg.PrivateFiles+p))
+		}
+		w.Tasks[i] = Task{ID: TaskID(i), Files: files}
+	}
+	return w, nil
+}
+
+// UniformConfig parameterizes the no-locality control workload: every task
+// samples files uniformly, so data reuse is incidental. Useful as a
+// negative control for locality-aware schedulers.
+type UniformConfig struct {
+	Seed     int64 `json:"seed"`
+	Tasks    int   `json:"tasks"`
+	Files    int   `json:"files"`
+	MinFiles int   `json:"minFilesPerTask"`
+	MaxFiles int   `json:"maxFilesPerTask"`
+}
+
+// Validate checks the configuration.
+func (c UniformConfig) Validate() error {
+	switch {
+	case c.Tasks < 1 || c.Files < 1:
+		return fmt.Errorf("uniform: Tasks = %d, Files = %d", c.Tasks, c.Files)
+	case c.MinFiles < 1 || c.MaxFiles < c.MinFiles || c.MaxFiles > c.Files:
+		return fmt.Errorf("uniform: file range [%d, %d] with %d files", c.MinFiles, c.MaxFiles, c.Files)
+	}
+	return nil
+}
+
+// GenerateUniform builds the uniform-sampling workload.
+func GenerateUniform(cfg UniformConfig) (*Workload, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &Workload{
+		Name:     fmt.Sprintf("uniform-%d", cfg.Tasks),
+		NumFiles: cfg.Files,
+		Tasks:    make([]Task, cfg.Tasks),
+	}
+	for i := 0; i < cfg.Tasks; i++ {
+		n := cfg.MinFiles
+		if cfg.MaxFiles > cfg.MinFiles {
+			n += rng.Intn(cfg.MaxFiles - cfg.MinFiles + 1)
+		}
+		seen := make(map[FileID]struct{}, n)
+		files := make([]FileID, 0, n)
+		for len(files) < n {
+			f := FileID(rng.Intn(cfg.Files))
+			if _, dup := seen[f]; dup {
+				continue
+			}
+			seen[f] = struct{}{}
+			files = append(files, f)
+		}
+		w.Tasks[i] = Task{ID: TaskID(i), Files: files}
+	}
+	return w, nil
+}
