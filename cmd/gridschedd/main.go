@@ -1,0 +1,114 @@
+// Command gridschedd runs the networked scheduler service: a daemon that
+// accepts whole Bag-of-Tasks workloads as jobs (POST /v1/jobs, one
+// algorithm choice per job) and serves them to pull-based remote workers
+// (cmd/gridworker, or anything speaking the protocol of
+// internal/service/api) with lease-based fault tolerance.
+//
+// Usage:
+//
+//	gridschedd -addr :8080 -sites 10 -workers 4 -capacity 6000 -lease 15s
+//
+// Then, from anywhere:
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"name":"sweep","algorithm":"combined.2","workload":{...}}'
+//	gridworker -server http://localhost:8080 -n 8
+//	curl -s localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"gridsched"
+	"gridsched/internal/storage"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "gridschedd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until ctx is cancelled. onReady, when
+// non-nil, receives the bound address once the listener is up (tests bind
+// ":0").
+func run(ctx context.Context, args []string, onReady func(addr string)) error {
+	fs := flag.NewFlagSet("gridschedd", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address")
+		sites    = fs.Int("sites", 10, "sites in the worker pool")
+		workers  = fs.Int("workers", 4, "worker slots per site")
+		capacity = fs.Int("capacity", 6000, "per-site store capacity in files")
+		policy   = fs.String("policy", "lru", "store replacement policy: lru or fifo")
+		lease    = fs.Duration("lease", 15*time.Second, "worker/assignment lease TTL")
+		sweep    = fs.Duration("sweep", 0, "lease sweep interval (0: lease/4)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var pol storage.Policy
+	switch *policy {
+	case "lru":
+		pol = storage.LRU
+	case "fifo":
+		pol = storage.FIFO
+	default:
+		return fmt.Errorf("unknown policy %q (want lru or fifo)", *policy)
+	}
+
+	svc, err := gridsched.NewService(gridsched.ServiceConfig{
+		Topology: gridsched.ServiceTopology{
+			Sites:          *sites,
+			WorkersPerSite: *workers,
+			CapacityFiles:  *capacity,
+			Policy:         pol,
+		},
+		LeaseTTL:      *lease,
+		SweepInterval: *sweep,
+	})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	log.Printf("gridschedd: listening on %s (%d sites x %d workers, capacity %d files, lease %s)",
+		ln.Addr(), *sites, *workers, *capacity, *lease)
+	if onReady != nil {
+		onReady(ln.Addr().String())
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		// Closing the service first fails parked long polls fast, so
+		// Shutdown does not wait out their poll budgets.
+		svc.Close()
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(sctx)
+	}()
+	err = srv.Serve(ln)
+	<-done
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}

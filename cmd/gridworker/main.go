@@ -1,0 +1,99 @@
+// Command gridworker joins a gridschedd server as one or more pull-based
+// workers. Each worker registers, long-polls for leased task assignments,
+// heartbeats while "executing" (a configurable per-file busy-sleep stands
+// in for real work — embedders wanting real execution use
+// internal/service/client.RunWorker with their own Execute), and reports
+// outcomes.
+//
+// Usage:
+//
+//	gridworker -server http://localhost:8080 -n 8
+//	gridworker -server http://localhost:8080 -n 4 -site 2 -task-time 50ms -exit-when-idle
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"sync"
+	"time"
+
+	"gridsched/internal/core"
+	"gridsched/internal/service/api"
+	"gridsched/internal/service/client"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gridworker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("gridworker", flag.ContinueOnError)
+	var (
+		server  = fs.String("server", "http://localhost:8080", "gridschedd base URL")
+		n       = fs.Int("n", 1, "number of workers to run")
+		site    = fs.Int("site", -1, "pin workers to this site (-1: server balances)")
+		taskDur = fs.Duration("task-time", 0, "simulated execution time per task file (e.g. 5ms)")
+		poll    = fs.Duration("poll", 2*time.Second, "long-poll budget per pull")
+		oneShot = fs.Bool("exit-when-idle", false, "exit once no jobs remain open")
+		quiet   = fs.Bool("quiet", false, "suppress per-task logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 1 {
+		return fmt.Errorf("-n = %d", *n)
+	}
+
+	cl := client.New(*server, nil)
+	var wg sync.WaitGroup
+	errs := make(chan error, *n)
+	for i := 0; i < *n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cfg := client.WorkerConfig{
+				PollWait: *poll,
+				Execute: func(execCtx context.Context, ref core.WorkerRef, a *api.Assignment) error {
+					if d := *taskDur * time.Duration(len(a.Task.Files)); d > 0 {
+						select {
+						case <-execCtx.Done():
+							return nil
+						case <-time.After(d):
+						}
+					}
+					if !*quiet {
+						log.Printf("worker site %d/%d: task %d of job %s done (%d files, %d staged)",
+							ref.Site, ref.Worker, a.Task.ID, a.JobID, len(a.Task.Files), a.Staged)
+					}
+					return nil
+				},
+			}
+			if *site >= 0 {
+				cfg.Site = site
+			}
+			if *oneShot {
+				cfg.OnIdle = func(_ context.Context, resp *api.PullResponse) (bool, error) {
+					return resp.OpenJobs == 0, nil
+				}
+			}
+			if err := cl.RunWorker(ctx, cfg); err != nil {
+				// Surface immediately: with other workers still running,
+				// wg.Wait() may not return for a long time.
+				log.Printf("worker: %v", err)
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs
+}

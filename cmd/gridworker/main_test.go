@@ -1,0 +1,64 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"gridsched/internal/core"
+	"gridsched/internal/service"
+	"gridsched/internal/service/api"
+	"gridsched/internal/workload"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"-n", "0"}); err == nil {
+		t.Fatal("accepted -n 0")
+	}
+}
+
+func TestWorkersDrainJobAndExitWhenIdle(t *testing.T) {
+	svc, err := service.New(service.Config{
+		Topology: service.Topology{Sites: 2, WorkersPerSite: 2, CapacityFiles: 50},
+		LeaseTTL: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	w := &workload.Workload{Name: "drain", NumFiles: 8}
+	for i := 0; i < 30; i++ {
+		w.Tasks = append(w.Tasks, workload.Task{
+			ID:    workload.TaskID(i),
+			Files: []workload.FileID{workload.FileID(i % 8)},
+		})
+	}
+	jobID, err := svc.Submit("drain", "workqueue", w, core.NewWorkqueue(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	err = run(ctx, []string{
+		"-server", ts.URL,
+		"-n", "3",
+		"-poll", "100ms",
+		"-quiet",
+		"-exit-when-idle",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := svc.JobStatus(jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != api.JobCompleted || st.Completed != 30 {
+		t.Fatalf("job after workers exited: %+v", st)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"gridsched/internal/core"
 	"gridsched/internal/experiment"
 	"gridsched/internal/grid"
+	"gridsched/internal/service"
 	"gridsched/internal/topology"
 	"gridsched/internal/workload"
 )
@@ -101,23 +102,12 @@ func NewScheduler(name string, w *Workload, cfg SimulationConfig, seed int64) (S
 	if err := cfg.Normalize(); err != nil {
 		return nil, err
 	}
-	switch name {
-	case "task-centric storage affinity", "storage-affinity":
-		return core.NewStorageAffinity(w, core.StorageAffinityConfig{
-			Sites:          cfg.Sites,
-			WorkersPerSite: cfg.WorkersPerSite,
-			CapacityFiles:  cfg.CapacityFiles,
-			Policy:         cfg.Policy,
-			MaxReplicas:    3,
-		})
-	case "workqueue":
-		return core.NewWorkqueue(w), nil
-	}
-	metric, n, err := parseMetricName(name)
-	if err != nil {
-		return nil, err
-	}
-	return core.NewWorkerCentric(w, core.WorkerCentricConfig{Metric: metric, ChooseN: n, Seed: seed})
+	return SchedulerFactory()(name, w, service.Topology{
+		Sites:          cfg.Sites,
+		WorkersPerSite: cfg.WorkersPerSite,
+		CapacityFiles:  cfg.CapacityFiles,
+		Policy:         cfg.Policy,
+	}, seed)
 }
 
 // parseMetricName resolves "rest", "combined.2", "overlap.3", ...
@@ -183,4 +173,50 @@ func ExperimentIDs() []string {
 	ids := experiment.IDs()
 	sort.Strings(ids)
 	return ids
+}
+
+// Service aliases: the gridschedd scheduler daemon (internal/service) that
+// serves workloads to remote pull-based workers over HTTP/JSON.
+type (
+	// Service is the embeddable scheduler daemon behind cmd/gridschedd.
+	Service = service.Service
+	// ServiceConfig parameterizes a Service.
+	ServiceConfig = service.Config
+	// ServiceTopology fixes the worker pool a Service schedules over.
+	ServiceTopology = service.Topology
+)
+
+// NewService builds a gridschedd daemon. A nil cfg.NewScheduler is filled
+// with SchedulerFactory, so jobs submitted over HTTP may pick any algorithm
+// of AlgorithmNames.
+func NewService(cfg ServiceConfig) (*Service, error) {
+	if cfg.NewScheduler == nil {
+		cfg.NewScheduler = SchedulerFactory()
+	}
+	return service.New(cfg)
+}
+
+// SchedulerFactory resolves the algorithm names of AlgorithmNames (plus the
+// "rest.N"/"combined.N"/"overlap.N" and "combined-literal" variants) into
+// schedulers for service jobs.
+func SchedulerFactory() service.SchedulerFactory {
+	return func(algorithm string, w *workload.Workload, topo service.Topology, seed int64) (core.Scheduler, error) {
+		switch algorithm {
+		case "task-centric storage affinity", "storage-affinity":
+			return core.NewStorageAffinity(w, core.StorageAffinityConfig{
+				Sites:          topo.Sites,
+				WorkersPerSite: topo.WorkersPerSite,
+				CapacityFiles:  topo.CapacityFiles,
+				Policy:         topo.Policy,
+				MaxReplicas:    3,
+			})
+		case "workqueue":
+			return core.NewWorkqueue(w), nil
+		}
+		metric, n, err := parseMetricName(algorithm)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewWorkerCentric(w, core.WorkerCentricConfig{Metric: metric, ChooseN: n, Seed: seed})
+	}
 }

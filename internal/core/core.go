@@ -86,6 +86,12 @@ type WorkerRef struct {
 // call NoteBatch after each data-server batch commit, and call
 // OnTaskComplete when an execution finishes; the returned refs are
 // outstanding replicas of the same task that should be interrupted.
+//
+// Concurrency contract: implementations are not safe for concurrent use.
+// The simulator is single-threaded; the gridschedd service
+// (internal/service) serializes all scheduler access under its own lock.
+// Embedders driving a scheduler from multiple goroutines directly must
+// wrap it in NewSynchronized or serialize calls themselves.
 type Scheduler interface {
 	Name() string
 	AttachSite(site int)

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"sync"
+
+	"gridsched/internal/workload"
+)
+
+// Synchronized wraps a Scheduler with a mutex, making every method safe for
+// concurrent callers.
+//
+// The concurrency contract: Scheduler implementations themselves are NOT
+// safe for concurrent use — the simulator is single-threaded by
+// construction, internal/service serializes all scheduler and store access
+// under its own service lock, and internal/live drives the service rather
+// than a scheduler. An embedder that drives a scheduler directly from
+// multiple goroutines must wrap it in NewSynchronized (or serialize calls
+// itself). Note that the lock covers one call at a time: sequences that
+// must be atomic (e.g. NextFor followed by bookkeeping that a concurrent
+// OnExecutionFailed could interleave with) still need external
+// coordination.
+type Synchronized struct {
+	mu    sync.Mutex
+	inner Scheduler
+}
+
+var _ Scheduler = (*Synchronized)(nil)
+
+// NewSynchronized wraps s. The wrapper takes ownership: bypassing it while
+// it is in use re-introduces the data race it exists to prevent.
+func NewSynchronized(s Scheduler) *Synchronized {
+	return &Synchronized{inner: s}
+}
+
+// Name implements Scheduler.
+func (s *Synchronized) Name() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Name()
+}
+
+// AttachSite implements Scheduler.
+func (s *Synchronized) AttachSite(site int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner.AttachSite(site)
+}
+
+// NoteBatch implements Scheduler.
+func (s *Synchronized) NoteBatch(site int, batch, fetched, evicted []workload.FileID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner.NoteBatch(site, batch, fetched, evicted)
+}
+
+// NextFor implements Scheduler.
+func (s *Synchronized) NextFor(at WorkerRef) (workload.Task, Status) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.NextFor(at)
+}
+
+// OnTaskComplete implements Scheduler.
+func (s *Synchronized) OnTaskComplete(id workload.TaskID, at WorkerRef) []WorkerRef {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.OnTaskComplete(id, at)
+}
+
+// OnExecutionFailed implements Scheduler.
+func (s *Synchronized) OnExecutionFailed(id workload.TaskID, at WorkerRef) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner.OnExecutionFailed(id, at)
+}
+
+// Remaining implements Scheduler.
+func (s *Synchronized) Remaining() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Remaining()
+}

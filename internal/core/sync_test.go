@@ -1,0 +1,60 @@
+package core_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"gridsched/internal/core"
+	"gridsched/internal/workload"
+)
+
+// TestSynchronizedConcurrentDrain hammers a wrapped scheduler from many
+// goroutines; under -race this is the concurrency-contract check.
+func TestSynchronizedConcurrentDrain(t *testing.T) {
+	const tasks = 500
+	w := &workload.Workload{Name: "sync", NumFiles: 64}
+	for i := 0; i < tasks; i++ {
+		w.Tasks = append(w.Tasks, workload.Task{
+			ID:    workload.TaskID(i),
+			Files: []workload.FileID{workload.FileID(i % 64)},
+		})
+	}
+	s := core.NewSynchronized(core.NewWorkqueue(w))
+	if s.Name() != "workqueue" {
+		t.Fatalf("name %q", s.Name())
+	}
+	for site := 0; site < 4; site++ {
+		s.AttachSite(site)
+	}
+
+	var assigned atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		ref := core.WorkerRef{Site: g % 4, Worker: g / 4}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				task, status := s.NextFor(ref)
+				switch status {
+				case core.Assigned:
+					assigned.Add(1)
+					s.NoteBatch(ref.Site, task.Files, task.Files, nil)
+					s.OnTaskComplete(task.ID, ref)
+				case core.Wait:
+					// Another goroutine holds the straggler; retry.
+				case core.Done:
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := assigned.Load(); got != tasks {
+		t.Fatalf("assigned %d, want %d", got, tasks)
+	}
+	if s.Remaining() != 0 {
+		t.Fatalf("remaining %d", s.Remaining())
+	}
+}

@@ -1,12 +1,22 @@
 // Package live runs the schedulers on a real concurrent runtime instead of
-// the discrete-event simulator: one goroutine per worker pulls tasks from a
-// shared scheduler service, stages files through a per-site store, executes
-// a user-supplied function, and supports replica cancellation via contexts.
+// the discrete-event simulator: one goroutine per worker executes a
+// user-supplied function against tasks pulled from an embedded gridschedd
+// service (internal/service).
+//
+// Since the service rework, the cluster is a genuine client of the
+// scheduler daemon: workers register over the HTTP/JSON protocol (served
+// in-process, no sockets), long-poll for leased assignments — replacing the
+// old fixed-interval sleep-poll, so idle workers wake the moment work
+// appears — heartbeat while executing, and report outcomes. Replica
+// cancellation and failure retry ride on the service's lease mechanics.
 //
 // It demonstrates that the core schedulers are engine-agnostic (the same
-// core.Scheduler drives both the simulator and this runtime) and is the
-// piece a downstream user would embed to schedule actual work: plug a real
-// Execute function (and, if staging is remote, a real StageDelay).
+// core.Scheduler drives the simulator, the service, and hence this runtime)
+// and is the piece a downstream user would embed to schedule actual work in
+// one process: plug a real Execute function (and, if staging is remote, a
+// real StageDelay). For scheduling across processes or machines, run
+// cmd/gridschedd and point workers (cmd/gridworker or client.RunWorker) at
+// it instead.
 package live
 
 import (
@@ -16,6 +26,9 @@ import (
 	"time"
 
 	"gridsched/internal/core"
+	"gridsched/internal/service"
+	"gridsched/internal/service/api"
+	"gridsched/internal/service/client"
 	"gridsched/internal/storage"
 	"gridsched/internal/workload"
 )
@@ -27,18 +40,34 @@ type Config struct {
 	CapacityFiles  int
 	Policy         storage.Policy
 	// Execute runs one task. It must honor ctx cancellation promptly:
-	// when another replica of the same task completes first, ctx is
-	// cancelled. A nil Execute is a no-op (scheduling-only run).
+	// when another replica of the same task completes first, or the
+	// task's lease is lost, ctx is cancelled. A nil Execute is a no-op
+	// (scheduling-only run).
 	Execute func(ctx context.Context, at core.WorkerRef, task workload.Task) error
 	// StageDelay models the time to fetch the given number of missing
 	// files into a site store. Nil means staging is instantaneous.
+	//
+	// Since the service rework the delay is applied by each worker before
+	// it executes, while the store commit itself happens at assignment
+	// time inside the service. Unlike the simulator's data server
+	// (assumption 3) and the pre-service runtime, same-site staging
+	// waits are therefore NOT serialized against each other, so wall
+	// times with a non-nil StageDelay are not directly comparable to
+	// simulator makespans — use the simulator for paper-faithful timing.
 	StageDelay func(missingFiles int) time.Duration
-	// PollInterval is how long a worker in Wait status sleeps before
-	// asking again. Defaults to 10ms.
+	// PollInterval is the long-poll budget of one pull request against
+	// the embedded service. Unlike the old sleep-poll it does not delay
+	// dispatch — parked pulls are woken the moment work appears — it only
+	// bounds how often an idle worker re-checks for cluster shutdown.
+	// Defaults to 500ms.
 	PollInterval time.Duration
+	// LeaseTTL is the service's assignment lease: an execution that stops
+	// heartbeating (worker death) for this long is requeued. Executions
+	// heartbeat automatically at LeaseTTL/3. Defaults to 2s.
+	LeaseTTL time.Duration
 	// RetryOnError controls what an Execute error means. False (default):
 	// the error is fatal and aborts the whole run. True: the execution is
-	// reported to the scheduler as failed (transient worker trouble) and
+	// reported to the service as failed (transient worker trouble) and
 	// the task is retried per the strategy's failure path.
 	RetryOnError bool
 }
@@ -65,76 +94,74 @@ type Summary struct {
 	Wall                time.Duration `json:"wallNanos"`
 }
 
-// site is a live data server: a mutex-serialized store (assumption 3: one
-// batch request at a time).
-type site struct {
-	mu    sync.Mutex
-	store *storage.Store
-}
-
-// Cluster wires a scheduler to a pool of worker goroutines.
+// Cluster wires a pool of worker goroutines to an embedded scheduler
+// service.
 type Cluster struct {
 	cfg   Config
 	w     *workload.Workload
 	sched core.Scheduler
-	sites []*site
 
-	mu        sync.Mutex // guards sched, execs, and the fields below
-	execs     map[core.WorkerRef]*execution
-	completed int
-	cancelled int
-	failed    int
-	transfers int64
-	execErr   error              // first Execute failure; aborts the run
-	abort     context.CancelFunc // cancels every worker
-}
-
-type execution struct {
-	task   workload.TaskID
-	cancel context.CancelFunc
+	mu     sync.Mutex
+	runErr error              // first fatal failure; aborts the run
+	abort  context.CancelFunc // cancels every worker
 }
 
 // NewCluster builds a cluster over the workload with the given scheduler.
 // The scheduler must be freshly constructed and is driven exclusively by
-// the cluster from here on.
+// the cluster's service from here on.
 func NewCluster(cfg Config, w *workload.Workload, sched core.Scheduler) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if cfg.PollInterval <= 0 {
-		cfg.PollInterval = 10 * time.Millisecond
+		cfg.PollInterval = 500 * time.Millisecond
 	}
-	maxFiles := 0
-	for _, t := range w.Tasks {
-		if len(t.Files) > maxFiles {
-			maxFiles = len(t.Files)
-		}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 2 * time.Second
 	}
-	if cfg.CapacityFiles < maxFiles {
-		return nil, fmt.Errorf("live: capacity %d below largest task (%d files)", cfg.CapacityFiles, maxFiles)
+	if err := (service.Topology{CapacityFiles: cfg.CapacityFiles}).CheckWorkload(w); err != nil {
+		return nil, fmt.Errorf("live: %v", err)
 	}
-	c := &Cluster{
-		cfg:   cfg,
-		w:     w,
-		sched: sched,
-		execs: make(map[core.WorkerRef]*execution),
-	}
-	for i := 0; i < cfg.Sites; i++ {
-		st, err := storage.New(cfg.CapacityFiles, cfg.Policy)
-		if err != nil {
-			return nil, err
-		}
-		c.sites = append(c.sites, &site{store: st})
-		sched.AttachSite(i)
-	}
-	return c, nil
+	return &Cluster{cfg: cfg, w: w, sched: sched}, nil
 }
 
-// Run starts every worker goroutine and blocks until the workload is
-// complete, an Execute call fails, or ctx is cancelled. All goroutines have
-// exited when it returns.
+// fail records the first fatal error and aborts the run.
+func (c *Cluster) fail(err error) {
+	c.mu.Lock()
+	if c.runErr == nil {
+		c.runErr = err
+	}
+	abort := c.abort
+	c.mu.Unlock()
+	if abort != nil {
+		abort()
+	}
+}
+
+// Run starts the embedded service plus every worker goroutine and blocks
+// until the workload is complete, an Execute call fails fatally, or ctx is
+// cancelled. All goroutines have exited when it returns.
 func (c *Cluster) Run(ctx context.Context) (*Summary, error) {
 	start := time.Now()
+	svc, err := service.New(service.Config{
+		Topology: service.Topology{
+			Sites:          c.cfg.Sites,
+			WorkersPerSite: c.cfg.WorkersPerSite,
+			CapacityFiles:  c.cfg.CapacityFiles,
+			Policy:         c.cfg.Policy,
+		},
+		LeaseTTL: c.cfg.LeaseTTL,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer svc.Close()
+	jobID, err := svc.Submit("live", c.sched.Name(), c.w, c.sched)
+	if err != nil {
+		return nil, err
+	}
+	cl := client.InProcess(svc.Handler())
+
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	c.mu.Lock()
@@ -144,162 +171,70 @@ func (c *Cluster) Run(ctx context.Context) (*Summary, error) {
 	var wg sync.WaitGroup
 	for s := 0; s < c.cfg.Sites; s++ {
 		for wi := 0; wi < c.cfg.WorkersPerSite; wi++ {
-			ref := core.WorkerRef{Site: s, Worker: wi}
+			site := s
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				c.worker(runCtx, ref)
+				c.runWorker(runCtx, cl, site, jobID)
 			}()
 		}
 	}
 	wg.Wait()
 
+	st, stErr := svc.JobStatus(jobID)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.execErr != nil {
-		return nil, fmt.Errorf("live: task execution failed: %w", c.execErr)
+	if c.runErr != nil {
+		return nil, fmt.Errorf("live: task execution failed: %w", c.runErr)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("live: run aborted: %w", err)
 	}
-	if c.sched.Remaining() != 0 {
-		return nil, fmt.Errorf("live: %d tasks incomplete after all workers exited", c.sched.Remaining())
+	if stErr != nil {
+		return nil, stErr
+	}
+	if st.State != api.JobCompleted {
+		return nil, fmt.Errorf("live: %d tasks incomplete after all workers exited", st.Remaining)
 	}
 	return &Summary{
-		TasksCompleted:      c.completed,
-		CancelledExecutions: c.cancelled,
-		FailedExecutions:    c.failed,
-		FileTransfers:       c.transfers,
+		TasksCompleted:      st.Completed,
+		CancelledExecutions: st.Cancelled,
+		FailedExecutions:    st.Failed,
+		FileTransfers:       st.Transfers,
 		Wall:                time.Since(start),
 	}, nil
 }
 
-// worker is the pull loop: request task → stage files → execute → repeat.
-func (c *Cluster) worker(ctx context.Context, ref core.WorkerRef) {
-	for ctx.Err() == nil {
-		c.mu.Lock()
-		task, status := c.sched.NextFor(ref)
-		var runCtx context.Context
-		if status == core.Assigned {
-			var cancel context.CancelFunc
-			runCtx, cancel = context.WithCancel(ctx)
-			c.execs[ref] = &execution{task: task.ID, cancel: cancel}
-		}
-		c.mu.Unlock()
-
-		switch status {
-		case core.Done:
-			return
-		case core.Wait:
-			select {
-			case <-ctx.Done():
-				return
-			case <-time.After(c.cfg.PollInterval):
+// runWorker runs one worker's protocol loop until the job completes or the
+// run is aborted.
+func (c *Cluster) runWorker(ctx context.Context, cl *client.Client, site int, jobID string) {
+	err := cl.RunWorker(ctx, client.WorkerConfig{
+		Site:       &site,
+		PollWait:   c.cfg.PollInterval,
+		StageDelay: c.cfg.StageDelay,
+		Execute: func(execCtx context.Context, ref core.WorkerRef, a *api.Assignment) error {
+			if c.cfg.Execute == nil {
+				return nil
 			}
-			continue
-		case core.Assigned:
-		default:
-			panic(fmt.Sprintf("live: unknown scheduler status %v", status))
-		}
-
-		outcome := c.runTask(runCtx, ref, task)
-
-		c.mu.Lock()
-		exec := c.execs[ref]
-		delete(c.execs, ref)
-		if outcome == outcomeFailed {
-			// Already reported to the scheduler by runTask.
-			c.mu.Unlock()
-			continue
-		}
-		// Re-check under the lock: a replica elsewhere may have completed
-		// (and cancelled us) after runTask returned but before we got
-		// here; completions are decided in lock order.
-		if outcome == outcomeCancelled || runCtx.Err() != nil || ctx.Err() != nil {
-			c.cancelled++
-			c.mu.Unlock()
-			continue
-		}
-		c.completed++
-		victims := c.sched.OnTaskComplete(task.ID, ref)
-		for _, v := range victims {
-			if ve, ok := c.execs[v]; ok && ve.task == task.ID {
-				ve.cancel()
+			err := c.cfg.Execute(execCtx, ref, a.Task)
+			if err != nil && execCtx.Err() == nil && !c.cfg.RetryOnError {
+				// Fatal: abort the whole run rather than hang the job on
+				// a silently lost task.
+				c.fail(fmt.Errorf("task %d at %+v: %w", a.Task.ID, ref, err))
 			}
-		}
-		c.mu.Unlock()
-		exec.cancel() // release the context's resources
+			return err
+		},
+		// The embedded service hosts exactly this one job, so "no open
+		// jobs" and "job completed" coincide; both hooks key off the
+		// responses already in hand rather than extra status requests.
+		OnIdle: func(_ context.Context, resp *api.PullResponse) (bool, error) {
+			return resp.OpenJobs == 0, nil
+		},
+		OnReport: func(_ context.Context, _ *api.Assignment, rep *api.ReportResponse) bool {
+			return rep.JobState == api.JobCompleted
+		},
+	})
+	if err != nil && ctx.Err() == nil {
+		c.fail(err)
 	}
-}
-
-// outcome of one runTask call.
-type outcome int
-
-const (
-	outcomeCompleted outcome = iota + 1
-	outcomeCancelled
-	outcomeFailed
-)
-
-// runTask stages the task's inputs at the worker's site and executes it.
-// The site mutex is held across the staging delay: the data server serves
-// one batch request at a time (assumption 3), so same-site workers queue
-// behind it.
-func (c *Cluster) runTask(ctx context.Context, ref core.WorkerRef, task workload.Task) outcome {
-	s := c.sites[ref.Site]
-	s.mu.Lock()
-	missing := s.store.Missing(task.Files)
-	if c.cfg.StageDelay != nil && len(missing) > 0 {
-		if delay := c.cfg.StageDelay(len(missing)); delay > 0 {
-			select {
-			case <-ctx.Done():
-				s.mu.Unlock()
-				return outcomeCancelled // abandoned before the fetch committed
-			case <-time.After(delay):
-			}
-		}
-	}
-	fetched, evicted, err := s.store.CommitBatch(task.Files)
-	if err != nil {
-		s.mu.Unlock()
-		panic(fmt.Sprintf("live: commit at site %d: %v", ref.Site, err))
-	}
-	c.mu.Lock()
-	c.transfers += int64(len(fetched))
-	c.sched.NoteBatch(ref.Site, task.Files, fetched, evicted)
-	c.mu.Unlock()
-	s.mu.Unlock()
-
-	if ctx.Err() != nil {
-		return outcomeCancelled
-	}
-	if c.cfg.Execute != nil {
-		err := c.cfg.Execute(ctx, ref, task)
-		if ctx.Err() != nil {
-			return outcomeCancelled // cancellation, whatever Execute returned
-		}
-		if err != nil {
-			if c.cfg.RetryOnError {
-				c.mu.Lock()
-				c.failed++
-				c.sched.OnExecutionFailed(task.ID, ref)
-				c.mu.Unlock()
-				return outcomeFailed
-			}
-			// Fatal: abort the whole run rather than hang the job on a
-			// silently lost task.
-			c.mu.Lock()
-			if c.execErr == nil {
-				c.execErr = fmt.Errorf("task %d at %+v: %w", task.ID, ref, err)
-			}
-			abort := c.abort
-			c.mu.Unlock()
-			abort()
-			return outcomeFailed
-		}
-	}
-	if ctx.Err() != nil {
-		return outcomeCancelled
-	}
-	return outcomeCompleted
 }

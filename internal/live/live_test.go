@@ -239,6 +239,42 @@ func TestLiveValidation(t *testing.T) {
 	}
 }
 
+// TestLiveNoDuplicateDispatchWithoutExpiry is the long-poll regression
+// guarantee: with a worker-centric scheduler (which never replicates) and
+// leases long enough that none expire, every task is dispatched and
+// executed exactly once, however many workers race for it.
+func TestLiveNoDuplicateDispatchWithoutExpiry(t *testing.T) {
+	const tasks = 100
+	w := liveWorkload(t, tasks)
+	perTask := make([]atomic.Int32, tasks)
+	cfg := baseCfg()
+	cfg.WorkersPerSite = 3
+	cfg.LeaseTTL = time.Minute // nothing expires within this test
+	cfg.Execute = func(ctx context.Context, at core.WorkerRef, task workload.Task) error {
+		perTask[task.ID].Add(1)
+		return nil
+	}
+	c, err := NewCluster(cfg, w, newWC(t, w, core.MetricCombined, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TasksCompleted != tasks {
+		t.Fatalf("completed %d of %d", sum.TasksCompleted, tasks)
+	}
+	for id := range perTask {
+		if n := perTask[id].Load(); n != 1 {
+			t.Errorf("task %d executed %d times, want exactly 1", id, n)
+		}
+	}
+	if sum.CancelledExecutions != 0 || sum.FailedExecutions != 0 {
+		t.Fatalf("spurious cancellations/failures: %+v", sum)
+	}
+}
+
 func TestLiveRetryOnErrorRecovers(t *testing.T) {
 	w := liveWorkload(t, 60)
 	var calls atomic.Int64

@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// ServiceCounters are the gridschedd daemon's (internal/service) operational
+// metrics: lock-free atomic counters fed from the request path and rendered
+// at /metrics in the Prometheus text exposition format.
+//
+// Counters only ever grow; the Active*/OpenJobs fields are gauges.
+type ServiceCounters struct {
+	JobsSubmitted  atomic.Int64
+	JobsCompleted  atomic.Int64
+	Pulls          atomic.Int64
+	Assignments    atomic.Int64
+	Completions    atomic.Int64
+	Failures       atomic.Int64
+	Cancellations  atomic.Int64
+	LeasesExpired  atomic.Int64
+	WorkersExpired atomic.Int64
+	Heartbeats     atomic.Int64
+	StaleReports   atomic.Int64
+
+	ActiveWorkers atomic.Int64
+	ActiveLeases  atomic.Int64
+	OpenJobs      atomic.Int64
+}
+
+// NewServiceCounters returns zeroed counters.
+func NewServiceCounters() *ServiceCounters { return &ServiceCounters{} }
+
+// WriteText renders every metric as Prometheus text exposition lines.
+func (c *ServiceCounters) WriteText(w io.Writer) error {
+	for _, m := range []struct {
+		name, kind string
+		v          int64
+	}{
+		{"gridsched_jobs_submitted_total", "counter", c.JobsSubmitted.Load()},
+		{"gridsched_jobs_completed_total", "counter", c.JobsCompleted.Load()},
+		{"gridsched_pulls_total", "counter", c.Pulls.Load()},
+		{"gridsched_assignments_total", "counter", c.Assignments.Load()},
+		{"gridsched_completions_total", "counter", c.Completions.Load()},
+		{"gridsched_failures_total", "counter", c.Failures.Load()},
+		{"gridsched_cancellations_total", "counter", c.Cancellations.Load()},
+		{"gridsched_leases_expired_total", "counter", c.LeasesExpired.Load()},
+		{"gridsched_workers_expired_total", "counter", c.WorkersExpired.Load()},
+		{"gridsched_heartbeats_total", "counter", c.Heartbeats.Load()},
+		{"gridsched_stale_reports_total", "counter", c.StaleReports.Load()},
+		{"gridsched_active_workers", "gauge", c.ActiveWorkers.Load()},
+		{"gridsched_active_leases", "gauge", c.ActiveLeases.Load()},
+		{"gridsched_open_jobs", "gauge", c.OpenJobs.Load()},
+	} {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", m.name, m.kind, m.name, m.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestServiceCountersWriteText(t *testing.T) {
+	c := NewServiceCounters()
+	c.JobsSubmitted.Add(2)
+	c.Pulls.Add(17)
+	c.ActiveLeases.Add(3)
+	c.ActiveLeases.Add(-1)
+
+	var sb strings.Builder
+	if err := c.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE gridsched_jobs_submitted_total counter",
+		"gridsched_jobs_submitted_total 2",
+		"gridsched_pulls_total 17",
+		"# TYPE gridsched_active_leases gauge",
+		"gridsched_active_leases 2",
+		"gridsched_completions_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

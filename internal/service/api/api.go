@@ -1,0 +1,179 @@
+// Package api defines the wire types of the gridschedd HTTP/JSON protocol
+// (internal/service). Both the server and the Go client
+// (internal/service/client) speak exactly these structures, so the protocol
+// is documented in one place:
+//
+//	POST   /v1/jobs                     SubmitJobRequest  -> SubmitJobResponse
+//	GET    /v1/jobs                                       -> []JobStatus
+//	GET    /v1/jobs/{id}                                  -> JobStatus
+//	DELETE /v1/jobs/{id}                                  -> {} (completed jobs only)
+//	POST   /v1/workers                  RegisterRequest   -> RegisterResponse
+//	DELETE /v1/workers/{id}                               -> {}
+//	POST   /v1/workers/{id}/pull        PullRequest       -> PullResponse (long poll)
+//	POST   /v1/assignments/{id}/heartbeat HeartbeatRequest -> HeartbeatResponse
+//	POST   /v1/assignments/{id}/report  ReportRequest     -> ReportResponse
+//	GET    /healthz                                       -> Health
+//	GET    /metrics                                       -> text (see internal/metrics)
+//
+// Errors are returned as an ErrorResponse body with a non-2xx status code.
+package api
+
+import (
+	"gridsched/internal/workload"
+)
+
+// Job states.
+const (
+	JobRunning   = "running"
+	JobCompleted = "completed"
+)
+
+// Pull statuses.
+const (
+	// StatusAssigned: PullResponse.Assignment holds a task to execute.
+	StatusAssigned = "assigned"
+	// StatusEmpty: the long poll timed out with nothing dispatchable for
+	// this worker; pull again.
+	StatusEmpty = "empty"
+)
+
+// Heartbeat states.
+const (
+	// HeartbeatActive: keep executing; the lease deadline was renewed.
+	HeartbeatActive = "active"
+	// HeartbeatCancelled: another replica of the task completed; abandon
+	// the execution and report (the report is counted as cancelled).
+	HeartbeatCancelled = "cancelled"
+	// HeartbeatGone: the lease expired (or the assignment never existed);
+	// the task has been requeued, so abandon the execution. A late report
+	// will be rejected as stale.
+	HeartbeatGone = "gone"
+)
+
+// Report outcomes.
+const (
+	OutcomeSuccess = "success"
+	OutcomeFailure = "failure"
+)
+
+// SubmitJobRequest submits a whole Bag-of-Tasks workload as one job. The
+// algorithm is any name accepted by the server's scheduler factory (for
+// gridschedd: the names of gridsched.AlgorithmNames, e.g. "combined.2").
+type SubmitJobRequest struct {
+	Name      string             `json:"name"`
+	Algorithm string             `json:"algorithm"`
+	Seed      int64              `json:"seed,omitempty"`
+	Workload  *workload.Workload `json:"workload"`
+}
+
+// SubmitJobResponse acknowledges a submission.
+type SubmitJobResponse struct {
+	JobID string `json:"jobId"`
+}
+
+// JobStatus is the observable state of one resident job.
+type JobStatus struct {
+	ID        string `json:"id"`
+	Name      string `json:"name"`
+	Algorithm string `json:"algorithm"`
+	State     string `json:"state"` // JobRunning | JobCompleted
+	Tasks     int    `json:"tasks"`
+	Remaining int    `json:"remaining"`
+	// Dispatched counts assignments handed to workers (including
+	// re-dispatches after lease expiry and storage-affinity replicas).
+	Dispatched int `json:"dispatched"`
+	Completed  int `json:"completed"`
+	Failed     int `json:"failed"`
+	Cancelled  int `json:"cancelled"`
+	// Expired counts leases that timed out and requeued their task.
+	Expired int `json:"expired"`
+	// Transfers counts files fetched into site stores for this job.
+	Transfers       int64 `json:"transfers"`
+	SubmittedAtUnix int64 `json:"submittedAtUnix"`
+	FinishedAtUnix  int64 `json:"finishedAtUnix,omitempty"`
+}
+
+// RegisterRequest enrolls a worker. A nil Site lets the service pick the
+// least-loaded site; otherwise the worker is pinned to *Site.
+type RegisterRequest struct {
+	Site *int `json:"site,omitempty"`
+}
+
+// RegisterResponse assigns the worker its identity: a service-unique ID and
+// a (site, worker) slot, which is the core.WorkerRef the schedulers see.
+type RegisterResponse struct {
+	WorkerID string `json:"workerId"`
+	Site     int    `json:"site"`
+	Worker   int    `json:"worker"`
+	// LeaseTTLMillis is the lease duration for both the worker
+	// registration and task assignments; heartbeat at a fraction of it.
+	LeaseTTLMillis int64 `json:"leaseTtlMillis"`
+}
+
+// PullRequest asks for a task, waiting up to WaitMillis for one to become
+// dispatchable (long poll). The server may cap the wait.
+type PullRequest struct {
+	WaitMillis int64 `json:"waitMillis"`
+}
+
+// Assignment is one leased task execution.
+type Assignment struct {
+	ID    string        `json:"id"`
+	JobID string        `json:"jobId"`
+	Task  workload.Task `json:"task"`
+	// Staged is how many of the task's files were newly fetched into the
+	// worker's site store when the assignment was made; a client modelling
+	// staging cost (live.Config.StageDelay) keys off it.
+	Staged int `json:"staged"`
+	// LeaseTTLMillis echoes the lease duration; the execution must
+	// heartbeat within it or the task is requeued.
+	LeaseTTLMillis int64 `json:"leaseTtlMillis"`
+}
+
+// PullResponse carries an assignment or an empty-poll notice.
+type PullResponse struct {
+	Status     string      `json:"status"` // StatusAssigned | StatusEmpty
+	Assignment *Assignment `json:"assignment,omitempty"`
+	// OpenJobs is the number of jobs still running; a worker configured to
+	// exit when the service drains keys off it reaching zero.
+	OpenJobs int `json:"openJobs"`
+}
+
+// HeartbeatRequest renews an assignment's lease.
+type HeartbeatRequest struct {
+	WorkerID string `json:"workerId"`
+}
+
+// HeartbeatResponse tells the worker whether to keep going.
+type HeartbeatResponse struct {
+	State string `json:"state"` // HeartbeatActive | HeartbeatCancelled | HeartbeatGone
+}
+
+// ReportRequest ends an assignment with an outcome.
+type ReportRequest struct {
+	WorkerID string `json:"workerId"`
+	Outcome  string `json:"outcome"` // OutcomeSuccess | OutcomeFailure
+}
+
+// ReportResponse acknowledges a report. Stale means the lease had already
+// expired and the task was requeued: the execution's result was discarded
+// (this is what guarantees no duplicate completions). Cancelled means the
+// execution was a replica obsoleted by another worker's completion.
+type ReportResponse struct {
+	Accepted  bool   `json:"accepted"`
+	Stale     bool   `json:"stale,omitempty"`
+	Cancelled bool   `json:"cancelled,omitempty"`
+	JobState  string `json:"jobState,omitempty"`
+}
+
+// Health is the /healthz body.
+type Health struct {
+	Status  string `json:"status"` // "ok"
+	Jobs    int    `json:"jobs"`
+	Workers int    `json:"workers"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

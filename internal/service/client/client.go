@@ -1,0 +1,173 @@
+// Package client is the Go client for the gridschedd HTTP/JSON protocol
+// (internal/service, wire types in internal/service/api). It covers the
+// whole surface — job submission and status, worker registration, long-poll
+// pull, heartbeat, report — and provides RunWorker, a complete worker loop
+// shared by the live runtime (internal/live) and the gridworker binary.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"gridsched/internal/service/api"
+	"gridsched/internal/workload"
+)
+
+// Client talks to one gridschedd server.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New builds a client for the server at base (e.g. "http://host:8080").
+// A nil httpClient uses a dedicated default client. The client must not
+// set an overall timeout shorter than the long-poll waits in use.
+func New(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{}
+	}
+	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
+}
+
+// APIError is a non-2xx server reply.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("gridschedd: %s (http %d)", e.Message, e.StatusCode)
+}
+
+// do runs one JSON round-trip. A nil out discards the response body.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e api.ErrorResponse
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		_, err := io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// SubmitJob submits a workload under the given algorithm name and returns
+// the job id.
+func (c *Client) SubmitJob(ctx context.Context, name, algorithm string, seed int64, w *workload.Workload) (string, error) {
+	var resp api.SubmitJobResponse
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", api.SubmitJobRequest{
+		Name: name, Algorithm: algorithm, Seed: seed, Workload: w,
+	}, &resp)
+	return resp.JobID, err
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(ctx context.Context, jobID string) (*api.JobStatus, error) {
+	var st api.JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+jobID, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// DeleteJob drops a completed job's record (retention control); running
+// jobs cannot be deleted.
+func (c *Client) DeleteJob(ctx context.Context, jobID string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+jobID, nil, nil)
+}
+
+// Jobs lists every resident job.
+func (c *Client) Jobs(ctx context.Context) ([]api.JobStatus, error) {
+	var out []api.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out, err
+}
+
+// Register enrolls a worker. site pins it to a site; nil lets the server
+// pick.
+func (c *Client) Register(ctx context.Context, site *int) (*api.RegisterResponse, error) {
+	var resp api.RegisterResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/workers", api.RegisterRequest{Site: site}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Deregister removes a worker; its outstanding assignment, if any, is
+// requeued.
+func (c *Client) Deregister(ctx context.Context, workerID string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/workers/"+workerID, nil, nil)
+}
+
+// Pull long-polls for an assignment, waiting up to wait server-side.
+func (c *Client) Pull(ctx context.Context, workerID string, wait time.Duration) (*api.PullResponse, error) {
+	var resp api.PullResponse
+	err := c.do(ctx, http.MethodPost, "/v1/workers/"+workerID+"/pull",
+		api.PullRequest{WaitMillis: wait.Milliseconds()}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Heartbeat renews an assignment's lease.
+func (c *Client) Heartbeat(ctx context.Context, assignmentID, workerID string) (*api.HeartbeatResponse, error) {
+	var resp api.HeartbeatResponse
+	err := c.do(ctx, http.MethodPost, "/v1/assignments/"+assignmentID+"/heartbeat",
+		api.HeartbeatRequest{WorkerID: workerID}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Report ends an assignment with api.OutcomeSuccess or api.OutcomeFailure.
+func (c *Client) Report(ctx context.Context, assignmentID, workerID, outcome string) (*api.ReportResponse, error) {
+	var resp api.ReportResponse
+	err := c.do(ctx, http.MethodPost, "/v1/assignments/"+assignmentID+"/report",
+		api.ReportRequest{WorkerID: workerID, Outcome: outcome}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Health checks /healthz.
+func (c *Client) Health(ctx context.Context) (*api.Health, error) {
+	var h api.Health
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}

@@ -1,0 +1,61 @@
+package client
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+)
+
+// InProcess returns a Client whose requests are served by h directly —
+// full HTTP/JSON protocol, no sockets. The live runtime (internal/live)
+// uses it to embed gridschedd inside one process; tests use it to avoid
+// port allocation. Long polls work unchanged: the handler blocks on the
+// request's context like it would under net/http.
+func InProcess(h http.Handler) *Client {
+	return New("http://gridschedd.inproc", &http.Client{Transport: handlerTransport{h: h}})
+}
+
+// handlerTransport serves each round-trip by invoking the handler
+// synchronously on the caller's goroutine.
+type handlerTransport struct {
+	h http.Handler
+}
+
+func (t handlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := &responseRecorder{code: http.StatusOK, header: make(http.Header)}
+	t.h.ServeHTTP(rec, req)
+	return &http.Response{
+		Status:        http.StatusText(rec.code),
+		StatusCode:    rec.code,
+		Proto:         req.Proto,
+		ProtoMajor:    req.ProtoMajor,
+		ProtoMinor:    req.ProtoMinor,
+		Header:        rec.header,
+		Body:          io.NopCloser(bytes.NewReader(rec.body.Bytes())),
+		ContentLength: int64(rec.body.Len()),
+		Request:       req,
+	}, nil
+}
+
+// responseRecorder is the minimal http.ResponseWriter the JSON handlers
+// need (no hijacking, no flushing semantics beyond buffering).
+type responseRecorder struct {
+	code        int
+	wroteHeader bool
+	header      http.Header
+	body        bytes.Buffer
+}
+
+func (r *responseRecorder) Header() http.Header { return r.header }
+
+func (r *responseRecorder) WriteHeader(code int) {
+	if !r.wroteHeader {
+		r.code = code
+		r.wroteHeader = true
+	}
+}
+
+func (r *responseRecorder) Write(p []byte) (int, error) {
+	r.wroteHeader = true
+	return r.body.Write(p)
+}

@@ -1,0 +1,178 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+
+	"gridsched/internal/core"
+	"gridsched/internal/service/api"
+)
+
+// WorkerConfig drives RunWorker.
+type WorkerConfig struct {
+	// Site pins the worker to a site; nil lets the server balance.
+	Site *int
+	// PollWait is the server-side long-poll budget per pull request.
+	// Defaults to 2s; the worker simply pulls again on an empty poll, so
+	// this bounds reaction time to shutdown, not to new work (new work
+	// wakes parked polls immediately).
+	PollWait time.Duration
+	// StageDelay, when non-nil, models file staging cost: the worker
+	// sleeps StageDelay(assignment.Staged) before executing, under the
+	// execution context (a cancellation aborts the wait).
+	StageDelay func(staged int) time.Duration
+	// Execute runs one assignment. It must honor ctx promptly: ctx is
+	// cancelled when the server reports the execution cancelled (a replica
+	// completed elsewhere) or the lease lost. A nil Execute is a no-op.
+	// An error is reported to the server as a failed execution (the
+	// scheduler requeues the task); it does not stop the worker loop.
+	Execute func(ctx context.Context, ref core.WorkerRef, a *api.Assignment) error
+	// OnIdle is consulted after every empty poll; returning stop ends the
+	// loop. Nil means keep polling forever (until ctx is cancelled).
+	OnIdle func(ctx context.Context, resp *api.PullResponse) (stop bool, err error)
+	// OnReport is consulted after every report the server accepted;
+	// returning stop ends the loop without another pull. A job-draining
+	// worker uses it to exit the moment its report completes the job
+	// (rep.JobState) instead of discovering it on the next empty poll.
+	OnReport func(ctx context.Context, a *api.Assignment, rep *api.ReportResponse) (stop bool)
+}
+
+// RunWorker registers a worker and runs the full protocol loop — long-poll
+// pull, heartbeat while executing, report — until ctx is cancelled (returns
+// nil), OnIdle stops it (nil), or a protocol error occurs. A worker whose
+// registration lease lapsed (e.g. the process was suspended) re-registers
+// transparently.
+func (c *Client) RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	if cfg.PollWait <= 0 {
+		cfg.PollWait = 2 * time.Second
+	}
+	reg, err := c.Register(ctx, cfg.Site)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		dctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 2*time.Second)
+		defer cancel()
+		_ = c.Deregister(dctx, reg.WorkerID)
+	}()
+
+	for ctx.Err() == nil {
+		resp, err := c.Pull(ctx, reg.WorkerID, cfg.PollWait)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			var ae *APIError
+			switch {
+			case errors.As(err, &ae) && ae.StatusCode == http.StatusNotFound:
+				// Registration lease lapsed; start over.
+			case errors.As(err, &ae) && ae.StatusCode == http.StatusConflict:
+				// The server believes we hold an assignment — a Pull or
+				// Report response was lost in transit. Deregister (which
+				// requeues the orphaned assignment) and start over rather
+				// than dying on a transient network fault.
+				_ = c.Deregister(ctx, reg.WorkerID)
+			default:
+				return err
+			}
+			if reg, err = c.Register(ctx, cfg.Site); err != nil {
+				return err
+			}
+			continue
+		}
+		if resp.Status != api.StatusAssigned {
+			if cfg.OnIdle != nil {
+				stop, err := cfg.OnIdle(ctx, resp)
+				if err != nil || stop {
+					return err
+				}
+			}
+			continue
+		}
+		rep := c.runAssignment(ctx, reg, resp.Assignment, cfg)
+		if rep != nil && cfg.OnReport != nil && cfg.OnReport(ctx, resp.Assignment, rep) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// runAssignment executes one leased task: heartbeat in the background,
+// stage, execute, report. It returns the server's report response, or nil
+// when no report was made (lost lease) or the report did not go through.
+func (c *Client) runAssignment(ctx context.Context, reg *api.RegisterResponse, a *api.Assignment, cfg WorkerConfig) *api.ReportResponse {
+	ref := core.WorkerRef{Site: reg.Site, Worker: reg.Worker}
+	execCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Heartbeat at a third of the lease TTL until the execution ends; a
+	// cancelled or lost lease cancels the execution context.
+	hbEvery := time.Duration(a.LeaseTTLMillis) * time.Millisecond / 3
+	if hbEvery <= 0 {
+		hbEvery = time.Second
+	}
+	leaseGone := false
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		t := time.NewTicker(hbEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-execCtx.Done():
+				return
+			case <-t.C:
+			}
+			hb, err := c.Heartbeat(execCtx, a.ID, reg.WorkerID)
+			if err != nil {
+				continue // transient; the lease survives until TTL
+			}
+			switch hb.State {
+			case api.HeartbeatCancelled:
+				cancel()
+				return
+			case api.HeartbeatGone:
+				leaseGone = true
+				cancel()
+				return
+			}
+		}
+	}()
+
+	var execErr error
+	if cfg.StageDelay != nil && a.Staged > 0 {
+		if d := cfg.StageDelay(a.Staged); d > 0 {
+			select {
+			case <-execCtx.Done():
+			case <-time.After(d):
+			}
+		}
+	}
+	if execCtx.Err() == nil && cfg.Execute != nil {
+		execErr = cfg.Execute(execCtx, ref, a)
+	}
+	abandoned := execCtx.Err() != nil // before cancel(): was the execution interrupted?
+	cancel()
+	<-hbDone
+
+	if leaseGone {
+		// The server already requeued the task; a report would be stale.
+		return nil
+	}
+	outcome := api.OutcomeSuccess
+	if execErr != nil || abandoned {
+		// Either the execution failed or it was abandoned mid-flight
+		// (cancellation, shutdown); never claim success for it. The server
+		// counts it as cancelled if it obsoleted the execution itself.
+		outcome = api.OutcomeFailure
+	}
+	rctx, rcancel := context.WithTimeout(context.WithoutCancel(ctx), 2*time.Second)
+	defer rcancel()
+	rep, err := c.Report(rctx, a.ID, reg.WorkerID, outcome)
+	if err != nil {
+		return nil
+	}
+	return rep
+}

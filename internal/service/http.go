@@ -1,0 +1,171 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"gridsched/internal/service/api"
+)
+
+// maxBodyBytes bounds request bodies; workloads dominate (a 100k-task
+// trace is ~10MB of JSON).
+const maxBodyBytes = 64 << 20
+
+// Handler returns the service's HTTP/JSON surface (see internal/service/api
+// for the route table and wire types).
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDeleteJob)
+	mux.HandleFunc("POST /v1/workers", s.handleRegister)
+	mux.HandleFunc("DELETE /v1/workers/{id}", s.handleDeregister)
+	mux.HandleFunc("POST /v1/workers/{id}/pull", s.handlePull)
+	mux.HandleFunc("POST /v1/assignments/{id}/heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("POST /v1/assignments/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	var se *Error
+	if errors.As(err, &se) {
+		writeJSON(w, se.Code, api.ErrorResponse{Error: se.Msg})
+		return
+	}
+	writeJSON(w, http.StatusInternalServerError, api.ErrorResponse{Error: err.Error()})
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		writeError(w, errf(http.StatusBadRequest, "bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req api.SubmitJobRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	id, err := s.SubmitByName(req.Name, req.Algorithm, req.Workload, req.Seed)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, api.SubmitJobResponse{JobID: id})
+}
+
+func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, err := s.JobStatus(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleDeleteJob(w http.ResponseWriter, r *http.Request) {
+	if err := s.DeleteJob(r.PathValue("id")); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Service) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req api.RegisterRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	site := -1
+	if req.Site != nil {
+		site = *req.Site
+	}
+	resp, err := s.Register(site)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+func (s *Service) handleDeregister(w http.ResponseWriter, r *http.Request) {
+	if err := s.Deregister(r.PathValue("id")); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Service) handlePull(w http.ResponseWriter, r *http.Request) {
+	var req api.PullRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	resp, err := s.Pull(r.Context().Done(), r.PathValue("id"), time.Duration(req.WaitMillis)*time.Millisecond)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req api.HeartbeatRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	resp, err := s.Heartbeat(r.PathValue("id"), req.WorkerID)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
+	var req api.ReportRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	resp, err := s.Report(r.PathValue("id"), req.WorkerID, req.Outcome)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Health())
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := s.counters.WriteText(w); err != nil {
+		// Connection-level failure; nothing more to do.
+		return
+	}
+	for _, st := range s.Jobs() {
+		fmt.Fprintf(w, "gridsched_job_remaining{job=%q,algorithm=%q} %d\n", st.ID, st.Algorithm, st.Remaining)
+		fmt.Fprintf(w, "gridsched_job_completed{job=%q,algorithm=%q} %d\n", st.ID, st.Algorithm, st.Completed)
+	}
+}

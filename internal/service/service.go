@@ -1,0 +1,806 @@
+// Package service implements gridschedd: an embeddable scheduler daemon
+// that wraps the paper's core.Scheduler strategies behind a concurrent,
+// networked worker protocol (HTTP/JSON, see internal/service/api).
+//
+// The daemon is the middleware the paper's worker-centric model implies:
+// workers are remote parties that register, long-poll for tasks, heartbeat
+// their leases, and report outcomes; jobs are whole Bag-of-Tasks workloads
+// submitted with a per-job algorithm choice, and several jobs can be
+// resident at once. Per-site file stores live behind the service — a task
+// is staged into its worker's site store at assignment time, and the
+// scheduler observes the resulting batch commit through NoteBatch just as
+// it does under the simulator. (Unlike the simulator's data server, which
+// serves one batch at a time and charges transfer delay before the commit,
+// the service commits instantly at assignment; clients model staging cost
+// on their side from the Staged count. Timing fidelity to the paper's
+// model is the simulator's job; the service's job is throughput.)
+//
+// Fault tolerance is lease-based: every assignment carries a deadline,
+// heartbeats renew it, and an expired lease requeues the task through the
+// scheduler's existing failure path (core.Scheduler.OnExecutionFailed). A
+// report that arrives after its lease expired is rejected as stale, which
+// is what guarantees a task is never completed twice.
+//
+// Concurrency: the service serializes all scheduler and store access under
+// one mutex (see the core.Scheduler concurrency contract); long-poll
+// waiters park outside the lock on a broadcast channel and are woken by any
+// state change that could make new work dispatchable.
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"gridsched/internal/core"
+	"gridsched/internal/metrics"
+	"gridsched/internal/storage"
+	"gridsched/internal/workload"
+
+	"gridsched/internal/service/api"
+)
+
+// Topology fixes the worker pool the service schedules over: the same
+// (sites × workers-per-site) grid the core schedulers expect, plus each
+// site's store capacity.
+type Topology struct {
+	Sites          int            `json:"sites"`
+	WorkersPerSite int            `json:"workersPerSite"`
+	CapacityFiles  int            `json:"capacityFiles"`
+	Policy         storage.Policy `json:"policy"`
+}
+
+// CheckWorkload reports whether every task of w can be staged at a site:
+// a task needs all its inputs resident at once (assumption 5), so the
+// largest task must fit the per-site store capacity.
+func (t Topology) CheckWorkload(w *workload.Workload) error {
+	maxFiles := 0
+	for _, task := range w.Tasks {
+		if len(task.Files) > maxFiles {
+			maxFiles = len(task.Files)
+		}
+	}
+	if maxFiles > t.CapacityFiles {
+		return fmt.Errorf("capacity %d below largest task (%d files)", t.CapacityFiles, maxFiles)
+	}
+	return nil
+}
+
+// SchedulerFactory builds a scheduler by algorithm name for one submitted
+// job. gridsched.SchedulerFactory supplies the canonical one (all of
+// AlgorithmNames); a server embedding the service may restrict or extend
+// the set.
+type SchedulerFactory func(algorithm string, w *workload.Workload, topo Topology, seed int64) (core.Scheduler, error)
+
+// Config parameterizes a Service.
+type Config struct {
+	Topology
+	// LeaseTTL is the lease duration for worker registrations and task
+	// assignments. Defaults to 15s.
+	LeaseTTL time.Duration
+	// SweepInterval is how often the expiry sweeper runs. Defaults to
+	// LeaseTTL/4. Expiry is additionally checked on every pull, so the
+	// sweeper only matters when no worker is polling.
+	SweepInterval time.Duration
+	// NewScheduler resolves algorithm names for jobs submitted over HTTP.
+	// Nil disables by-name submission (Submit with a pre-built scheduler
+	// still works).
+	NewScheduler SchedulerFactory
+}
+
+func (c *Config) normalize() error {
+	switch {
+	case c.Sites < 1:
+		return fmt.Errorf("service: Sites = %d", c.Sites)
+	case c.WorkersPerSite < 1:
+		return fmt.Errorf("service: WorkersPerSite = %d", c.WorkersPerSite)
+	case c.CapacityFiles < 1:
+		return fmt.Errorf("service: CapacityFiles = %d", c.CapacityFiles)
+	}
+	if c.Policy == 0 {
+		c.Policy = storage.LRU
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 15 * time.Second
+	}
+	if c.SweepInterval <= 0 {
+		c.SweepInterval = c.LeaseTTL / 4
+	}
+	return nil
+}
+
+// maxPullWait caps one long-poll request; clients just pull again.
+const maxPullWait = 30 * time.Second
+
+// Error is a protocol-level failure with an HTTP status.
+type Error struct {
+	Code int
+	Msg  string
+}
+
+func (e *Error) Error() string { return e.Msg }
+
+func errf(code int, format string, args ...any) *Error {
+	return &Error{Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// job is one resident workload with its own scheduler and site stores.
+// On completion the workload, scheduler, and stores are released (set to
+// nil) so a long-running daemon does not accumulate every finished job's
+// heavy state; the status summary fields survive.
+type job struct {
+	id        string
+	name      string
+	algorithm string
+	tasks     int
+	w         *workload.Workload
+	sched     core.Scheduler
+	stores    []*storage.Store
+	state     string // api.JobRunning | api.JobCompleted
+
+	dispatched int
+	completed  int
+	failed     int
+	cancelled  int
+	expired    int
+	transfers  int64
+	submitted  time.Time
+	finished   time.Time
+}
+
+// worker is one registered remote worker holding a (site, worker) slot.
+type worker struct {
+	id         string
+	ref        core.WorkerRef
+	expires    time.Time
+	assignment *assignment // nil when idle; at most one at a time
+}
+
+// assignment is one leased task execution.
+type assignment struct {
+	id        string
+	job       *job
+	task      workload.Task
+	workerID  string
+	ref       core.WorkerRef
+	deadline  time.Time
+	cancelled bool // obsoleted by another replica's completion
+	staged    int
+}
+
+// Service is the gridschedd core. Create with New, expose with Handler,
+// stop with Close.
+type Service struct {
+	cfg      Config
+	counters *metrics.ServiceCounters
+
+	mu          sync.Mutex
+	closed      bool
+	seq         int64
+	jobs        map[string]*job
+	jobOrder    []*job // submission order; pull scans it front to back
+	workers     map[string]*worker
+	assignments map[string]*assignment
+	slots       [][]string // [site][worker] -> workerID, "" when free
+	notify      chan struct{}
+	// nextSweep is the earliest known lease deadline; maybeSweepLocked
+	// skips the O(assignments+workers) sweep until it is due. Zero means
+	// unknown (sweep next time). It may lag behind renewals, which only
+	// costs a harmless extra sweep.
+	nextSweep time.Time
+
+	sweepStop chan struct{}
+	sweepDone chan struct{}
+}
+
+// New builds a service and starts its lease sweeper.
+func New(cfg Config) (*Service, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:         cfg,
+		counters:    metrics.NewServiceCounters(),
+		jobs:        make(map[string]*job),
+		workers:     make(map[string]*worker),
+		assignments: make(map[string]*assignment),
+		slots:       make([][]string, cfg.Sites),
+		notify:      make(chan struct{}),
+		sweepStop:   make(chan struct{}),
+		sweepDone:   make(chan struct{}),
+	}
+	for i := range s.slots {
+		s.slots[i] = make([]string, cfg.WorkersPerSite)
+	}
+	go s.sweeper()
+	return s, nil
+}
+
+// Counters exposes the service's metrics (also rendered at /metrics).
+func (s *Service) Counters() *metrics.ServiceCounters { return s.counters }
+
+// Close stops the sweeper and fails every parked long poll. Idempotent.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.sweepStop)
+	s.broadcastLocked()
+	s.mu.Unlock()
+	<-s.sweepDone
+}
+
+// sweeper periodically expires leases even when no worker is polling.
+func (s *Service) sweeper() {
+	defer close(s.sweepDone)
+	t := time.NewTicker(s.cfg.SweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.sweepStop:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			s.sweepLocked(time.Now())
+			s.mu.Unlock()
+		}
+	}
+}
+
+// broadcastLocked wakes every parked long poll. Callers hold s.mu.
+func (s *Service) broadcastLocked() {
+	close(s.notify)
+	s.notify = make(chan struct{})
+}
+
+func (s *Service) nextID(prefix string) string {
+	s.seq++
+	return fmt.Sprintf("%s%d", prefix, s.seq)
+}
+
+// Submit adds a job built around a caller-constructed scheduler. The
+// scheduler must be fresh and is driven exclusively by the service from
+// here on (the service serializes all calls; see core.Scheduler's
+// concurrency contract).
+func (s *Service) Submit(name, algorithm string, w *workload.Workload, sched core.Scheduler) (string, error) {
+	if w == nil {
+		return "", errf(http.StatusBadRequest, "service: nil workload")
+	}
+	if err := w.Validate(); err != nil {
+		return "", errf(http.StatusBadRequest, "service: %v", err)
+	}
+	if err := s.cfg.CheckWorkload(w); err != nil {
+		return "", errf(http.StatusBadRequest, "service: %v", err)
+	}
+	j := &job{
+		name:      name,
+		algorithm: algorithm,
+		tasks:     len(w.Tasks),
+		w:         w,
+		sched:     sched,
+		state:     api.JobRunning,
+		submitted: time.Now(),
+	}
+	for i := 0; i < s.cfg.Sites; i++ {
+		st, err := storage.New(s.cfg.CapacityFiles, s.cfg.Policy)
+		if err != nil {
+			return "", err
+		}
+		j.stores = append(j.stores, st)
+		sched.AttachSite(i)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", errf(http.StatusServiceUnavailable, "service: closed")
+	}
+	j.id = s.nextID("j")
+	s.jobs[j.id] = j
+	s.jobOrder = append(s.jobOrder, j)
+	s.counters.JobsSubmitted.Add(1)
+	s.counters.OpenJobs.Add(1)
+	if len(w.Tasks) == 0 {
+		s.completeJobLocked(j, time.Now())
+	}
+	s.broadcastLocked()
+	return j.id, nil
+}
+
+// SubmitByName builds the job's scheduler from the configured factory —
+// the path behind POST /v1/jobs.
+func (s *Service) SubmitByName(name, algorithm string, w *workload.Workload, seed int64) (string, error) {
+	if s.cfg.NewScheduler == nil {
+		return "", errf(http.StatusNotImplemented, "service: no scheduler factory configured")
+	}
+	if w == nil {
+		return "", errf(http.StatusBadRequest, "service: nil workload")
+	}
+	sched, err := s.cfg.NewScheduler(algorithm, w, s.cfg.Topology, seed)
+	if err != nil {
+		return "", errf(http.StatusBadRequest, "service: %v", err)
+	}
+	return s.Submit(name, algorithm, w, sched)
+}
+
+// Register enrolls a worker into a free (site, worker) slot. site < 0 picks
+// the site with the most free slots.
+func (s *Service) Register(site int) (*api.RegisterResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errf(http.StatusServiceUnavailable, "service: closed")
+	}
+	s.maybeSweepLocked(time.Now())
+	target := -1
+	if site >= 0 {
+		if site >= s.cfg.Sites {
+			return nil, errf(http.StatusBadRequest, "service: site %d outside [0,%d)", site, s.cfg.Sites)
+		}
+		target = site
+	} else {
+		bestFree := 0
+		for si := range s.slots {
+			free := 0
+			for _, id := range s.slots[si] {
+				if id == "" {
+					free++
+				}
+			}
+			if free > bestFree {
+				bestFree, target = free, si
+			}
+		}
+		if target < 0 {
+			return nil, errf(http.StatusServiceUnavailable, "service: all worker slots taken")
+		}
+	}
+	slot := -1
+	for wi, id := range s.slots[target] {
+		if id == "" {
+			slot = wi
+			break
+		}
+	}
+	if slot < 0 {
+		return nil, errf(http.StatusServiceUnavailable, "service: site %d has no free worker slots", target)
+	}
+	w := &worker{
+		id:      s.nextID("w"),
+		ref:     core.WorkerRef{Site: target, Worker: slot},
+		expires: time.Now().Add(s.cfg.LeaseTTL),
+	}
+	s.slots[target][slot] = w.id
+	s.workers[w.id] = w
+	s.noteDeadlineLocked(w.expires)
+	s.counters.ActiveWorkers.Add(1)
+	return &api.RegisterResponse{
+		WorkerID:       w.id,
+		Site:           w.ref.Site,
+		Worker:         w.ref.Worker,
+		LeaseTTLMillis: s.cfg.LeaseTTL.Milliseconds(),
+	}, nil
+}
+
+// Deregister removes a worker. An outstanding assignment is requeued
+// through the scheduler's failure path.
+func (s *Service) Deregister(workerID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := s.workers[workerID]
+	if w == nil {
+		return errf(http.StatusNotFound, "service: unknown worker %q", workerID)
+	}
+	if w.assignment != nil {
+		s.expireAssignmentLocked(w.assignment)
+	}
+	s.removeWorkerLocked(w)
+	s.broadcastLocked()
+	return nil
+}
+
+// removeWorkerLocked frees the worker's slot and forgets it.
+func (s *Service) removeWorkerLocked(w *worker) {
+	s.slots[w.ref.Site][w.ref.Worker] = ""
+	delete(s.workers, w.id)
+	s.counters.ActiveWorkers.Add(-1)
+}
+
+// Pull hands the worker a leased task, parking up to wait for one to become
+// dispatchable. It blocks in ServeHTTP; done aborts the park (request
+// context).
+func (s *Service) Pull(done <-chan struct{}, workerID string, wait time.Duration) (*api.PullResponse, error) {
+	if wait < 0 {
+		wait = 0
+	}
+	if wait > maxPullWait {
+		wait = maxPullWait
+	}
+	s.counters.Pulls.Add(1)
+	deadline := time.Now().Add(wait)
+	openAtEntry := -1
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return nil, errf(http.StatusServiceUnavailable, "service: closed")
+		}
+		now := time.Now()
+		s.maybeSweepLocked(now)
+		w := s.workers[workerID]
+		if w == nil {
+			s.mu.Unlock()
+			return nil, errf(http.StatusNotFound, "service: unknown worker %q (lease expired? re-register)", workerID)
+		}
+		w.expires = now.Add(s.cfg.LeaseTTL)
+		if w.assignment != nil {
+			s.mu.Unlock()
+			return nil, errf(http.StatusConflict, "service: worker %q already holds assignment %q", workerID, w.assignment.id)
+		}
+		if a := s.assignLocked(w, now); a != nil {
+			resp := &api.PullResponse{
+				Status:     api.StatusAssigned,
+				Assignment: a,
+				OpenJobs:   int(s.counters.OpenJobs.Load()),
+			}
+			s.mu.Unlock()
+			return resp, nil
+		}
+		open := int(s.counters.OpenJobs.Load())
+		ch := s.notify
+		s.mu.Unlock()
+
+		// Surface idleness promptly when a job finishes while we wait:
+		// drain-watching clients (exit-when-idle workers, the live
+		// runtime) react at the completion broadcast instead of sitting
+		// out the rest of their poll budget.
+		if open > openAtEntry {
+			openAtEntry = open
+		}
+		if open < openAtEntry {
+			return &api.PullResponse{Status: api.StatusEmpty, OpenJobs: open}, nil
+		}
+
+		park := time.Until(deadline)
+		if park <= 0 {
+			return &api.PullResponse{Status: api.StatusEmpty, OpenJobs: open}, nil
+		}
+		// Cap each park below the lease TTL so the loop re-renews the
+		// worker's registration lease while it waits.
+		if cap := s.cfg.LeaseTTL / 3; cap > 0 && park > cap {
+			park = cap
+		}
+		timer := time.NewTimer(park)
+		select {
+		case <-done:
+			timer.Stop()
+			return nil, errf(499, "service: pull abandoned by client")
+		case <-ch:
+			timer.Stop()
+		case <-timer.C:
+		}
+	}
+}
+
+// assignLocked scans resident jobs in submission order and dispatches the
+// first task any scheduler grants this worker. Staging happens here: the
+// batch is committed into the job's site store and the scheduler notified,
+// exactly as the simulator and live runtime do around an execution start.
+func (s *Service) assignLocked(w *worker, now time.Time) *api.Assignment {
+	for _, j := range s.jobOrder {
+		if j.state != api.JobRunning {
+			continue
+		}
+		task, status := j.sched.NextFor(w.ref)
+		switch status {
+		case core.Assigned:
+			fetched, evicted, err := j.stores[w.ref.Site].CommitBatch(task.Files)
+			if err != nil {
+				// Submit validated capacity >= max task size.
+				panic(fmt.Sprintf("service: stage job %s task %d at site %d: %v", j.id, task.ID, w.ref.Site, err))
+			}
+			j.sched.NoteBatch(w.ref.Site, task.Files, fetched, evicted)
+			j.transfers += int64(len(fetched))
+			j.dispatched++
+			a := &assignment{
+				id:       s.nextID("a"),
+				job:      j,
+				task:     task,
+				workerID: w.id,
+				ref:      w.ref,
+				deadline: now.Add(s.cfg.LeaseTTL),
+				staged:   len(fetched),
+			}
+			s.assignments[a.id] = a
+			w.assignment = a
+			s.noteDeadlineLocked(a.deadline)
+			s.counters.Assignments.Add(1)
+			s.counters.ActiveLeases.Add(1)
+			return &api.Assignment{
+				ID:             a.id,
+				JobID:          j.id,
+				Task:           task,
+				Staged:         a.staged,
+				LeaseTTLMillis: s.cfg.LeaseTTL.Milliseconds(),
+			}
+		case core.Wait:
+			// Nothing for this worker now; try the next job.
+		case core.Done:
+			// The scheduler has nothing pending, but in-flight leases may
+			// still fail and requeue — only Remaining()==0 ends the job.
+			if j.sched.Remaining() == 0 {
+				s.completeJobLocked(j, now)
+			}
+		default:
+			panic(fmt.Sprintf("service: unknown scheduler status %v", status))
+		}
+	}
+	return nil
+}
+
+// Heartbeat renews an assignment's lease and reports whether the execution
+// is still wanted.
+func (s *Service) Heartbeat(assignmentID, workerID string) (*api.HeartbeatResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counters.Heartbeats.Add(1)
+	a := s.assignments[assignmentID]
+	if a == nil || a.workerID != workerID {
+		return &api.HeartbeatResponse{State: api.HeartbeatGone}, nil
+	}
+	now := time.Now()
+	a.deadline = now.Add(s.cfg.LeaseTTL)
+	if w := s.workers[workerID]; w != nil {
+		w.expires = now.Add(s.cfg.LeaseTTL)
+	}
+	if a.cancelled {
+		return &api.HeartbeatResponse{State: api.HeartbeatCancelled}, nil
+	}
+	return &api.HeartbeatResponse{State: api.HeartbeatActive}, nil
+}
+
+// Report ends an assignment. Reports on expired (requeued) assignments are
+// rejected as stale; reports on cancelled replicas are accepted but counted
+// as cancellations, not completions. The first successful completion of a
+// task wins — both properties together guarantee no duplicate completions.
+func (s *Service) Report(assignmentID, workerID, outcome string) (*api.ReportResponse, error) {
+	if outcome != api.OutcomeSuccess && outcome != api.OutcomeFailure {
+		return nil, errf(http.StatusBadRequest, "service: unknown outcome %q", outcome)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := s.assignments[assignmentID]
+	if a == nil || a.workerID != workerID {
+		s.counters.StaleReports.Add(1)
+		return &api.ReportResponse{Accepted: false, Stale: true}, nil
+	}
+	now := time.Now()
+	s.detachAssignmentLocked(a)
+	if w := s.workers[workerID]; w != nil {
+		w.expires = now.Add(s.cfg.LeaseTTL)
+	}
+	j := a.job
+	resp := &api.ReportResponse{Accepted: true}
+	switch {
+	case a.cancelled:
+		j.cancelled++
+		s.counters.Cancellations.Add(1)
+		resp.Cancelled = true
+	case outcome == api.OutcomeFailure:
+		j.failed++
+		s.counters.Failures.Add(1)
+		if j.sched != nil { // nil once completed; nothing left to requeue
+			j.sched.OnExecutionFailed(a.task.ID, a.ref)
+		}
+	default:
+		victims := j.sched.OnTaskComplete(a.task.ID, a.ref)
+		j.completed++
+		s.counters.Completions.Add(1)
+		for _, v := range victims {
+			s.cancelExecutionLocked(j, a.task.ID, v)
+		}
+		if j.sched.Remaining() == 0 {
+			s.completeJobLocked(j, now)
+		}
+	}
+	resp.JobState = j.state
+	s.broadcastLocked()
+	return resp, nil
+}
+
+// cancelExecutionLocked marks the assignment running task id at ref (if
+// any) as cancelled; the worker learns at its next heartbeat.
+func (s *Service) cancelExecutionLocked(j *job, id workload.TaskID, ref core.WorkerRef) {
+	wid := s.slots[ref.Site][ref.Worker]
+	if wid == "" {
+		return
+	}
+	w := s.workers[wid]
+	if w == nil || w.assignment == nil {
+		return
+	}
+	if a := w.assignment; a.job == j && a.task.ID == id {
+		a.cancelled = true
+	}
+}
+
+// detachAssignmentLocked removes the assignment from the lease table and
+// its worker without touching the scheduler.
+func (s *Service) detachAssignmentLocked(a *assignment) {
+	delete(s.assignments, a.id)
+	if w := s.workers[a.workerID]; w != nil && w.assignment == a {
+		w.assignment = nil
+	}
+	s.counters.ActiveLeases.Add(-1)
+}
+
+// expireAssignmentLocked ends a lease without a report: the task is
+// requeued through the scheduler's failure path (unless the execution was
+// already cancelled, in which case there is nothing to requeue).
+func (s *Service) expireAssignmentLocked(a *assignment) {
+	s.detachAssignmentLocked(a)
+	j := a.job
+	if a.cancelled {
+		j.cancelled++
+		s.counters.Cancellations.Add(1)
+		return
+	}
+	j.expired++
+	s.counters.LeasesExpired.Add(1)
+	if j.sched != nil { // nil once completed; nothing left to requeue
+		j.sched.OnExecutionFailed(a.task.ID, a.ref)
+	}
+}
+
+// maybeSweepLocked sweeps only when the earliest known deadline is due —
+// the request-path entry point, so parked pulls woken by a broadcast do
+// not all pay the full sweep.
+func (s *Service) maybeSweepLocked(now time.Time) {
+	if !s.nextSweep.IsZero() && now.Before(s.nextSweep) {
+		return
+	}
+	s.sweepLocked(now)
+}
+
+// noteDeadlineLocked lowers nextSweep to cover a newly created deadline.
+func (s *Service) noteDeadlineLocked(t time.Time) {
+	if s.nextSweep.IsZero() || t.Before(s.nextSweep) {
+		s.nextSweep = t
+	}
+}
+
+// sweepLocked expires overdue assignment leases and worker registrations,
+// then recomputes the next deadline.
+func (s *Service) sweepLocked(now time.Time) {
+	changed := false
+	for _, a := range s.assignments {
+		if now.After(a.deadline) {
+			s.expireAssignmentLocked(a)
+			changed = true
+		}
+	}
+	for _, w := range s.workers {
+		if now.After(w.expires) {
+			if w.assignment != nil {
+				s.expireAssignmentLocked(w.assignment)
+			}
+			s.removeWorkerLocked(w)
+			s.counters.WorkersExpired.Add(1)
+			changed = true
+		}
+	}
+	next := time.Time{}
+	for _, a := range s.assignments {
+		if next.IsZero() || a.deadline.Before(next) {
+			next = a.deadline
+		}
+	}
+	for _, w := range s.workers {
+		if next.IsZero() || w.expires.Before(next) {
+			next = w.expires
+		}
+	}
+	s.nextSweep = next
+	if changed {
+		s.broadcastLocked()
+	}
+}
+
+// completeJobLocked transitions a job to completed (idempotent) and
+// releases its heavy state. No scheduler or store call can follow
+// completion: completion means Remaining()==0, so any assignment still
+// live for this job is cancelled-marked, and the cancelled paths in
+// Report/expiry never touch the scheduler.
+func (s *Service) completeJobLocked(j *job, now time.Time) {
+	if j.state == api.JobCompleted {
+		return
+	}
+	j.state = api.JobCompleted
+	j.finished = now
+	j.w, j.sched, j.stores = nil, nil, nil
+	s.counters.JobsCompleted.Add(1)
+	s.counters.OpenJobs.Add(-1)
+	s.broadcastLocked()
+}
+
+// DeleteJob drops a completed job's record (retention control for
+// long-running daemons). Running jobs cannot be deleted.
+func (s *Service) DeleteJob(jobID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[jobID]
+	if j == nil {
+		return errf(http.StatusNotFound, "service: unknown job %q", jobID)
+	}
+	if j.state != api.JobCompleted {
+		return errf(http.StatusConflict, "service: job %q is %s; only completed jobs can be deleted", jobID, j.state)
+	}
+	delete(s.jobs, jobID)
+	for i, o := range s.jobOrder {
+		if o == j {
+			s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// JobStatus returns one job's observable state.
+func (s *Service) JobStatus(jobID string) (*api.JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[jobID]
+	if j == nil {
+		return nil, errf(http.StatusNotFound, "service: unknown job %q", jobID)
+	}
+	st := s.jobStatusLocked(j)
+	return &st, nil
+}
+
+// Jobs lists every resident job in submission order.
+func (s *Service) Jobs() []api.JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]api.JobStatus, 0, len(s.jobOrder))
+	for _, j := range s.jobOrder {
+		out = append(out, s.jobStatusLocked(j))
+	}
+	return out
+}
+
+func (s *Service) jobStatusLocked(j *job) api.JobStatus {
+	remaining := 0
+	if j.sched != nil {
+		remaining = j.sched.Remaining()
+	}
+	st := api.JobStatus{
+		ID:              j.id,
+		Name:            j.name,
+		Algorithm:       j.algorithm,
+		State:           j.state,
+		Tasks:           j.tasks,
+		Remaining:       remaining,
+		Dispatched:      j.dispatched,
+		Completed:       j.completed,
+		Failed:          j.failed,
+		Cancelled:       j.cancelled,
+		Expired:         j.expired,
+		Transfers:       j.transfers,
+		SubmittedAtUnix: j.submitted.Unix(),
+	}
+	if !j.finished.IsZero() {
+		st.FinishedAtUnix = j.finished.Unix()
+	}
+	return st
+}
+
+// Health summarizes liveness for /healthz.
+func (s *Service) Health() api.Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return api.Health{Status: "ok", Jobs: len(s.jobs), Workers: len(s.workers)}
+}
