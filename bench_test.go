@@ -2,165 +2,86 @@
 // scale (600 tasks, one topology seed) so `go test -bench=.` finishes in
 // minutes. Paper-scale numbers come from `cmd/experiments` (6,000 tasks,
 // 5 seeds) and are recorded in EXPERIMENTS.md.
-package gridsched
+//
+// The benchmark bodies live in internal/benchsuite, shared with
+// cmd/gridbench so the recorded perf trajectory (BENCH_PR2.json, …)
+// measures exactly what CI smoke-runs here.
+package gridsched_test
 
 import (
 	"testing"
 
-	"gridsched/internal/core"
-	"gridsched/internal/experiment"
+	"gridsched/internal/benchsuite"
 )
-
-// benchOpts is the reduced scale shared by all experiment benchmarks.
-func benchOpts() ExperimentOptions {
-	return ExperimentOptions{Tasks: 600, Seeds: []int64{1}, Parallelism: 4}
-}
-
-// benchExperiment runs one registry artifact b.N times.
-func benchExperiment(b *testing.B, id string) {
-	b.Helper()
-	for i := 0; i < b.N; i++ {
-		reports, err := RunExperiment(id, benchOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if len(reports) == 0 || len(reports[0].Rows) == 0 {
-			b.Fatalf("%s: empty report", id)
-		}
-	}
-}
 
 // BenchmarkTable2 regenerates the workload characteristics (paper Table 2)
 // at full 6,000-task scale (workload generation only; no simulation).
-func BenchmarkTable2(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		reports, err := RunExperiment("table2", ExperimentOptions{Tasks: 6000, Seeds: []int64{1}})
-		if err != nil {
-			b.Fatal(err)
-		}
-		_ = reports
-	}
-}
+func BenchmarkTable2(b *testing.B) { benchsuite.ExperimentFullScale("table2")(b) }
 
 // BenchmarkFigure1 regenerates the full-Coadd reference CDF (paper Fig. 1).
-func BenchmarkFigure1(b *testing.B) { benchExperiment(b, "figure1") }
+func BenchmarkFigure1(b *testing.B) { benchsuite.Experiment("figure1")(b) }
 
 // BenchmarkFigure3 regenerates the Coadd-6000 reference CDF (paper Fig. 3)
 // at full scale (workload generation only).
-func BenchmarkFigure3(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, err := RunExperiment("figure3", ExperimentOptions{Tasks: 6000, Seeds: []int64{1}}); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkFigure3(b *testing.B) { benchsuite.ExperimentFullScale("figure3")(b) }
 
 // BenchmarkFigure4 regenerates the makespan-vs-capacity sweep (paper
 // Fig. 4; the sweep also yields Fig. 5).
-func BenchmarkFigure4(b *testing.B) { benchExperiment(b, "figure4") }
+func BenchmarkFigure4(b *testing.B) { benchsuite.Experiment("figure4")(b) }
 
 // BenchmarkFigure5 regenerates the transfers-vs-capacity sweep (paper
 // Fig. 5).
-func BenchmarkFigure5(b *testing.B) { benchExperiment(b, "figure5") }
+func BenchmarkFigure5(b *testing.B) { benchsuite.Experiment("figure5")(b) }
 
 // BenchmarkFigure6 regenerates the makespan-vs-workers sweep (paper
 // Fig. 6; the sweep also yields Table 3).
-func BenchmarkFigure6(b *testing.B) { benchExperiment(b, "figure6") }
+func BenchmarkFigure6(b *testing.B) { benchsuite.Experiment("figure6")(b) }
 
 // BenchmarkTable3 regenerates the per-site data-server breakdown (paper
 // Table 3).
-func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkTable3(b *testing.B) { benchsuite.Experiment("table3")(b) }
 
 // BenchmarkFigure7 regenerates the makespan-vs-sites sweep (paper Fig. 7).
-func BenchmarkFigure7(b *testing.B) { benchExperiment(b, "figure7") }
+func BenchmarkFigure7(b *testing.B) { benchsuite.Experiment("figure7")(b) }
 
 // BenchmarkFigure8 regenerates the makespan-vs-file-size sweep (paper
 // Fig. 8).
-func BenchmarkFigure8(b *testing.B) { benchExperiment(b, "figure8") }
+func BenchmarkFigure8(b *testing.B) { benchsuite.Experiment("figure8")(b) }
 
 // BenchmarkAblationCombined compares the Combined formula as intended vs.
 // as typeset (DESIGN.md, "Combined formula").
-func BenchmarkAblationCombined(b *testing.B) { benchExperiment(b, "ablation-combined") }
+func BenchmarkAblationCombined(b *testing.B) { benchsuite.Experiment("ablation-combined")(b) }
 
 // BenchmarkAblationChooseTask sweeps the ChooseTask(n) window (§4.3).
-func BenchmarkAblationChooseTask(b *testing.B) { benchExperiment(b, "ablation-choosetask") }
+func BenchmarkAblationChooseTask(b *testing.B) { benchsuite.Experiment("ablation-choosetask")(b) }
 
 // BenchmarkAblationEviction compares LRU vs FIFO replacement at the
 // tightest paper capacity.
-func BenchmarkAblationEviction(b *testing.B) { benchExperiment(b, "ablation-eviction") }
+func BenchmarkAblationEviction(b *testing.B) { benchsuite.Experiment("ablation-eviction")(b) }
 
 // BenchmarkAblationChurn sweeps worker availability with failure injection
 // (the overloaded suppliers motivating worker-centric scheduling, §1).
-func BenchmarkAblationChurn(b *testing.B) { benchExperiment(b, "ablation-churn") }
+func BenchmarkAblationChurn(b *testing.B) { benchsuite.Experiment("ablation-churn")(b) }
 
 // BenchmarkAblationReplication toggles Ranganathan-Foster proactive data
 // replication under tight capacity (§3.1).
-func BenchmarkAblationReplication(b *testing.B) { benchExperiment(b, "ablation-replication") }
+func BenchmarkAblationReplication(b *testing.B) { benchsuite.Experiment("ablation-replication")(b) }
 
 // --- micro-benchmarks of the core scheduling path ---
 
 // BenchmarkSchedulerRequest measures one worker-centric scheduling request
-// (CalculateWeight over every pending task + ChooseTask) on the full
-// 6,000-task queue.
+// (CalculateWeight + ChooseTask, served from the incremental weight-class
+// indexes — see PERFORMANCE.md) on the full 6,000-task queue.
 func BenchmarkSchedulerRequest(b *testing.B) {
 	for _, name := range []string{"overlap", "rest", "combined"} {
-		name := name
-		b.Run(name, func(b *testing.B) {
-			w, err := NewCoaddWorkload(DefaultCoaddSeed, 6000)
-			if err != nil {
-				b.Fatal(err)
-			}
-			cfg := SimulationConfig{Workload: w}
-			b.ResetTimer()
-			i := 0
-			for i < b.N {
-				b.StopTimer()
-				sched, err := NewScheduler(name, w, cfg, 1)
-				if err != nil {
-					b.Fatal(err)
-				}
-				sched.AttachSite(0)
-				b.StartTimer()
-				// Drain up to 1000 requests per scheduler instance.
-				for j := 0; j < 1000 && i < b.N; j++ {
-					task, st := sched.NextFor(core.WorkerRef{Site: 0})
-					if st != core.Assigned {
-						break
-					}
-					i++
-					sched.NoteBatch(0, task.Files, task.Files, nil)
-				}
-			}
-		})
+		b.Run(name, benchsuite.SchedulerRequest(name))
 	}
 }
 
 // BenchmarkWorkloadGeneration measures synthetic Coadd trace generation at
 // evaluation scale.
-func BenchmarkWorkloadGeneration(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, err := NewCoaddWorkload(DefaultCoaddSeed, 6000); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkWorkloadGeneration(b *testing.B) { benchsuite.WorkloadGeneration(b) }
 
 // BenchmarkEndToEndSimulation measures a complete 600-task, 4-site run
 // under combined.2 (scheduling + storage + network + kernel).
-func BenchmarkEndToEndSimulation(b *testing.B) {
-	w, err := NewCoaddWorkload(DefaultCoaddSeed, 600)
-	if err != nil {
-		b.Fatal(err)
-	}
-	cfg := SimulationConfig{Workload: w, Sites: 4, CapacityFiles: 3000}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := RunSimulation(cfg, "combined.2"); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// The experiment sweep benchmark below exercises the full harness path the
-// way cmd/experiments does, at reduced scale.
-var _ = experiment.PaperCapacities
+func BenchmarkEndToEndSimulation(b *testing.B) { benchsuite.EndToEndSimulation(b) }

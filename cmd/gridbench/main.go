@@ -1,0 +1,119 @@
+// Command gridbench runs the repository's performance benchmark suite
+// outside `go test` and records the results as JSON, seeding the perf
+// trajectory the ROADMAP asks for (BENCH_PR2.json and successors).
+//
+// Usage:
+//
+//	gridbench                  # run everything, write BENCH_PR2.json
+//	gridbench -bench Figure    # filter by regexp
+//	gridbench -out bench.json  # choose the output file
+//
+// Each entry records the benchmark name, iterations, ns/op, bytes/op and
+// allocs/op, plus enough environment metadata to compare runs. The
+// benchmark bodies are shared with the `go test -bench` entry points
+// (internal/benchsuite), which CI smoke-runs with -benchtime=1x, so the
+// recorded trajectory cannot drift from what the tests measure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"testing"
+
+	"gridsched/internal/benchsuite"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+}
+
+type report struct {
+	GoVersion string   `json:"goVersion"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"numCPU"`
+	Results   []result `json:"results"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gridbench:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the selected benchmarks and writes the JSON report.
+func run(args []string, stdout *os.File) error {
+	fs := flag.NewFlagSet("gridbench", flag.ContinueOnError)
+	var (
+		out    = fs.String("out", "BENCH_PR2.json", "output JSON file")
+		filter = fs.String("bench", "", "regexp selecting benchmarks to run (default: all)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	benchmarks := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"Figure4", benchsuite.Experiment("figure4")},
+		{"Figure6", benchsuite.Experiment("figure6")},
+		{"SchedulerRequest/overlap", benchsuite.SchedulerRequest("overlap")},
+		{"SchedulerRequest/rest", benchsuite.SchedulerRequest("rest")},
+		{"SchedulerRequest/combined", benchsuite.SchedulerRequest("combined")},
+		{"EndToEndSimulation", benchsuite.EndToEndSimulation},
+		{"WorkloadGeneration", benchsuite.WorkloadGeneration},
+		{"ServiceDispatchInProcess", benchsuite.ServiceDispatchInProcess},
+	}
+
+	var re *regexp.Regexp
+	if *filter != "" {
+		var err error
+		if re, err = regexp.Compile(*filter); err != nil {
+			return fmt.Errorf("bad -bench regexp: %w", err)
+		}
+	}
+
+	rep := report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	for _, bm := range benchmarks {
+		if re != nil && !re.MatchString(bm.name) {
+			continue
+		}
+		r := testing.Benchmark(bm.fn)
+		res := result{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		rep.Results = append(rep.Results, res)
+		fmt.Fprintf(stdout, "%-28s %10d iter %14.0f ns/op %10d B/op %8d allocs/op\n",
+			res.Name, res.Iterations, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "wrote", *out)
+	return nil
+}

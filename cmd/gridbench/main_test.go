@@ -1,0 +1,38 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunWritesReport exercises the full driver with a filter that matches
+// no benchmark, which keeps the test fast while covering flag parsing, the
+// report structure, and file output.
+func TestRunWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-bench", "^nothing-matches$", "-out", out}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if rep.GoVersion == "" || rep.NumCPU < 1 {
+		t.Fatalf("missing environment metadata: %+v", rep)
+	}
+	if len(rep.Results) != 0 {
+		t.Fatalf("filter matched %d benchmarks, want 0", len(rep.Results))
+	}
+}
+
+func TestRunRejectsBadRegexp(t *testing.T) {
+	if err := run([]string{"-bench", "("}, os.Stdout); err == nil {
+		t.Fatal("accepted malformed regexp")
+	}
+}

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	gridschedd -addr :8080 -sites 10 -workers 4 -capacity 6000 -lease 15s
+//	gridschedd -pprof   # also serve net/http/pprof under /debug/pprof/
 //
 // Then, from anywhere:
 //
@@ -24,6 +25,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"time"
@@ -54,6 +56,7 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 		policy   = fs.String("policy", "lru", "store replacement policy: lru or fifo")
 		lease    = fs.Duration("lease", 15*time.Second, "worker/assignment lease TTL")
 		sweep    = fs.Duration("sweep", 0, "lease sweep interval (0: lease/4)")
+		pprof    = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,7 +90,20 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: svc.Handler()}
+	handler := svc.Handler()
+	if *pprof {
+		// Mount the profiling handlers next to the service without going
+		// through http.DefaultServeMux, so -pprof stays strictly opt-in.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		handler = mux
+	}
+	srv := &http.Server{Handler: handler}
 	log.Printf("gridschedd: listening on %s (%d sites x %d workers, capacity %d files, lease %s)",
 		ln.Addr(), *sites, *workers, *capacity, *lease)
 	if onReady != nil {

@@ -1,0 +1,180 @@
+// Package benchsuite holds the single implementation of the repository's
+// performance benchmarks. Two consumers run the same bodies: the
+// `go test -bench` entry points (bench_test.go at the root,
+// internal/service's dispatch benchmarks) that CI smoke-runs, and
+// cmd/gridbench, which records the JSON perf trajectory
+// (BENCH_PR2.json, …). Keeping one copy means the committed trajectory
+// always measures exactly what CI exercises.
+//
+// Setup errors panic rather than calling testing.B failure methods: the
+// same closures must run under testing.Benchmark in a non-test binary
+// (gridbench), where a B has no usable logger and b.Fatal crashes
+// uninformatively.
+package benchsuite
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"gridsched"
+	"gridsched/internal/core"
+	"gridsched/internal/service"
+	"gridsched/internal/service/api"
+	"gridsched/internal/service/client"
+	"gridsched/internal/workload"
+)
+
+func must(err error, what string) {
+	if err != nil {
+		panic(fmt.Sprintf("benchsuite: %s: %v", what, err))
+	}
+}
+
+// ExperimentOptions is the reduced scale shared by all experiment
+// benchmarks (600 tasks, one seed) so a full `go test -bench=.` finishes
+// in minutes; paper-scale numbers come from cmd/experiments.
+func ExperimentOptions() gridsched.ExperimentOptions {
+	return gridsched.ExperimentOptions{Tasks: 600, Seeds: []int64{1}, Parallelism: 4}
+}
+
+// Experiment returns a benchmark running one registry artifact per
+// iteration at the reduced scale.
+func Experiment(id string) func(b *testing.B) {
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reports, err := gridsched.RunExperiment(id, ExperimentOptions())
+			must(err, id)
+			if len(reports) == 0 || len(reports[0].Rows) == 0 {
+				panic(fmt.Sprintf("benchsuite: %s: empty report", id))
+			}
+		}
+	}
+}
+
+// ExperimentFullScale returns a benchmark running an artifact at full
+// 6,000-task scale (workload generation only; no simulation).
+func ExperimentFullScale(id string) func(b *testing.B) {
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, err := gridsched.RunExperiment(id, gridsched.ExperimentOptions{Tasks: 6000, Seeds: []int64{1}})
+			must(err, id)
+		}
+	}
+}
+
+// SchedulerRequest returns a benchmark measuring one worker-centric
+// scheduling request (CalculateWeight + ChooseTask, served from the
+// incremental weight-class indexes — see PERFORMANCE.md) on the full
+// 6,000-task queue, amortizing the NoteBatch updates of the steady-state
+// dispatch cycle.
+func SchedulerRequest(algorithm string) func(b *testing.B) {
+	return func(b *testing.B) {
+		w, err := gridsched.NewCoaddWorkload(gridsched.DefaultCoaddSeed, 6000)
+		must(err, "workload")
+		cfg := gridsched.SimulationConfig{Workload: w}
+		b.ResetTimer()
+		i := 0
+		for i < b.N {
+			b.StopTimer()
+			sched, err := gridsched.NewScheduler(algorithm, w, cfg, 1)
+			must(err, algorithm)
+			sched.AttachSite(0)
+			b.StartTimer()
+			// Drain up to 1000 requests per scheduler instance.
+			for j := 0; j < 1000 && i < b.N; j++ {
+				task, st := sched.NextFor(core.WorkerRef{Site: 0})
+				if st != core.Assigned {
+					break
+				}
+				i++
+				sched.NoteBatch(0, task.Files, task.Files, nil)
+			}
+		}
+	}
+}
+
+// EndToEndSimulation measures a complete 600-task, 4-site run under
+// combined.2 (scheduling + storage + network + kernel).
+func EndToEndSimulation(b *testing.B) {
+	w, err := gridsched.NewCoaddWorkload(gridsched.DefaultCoaddSeed, 600)
+	must(err, "workload")
+	cfg := gridsched.SimulationConfig{Workload: w, Sites: 4, CapacityFiles: 3000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := gridsched.RunSimulation(cfg, "combined.2")
+		must(err, "simulation")
+	}
+}
+
+// WorkloadGeneration measures synthetic Coadd trace generation at
+// evaluation scale.
+func WorkloadGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := gridsched.NewCoaddWorkload(gridsched.DefaultCoaddSeed, 6000)
+		must(err, "workload")
+	}
+}
+
+// NewDispatchService builds the service the dispatch benchmarks run
+// against. Close it when done.
+func NewDispatchService() *service.Service {
+	svc, err := service.New(service.Config{
+		Topology: service.Topology{Sites: 4, WorkersPerSite: 4, CapacityFiles: 1024},
+	})
+	must(err, "service")
+	return svc
+}
+
+// dispatchWorkload: one file per task so staging cost is constant and the
+// benchmark isolates the service dispatch path, not the cache.
+func dispatchWorkload(tasks int) *workload.Workload {
+	w := &workload.Workload{Name: "bench", NumFiles: 512}
+	for i := 0; i < tasks; i++ {
+		w.Tasks = append(w.Tasks, workload.Task{
+			ID:    workload.TaskID(i),
+			Files: []workload.FileID{workload.FileID(i % 512)},
+		})
+	}
+	return w
+}
+
+// DispatchRoundTrip measures the pull→assign→report round-trip through
+// the full HTTP/JSON protocol against the given client.
+func DispatchRoundTrip(b *testing.B, svc *service.Service, cl *client.Client) {
+	ctx := context.Background()
+	reg, err := cl.Register(ctx, nil)
+	must(err, "register")
+	submit := func() {
+		w := dispatchWorkload(100_000)
+		_, err := svc.Submit("bench", "workqueue", w, core.NewWorkqueue(w))
+		must(err, "submit")
+	}
+	submit()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := cl.Pull(ctx, reg.WorkerID, 0)
+		must(err, "pull")
+		if resp.Status != api.StatusAssigned {
+			// Job drained mid-benchmark; refill outside the hot path's
+			// accounting concerns (rare: every 100k iterations).
+			submit()
+			continue
+		}
+		_, err = cl.Report(ctx, resp.Assignment.ID, reg.WorkerID, api.OutcomeSuccess)
+		must(err, "report")
+	}
+}
+
+// ServiceDispatchInProcess is DispatchRoundTrip over the in-process
+// transport: protocol + JSON codec + scheduler, no sockets.
+func ServiceDispatchInProcess(b *testing.B) {
+	svc := NewDispatchService()
+	defer svc.Close()
+	DispatchRoundTrip(b, svc, client.InProcess(svc.Handler()))
+}
+
+// Handler exposes the service handler type for TCP variants without
+// making consumers import net/http/httptest here.
+func Handler(svc *service.Service) http.Handler { return svc.Handler() }

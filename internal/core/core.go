@@ -17,10 +17,22 @@
 // Schedulers are engine-agnostic: the simulation engine (internal/grid) and
 // the live runtime (internal/live) drive them through the Scheduler
 // interface, feeding storage-content changes via NoteBatch.
+//
+// # Dispatch cost
+//
+// WorkerCentric answers each NextFor in time sublinear in the pending-task
+// count: pending tasks are bucketed per site into weight classes that are
+// maintained incrementally as NoteBatch reports storage changes, so a
+// request inspects only the top of a few class heaps instead of rescanning
+// the queue (see the invariants documented on siteIndex in
+// workercentric.go). PERFORMANCE.md records the measured effect.
 package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"weak"
 
 	"gridsched/internal/workload"
 )
@@ -86,6 +98,9 @@ type WorkerRef struct {
 // call NoteBatch after each data-server batch commit, and call
 // OnTaskComplete when an execution finishes; the returned refs are
 // outstanding replicas of the same task that should be interrupted.
+// NoteBatch's slice arguments are only valid for the duration of the call
+// — engines reuse the backing buffers across batches, so an
+// implementation that needs the file lists later must copy them.
 //
 // Concurrency contract: implementations are not safe for concurrent use.
 // The simulator is single-threaded; the gridschedd service
@@ -107,14 +122,41 @@ type Scheduler interface {
 	Remaining() int
 }
 
-// fileIndex maps every file to the tasks referencing it. It is immutable
-// after construction and shared by all site mirrors.
+// fileIndex maps every file to the tasks referencing it, plus per-task file
+// counts. It is immutable after construction, shared by all site mirrors,
+// and cached per workload (the experiment harness constructs many
+// schedulers over one workload; rebuilding the index dominated scheduler
+// construction).
 type fileIndex struct {
-	byFile [][]workload.TaskID
+	byFile   [][]workload.TaskID // CSR views into one backing slice
+	filesLen []int32             // per task: |files(t)|
+	maxFiles int                 // max over tasks of |files(t)|
 }
 
 func newFileIndex(w *workload.Workload) *fileIndex {
-	idx := &fileIndex{byFile: make([][]workload.TaskID, w.NumFiles)}
+	idx := &fileIndex{
+		byFile:   make([][]workload.TaskID, w.NumFiles),
+		filesLen: make([]int32, len(w.Tasks)),
+	}
+	counts := make([]int32, w.NumFiles)
+	total := 0
+	for _, t := range w.Tasks {
+		idx.filesLen[t.ID] = int32(len(t.Files))
+		if len(t.Files) > idx.maxFiles {
+			idx.maxFiles = len(t.Files)
+		}
+		total += len(t.Files)
+		for _, f := range t.Files {
+			counts[f]++
+		}
+	}
+	// One backing allocation (CSR layout): byFile[f] aliases flat.
+	flat := make([]workload.TaskID, total)
+	off := 0
+	for f := range idx.byFile {
+		idx.byFile[f] = flat[off : off : off+int(counts[f])]
+		off += int(counts[f])
+	}
 	for _, t := range w.Tasks {
 		for _, f := range t.Files {
 			idx.byFile[f] = append(idx.byFile[f], t.ID)
@@ -123,52 +165,186 @@ func newFileIndex(w *workload.Workload) *fileIndex {
 	return idx
 }
 
+// fileIndexCache memoizes newFileIndex per workload (by pointer identity;
+// workloads are documented immutable). A sweep constructs one scheduler per
+// (algorithm, config, seed) cell over the same workload, so the cache turns
+// dozens of index builds into one. Bounded, most-recently-used first. The
+// workload key is held weakly and a GC cleanup prunes the entry (index
+// included) once the workload is collected: a long-lived gridschedd
+// submits a distinct workload per job, and strong retention would pin
+// completed jobs' task lists and indexes in memory indefinitely.
+var fileIndexCache struct {
+	sync.Mutex
+	entries []fileIndexCacheEntry
+}
+
+type fileIndexCacheEntry struct {
+	w   weak.Pointer[workload.Workload]
+	idx *fileIndex
+}
+
+const fileIndexCacheCap = 4
+
+func indexFor(w *workload.Workload) *fileIndex {
+	fileIndexCache.Lock()
+	defer fileIndexCache.Unlock()
+	entries := fileIndexCache.entries[:0]
+	var hit *fileIndex
+	for _, e := range fileIndexCache.entries {
+		switch e.w.Value() {
+		case nil: // workload collected; drop the entry and its index
+		case w:
+			hit = e.idx
+		default:
+			entries = append(entries, e)
+		}
+	}
+	key := weak.Make(w)
+	if hit == nil {
+		hit = newFileIndex(w)
+		// One cleanup per cache entry generation: a cache hit refreshes an
+		// entry whose creation already registered one.
+		runtime.AddCleanup(w, dropDeadIndexEntry, key)
+	}
+	// Insert (or re-insert) at the front, bounded.
+	if len(entries) >= fileIndexCacheCap {
+		entries = entries[:fileIndexCacheCap-1]
+	}
+	entries = append(entries, fileIndexCacheEntry{})
+	copy(entries[1:], entries)
+	entries[0] = fileIndexCacheEntry{w: key, idx: hit}
+	fileIndexCache.entries = entries
+	return hit
+}
+
+// dropDeadIndexEntry runs after a cached workload is collected and evicts
+// its (now unreachable) entry so the index does not linger until the next
+// indexFor call.
+func dropDeadIndexEntry(key weak.Pointer[workload.Workload]) {
+	fileIndexCache.Lock()
+	defer fileIndexCache.Unlock()
+	entries := fileIndexCache.entries
+	for i, e := range entries {
+		if e.w == key {
+			fileIndexCache.entries = append(entries[:i], entries[i+1:]...)
+			return
+		}
+	}
+}
+
 // siteMirror is the scheduler's view of one site's storage: which files are
 // resident, how often each file has been referenced there, and — maintained
 // incrementally — each task's overlap cardinality and overlap-reference sum
-// against that storage. Incremental maintenance turns each scheduling
-// request from O(tasks × files/task) into O(tasks).
+// against that storage. All state is dense (indexed by file or task id);
+// the maps of earlier revisions dominated NoteBatch cost.
+//
+// Invariants after every noteBatch, for every task t (pending or not):
+//
+//	overlap[t] = |files(t) ∩ resident|
+//	refSum[t]  = Σ_{f ∈ files(t) ∩ resident} refs[f]   (while trackRefs)
+//
+// trackRefs gates the refSum invariant: only the combined metrics ever
+// read refSum, and maintaining it costs a full per-task fan-out on every
+// batch file, so owners whose weight function ignores it (StorageAffinity,
+// WorkerCentric under overlap/rest) switch it off.
 type siteMirror struct {
-	idx      *fileIndex
-	resident map[workload.FileID]struct{}
-	refs     map[workload.FileID]int
-	overlap  []int32 // per task: |Ft|
-	refSum   []int64 // per task: sum of refs over overlapping files
+	idx       *fileIndex
+	trackRefs bool
+	resident  []bool  // per file
+	refs      []int32 // per file: past references at this site
+	overlap   []int32 // per task: |Ft|
+	refSum    []int64 // per task: sum of refs over overlapping files
 }
 
 func newSiteMirror(idx *fileIndex, tasks int) *siteMirror {
 	return &siteMirror{
-		idx:      idx,
-		resident: make(map[workload.FileID]struct{}),
-		refs:     make(map[workload.FileID]int),
-		overlap:  make([]int32, tasks),
-		refSum:   make([]int64, tasks),
+		idx:       idx,
+		trackRefs: true,
+		resident:  make([]bool, len(idx.byFile)),
+		refs:      make([]int32, len(idx.byFile)),
+		overlap:   make([]int32, tasks),
+		refSum:    make([]int64, tasks),
 	}
 }
 
 // noteBatch applies one committed batch: evictions leave, fetched files
 // arrive, and every batch file gains one reference.
-func (m *siteMirror) noteBatch(batch, fetched, evicted []workload.FileID) {
+//
+// When ix is non-nil (the mirror backs a WorkerCentric site index), every
+// per-task delta is routed through the index so its weight-class structures
+// stay in lock-step with overlap/refSum; with a nil ix the arrays are
+// updated directly (StorageAffinity and the test-only naive reference).
+//
+// Redundant events — a fetch of an already-resident file, an eviction of an
+// absent one — are ignored, which keeps the invariant 0 <= overlap[t] <=
+// |files(t)| even for callers that do not track residency themselves. (The
+// engines never send them: fetched/evicted come from storage.Store, which
+// reports only actual insertions and evictions.)
+func (m *siteMirror) noteBatch(batch, fetched, evicted []workload.FileID, ix *siteIndex) {
 	for _, f := range evicted {
-		delete(m.resident, f)
+		if !m.resident[f] {
+			continue
+		}
+		m.resident[f] = false
 		r := int64(m.refs[f])
-		for _, t := range m.idx.byFile[f] {
-			m.overlap[t]--
-			m.refSum[t] -= r
+		tasks := m.idx.byFile[f]
+		switch {
+		case ix != nil:
+			for _, t := range tasks {
+				ix.overlapDelta(t, -1, -r)
+			}
+		case m.trackRefs:
+			for _, t := range tasks {
+				m.overlap[t]--
+				m.refSum[t] -= r
+			}
+		default:
+			for _, t := range tasks {
+				m.overlap[t]--
+			}
 		}
 	}
 	for _, f := range fetched {
-		m.resident[f] = struct{}{}
-		r := int64(m.refs[f])
-		for _, t := range m.idx.byFile[f] {
-			m.overlap[t]++
-			m.refSum[t] += r
+		if m.resident[f] {
+			continue
 		}
+		m.resident[f] = true
+		r := int64(m.refs[f])
+		tasks := m.idx.byFile[f]
+		switch {
+		case ix != nil:
+			for _, t := range tasks {
+				ix.overlapDelta(t, 1, r)
+			}
+		case m.trackRefs:
+			for _, t := range tasks {
+				m.overlap[t]++
+				m.refSum[t] += r
+			}
+		default:
+			for _, t := range tasks {
+				m.overlap[t]++
+			}
+		}
+	}
+	if !m.trackRefs {
+		for _, f := range batch {
+			m.refs[f]++
+		}
+		return
 	}
 	for _, f := range batch {
 		m.refs[f]++
-		if _, ok := m.resident[f]; ok {
-			for _, t := range m.idx.byFile[f] {
+		if !m.resident[f] {
+			continue
+		}
+		tasks := m.idx.byFile[f]
+		if ix != nil {
+			for _, t := range tasks {
+				ix.refDelta(t)
+			}
+		} else {
+			for _, t := range tasks {
 				m.refSum[t]++
 			}
 		}

@@ -82,7 +82,7 @@ func NewStorageAffinity(w *workload.Workload, cfg StorageAffinityConfig) (*Stora
 	s := &StorageAffinity{
 		cfg:       cfg,
 		w:         w,
-		idx:       newFileIndex(w),
+		idx:       indexFor(w),
 		queues:    make([][][]workload.TaskID, cfg.Sites),
 		qHead:     make([][]int, cfg.Sites),
 		mirrors:   make(map[int]*siteMirror),
@@ -109,7 +109,9 @@ func (s *StorageAffinity) AttachSite(site int) {
 		panic(fmt.Sprintf("core: AttachSite(%d) outside configured %d sites", site, s.cfg.Sites))
 	}
 	if _, ok := s.mirrors[site]; !ok {
-		s.mirrors[site] = newSiteMirror(s.idx, len(s.w.Tasks))
+		m := newSiteMirror(s.idx, len(s.w.Tasks))
+		m.trackRefs = false // affinity weighs overlap only, never refSum
+		s.mirrors[site] = m
 	}
 }
 
@@ -119,7 +121,7 @@ func (s *StorageAffinity) NoteBatch(site int, batch, fetched, evicted []workload
 	if !ok {
 		panic(fmt.Sprintf("core: NoteBatch for unattached site %d", site))
 	}
-	m.noteBatch(batch, fetched, evicted)
+	m.noteBatch(batch, fetched, evicted, nil)
 }
 
 // Remaining implements Scheduler.
@@ -149,6 +151,7 @@ func (s *StorageAffinity) initialAssign() error {
 		}
 		images[i] = img
 		mirrors[i] = newSiteMirror(s.idx, len(s.w.Tasks))
+		mirrors[i].trackRefs = false // virtual image: overlap only
 	}
 	unassigned := len(s.w.Tasks)
 	taken := make([]bool, len(s.w.Tasks))
@@ -188,7 +191,7 @@ func (s *StorageAffinity) initialAssign() error {
 		if err != nil {
 			return fmt.Errorf("core: virtual storage: %w", err)
 		}
-		mirrors[site].noteBatch(t.Files, fetched, evicted)
+		mirrors[site].noteBatch(t.Files, fetched, evicted, nil)
 		// Round-robin across the site's workers (queues stay balanced in
 		// count; runtime imbalance is what replication later absorbs).
 		wq := nextWorker[site]

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
 
 	"gridsched/internal/workload"
@@ -34,20 +35,40 @@ func (c WorkerCentricConfig) Validate() error {
 // WorkerCentric is the paper's worker-centric scheduler: one global task
 // queue; each request from an idle worker weighs every pending task against
 // that worker's site storage and assigns one.
+//
+// Unlike the paper's formulation (and the naive reference implementation
+// kept in golden_reference_test.go), NextFor does not rescan the pending
+// queue: each site maintains incrementally-updated weight-class indexes
+// (siteIndex) from which the top-weighted candidates are read directly, so
+// a request costs O(classes · ChooseN · log pending) instead of
+// O(pending). The decisions are identical to the naive scan — including
+// the random ChooseTask(n) draws — which the golden-equivalence test
+// asserts across all metrics, ChooseN values, and seeds.
 type WorkerCentric struct {
 	cfg WorkerCentricConfig
 	w   *workload.Workload
 	idx *fileIndex
 	rng *rand.Rand
 
-	pending   []workload.TaskID // ascending task id
-	alive     []bool            // pending membership by task id
+	alive     []bool // pending membership by task id
 	completed []bool
 	remaining int
-	mirrors   map[int]*siteMirror
+	pendingN  int     // number of pending tasks
+	order     fenwick // order statistics over pending task ids
+
+	mirrors map[int]*siteMirror
+	indexes map[int]*siteIndex
+	// indexList mirrors indexes for allocation-free iteration. Iteration
+	// order does not matter: per-site index updates touch no shared
+	// floating-point state (class counts and reference totals are exact
+	// integers), so removals/insertions commute.
+	indexList []*siteIndex
 
 	// scratch reused across requests
-	cand []candidate
+	cand     []candidate
+	top      []candidate
+	frontier []int32
+	picked   []workload.TaskID
 }
 
 type candidate struct {
@@ -65,18 +86,19 @@ func NewWorkerCentric(w *workload.Workload, cfg WorkerCentricConfig) (*WorkerCen
 	s := &WorkerCentric{
 		cfg:       cfg,
 		w:         w,
-		idx:       newFileIndex(w),
+		idx:       indexFor(w),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		pending:   make([]workload.TaskID, len(w.Tasks)),
 		alive:     make([]bool, len(w.Tasks)),
 		completed: make([]bool, len(w.Tasks)),
 		remaining: len(w.Tasks),
+		pendingN:  len(w.Tasks),
 		mirrors:   make(map[int]*siteMirror),
+		indexes:   make(map[int]*siteIndex),
 	}
-	for i := range w.Tasks {
-		s.pending[i] = workload.TaskID(i)
+	for i := range s.alive {
 		s.alive[i] = true
 	}
+	s.order.initOnes(len(w.Tasks))
 	return s, nil
 }
 
@@ -92,149 +114,180 @@ func (s *WorkerCentric) Name() string {
 // AttachSite implements Scheduler.
 func (s *WorkerCentric) AttachSite(site int) {
 	if _, ok := s.mirrors[site]; !ok {
-		s.mirrors[site] = newSiteMirror(s.idx, len(s.w.Tasks))
+		m := newSiteMirror(s.idx, len(s.w.Tasks))
+		x := newSiteIndex(s, m)
+		m.trackRefs = x.rankByRef // refSum is read by the combined metrics only
+		s.mirrors[site] = m
+		s.indexes[site] = x
+		s.indexList = append(s.indexList, x)
 	}
 }
 
 // NoteBatch implements Scheduler.
 func (s *WorkerCentric) NoteBatch(site int, batch, fetched, evicted []workload.FileID) {
-	m, ok := s.mirrors[site]
+	x, ok := s.indexes[site]
 	if !ok {
 		panic(fmt.Sprintf("core: NoteBatch for unattached site %d", site))
 	}
-	m.noteBatch(batch, fetched, evicted)
+	x.m.noteBatch(batch, fetched, evicted, x)
 }
 
 // Remaining implements Scheduler.
 func (s *WorkerCentric) Remaining() int { return s.remaining }
 
 // Pending returns the number of unassigned tasks.
-func (s *WorkerCentric) Pending() int { return len(s.pending) }
+func (s *WorkerCentric) Pending() int { return s.pendingN }
 
-// NextFor implements Scheduler: CalculateWeight over every pending task for
-// the requesting worker's site, then ChooseTask(n).
+// NextFor implements Scheduler: the per-site weight-class indexes yield the
+// same task CalculateWeight + ChooseTask(n) would pick from a full scan.
 func (s *WorkerCentric) NextFor(at WorkerRef) (workload.Task, Status) {
-	if len(s.pending) == 0 {
+	if s.pendingN == 0 {
 		// Worker-centric scheduling never replicates (§3.2), so a worker
 		// with no pending tasks is finished for good.
 		return workload.Task{}, Done
 	}
-	m, ok := s.mirrors[at.Site]
+	x, ok := s.indexes[at.Site]
 	if !ok {
 		panic(fmt.Sprintf("core: NextFor for unattached site %d", at.Site))
 	}
-	id := s.chooseTask(m)
+	id := s.chooseTask(x)
 	s.removePending(id)
 	return s.w.Tasks[id], Assigned
 }
 
-// chooseTask runs CalculateWeight + ChooseTask(n) for one request.
-func (s *WorkerCentric) chooseTask(m *siteMirror) workload.TaskID {
+// chooseTask picks one task for a request served by the site behind x.
+//
+// The candidate set handed to pickSorted is a weight-ordered *subset* of
+// what the naive scan would build: for each weight class it contains the
+// class-best ChooseN tasks (ties to the lower id), which necessarily
+// include the globally best ChooseN, so ChooseTask(n) selects — and
+// randomly draws — exactly as the naive scan would.
+func (s *WorkerCentric) chooseTask(x *siteIndex) workload.TaskID {
+	n := s.cfg.ChooseN
+	m := x.m
+	s.cand = s.cand[:0]
+
+	if s.cfg.Metric == MetricOverlap {
+		// Classes are keyed by overlap; weight == class key. When the top
+		// class is 0 every weight is zero — no information — and the naive
+		// scan falls back to a uniform draw over all pending tasks, which
+		// we reproduce with an order-statistics query instead of a scan.
+		top := x.maxClass()
+		if top == 0 {
+			return s.order.kth(s.rng.Intn(s.pendingN))
+		}
+		// Descending classes: weights strictly decrease, so the first n
+		// gathered are the global top n. Zero-weight tasks from class 0
+		// pad the tail exactly like the naive scan's candidate list does:
+		// they never win the proportional draw, but their presence keeps
+		// len(top) — and therefore the number of RNG draws — identical.
+		for c := top; c >= 0 && len(s.cand) < n; c = x.nextClassBelow(c) {
+			s.picked = x.topK(c, n-len(s.cand), s.picked[:0])
+			for _, id := range s.picked {
+				s.cand = append(s.cand, candidate{id: id, weight: float64(c)})
+			}
+		}
+		return s.pickSorted()
+	}
+
 	// Tasks that fully overlap the site's storage need zero transfers;
 	// rest_t = 1/0 diverges there, which we resolve (documented in
 	// DESIGN.md) by always preferring full-overlap tasks, ranked by
-	// overlap cardinality. The Overlap metric needs no special class —
-	// |Ft| is already finite and maximal for those tasks.
-	if s.cfg.Metric != MetricOverlap {
-		s.cand = s.cand[:0]
-		for _, id := range s.pending {
-			if m.overlap[id] == int32(len(s.w.Tasks[id].Files)) {
-				s.cand = append(s.cand, candidate{id: id, weight: float64(m.overlap[id])})
+	// overlap cardinality. They live in class 0 (missing == 0), ordered by
+	// (|files| desc, id asc) — exactly the weight order of the naive
+	// scan's full-overlap pass.
+	if x.classLen(0) > 0 {
+		s.picked = x.topK(0, n, s.picked[:0])
+		for _, id := range s.picked {
+			s.cand = append(s.cand, candidate{id: id, weight: float64(m.overlap[id])})
+		}
+		return s.pickSorted()
+	}
+
+	switch s.cfg.Metric {
+	case MetricRest:
+		// weight = 1/missing: ascending missing classes have strictly
+		// decreasing weight, all positive, so the first n gathered win.
+		for c := x.nextClassAbove(0); c > 0 && len(s.cand) < n; c = x.nextClassAbove(c) {
+			s.picked = x.topK(c, n-len(s.cand), s.picked[:0])
+			for _, id := range s.picked {
+				s.cand = append(s.cand, candidate{id: id, weight: 1 / float64(c)})
 			}
 		}
-		if len(s.cand) > 0 {
-			return s.pickTopN(s.cand)
+	case MetricCombined, MetricCombinedLiteral:
+		// The combined weight trades past references against missing
+		// files, so no single class dominates; but within a missing class
+		// the weight is monotone in refSum, so the global top n is among
+		// the per-class (refSum desc, id asc) top n. Totals are O(classes)
+		// from incrementally-maintained exact integer counts — see the
+		// canonical-totals note on siteIndex.
+		totalRef := float64(x.totalRef)
+		var totalRest float64
+		for c := 1; c <= s.idx.maxFiles; c++ {
+			// Under the combined metrics every class is a heap keyed by
+			// missing, so the class population is the missing-class count.
+			if cnt := len(x.heaps[c]); cnt > 0 {
+				totalRest += float64(cnt) / float64(c)
+			}
+		}
+		for c := x.nextClassAbove(0); c > 0; c = x.nextClassAbove(c) {
+			s.picked = x.topK(c, n, s.picked[:0])
+			for _, id := range s.picked {
+				ov := float64(m.overlap[id])
+				missing := float64(s.idx.filesLen[id]) - ov
+				rest := 1 / missing
+				var weight float64
+				if s.cfg.Metric == MetricCombined {
+					weight = norm(float64(m.refSum[id]), totalRef) + norm(rest, totalRest)
+				} else {
+					// As typeset: ref_t/totalRef + totalRest/rest_t.
+					// Larger rest_t (fewer transfers) lowers the second
+					// term; kept verbatim for the ablation.
+					weight = norm(float64(m.refSum[id]), totalRef) + totalRest/rest
+				}
+				s.cand = append(s.cand, candidate{id: id, weight: weight})
+			}
 		}
 	}
-
-	// Pre-compute totals for the combined metrics.
-	var totalRef, totalRest float64
-	if s.cfg.Metric == MetricCombined || s.cfg.Metric == MetricCombinedLiteral {
-		for _, id := range s.pending {
-			totalRef += float64(m.refSum[id])
-			missing := len(s.w.Tasks[id].Files) - int(m.overlap[id])
-			totalRest += 1 / float64(missing) // missing >= 1 here
-		}
-	}
-
-	s.cand = s.cand[:0]
-	for _, id := range s.pending {
-		ov := float64(m.overlap[id])
-		missing := float64(len(s.w.Tasks[id].Files)) - ov
-		var weight float64
-		switch s.cfg.Metric {
-		case MetricOverlap:
-			weight = ov
-		case MetricRest:
-			weight = 1 / missing
-		case MetricCombined:
-			rest := 1 / missing
-			weight = norm(float64(m.refSum[id]), totalRef) + norm(rest, totalRest)
-		case MetricCombinedLiteral:
-			// As typeset: ref_t/totalRef + totalRest/rest_t. Larger rest_t
-			// (fewer transfers) lowers the second term; kept verbatim for
-			// the ablation.
-			rest := 1 / missing
-			weight = norm(float64(m.refSum[id]), totalRef) + totalRest/rest
-		}
-		s.cand = append(s.cand, candidate{id: id, weight: weight})
-	}
-	return s.pickTopN(s.cand)
+	return s.pickSorted()
 }
 
-// norm returns v/total, or 0 when the total is degenerate.
-func norm(v, total float64) float64 {
-	if total <= 0 {
-		return 0
-	}
-	return v / total
-}
-
-// pickTopN implements ChooseTask(n): keep the n largest weights (ties break
-// to the lower task id, because candidates arrive in ascending id order and
-// replacement requires strictly greater weight), then sample among them
-// with probability proportional to weight.
-//
-// When every candidate weighs zero — a cold storage and the Overlap metric,
-// typically — the weights carry no information, and always defaulting to
-// the lowest task id would herd every site onto the same end of the task
-// list, where spatially adjacent tasks make the sites fetch each other's
-// files over and over. We instead pick uniformly over all candidates, which
-// disperses sites across the workload and matches the spirit of
-// probability-proportional choice (see DESIGN.md).
-func (s *WorkerCentric) pickTopN(cand []candidate) workload.TaskID {
-	informative := false
-	for _, c := range cand {
-		if c.weight > 0 {
-			informative = true
-			break
-		}
-	}
-	if !informative {
-		return cand[s.rng.Intn(len(cand))].id
-	}
+// pickSorted runs ChooseTask(n) over the gathered candidates with an
+// explicit (weight desc, id asc) total order. The naive scan achieves the
+// same order implicitly — it visits candidates in ascending id and only
+// replaces on strictly greater weight — so selecting under the explicit
+// comparator is order-insensitive and the gathered candidates need no
+// re-sorting. The proportional draw then walks the identical top array the
+// naive pickTopN would build. Candidate weights are all >= 0 and at least
+// one is positive on every path that reaches here (the zero-information
+// Overlap case is served from the order-statistics tree instead), matching
+// the naive scan's "informative" branch.
+func (s *WorkerCentric) pickSorted() workload.TaskID {
+	cand := s.cand
 	n := s.cfg.ChooseN
 	if n > len(cand) {
 		n = len(cand)
 	}
-	// Partial selection: top n of len(cand), n is tiny (1 or 2 in the
-	// paper), so insertion into a sorted window is O(len(cand) * n).
-	top := make([]candidate, 0, n)
+	better := func(a, b candidate) bool {
+		if a.weight != b.weight {
+			return a.weight > b.weight
+		}
+		return a.id < b.id
+	}
+	top := s.top[:0]
 	for _, c := range cand {
 		if len(top) < n {
 			top = append(top, c)
-			for i := len(top) - 1; i > 0 && top[i].weight > top[i-1].weight; i-- {
-				top[i], top[i-1] = top[i-1], top[i]
-			}
+		} else if better(c, top[n-1]) {
+			top[n-1] = c
+		} else {
 			continue
 		}
-		if c.weight > top[n-1].weight {
-			top[n-1] = c
-			for i := n - 1; i > 0 && top[i].weight > top[i-1].weight; i-- {
-				top[i], top[i-1] = top[i-1], top[i]
-			}
+		for i := len(top) - 1; i > 0 && better(top[i], top[i-1]); i-- {
+			top[i], top[i-1] = top[i-1], top[i]
 		}
 	}
+	s.top = top[:0]
 	if len(top) == 1 {
 		return top[0].id
 	}
@@ -258,23 +311,26 @@ func (s *WorkerCentric) pickTopN(cand []candidate) workload.TaskID {
 	return top[len(top)-1].id
 }
 
-// removePending drops id from the pending list (which stays sorted).
+// norm returns v/total, or 0 when the total is degenerate.
+func norm(v, total float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return v / total
+}
+
+// removePending drops id from the pending set: O(log tasks) for the
+// order-statistics tree plus one heap removal per attached site.
 func (s *WorkerCentric) removePending(id workload.TaskID) {
 	if !s.alive[id] {
 		panic(fmt.Sprintf("core: task %d assigned twice", id))
 	}
 	s.alive[id] = false
-	// Binary search for the slot.
-	lo, hi := 0, len(s.pending)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if s.pending[mid] < id {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
+	s.pendingN--
+	s.order.add(int(id), -1)
+	for _, x := range s.indexList {
+		x.remove(id)
 	}
-	s.pending = append(s.pending[:lo], s.pending[lo+1:]...)
 }
 
 // OnTaskComplete implements Scheduler. Worker-centric scheduling has no
@@ -294,17 +350,419 @@ func (s *WorkerCentric) OnExecutionFailed(id workload.TaskID, at WorkerRef) {
 		return
 	}
 	s.alive[id] = true
-	// Sorted re-insert keeps the deterministic ascending iteration order.
-	lo, hi := 0, len(s.pending)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if s.pending[mid] < id {
-			lo = mid + 1
-		} else {
-			hi = mid
+	s.pendingN++
+	s.order.add(int(id), 1)
+	for _, x := range s.indexList {
+		x.add(id)
+	}
+}
+
+// siteIndex is one site's incrementally-maintained dispatch index over the
+// pending set. It is what makes NextFor sublinear.
+//
+// Pending tasks are partitioned into weight classes:
+//
+//   - MetricOverlap: class key = overlap[t]. All tasks in a class weigh
+//     the same (the overlap), so classes are totally weight-ordered and
+//     within a class ties break to the lower id.
+//   - Other metrics: class key = missing(t) = |files(t)| - overlap[t].
+//     Class 0 is the full-overlap class (weight = |files(t)|, the
+//     always-preferred zero-transfer tasks); classes >= 1 hold the tasks
+//     the rest/combined formulas weigh.
+//
+// Each class keeps its members in the within-class weight order of the
+// naive scan:
+//
+//	class 0 (non-overlap metrics): (|files| desc, id asc) — a binary heap
+//	combined metrics, class >= 1:  (refSum desc, id asc)  — a binary heap
+//	otherwise:                     (id asc)               — a task-id bitset
+//
+// The id-ordered classes use bitsets because their order never changes:
+// membership moves are O(1) bit flips and the k lowest ids read straight
+// off the words, where a heap would pay O(log) sifts on every noteBatch
+// move. Within a missing class the combined weight is strictly monotone
+// in refSum (the rest term is constant and distinct integer refSums map
+// to distinct normalized floats at these magnitudes), so (refSum desc, id
+// asc) is exactly the (weight desc, id asc) order.
+//
+// Invariants, restored after every mutation:
+//
+//  1. A task is in exactly one class structure iff it is pending: heap
+//     classes track the slot in pos[t] (-1 otherwise), bitset classes the
+//     task's bit and counts[c].
+//  2. bits has bit c set iff class c is non-empty.
+//  3. totalRef sums refSum over all pending tasks (combined metrics
+//     only) — an exact integer, so the request-time totals are
+//     reproducible regardless of update order; the per-class counts the
+//     totals also need are just the class populations.
+//
+// Canonical totals: the naive scan accumulated totalRest = Σ 1/missing_t
+// in ascending task-id order; the index knows only per-class counts, so
+// the canonical definition is the class-order sum Σ_m count(m)/m
+// (ascending m). The two differ by floating-point rounding only; the
+// test-only reference implementation uses the canonical form so that
+// equivalence is exact, not probabilistic. totalRef needs no such care:
+// it is an integer sum far below 2^53, exact under any order.
+type siteIndex struct {
+	s *WorkerCentric
+	m *siteMirror
+
+	heaps  [][]workload.TaskID // per weight-ordered class key (usesHeap)
+	sets   [][]uint64          // per id-ordered class: task-id bitset, lazily allocated
+	counts []int32             // per id-ordered class: population
+	pos    []int32             // per task: index in its class heap, -1 if none
+	bits   []uint64            // nonempty-class bitset
+
+	keyIsOverlap bool // MetricOverlap: class key is overlap, not missing
+	rankByRef    bool // combined metrics: classes >= 1 ordered by refSum
+
+	// Combined-metric totals over the pending set (invariant 3).
+	needTotals bool
+	totalRef   int64
+}
+
+func newSiteIndex(s *WorkerCentric, m *siteMirror) *siteIndex {
+	classes := s.idx.maxFiles + 1
+	x := &siteIndex{
+		s:            s,
+		m:            m,
+		heaps:        make([][]workload.TaskID, classes),
+		sets:         make([][]uint64, classes),
+		counts:       make([]int32, classes),
+		pos:          make([]int32, len(s.w.Tasks)),
+		bits:         make([]uint64, (classes+63)/64),
+		keyIsOverlap: s.cfg.Metric == MetricOverlap,
+		rankByRef:    s.cfg.Metric == MetricCombined || s.cfg.Metric == MetricCombinedLiteral,
+	}
+	x.needTotals = x.rankByRef
+	for i := range x.pos {
+		x.pos[i] = -1
+	}
+	// Fresh mirrors have overlap 0 everywhere, so tasks land in class 0
+	// (overlap key) or class |files| (missing key); ascending-id append is
+	// already a valid heap for every comparator when refSums are all zero.
+	for t := range s.alive {
+		if s.alive[t] {
+			x.add(workload.TaskID(t))
 		}
 	}
-	s.pending = append(s.pending, 0)
-	copy(s.pending[lo+1:], s.pending[lo:])
-	s.pending[lo] = id
+	return x
 }
+
+// classKey returns the class of task t under the configured metric.
+func (x *siteIndex) classKey(t workload.TaskID) int {
+	if x.keyIsOverlap {
+		return int(x.m.overlap[t])
+	}
+	return int(x.s.idx.filesLen[t] - x.m.overlap[t])
+}
+
+// usesHeap reports whether class c needs a weight-ordered heap. Classes
+// whose within-class order is plain ascending id (every class under the
+// overlap metric, the missing >= 1 classes under rest) are bitsets
+// instead: O(1) membership moves where a heap pays O(log) sifts, and
+// noteBatch moves tasks between classes constantly.
+func (x *siteIndex) usesHeap(c int) bool {
+	return x.rankByRef || (!x.keyIsOverlap && c == 0)
+}
+
+// less is the within-class weight order (see the type comment).
+func (x *siteIndex) less(class int, a, b workload.TaskID) bool {
+	if !x.keyIsOverlap && class == 0 {
+		la, lb := x.s.idx.filesLen[a], x.s.idx.filesLen[b]
+		if la != lb {
+			return la > lb
+		}
+		return a < b
+	}
+	if x.rankByRef && class != 0 {
+		ra, rb := x.m.refSum[a], x.m.refSum[b]
+		if ra != rb {
+			return ra > rb
+		}
+	}
+	return a < b
+}
+
+// classLen returns the number of pending tasks in class c.
+func (x *siteIndex) classLen(c int) int {
+	if x.usesHeap(c) {
+		return len(x.heaps[c])
+	}
+	return int(x.counts[c])
+}
+
+// maxClass returns the highest nonempty class, or -1 if all are empty.
+func (x *siteIndex) maxClass() int {
+	for w := len(x.bits) - 1; w >= 0; w-- {
+		if x.bits[w] != 0 {
+			return w*64 + 63 - bits.LeadingZeros64(x.bits[w])
+		}
+	}
+	return -1
+}
+
+// nextClassBelow returns the highest nonempty class strictly below c, or
+// -1 when there is none.
+func (x *siteIndex) nextClassBelow(c int) int {
+	if c == 0 {
+		return -1
+	}
+	c--
+	w := c / 64
+	if masked := x.bits[w] & (^uint64(0) >> (63 - uint(c%64))); masked != 0 {
+		return w*64 + 63 - bits.LeadingZeros64(masked)
+	}
+	for w--; w >= 0; w-- {
+		if x.bits[w] != 0 {
+			return w*64 + 63 - bits.LeadingZeros64(x.bits[w])
+		}
+	}
+	return -1
+}
+
+// nextClassAbove returns the lowest nonempty class strictly above c, or -1.
+func (x *siteIndex) nextClassAbove(c int) int {
+	c++
+	if c >= len(x.heaps) {
+		return -1
+	}
+	w := c / 64
+	if masked := x.bits[w] &^ ((uint64(1) << uint(c%64)) - 1); masked != 0 {
+		return w*64 + bits.TrailingZeros64(masked)
+	}
+	for w++; w < len(x.bits); w++ {
+		if x.bits[w] != 0 {
+			return w*64 + bits.TrailingZeros64(x.bits[w])
+		}
+	}
+	return -1
+}
+
+// add inserts pending task t into its class structure (invariants 1-3).
+func (x *siteIndex) add(t workload.TaskID) {
+	c := x.classKey(t)
+	if x.usesHeap(c) {
+		h := x.heaps[c]
+		x.pos[t] = int32(len(h))
+		x.heaps[c] = append(h, t)
+		x.siftUp(c, len(h))
+		if len(h) == 0 {
+			x.bits[c/64] |= uint64(1) << uint(c%64)
+		}
+	} else {
+		w := x.sets[c]
+		if w == nil {
+			w = make([]uint64, (len(x.pos)+63)/64)
+			x.sets[c] = w
+		}
+		w[int(t)/64] |= uint64(1) << uint(int(t)%64)
+		if x.counts[c] == 0 {
+			x.bits[c/64] |= uint64(1) << uint(c%64)
+		}
+		x.counts[c]++
+	}
+	if x.needTotals {
+		x.totalRef += x.m.refSum[t]
+	}
+}
+
+// remove deletes pending task t from its class structure (invariants 1-3).
+func (x *siteIndex) remove(t workload.TaskID) {
+	c := x.classKey(t)
+	if x.usesHeap(c) {
+		h := x.heaps[c]
+		i := int(x.pos[t])
+		last := len(h) - 1
+		if i != last {
+			moved := h[last]
+			h[i] = moved
+			x.pos[moved] = int32(i)
+			x.heaps[c] = h[:last]
+			if !x.siftUp(c, i) {
+				x.siftDown(c, i)
+			}
+		} else {
+			x.heaps[c] = h[:last]
+		}
+		x.pos[t] = -1
+		if last == 0 {
+			x.bits[c/64] &^= uint64(1) << uint(c%64)
+		}
+	} else {
+		x.sets[c][int(t)/64] &^= uint64(1) << uint(int(t)%64)
+		x.counts[c]--
+		if x.counts[c] == 0 {
+			x.bits[c/64] &^= uint64(1) << uint(c%64)
+		}
+	}
+	if x.needTotals {
+		x.totalRef -= x.m.refSum[t]
+	}
+}
+
+// overlapDelta applies a storage-content change to task t: overlap moves
+// by dOv and refSum by dRef. The class key always changes with overlap, so
+// a pending task is re-filed into its new class heap.
+func (x *siteIndex) overlapDelta(t workload.TaskID, dOv int32, dRef int64) {
+	pending := x.s.alive[t]
+	if pending {
+		x.remove(t)
+	}
+	x.m.overlap[t] += dOv
+	x.m.refSum[t] += dRef
+	if pending {
+		x.add(t)
+	}
+}
+
+// refDelta applies a reference-count bump (+1) to task t's refSum. The
+// class key is unchanged; only combined-metric heaps rank by refSum, and a
+// larger refSum can only move the task up.
+func (x *siteIndex) refDelta(t workload.TaskID) {
+	x.m.refSum[t]++
+	if !x.s.alive[t] {
+		return
+	}
+	if x.needTotals {
+		x.totalRef++
+	}
+	if x.rankByRef {
+		if c := x.classKey(t); c != 0 {
+			x.siftUp(c, int(x.pos[t]))
+		}
+	}
+}
+
+// siftUp restores the heap property upward from slot i of class c,
+// reporting whether anything moved.
+func (x *siteIndex) siftUp(c, i int) bool {
+	h := x.heaps[c]
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !x.less(c, h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		x.pos[h[i]] = int32(i)
+		x.pos[h[parent]] = int32(parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+// siftDown restores the heap property downward from slot i of class c.
+func (x *siteIndex) siftDown(c, i int) {
+	h := x.heaps[c]
+	for {
+		best := i
+		if l := 2*i + 1; l < len(h) && x.less(c, h[l], h[best]) {
+			best = l
+		}
+		if r := 2*i + 2; r < len(h) && x.less(c, h[r], h[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		x.pos[h[i]] = int32(i)
+		x.pos[h[best]] = int32(best)
+		i = best
+	}
+}
+
+// topK appends the k best tasks of class c (in the class's weight order)
+// to out. For an id-ordered bitset class that is the k lowest set bits;
+// for a heap class, a bounded frontier walk that never mutates the heap:
+// the next best element is always among the children of those already
+// taken.
+func (x *siteIndex) topK(c, k int, out []workload.TaskID) []workload.TaskID {
+	if !x.usesHeap(c) {
+		left := k
+		for wi, w := range x.sets[c] {
+			for w != 0 && left > 0 {
+				b := bits.TrailingZeros64(w)
+				out = append(out, workload.TaskID(wi*64+b))
+				w &^= uint64(1) << uint(b)
+				left--
+			}
+			if left == 0 {
+				break
+			}
+		}
+		return out
+	}
+	h := x.heaps[c]
+	if len(h) == 0 || k <= 0 {
+		return out
+	}
+	fr := x.s.frontier[:0]
+	fr = append(fr, 0)
+	for len(fr) > 0 && k > 0 {
+		bi := 0
+		for i := 1; i < len(fr); i++ {
+			if x.less(c, h[fr[i]], h[fr[bi]]) {
+				bi = i
+			}
+		}
+		p := int(fr[bi])
+		fr[bi] = fr[len(fr)-1]
+		fr = fr[:len(fr)-1]
+		out = append(out, h[p])
+		k--
+		if l := 2*p + 1; l < len(h) {
+			fr = append(fr, int32(l))
+		}
+		if r := 2*p + 2; r < len(h) {
+			fr = append(fr, int32(r))
+		}
+	}
+	x.s.frontier = fr[:0]
+	return out
+}
+
+// fenwick is a binary indexed tree over task ids holding 0/1 pending
+// flags; it answers "k-th smallest pending id" in O(log n), which is how
+// the zero-information uniform draw avoids materializing the pending list.
+type fenwick struct {
+	tree []int32 // 1-based
+	mask int     // highest power of two <= len(tree)-1
+}
+
+func (f *fenwick) initOnes(n int) {
+	f.tree = make([]int32, n+1)
+	for i := 1; i <= n; i++ {
+		f.tree[i]++
+		if j := i + (i & -i); j <= n {
+			f.tree[j] += f.tree[i]
+		}
+	}
+	f.mask = 1
+	for f.mask*2 <= n {
+		f.mask *= 2
+	}
+}
+
+// add adjusts the count at 0-based index i by d.
+func (f *fenwick) add(i int, d int32) {
+	for j := i + 1; j < len(f.tree); j += j & -j {
+		f.tree[j] += d
+	}
+}
+
+// kth returns the 0-based index of the (k+1)-th smallest present id.
+func (f *fenwick) kth(k int) workload.TaskID {
+	rem := int32(k) + 1
+	pos := 0
+	for b := f.mask; b > 0; b >>= 1 {
+		if next := pos + b; next < len(f.tree) && f.tree[next] < rem {
+			pos = next
+			rem -= f.tree[next]
+		}
+	}
+	return workload.TaskID(pos) // 0-based: internal pos+1 - 1
+}
+

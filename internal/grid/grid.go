@@ -244,6 +244,7 @@ func Run(cfg Config, sched core.Scheduler) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		st.Reserve(cfg.Workload.NumFiles)
 		e.stores[i] = st
 		e.queues[i] = sim.NewQueue[*batchRequest](k)
 		sched.AttachSite(i)
@@ -285,12 +286,16 @@ func Run(cfg Config, sched core.Scheduler) (*Result, error) {
 func (e *engine) dataServer(p *sim.Proc, site int) {
 	sm := &e.col.Sites[site]
 	store := e.stores[site]
+	// Per-server buffers reused across batches (a data server may block on
+	// the network mid-request, so the buffers must not be engine-shared).
+	var missBuf, fetchBuf, evictBuf []workload.FileID
 	for {
 		req := e.queues[site].Recv(p)
 		sm.Requests++
 		sm.WaitTimeSum += p.Now() - req.enqueued
 
-		missing := store.Missing(req.files)
+		missBuf = store.AppendMissing(missBuf[:0], req.files)
+		missing := missBuf
 		if len(missing) > 0 {
 			start := p.Now()
 			bytes := float64(len(missing)) * e.cfg.FileSizeBytes
@@ -308,10 +313,13 @@ func (e *engine) dataServer(p *sim.Proc, site int) {
 				}
 			}
 		}
-		fetched, evicted, err := store.CommitBatch(req.files)
+		var fetched, evicted []workload.FileID
+		var err error
+		fetched, evicted, err = store.CommitBatchInto(req.files, fetchBuf[:0], evictBuf[:0])
 		if err != nil {
 			panic(fmt.Sprintf("grid: commit at site %d: %v", site, err))
 		}
+		fetchBuf, evictBuf = fetched[:0], evicted[:0]
 		// A proactive replica push can land one of the missing files while
 		// our fetch is in flight, so fetched may be a strict subset of
 		// missing; more fetches than misses would be a real bug.
@@ -339,6 +347,11 @@ func (e *engine) worker(p *sim.Proc, ref core.WorkerRef, speedMflops float64, ch
 	if churn != nil {
 		nextFail = p.Now() + churn.ExpFloat64()*e.cfg.ChurnMeanUpSec
 	}
+	// One request/reply pair reused for every batch: the worker blocks
+	// until the data server fires the reply, so the previous use is always
+	// fully drained before the next.
+	reply := sim.NewSignal(e.k)
+	req := &batchRequest{reply: reply}
 	for {
 		if p.Now() >= nextFail {
 			e.emit(p.Now(), trace.WorkerDown, ref, -1, 0)
@@ -365,8 +378,9 @@ func (e *engine) worker(p *sim.Proc, ref core.WorkerRef, speedMflops float64, ch
 		sm.TasksExecuted++
 		e.emit(p.Now(), trace.TaskAssigned, ref, task.ID, len(task.Files))
 
-		reply := sim.NewSignal(e.k)
-		e.queues[ref.Site].Push(&batchRequest{files: task.Files, reply: reply, enqueued: p.Now()})
+		reply.Reset()
+		req.files, req.enqueued = task.Files, p.Now()
+		e.queues[ref.Site].Push(req)
 		e.emit(p.Now(), trace.BatchEnqueued, ref, task.ID, len(task.Files))
 		reply.Wait(p)
 

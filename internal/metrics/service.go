@@ -27,6 +27,25 @@ type ServiceCounters struct {
 	ActiveWorkers atomic.Int64
 	ActiveLeases  atomic.Int64
 	OpenJobs      atomic.Int64
+
+	// Dispatch latency summary: time spent choosing + staging a task on a
+	// successful pull, accumulated as a Prometheus-style summary (count +
+	// sum) plus a running maximum.
+	DispatchNanos    atomic.Int64
+	DispatchCount    atomic.Int64
+	DispatchMaxNanos atomic.Int64
+}
+
+// ObserveDispatch folds one dispatch duration into the latency summary.
+func (c *ServiceCounters) ObserveDispatch(nanos int64) {
+	c.DispatchNanos.Add(nanos)
+	c.DispatchCount.Add(1)
+	for {
+		cur := c.DispatchMaxNanos.Load()
+		if nanos <= cur || c.DispatchMaxNanos.CompareAndSwap(cur, nanos) {
+			return
+		}
+	}
 }
 
 // NewServiceCounters returns zeroed counters.
@@ -56,6 +75,19 @@ func (c *ServiceCounters) WriteText(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", m.name, m.kind, m.name, m.v); err != nil {
 			return err
 		}
+	}
+	// Dispatch latency as a summary (seconds) plus max gauge.
+	const nsPerSec = 1e9
+	if _, err := fmt.Fprintf(w,
+		"# TYPE gridsched_dispatch_latency_seconds summary\n"+
+			"gridsched_dispatch_latency_seconds_sum %g\n"+
+			"gridsched_dispatch_latency_seconds_count %d\n"+
+			"# TYPE gridsched_dispatch_latency_max_seconds gauge\n"+
+			"gridsched_dispatch_latency_max_seconds %g\n",
+		float64(c.DispatchNanos.Load())/nsPerSec,
+		c.DispatchCount.Load(),
+		float64(c.DispatchMaxNanos.Load())/nsPerSec); err != nil {
+		return err
 	}
 	return nil
 }

@@ -2,9 +2,25 @@
 //
 // Concurrent flows share link capacity max-min fairly (progressive
 // filling), the bandwidth-sharing model SimGrid uses for TCP-like flows.
-// Whenever a flow starts or finishes, every active flow's rate is
-// recomputed and its completion event rescheduled, so contention between
+// Whenever a flow starts or finishes, the rates of the affected flows are
+// recomputed and their completion events rescheduled, so contention between
 // sites transferring through shared WAN links is modeled continuously.
+//
+// # Scoped re-rating
+//
+// A flow arrival or departure can only change the allocation of flows it
+// shares a link with, directly or transitively: the flow↔link bipartite
+// graph decomposes into connected components, and max-min allocation is
+// solved independently per component. rerate therefore recomputes only the
+// component(s) touching the changed links — flows in other components keep
+// their rates, remaining-byte trajectories, and completion events
+// untouched, which is exact, not an approximation. Within the recomputed
+// component the arithmetic (fair-share divisions, capacity subtractions,
+// bottleneck tie-breaks) is performed in the same deterministic order as a
+// global recomputation, so results are bit-identical to re-rating
+// everything. All scratch state is reused across calls; the old
+// implementation's per-call maps and sorting dominated the simulator's
+// allocation profile.
 package netsim
 
 import (
@@ -35,7 +51,9 @@ type Flow struct {
 	updated   sim.Time // last time remaining was settled
 
 	// progressive-filling scratch state
-	frozen bool
+	frozen   bool
+	prevRate float64
+	mark     uint32 // component-walk visitation epoch
 }
 
 // Rate returns the flow's current max-min fair allocation in bytes/s.
@@ -56,20 +74,40 @@ type Stats struct {
 
 // Network is the flow-level simulator bound to a kernel and a graph.
 type Network struct {
-	k     *sim.Kernel
-	g     *topology.Graph
-	flows map[int]*Flow
-	seq   int
-	stats Stats
+	k      *sim.Kernel
+	g      *topology.Graph
+	active []*Flow // ascending flow ID (IDs are assigned monotonically)
+	seq    int
+	stats  Stats
+
+	// linkFlows registers, per link, the active flows routed across it.
+	// Maintained on flow start/finish; element order within a link is
+	// irrelevant (see the order analysis on rerate).
+	linkFlows [][]*Flow
+
+	// Re-rate scratch, reused across calls. linkMark/flow marks carry an
+	// epoch instead of being cleared; capacity/unfrozen are reinitialized
+	// only for the links of the recomputed component.
+	epoch     uint32
+	linkMark  []uint32
+	capacity  []float64
+	unfrozen  []int32
+	compFlows []*Flow
+	compLinks []topology.LinkID
+	queue     []topology.LinkID
 }
 
 // New returns a Network simulating transfers over g, driven by k.
 func New(k *sim.Kernel, g *topology.Graph) *Network {
+	links := len(g.Links)
 	return &Network{
-		k:     k,
-		g:     g,
-		flows: make(map[int]*Flow),
-		stats: Stats{LinkBytes: make(map[topology.LinkID]float64)},
+		k:         k,
+		g:         g,
+		stats:     Stats{LinkBytes: make(map[topology.LinkID]float64)},
+		linkFlows: make([][]*Flow, links),
+		linkMark:  make([]uint32, links),
+		capacity:  make([]float64, links),
+		unfrozen:  make([]int32, links),
 	}
 }
 
@@ -84,7 +122,7 @@ func (n *Network) Stats() Stats {
 }
 
 // ActiveFlows returns the number of in-flight flows.
-func (n *Network) ActiveFlows() int { return len(n.flows) }
+func (n *Network) ActiveFlows() int { return len(n.active) }
 
 // Transfer moves bytes from src to dst, blocking the calling process for the
 // route propagation latency plus the congestion-dependent transfer time.
@@ -133,108 +171,153 @@ func (n *Network) StartFlow(src, dst topology.NodeID, bytes float64) (*Flow, err
 		started:   n.k.Now(),
 		updated:   n.k.Now(),
 	}
-	n.flows[f.ID] = f
+	n.active = append(n.active, f) // IDs are monotonic: stays sorted
+	for _, lid := range f.route {
+		n.linkFlows[lid] = append(n.linkFlows[lid], f)
+	}
 	n.stats.FlowsStarted++
-	n.rerate()
+	n.rerate(f.route)
 	return f, nil
 }
 
-// rerate recomputes every active flow's max-min fair rate and reschedules
-// completion events. Called on each flow arrival and departure.
+// rerate recomputes the max-min fair rates of every flow in the connected
+// component(s) of the given changed links and reschedules the completion
+// events of flows whose rate changed. Called on each flow arrival and
+// departure with the arriving/departing flow's route.
 //
-// All iteration is over flow-ID- and link-ID-sorted slices, never directly
-// over maps: max-min allocation is unique, but floating-point accumulation
-// order is not, and a map-order-dependent rounding difference would break
-// deterministic replay.
-func (n *Network) rerate() {
+// Determinism: all order-sensitive arithmetic iterates flow-ID- and
+// link-ID-sorted slices, never maps — max-min allocation is unique, but
+// floating-point accumulation order is not, and an order-dependent rounding
+// difference would break deterministic replay. The per-link flow registry
+// is deliberately unordered: within one filling round every frozen flow
+// subtracts the same share from a link, so the subtraction order cannot
+// change the result, and the bottleneck scan and progress charging — which
+// are order-sensitive — run over the sorted component slices.
+func (n *Network) rerate(changed []topology.LinkID) {
 	now := n.k.Now()
 
-	active := make([]*Flow, 0, len(n.flows))
-	for _, f := range n.flows {
-		active = append(active, f)
+	// Collect the component(s) of the changed links over the flow↔link
+	// bipartite graph.
+	n.epoch++
+	e := n.epoch
+	n.compFlows = n.compFlows[:0]
+	n.compLinks = n.compLinks[:0]
+	n.queue = n.queue[:0]
+	for _, lid := range changed {
+		if n.linkMark[lid] != e {
+			n.linkMark[lid] = e
+			n.queue = append(n.queue, lid)
+			n.compLinks = append(n.compLinks, lid)
+		}
 	}
-	sort.Slice(active, func(i, j int) bool { return active[i].ID < active[j].ID })
+	for qi := 0; qi < len(n.queue); qi++ {
+		lid := n.queue[qi]
+		for _, f := range n.linkFlows[lid] {
+			if f.mark == e {
+				continue
+			}
+			f.mark = e
+			n.compFlows = append(n.compFlows, f)
+			for _, l2 := range f.route {
+				if n.linkMark[l2] != e {
+					n.linkMark[l2] = e
+					n.queue = append(n.queue, l2)
+					n.compLinks = append(n.compLinks, l2)
+				}
+			}
+		}
+	}
+	if len(n.compFlows) == 0 {
+		return // the departing flow was alone on its links
+	}
+	// Components are small (tens of flows/links); insertion sort beats the
+	// generic sort's overhead here and allocates nothing.
+	for i := 1; i < len(n.compFlows); i++ {
+		for j := i; j > 0 && n.compFlows[j].ID < n.compFlows[j-1].ID; j-- {
+			n.compFlows[j], n.compFlows[j-1] = n.compFlows[j-1], n.compFlows[j]
+		}
+	}
+	for i := 1; i < len(n.compLinks); i++ {
+		for j := i; j > 0 && n.compLinks[j] < n.compLinks[j-1]; j-- {
+			n.compLinks[j], n.compLinks[j-1] = n.compLinks[j-1], n.compLinks[j]
+		}
+	}
 
-	// 1. Charge progress since the last re-rate.
-	for _, f := range active {
+	// 1. Charge progress since each flow's last settlement.
+	for _, f := range n.compFlows {
 		f.remaining -= f.rate * (now - f.updated)
 		if f.remaining < 0 {
 			f.remaining = 0
 		}
 		f.updated = now
-	}
-
-	// 2. Progressive filling over the links used by active flows.
-	type linkState struct {
-		id       topology.LinkID
-		capacity float64
-		flows    []*Flow
-	}
-	byLink := make(map[topology.LinkID]*linkState)
-	var links []*linkState
-	for _, f := range active {
 		f.frozen = false
-		for _, lid := range f.route {
-			ls, ok := byLink[lid]
-			if !ok {
-				ls = &linkState{id: lid, capacity: n.g.Links[lid].Bandwidth}
-				byLink[lid] = ls
-				links = append(links, ls)
-			}
-			ls.flows = append(ls.flows, f)
-		}
+		f.prevRate = f.rate
 	}
-	sort.Slice(links, func(i, j int) bool { return links[i].id < links[j].id })
 
-	unfrozen := len(active)
-	for unfrozen > 0 {
+	// 2. Progressive filling over the component. Every flow registered on
+	// a component link is in the component by construction, so the
+	// unfrozen counters can start from the registry sizes.
+	for _, lid := range n.compLinks {
+		n.capacity[lid] = n.g.Links[lid].Bandwidth
+		n.unfrozen[lid] = int32(len(n.linkFlows[lid]))
+	}
+	left := len(n.compFlows)
+	for left > 0 {
 		// Find the bottleneck: the link with the smallest fair share among
 		// links that still carry unfrozen flows. Ties resolve to the lowest
 		// link id (same allocation either way; the tie-break keeps the
 		// floating-point accumulation order reproducible).
-		var bottleneck *linkState
+		bottleneck := topology.LinkID(-1)
 		share := math.MaxFloat64
-		for _, ls := range links {
-			cnt := 0
-			for _, f := range ls.flows {
-				if !f.frozen {
-					cnt++
-				}
-			}
+		for _, lid := range n.compLinks {
+			cnt := n.unfrozen[lid]
 			if cnt == 0 {
 				continue
 			}
-			if s := ls.capacity / float64(cnt); s < share {
+			if s := n.capacity[lid] / float64(cnt); s < share {
 				share = s
-				bottleneck = ls
+				bottleneck = lid
 			}
 		}
-		if bottleneck == nil {
+		if bottleneck < 0 {
 			break
 		}
 		// Freeze every unfrozen flow through the bottleneck at the fair
 		// share and charge its rate against the rest of its route.
-		for _, f := range bottleneck.flows {
+		for _, f := range n.linkFlows[bottleneck] {
 			if f.frozen {
 				continue
 			}
 			f.frozen = true
 			f.rate = share
-			unfrozen--
+			left--
 			for _, lid := range f.route {
-				ls := byLink[lid]
-				ls.capacity -= share
-				if ls.capacity < 0 {
-					ls.capacity = 0
+				n.capacity[lid] -= share
+				if n.capacity[lid] < 0 {
+					n.capacity[lid] = 0
 				}
+				n.unfrozen[lid]--
 			}
 		}
 	}
 
-	// 3. Reschedule completions.
-	for _, f := range active {
+	// 3. Reschedule completions — only where the rate actually changed.
+	// An unchanged rate means the previously scheduled completion time
+	// still lies on the flow's (linear) remaining-bytes trajectory.
+	//
+	// Tie semantics: two flows completing at the exact same virtual time
+	// fire in event-scheduling order, so a flow that kept an older event
+	// fires before one rescheduled later regardless of flow ID. The
+	// pre-scoping implementation rescheduled every flow on every re-rate,
+	// which resolved such ties in flow-ID order instead. Either order is
+	// fully deterministic under replay; only the (measure-zero) exact-tie
+	// interleaving relative to the old implementation differs.
+	for _, f := range n.compFlows {
+		if f.rate == f.prevRate && f.completed != nil {
+			continue
+		}
 		if f.completed != nil {
-			f.completed.Cancel()
+			n.k.Unschedule(f.completed)
 			f.completed = nil
 		}
 		if f.rate <= 0 {
@@ -252,7 +335,21 @@ func (n *Network) rerate() {
 }
 
 func (n *Network) finish(f *Flow) {
-	delete(n.flows, f.ID)
+	i := sort.Search(len(n.active), func(i int) bool { return n.active[i].ID >= f.ID })
+	n.active = append(n.active[:i], n.active[i+1:]...)
+	for _, lid := range f.route {
+		lf := n.linkFlows[lid]
+		for j, ff := range lf {
+			if ff == f {
+				last := len(lf) - 1
+				lf[j] = lf[last]
+				lf[last] = nil
+				n.linkFlows[lid] = lf[:last]
+				break
+			}
+		}
+	}
+	f.completed = nil
 	f.remaining = 0
 	f.rate = 0
 	n.stats.FlowsCompleted++
@@ -260,6 +357,6 @@ func (n *Network) finish(f *Flow) {
 	for _, lid := range f.route {
 		n.stats.LinkBytes[lid] += f.Bytes
 	}
-	n.rerate()
+	n.rerate(f.route)
 	f.done.Fire(f)
 }

@@ -234,7 +234,7 @@ func TestLinkCapacityRespected(t *testing.T) {
 	for step := 1; step <= 100; step++ {
 		k.Schedule(float64(step), func() {
 			load := make(map[topology.LinkID]float64)
-			for _, f := range n.flows {
+			for _, f := range n.active {
 				for _, lid := range f.route {
 					load[lid] += f.rate
 				}

@@ -1,87 +1,28 @@
 package service_test
 
 import (
-	"context"
 	"net/http/httptest"
 	"testing"
 
-	"gridsched/internal/core"
-	"gridsched/internal/service"
-	"gridsched/internal/service/api"
+	"gridsched/internal/benchsuite"
 	"gridsched/internal/service/client"
-	"gridsched/internal/workload"
 )
 
-// benchWorkload: one file per task so staging cost is constant and the
-// benchmark isolates the service dispatch path, not the cache.
-func benchWorkload(tasks int) *workload.Workload {
-	w := &workload.Workload{Name: "bench", NumFiles: 512}
-	for i := 0; i < tasks; i++ {
-		w.Tasks = append(w.Tasks, workload.Task{
-			ID:    workload.TaskID(i),
-			Files: []workload.FileID{workload.FileID(i % 512)},
-		})
-	}
-	return w
-}
-
-// benchDispatch measures the pull→assign→report round-trip through the
-// full HTTP/JSON protocol against the given client.
-func benchDispatch(b *testing.B, svc *service.Service, cl *client.Client) {
-	b.Helper()
-	ctx := context.Background()
-	reg, err := cl.Register(ctx, nil)
-	if err != nil {
-		b.Fatal(err)
-	}
-	submit := func() {
-		w := benchWorkload(100_000)
-		if _, err := svc.Submit("bench", "workqueue", w, core.NewWorkqueue(w)); err != nil {
-			b.Fatal(err)
-		}
-	}
-	submit()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		resp, err := cl.Pull(ctx, reg.WorkerID, 0)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if resp.Status != api.StatusAssigned {
-			// Job drained mid-benchmark; refill outside the hot path's
-			// accounting concerns (rare: every 100k iterations).
-			submit()
-			continue
-		}
-		if _, err := cl.Report(ctx, resp.Assignment.ID, reg.WorkerID, api.OutcomeSuccess); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func newBenchService(b *testing.B) *service.Service {
-	b.Helper()
-	svc, err := service.New(service.Config{
-		Topology: service.Topology{Sites: 4, WorkersPerSite: 4, CapacityFiles: 1024},
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.Cleanup(svc.Close)
-	return svc
-}
+// The benchmark bodies live in internal/benchsuite, shared with
+// cmd/gridbench so the recorded perf trajectory measures exactly what CI
+// smoke-runs here.
 
 // BenchmarkDispatchRoundTripInProcess: protocol + JSON codec + scheduler,
 // no sockets.
 func BenchmarkDispatchRoundTripInProcess(b *testing.B) {
-	svc := newBenchService(b)
-	benchDispatch(b, svc, client.InProcess(svc.Handler()))
+	benchsuite.ServiceDispatchInProcess(b)
 }
 
 // BenchmarkDispatchRoundTripTCP: the same path over loopback HTTP.
 func BenchmarkDispatchRoundTripTCP(b *testing.B) {
-	svc := newBenchService(b)
-	ts := httptest.NewServer(svc.Handler())
+	svc := benchsuite.NewDispatchService()
+	b.Cleanup(svc.Close)
+	ts := httptest.NewServer(benchsuite.Handler(svc))
 	b.Cleanup(ts.Close)
-	benchDispatch(b, svc, client.New(ts.URL, nil))
+	benchsuite.DispatchRoundTrip(b, svc, client.New(ts.URL, nil))
 }

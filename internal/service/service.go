@@ -184,6 +184,9 @@ type Service struct {
 	assignments map[string]*assignment
 	slots       [][]string // [site][worker] -> workerID, "" when free
 	notify      chan struct{}
+	// staging scratch reused across dispatches (guarded by mu; consumed
+	// synchronously by NoteBatch before the next dispatch can run).
+	fetchBuf, evictBuf []workload.FileID
 	// nextSweep is the earliest known lease deadline; maybeSweepLocked
 	// skips the O(assignments+workers) sweep until it is due. Zero means
 	// unknown (sweep next time). It may lag behind renewals, which only
@@ -290,6 +293,7 @@ func (s *Service) Submit(name, algorithm string, w *workload.Workload, sched cor
 		if err != nil {
 			return "", err
 		}
+		st.Reserve(w.NumFiles)
 		j.stores = append(j.stores, st)
 		sched.AttachSite(i)
 	}
@@ -441,7 +445,9 @@ func (s *Service) Pull(done <-chan struct{}, workerID string, wait time.Duration
 			s.mu.Unlock()
 			return nil, errf(http.StatusConflict, "service: worker %q already holds assignment %q", workerID, w.assignment.id)
 		}
+		dispatchStart := time.Now()
 		if a := s.assignLocked(w, now); a != nil {
+			s.counters.ObserveDispatch(time.Since(dispatchStart).Nanoseconds())
 			resp := &api.PullResponse{
 				Status:     api.StatusAssigned,
 				Assignment: a,
@@ -498,11 +504,12 @@ func (s *Service) assignLocked(w *worker, now time.Time) *api.Assignment {
 		task, status := j.sched.NextFor(w.ref)
 		switch status {
 		case core.Assigned:
-			fetched, evicted, err := j.stores[w.ref.Site].CommitBatch(task.Files)
+			fetched, evicted, err := j.stores[w.ref.Site].CommitBatchInto(task.Files, s.fetchBuf[:0], s.evictBuf[:0])
 			if err != nil {
 				// Submit validated capacity >= max task size.
 				panic(fmt.Sprintf("service: stage job %s task %d at site %d: %v", j.id, task.ID, w.ref.Site, err))
 			}
+			s.fetchBuf, s.evictBuf = fetched[:0], evicted[:0]
 			j.sched.NoteBatch(w.ref.Site, task.Files, fetched, evicted)
 			j.transfers += int64(len(fetched))
 			j.dispatched++
@@ -585,6 +592,14 @@ func (s *Service) Report(assignmentID, workerID, outcome string) (*api.ReportRes
 	}
 	j := a.job
 	resp := &api.ReportResponse{Accepted: true}
+	// Long-poll wakeups are targeted: parked pulls only care about events
+	// that can make new work dispatchable (a failure requeues the task) or
+	// change the open-job count (completion of the job's last task, which
+	// completeJobLocked broadcasts itself). A plain success or a cancelled
+	// replica frees no work for anyone else — completion only shrinks the
+	// schedulable set, and replica cancellation is delivered through the
+	// running worker's own heartbeat — so the common case no longer wakes
+	// the whole herd just to find nothing.
 	switch {
 	case a.cancelled:
 		j.cancelled++
@@ -596,6 +611,7 @@ func (s *Service) Report(assignmentID, workerID, outcome string) (*api.ReportRes
 		if j.sched != nil { // nil once completed; nothing left to requeue
 			j.sched.OnExecutionFailed(a.task.ID, a.ref)
 		}
+		s.broadcastLocked()
 	default:
 		victims := j.sched.OnTaskComplete(a.task.ID, a.ref)
 		j.completed++
@@ -604,11 +620,10 @@ func (s *Service) Report(assignmentID, workerID, outcome string) (*api.ReportRes
 			s.cancelExecutionLocked(j, a.task.ID, v)
 		}
 		if j.sched.Remaining() == 0 {
-			s.completeJobLocked(j, now)
+			s.completeJobLocked(j, now) // broadcasts
 		}
 	}
 	resp.JobState = j.state
-	s.broadcastLocked()
 	return resp, nil
 }
 

@@ -23,12 +23,22 @@ type Time = float64
 const Forever Time = math.MaxFloat64
 
 // Event is a scheduled callback. It can be cancelled before it fires.
+//
+// Events carrying a process wake-up (wakeProc != nil) are kernel-internal:
+// no reference ever escapes, so they are drawn from and returned to a free
+// list instead of being allocated per wake, and they carry the resume
+// payload in typed fields instead of a closure. External events (Schedule /
+// ScheduleAt) are never pooled — their creators may hold references and
+// Cancel them at any time, including after they fire.
 type Event struct {
 	at       Time
 	seq      uint64
 	fn       func()
 	canceled bool
 	index    int // heap index, -1 once popped
+
+	wakeProc *Proc // non-nil: pooled process-wake event
+	wakeMsg  resumeMsg
 }
 
 // At returns the virtual time the event is scheduled for.
@@ -87,6 +97,8 @@ type Kernel struct {
 	procSeq   int
 	parkedSet map[*Proc]struct{}
 
+	eventPool []*Event // recycled wake events (see Event)
+
 	// stats
 	fired uint64
 }
@@ -122,6 +134,33 @@ func (k *Kernel) ScheduleAt(at Time, fn func()) *Event {
 	return e
 }
 
+// scheduleWake queues a pooled process-wake event after delay seconds.
+func (k *Kernel) scheduleWake(delay Time, p *Proc, msg resumeMsg) {
+	var e *Event
+	if n := len(k.eventPool); n > 0 {
+		e = k.eventPool[n-1]
+		k.eventPool = k.eventPool[:n-1]
+	} else {
+		e = &Event{}
+	}
+	k.seq++
+	*e = Event{at: k.now + delay, seq: k.seq, wakeProc: p, wakeMsg: msg}
+	heap.Push(&k.events, e)
+}
+
+// Unschedule cancels e and, if it has not fired yet, removes it from the
+// event queue immediately. Cancel alone leaves a dead entry in the queue
+// until its timestamp comes up; callers that cancel and reschedule at high
+// frequency (netsim's completion events) use Unschedule so the queue holds
+// only live events. Unscheduling an already-fired or already-removed event
+// is a no-op.
+func (k *Kernel) Unschedule(e *Event) {
+	e.canceled = true
+	if e.index >= 0 {
+		heap.Remove(&k.events, e.index)
+	}
+}
+
 // Stop makes Run return after the current event completes.
 func (k *Kernel) Stop() { k.stopped = true }
 
@@ -145,6 +184,15 @@ func (k *Kernel) RunUntil(limit Time) Time {
 		}
 		k.now = next.at
 		k.fired++
+		if p := next.wakeProc; p != nil {
+			// Recycle before waking: the woken process may schedule new
+			// wakes, and nothing else can reference a pooled event.
+			msg := next.wakeMsg
+			*next = Event{index: -1}
+			k.eventPool = append(k.eventPool, next)
+			k.wake(p, msg)
+			continue
+		}
 		next.fn()
 	}
 	return k.now

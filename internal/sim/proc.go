@@ -11,7 +11,12 @@ var errKilled = errors.New("sim: process killed")
 
 type resumeMsg struct {
 	killed bool
-	val    any
+	// Signal outcomes ride in typed fields rather than a boxed struct:
+	// boxing an outcome per wake was a measurable allocation on the
+	// request/reply hot path.
+	sig   bool // the wake comes from a Signal
+	fired bool // Signal wakes: fired (true) vs timeout (false)
+	val   any
 }
 
 // Proc is a simulated process: a goroutine whose execution is serialized by
@@ -110,9 +115,9 @@ func (k *Kernel) wake(p *Proc, msg resumeMsg) {
 	k.await(p)
 }
 
-// wakeEvent schedules an immediate wake for p carrying val.
-func (k *Kernel) wakeEvent(p *Proc, val any) *Event {
-	return k.Schedule(0, func() { k.wake(p, resumeMsg{val: val}) })
+// wakeEvent schedules an immediate wake for p carrying msg.
+func (k *Kernel) wakeEvent(p *Proc, msg resumeMsg) {
+	k.scheduleWake(0, p, msg)
 }
 
 // Sleep suspends the process for d seconds of virtual time.
@@ -120,7 +125,7 @@ func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative sleep %v", d))
 	}
-	p.k.Schedule(d, func() { p.k.wake(p, resumeMsg{}) })
+	p.k.scheduleWake(d, p, resumeMsg{})
 	p.park()
 }
 

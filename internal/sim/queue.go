@@ -28,7 +28,7 @@ func (q *Queue[T]) Push(v T) {
 	if len(q.waiters) > 0 {
 		w := q.waiters[0]
 		q.waiters = q.waiters[1:]
-		q.k.wakeEvent(w, v)
+		q.k.wakeEvent(w, resumeMsg{val: v})
 		return
 	}
 	q.items = append(q.items, v)

@@ -9,13 +9,18 @@ type Signal struct {
 	fired bool
 	val   any
 
-	waiters map[*Proc]*Event // parked proc -> its timeout event (nil if none)
-	order   []*Proc          // wake order (registration order) for determinism
+	// Waiters in registration (= wake) order; timers[i] is waiter i's
+	// timeout event (nil if none). The parallel slices replace an earlier
+	// map: signals are created on hot request/reply paths and nearly
+	// always have zero or one waiter, so a map allocation per signal and
+	// hashing per operation were pure overhead.
+	order  []*Proc
+	timers []*Event
 }
 
 // NewSignal returns an unfired signal bound to k.
 func NewSignal(k *Kernel) *Signal {
-	return &Signal{k: k, waiters: make(map[*Proc]*Event)}
+	return &Signal{k: k}
 }
 
 // Fired reports whether Fire has been called.
@@ -23,6 +28,34 @@ func (s *Signal) Fired() bool { return s.fired }
 
 // Value returns the value passed to Fire (nil before Fire).
 func (s *Signal) Value() any { return s.val }
+
+// Reset returns a fired signal to the unfired state so it can be reused,
+// saving an allocation on request/reply hot loops. Resetting a signal that
+// still has waiters (fired or not) panics: their wake is in flight and a
+// reuse would tangle two generations of waiters.
+func (s *Signal) Reset() {
+	if len(s.order) > 0 {
+		panic("sim: Reset with waiters registered")
+	}
+	s.fired = false
+	s.val = nil
+}
+
+// waiterIndex returns p's index among the registered waiters, or -1.
+func (s *Signal) waiterIndex(p *Proc) int {
+	for i, w := range s.order {
+		if w == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// dropWaiter removes waiter i preserving registration order.
+func (s *Signal) dropWaiter(i int) {
+	s.order = append(s.order[:i], s.order[i+1:]...)
+	s.timers = append(s.timers[:i], s.timers[i+1:]...)
+}
 
 // Fire marks the signal fired with val and schedules every waiter to resume
 // at the current virtual time, in registration order. Firing twice panics:
@@ -33,23 +66,14 @@ func (s *Signal) Fire(val any) {
 	}
 	s.fired = true
 	s.val = val
-	for _, p := range s.order {
-		timer, ok := s.waiters[p]
-		if !ok {
-			continue // already timed out and removed
-		}
-		if timer != nil {
+	for i, p := range s.order {
+		if timer := s.timers[i]; timer != nil {
 			timer.Cancel()
 		}
-		delete(s.waiters, p)
-		s.k.wakeEvent(p, signalOutcome{fired: true, val: val})
+		s.k.wakeEvent(p, resumeMsg{sig: true, fired: true, val: val})
 	}
-	s.order = nil
-}
-
-type signalOutcome struct {
-	fired bool
-	val   any
+	s.order = s.order[:0]
+	s.timers = s.timers[:0]
 }
 
 // Wait blocks p until the signal fires, returning the fired value.
@@ -58,14 +82,13 @@ func (s *Signal) Wait(p *Proc) any {
 	if s.fired {
 		return s.val
 	}
-	s.waiters[p] = nil
 	s.order = append(s.order, p)
+	s.timers = append(s.timers, nil)
 	msg := p.park()
-	out, ok := msg.val.(signalOutcome)
-	if !ok {
+	if !msg.sig {
 		panic("sim: signal delivered value of unexpected type")
 	}
-	return out.val
+	return msg.val
 }
 
 // WaitTimeout blocks p until the signal fires or d seconds elapse.
@@ -77,18 +100,18 @@ func (s *Signal) WaitTimeout(p *Proc, d Time) (any, bool) {
 		return s.val, true
 	}
 	timer := s.k.Schedule(d, func() {
-		if _, ok := s.waiters[p]; !ok {
+		i := s.waiterIndex(p)
+		if i < 0 {
 			return // signal beat the timer
 		}
-		delete(s.waiters, p)
-		s.k.wake(p, resumeMsg{val: signalOutcome{fired: false}})
+		s.dropWaiter(i)
+		s.k.wake(p, resumeMsg{sig: true, fired: false})
 	})
-	s.waiters[p] = timer
 	s.order = append(s.order, p)
+	s.timers = append(s.timers, timer)
 	msg := p.park()
-	out, ok := msg.val.(signalOutcome)
-	if !ok {
+	if !msg.sig {
 		panic("sim: signal delivered value of unexpected type")
 	}
-	return out.val, out.fired
+	return msg.val, msg.fired
 }

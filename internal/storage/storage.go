@@ -5,10 +5,16 @@
 // Capacity is counted in files, matching the paper's equal-file-size
 // assumption (§2.2, assumption 8); byte-based accounting is the same
 // mechanism scaled by the constant file size.
+//
+// The implementation is dense and allocation-free on the hot path: the
+// recency order is an intrusive doubly-linked list over fixed slot arrays,
+// and per-file state (slot, reference count, batch pinning) lives in
+// arrays indexed by FileID that grow on demand. Earlier revisions used
+// container/list plus maps, whose per-insert allocations and hashing
+// dominated batch commits in simulation sweeps.
 package storage
 
 import (
-	"container/list"
 	"fmt"
 
 	"gridsched/internal/workload"
@@ -43,16 +49,30 @@ type Stats struct {
 	Inserts   int64
 }
 
+const noSlot = int32(-1)
+
 // Store is a bounded file cache. It is not safe for concurrent use; in the
 // simulator all access is serialized by the kernel, and the live runtime
 // wraps it in its own lock.
 type Store struct {
 	capacity int
 	policy   Policy
-	order    *list.List // front = most recently used
-	index    map[workload.FileID]*list.Element
-	refs     map[workload.FileID]int
 	stats    Stats
+
+	// Intrusive recency list over slots; head = most recently used. Slot
+	// arrays grow on demand up to capacity, so a store whose working set
+	// never fills its (possibly huge) capacity stays small.
+	next, prev []int32 // per allocated slot
+	fileAt     []int32 // per allocated slot: resident FileID
+	head, tail int32
+	count      int
+	freeHead   int32 // free-slot stack threaded through next
+
+	// Per-file state, indexed by FileID and grown on demand.
+	slot       []int32  // slot holding f, or noSlot
+	refs       []int32  // past references; survives eviction (site history)
+	batchEpoch []uint32 // pin marker: == epoch while f is in the batch
+	epoch      uint32
 }
 
 // New returns an empty store holding at most capacity files.
@@ -66,40 +86,84 @@ func New(capacity int, policy Policy) (*Store, error) {
 	return &Store{
 		capacity: capacity,
 		policy:   policy,
-		order:    list.New(),
-		index:    make(map[workload.FileID]*list.Element),
-		refs:     make(map[workload.FileID]int),
+		head:     noSlot,
+		tail:     noSlot,
+		freeHead: noSlot,
 	}, nil
+}
+
+// Reserve pre-sizes the per-file state for a universe of numFiles files
+// (ids in [0, numFiles)). Purely an allocation hint: the arrays grow on
+// demand anyway, but a caller that knows the workload's file universe
+// avoids the growth reallocations entirely.
+func (s *Store) Reserve(numFiles int) {
+	if numFiles > len(s.slot) {
+		s.grow(workload.FileID(numFiles - 1))
+	}
+}
+
+// grow extends the per-file arrays to cover f, at least doubling to keep
+// reallocation amortized.
+func (s *Store) grow(f workload.FileID) {
+	if int(f) < len(s.slot) {
+		return
+	}
+	want := int(f) + 1
+	if n := 2 * len(s.slot); n > want {
+		want = n
+	}
+	slot := make([]int32, want)
+	copy(slot, s.slot)
+	for i := len(s.slot); i < want; i++ {
+		slot[i] = noSlot
+	}
+	s.slot = slot
+	refs := make([]int32, want)
+	copy(refs, s.refs)
+	s.refs = refs
+	epochs := make([]uint32, want)
+	copy(epochs, s.batchEpoch)
+	s.batchEpoch = epochs
 }
 
 // Capacity returns the maximum number of resident files.
 func (s *Store) Capacity() int { return s.capacity }
 
 // Len returns the number of resident files.
-func (s *Store) Len() int { return s.order.Len() }
+func (s *Store) Len() int { return s.count }
 
 // Stats returns a copy of the activity counters.
 func (s *Store) Stats() Stats { return s.stats }
 
 // Contains reports whether f is resident.
 func (s *Store) Contains(f workload.FileID) bool {
-	_, ok := s.index[f]
-	return ok
+	return int(f) < len(s.slot) && s.slot[f] != noSlot
 }
 
 // References returns how many past task executions at this site referenced
 // f. The count survives eviction: it is site history, not cache state.
-func (s *Store) References(f workload.FileID) int { return s.refs[f] }
+func (s *Store) References(f workload.FileID) int {
+	if int(f) >= len(s.refs) {
+		return 0
+	}
+	return int(s.refs[f])
+}
 
 // Missing returns the subset of files not resident, preserving order.
 func (s *Store) Missing(files []workload.FileID) []workload.FileID {
-	var out []workload.FileID
+	return s.AppendMissing(nil, files)
+}
+
+// AppendMissing appends the non-resident subset of files to dst (order
+// preserved) and returns the extended slice — the allocation-free form of
+// Missing for callers with a reusable buffer.
+func (s *Store) AppendMissing(dst, files []workload.FileID) []workload.FileID {
 	for _, f := range files {
 		if !s.Contains(f) {
-			out = append(out, f)
+			dst = append(dst, f)
 		}
 	}
-	return out
+	return dst
 }
 
 // Overlap returns |files ∩ resident| — the paper's overlap cardinality
@@ -114,40 +178,105 @@ func (s *Store) Overlap(files []workload.FileID) int {
 	return n
 }
 
+// unlink removes slot i from the recency list.
+func (s *Store) unlink(i int32) {
+	if s.prev[i] != noSlot {
+		s.next[s.prev[i]] = s.next[i]
+	} else {
+		s.head = s.next[i]
+	}
+	if s.next[i] != noSlot {
+		s.prev[s.next[i]] = s.prev[i]
+	} else {
+		s.tail = s.prev[i]
+	}
+}
+
+// pushFront makes slot i the most recently used.
+func (s *Store) pushFront(i int32) {
+	s.prev[i] = noSlot
+	s.next[i] = s.head
+	if s.head != noSlot {
+		s.prev[s.head] = i
+	}
+	s.head = i
+	if s.tail == noSlot {
+		s.tail = i
+	}
+}
+
+// moveToFront refreshes slot i's recency.
+func (s *Store) moveToFront(i int32) {
+	if s.head == i {
+		return
+	}
+	s.unlink(i)
+	s.pushFront(i)
+}
+
+// insert makes f resident in a fresh slot at the front, allocating a new
+// slot while fewer than capacity exist.
+func (s *Store) insert(f workload.FileID) {
+	var i int32
+	if s.freeHead != noSlot {
+		i = s.freeHead
+		s.freeHead = s.next[i]
+	} else {
+		i = int32(len(s.next))
+		s.next = append(s.next, noSlot)
+		s.prev = append(s.prev, noSlot)
+		s.fileAt = append(s.fileAt, 0)
+	}
+	s.fileAt[i] = int32(f)
+	s.slot[f] = i
+	s.count++
+	s.pushFront(i)
+	s.stats.Inserts++
+}
+
 // CommitBatch makes every file in files resident and counts one reference
 // per file, evicting non-batch files as needed. It returns the files that
 // were fetched (previously missing) and the files evicted to make room.
 // The batch itself is never evicted: a task needs all its inputs resident
 // at once (assumption 5), so a batch larger than capacity is an error.
 func (s *Store) CommitBatch(files []workload.FileID) (fetched, evicted []workload.FileID, err error) {
+	return s.CommitBatchInto(files, nil, nil)
+}
+
+// CommitBatchInto is CommitBatch appending into caller-provided fetched and
+// evicted buffers (pass them length-zero), the allocation-free form for
+// hot dispatch paths. The returned slices alias the buffers.
+func (s *Store) CommitBatchInto(files, fetched, evicted []workload.FileID) ([]workload.FileID, []workload.FileID, error) {
 	if len(files) > s.capacity {
 		return nil, nil, fmt.Errorf("storage: batch of %d exceeds capacity %d", len(files), s.capacity)
 	}
-	inBatch := make(map[workload.FileID]struct{}, len(files))
+	s.epoch++
+	// Pass 1: pin (and count) the whole batch before any eviction below
+	// can run — the batch itself must never be evicted.
 	for _, f := range files {
-		inBatch[f] = struct{}{}
+		s.grow(f)
+		s.batchEpoch[f] = s.epoch
+		s.refs[f]++
 	}
 	for _, f := range files {
-		s.refs[f]++
-		if el, ok := s.index[f]; ok {
+		if i := s.slot[f]; i != noSlot {
 			s.stats.Hits++
 			if s.policy == LRU {
-				s.order.MoveToFront(el)
+				s.moveToFront(i)
 			}
 			continue
 		}
 		s.stats.Misses++
 		fetched = append(fetched, f)
 		// Make room, skipping batch members.
-		for s.order.Len() >= s.capacity {
-			victim := s.evictOne(inBatch)
+		for s.count >= s.capacity {
+			victim := s.evictOne(true)
 			if victim < 0 {
-				return nil, nil, fmt.Errorf("storage: cannot evict, all %d resident files belong to the batch", s.order.Len())
+				return nil, nil, fmt.Errorf("storage: cannot evict, all %d resident files belong to the batch", s.count)
 			}
 			evicted = append(evicted, victim)
 		}
-		s.index[f] = s.order.PushFront(f)
-		s.stats.Inserts++
+		s.insert(f)
 	}
 	return fetched, evicted, nil
 }
@@ -157,31 +286,35 @@ func (s *Store) CommitBatch(files []workload.FileID) (fetched, evicted []workloa
 // It reports whether the file was actually added (false if already
 // resident) and any file evicted to make room.
 func (s *Store) Preload(f workload.FileID) (added bool, evicted []workload.FileID) {
+	s.grow(f)
 	if s.Contains(f) {
 		return false, nil
 	}
-	for s.order.Len() >= s.capacity {
-		victim := s.evictOne(nil)
+	for s.count >= s.capacity {
+		victim := s.evictOne(false)
 		if victim < 0 {
 			return false, evicted // cannot happen with capacity >= 1
 		}
 		evicted = append(evicted, victim)
 	}
-	s.index[f] = s.order.PushFront(f)
-	s.stats.Inserts++
+	s.insert(f)
 	return true, evicted
 }
 
-// evictOne removes the least-recently-used (or oldest, under FIFO) file not
-// in keep. It returns -1 if every resident file is in keep.
-func (s *Store) evictOne(keep map[workload.FileID]struct{}) workload.FileID {
-	for el := s.order.Back(); el != nil; el = el.Prev() {
-		f := el.Value.(workload.FileID)
-		if _, pinned := keep[f]; pinned {
+// evictOne removes the least-recently-used (or oldest, under FIFO) file,
+// skipping current-batch members when pinBatch is set. It returns -1 if
+// every resident file is pinned.
+func (s *Store) evictOne(pinBatch bool) workload.FileID {
+	for i := s.tail; i != noSlot; i = s.prev[i] {
+		f := workload.FileID(s.fileAt[i])
+		if pinBatch && s.batchEpoch[f] == s.epoch {
 			continue
 		}
-		s.order.Remove(el)
-		delete(s.index, f)
+		s.unlink(i)
+		s.slot[f] = noSlot
+		s.count--
+		s.next[i] = s.freeHead
+		s.freeHead = i
 		s.stats.Evictions++
 		return f
 	}
@@ -191,9 +324,9 @@ func (s *Store) evictOne(keep map[workload.FileID]struct{}) workload.FileID {
 // Resident returns the resident files in recency order (most recent first).
 // It allocates a fresh slice.
 func (s *Store) Resident() []workload.FileID {
-	out := make([]workload.FileID, 0, s.order.Len())
-	for el := s.order.Front(); el != nil; el = el.Next() {
-		out = append(out, el.Value.(workload.FileID))
+	out := make([]workload.FileID, 0, s.count)
+	for i := s.head; i != noSlot; i = s.next[i] {
+		out = append(out, workload.FileID(s.fileAt[i]))
 	}
 	return out
 }

@@ -176,8 +176,11 @@ func (h *dijkstraHeap) Pop() any {
 }
 
 // RouteBetween returns the minimum-latency route from a to b, computed with
-// Dijkstra over link latencies and memoized. It returns an error if b is
-// unreachable from a.
+// Dijkstra over link latencies and memoized. A cache miss settles the whole
+// graph from a and caches the route to every reachable node — every
+// simulated transfer shares the file server as one endpoint, so the
+// per-destination routes would otherwise each pay a full Dijkstra anyway.
+// It returns an error if b is unreachable from a.
 func (g *Graph) RouteBetween(a, b NodeID) (*Route, error) {
 	key := [2]NodeID{a, b}
 	if r, ok := g.routeCache[key]; ok {
@@ -206,9 +209,6 @@ func (g *Graph) RouteBetween(a, b NodeID) (*Route, error) {
 			continue
 		}
 		settled[it.node] = true
-		if it.node == b {
-			break
-		}
 		for _, lid := range g.adj[it.node] {
 			next := g.Other(lid, it.node)
 			if settled[next] {
@@ -226,17 +226,23 @@ func (g *Graph) RouteBetween(a, b NodeID) (*Route, error) {
 	if prevLink[b] == unvisited {
 		return nil, fmt.Errorf("topology: node %d unreachable from %d", b, a)
 	}
-	var links []LinkID
-	for cur := b; cur != a; {
-		lid := prevLink[cur]
-		links = append(links, lid)
-		cur = g.Other(lid, cur)
+	for n := range g.Nodes {
+		node := NodeID(n)
+		if node == a || prevLink[node] == unvisited {
+			continue
+		}
+		var links []LinkID
+		for cur := node; cur != a; {
+			lid := prevLink[cur]
+			links = append(links, lid)
+			cur = g.Other(lid, cur)
+		}
+		// Reverse into a-to-destination order.
+		for i, j := 0, len(links)-1; i < j; i, j = i+1, j-1 {
+			links[i], links[j] = links[j], links[i]
+		}
+		g.routeCache[[2]NodeID{a, node}] = &Route{Links: links, Latency: dist[node]}
 	}
-	// Reverse into a-to-b order.
-	for i, j := 0, len(links)-1; i < j; i, j = i+1, j-1 {
-		links[i], links[j] = links[j], links[i]
-	}
-	r := &Route{Links: links, Latency: dist[b]}
-	g.routeCache[key] = r
+	r := g.routeCache[key]
 	return r, nil
 }
