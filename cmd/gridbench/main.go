@@ -7,6 +7,10 @@
 //	gridbench                  # run everything, write BENCH_PR2.json
 //	gridbench -bench Figure    # filter by regexp
 //	gridbench -out bench.json  # choose the output file
+//	gridbench -baseline BENCH_PR2.json -max-regress 0.25
+//	                           # regression guard: exit nonzero if any
+//	                           # benchmark present in the baseline got
+//	                           # more than 25% slower (ns/op)
 //
 // Each entry records the benchmark name, iterations, ns/op, bytes/op and
 // allocs/op, plus enough environment metadata to compare runs. The
@@ -25,6 +29,7 @@ import (
 	"testing"
 
 	"gridsched/internal/benchsuite"
+	"gridsched/internal/journal"
 )
 
 type result struct {
@@ -54,8 +59,10 @@ func main() {
 func run(args []string, stdout *os.File) error {
 	fs := flag.NewFlagSet("gridbench", flag.ContinueOnError)
 	var (
-		out    = fs.String("out", "BENCH_PR2.json", "output JSON file")
-		filter = fs.String("bench", "", "regexp selecting benchmarks to run (default: all)")
+		out      = fs.String("out", "BENCH_PR2.json", "output JSON file")
+		filter   = fs.String("bench", "", "regexp selecting benchmarks to run (default: all)")
+		baseline = fs.String("baseline", "", "baseline JSON to compare against (regression guard)")
+		maxReg   = fs.Float64("max-regress", 0.25, "with -baseline: fail when ns/op regresses by more than this fraction")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +80,8 @@ func run(args []string, stdout *os.File) error {
 		{"EndToEndSimulation", benchsuite.EndToEndSimulation},
 		{"WorkloadGeneration", benchsuite.WorkloadGeneration},
 		{"ServiceDispatchInProcess", benchsuite.ServiceDispatchInProcess},
+		{"ServiceDispatchJournaled/batch", benchsuite.ServiceDispatchJournaled(journal.SyncBatch)},
+		{"ServiceDispatchJournaled/always", benchsuite.ServiceDispatchJournaled(journal.SyncAlways)},
 	}
 
 	var re *regexp.Regexp
@@ -115,5 +124,47 @@ func run(args []string, stdout *os.File) error {
 		return err
 	}
 	fmt.Fprintln(stdout, "wrote", *out)
+	if *baseline != "" {
+		return compareBaseline(stdout, *baseline, rep.Results, *maxReg)
+	}
+	return nil
+}
+
+// compareBaseline is the CI regression guard: every benchmark present in
+// both the baseline and this run must stay within (1+maxRegress)× the
+// baseline ns/op. Benchmarks only on one side are reported and skipped —
+// new benchmarks get a baseline when the committed file is next refreshed.
+func compareBaseline(stdout *os.File, path string, results []result, maxRegress float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	baseBy := make(map[string]result, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[r.Name] = r
+	}
+	failures := 0
+	for _, r := range results {
+		b, ok := baseBy[r.Name]
+		if !ok || b.NsPerOp <= 0 {
+			fmt.Fprintf(stdout, "%-28s not in baseline; skipped\n", r.Name)
+			continue
+		}
+		ratio := r.NsPerOp/b.NsPerOp - 1
+		verdict := "ok"
+		if ratio > maxRegress {
+			verdict = "REGRESSION"
+			failures++
+		}
+		fmt.Fprintf(stdout, "%-28s %+7.1f%% vs baseline (%.0f -> %.0f ns/op, limit +%.0f%%) %s\n",
+			r.Name, ratio*100, b.NsPerOp, r.NsPerOp, maxRegress*100, verdict)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% versus %s", failures, maxRegress*100, path)
+	}
 	return nil
 }

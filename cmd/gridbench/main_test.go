@@ -36,3 +36,40 @@ func TestRunRejectsBadRegexp(t *testing.T) {
 		t.Fatal("accepted malformed regexp")
 	}
 }
+
+func writeBaseline(t *testing.T, results []result) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	data, err := json.Marshal(report{Results: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareBaseline pins the regression-guard arithmetic without running
+// any real benchmark.
+func TestCompareBaseline(t *testing.T) {
+	base := writeBaseline(t, []result{
+		{Name: "A", NsPerOp: 1000},
+		{Name: "B", NsPerOp: 1000},
+	})
+	within := []result{
+		{Name: "A", NsPerOp: 1200},   // +20% <= 25%: fine
+		{Name: "B", NsPerOp: 900},    // faster: fine
+		{Name: "New", NsPerOp: 5000}, // not in baseline: skipped
+	}
+	if err := compareBaseline(os.Stdout, base, within, 0.25); err != nil {
+		t.Fatalf("within-threshold run failed the guard: %v", err)
+	}
+	over := []result{{Name: "A", NsPerOp: 1300}} // +30% > 25%
+	if err := compareBaseline(os.Stdout, base, over, 0.25); err == nil {
+		t.Fatal("30% regression passed a 25% guard")
+	}
+	if err := compareBaseline(os.Stdout, filepath.Join(t.TempDir(), "missing.json"), over, 0.25); err == nil {
+		t.Fatal("missing baseline file not reported")
+	}
+}

@@ -7,7 +7,16 @@
 // Usage:
 //
 //	gridschedd -addr :8080 -sites 10 -workers 4 -capacity 6000 -lease 15s
+//	gridschedd -data-dir /var/lib/gridschedd          # durable: journal + snapshots
+//	gridschedd -data-dir d -fsync always              # fsync before every acknowledgement
+//	gridschedd -data-dir d -snapshot-every 10000      # compaction cadence in journal records
 //	gridschedd -pprof   # also serve net/http/pprof under /debug/pprof/
+//
+// With -data-dir, every externally visible mutation is journaled before it
+// is acknowledged and a restart replays snapshot+journal, reconstructing
+// queues, leases-turned-requeues, and scheduler state (including the
+// randomized dispatch stream) exactly; workers reconnect by re-registering
+// (the Go client does this transparently). See README "Operations".
 //
 // Then, from anywhere:
 //
@@ -31,6 +40,7 @@ import (
 	"time"
 
 	"gridsched"
+	"gridsched/internal/journal"
 	"gridsched/internal/storage"
 )
 
@@ -57,6 +67,10 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 		lease    = fs.Duration("lease", 15*time.Second, "worker/assignment lease TTL")
 		sweep    = fs.Duration("sweep", 0, "lease sweep interval (0: lease/4)")
 		pprof    = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		dataDir  = fs.String("data-dir", "", "journal+snapshot directory; empty disables durability")
+		fsync    = fs.String("fsync", "batch", "journal fsync mode: always, batch or never")
+		fsyncInt = fs.Duration("fsync-interval", 25*time.Millisecond, "batch-mode fsync cadence")
+		snapshot = fs.Int("snapshot-every", 4096, "journal records between compacting snapshots")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,7 +84,12 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 	default:
 		return fmt.Errorf("unknown policy %q (want lru or fifo)", *policy)
 	}
+	mode, err := journal.ParseMode(*fsync)
+	if err != nil {
+		return err
+	}
 
+	recoverStart := time.Now()
 	svc, err := gridsched.NewService(gridsched.ServiceConfig{
 		Topology: gridsched.ServiceTopology{
 			Sites:          *sites,
@@ -80,11 +99,19 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 		},
 		LeaseTTL:      *lease,
 		SweepInterval: *sweep,
+		DataDir:       *dataDir,
+		Fsync:         mode,
+		FsyncInterval: *fsyncInt,
+		SnapshotEvery: *snapshot,
 	})
 	if err != nil {
 		return err
 	}
 	defer svc.Close()
+	if *dataDir != "" {
+		log.Printf("gridschedd: recovered %s in %s (fsync=%s, snapshot every %d records)",
+			*dataDir, time.Since(recoverStart).Round(time.Millisecond), mode, *snapshot)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -45,6 +45,7 @@ func run(ctx context.Context, args []string) error {
 		poll    = fs.Duration("poll", 2*time.Second, "long-poll budget per pull")
 		oneShot = fs.Bool("exit-when-idle", false, "exit once no jobs remain open")
 		quiet   = fs.Bool("quiet", false, "suppress per-task logging")
+		reconn  = fs.Duration("reconnect", 0, "retry interval across server outages (0: fail fast)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,7 +62,8 @@ func run(ctx context.Context, args []string) error {
 		go func() {
 			defer wg.Done()
 			cfg := client.WorkerConfig{
-				PollWait: *poll,
+				PollWait:      *poll,
+				ReconnectWait: *reconn,
 				Execute: func(execCtx context.Context, ref core.WorkerRef, a *api.Assignment) error {
 					if d := *taskDur * time.Duration(len(a.Task.Files)); d > 0 {
 						select {

@@ -16,10 +16,12 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"os"
 	"testing"
 
 	"gridsched"
 	"gridsched/internal/core"
+	"gridsched/internal/journal"
 	"gridsched/internal/service"
 	"gridsched/internal/service/api"
 	"gridsched/internal/service/client"
@@ -121,10 +123,42 @@ func WorkloadGeneration(b *testing.B) {
 // against. Close it when done.
 func NewDispatchService() *service.Service {
 	svc, err := service.New(service.Config{
-		Topology: service.Topology{Sites: 4, WorkersPerSite: 4, CapacityFiles: 1024},
+		Topology:     service.Topology{Sites: 4, WorkersPerSite: 4, CapacityFiles: 1024},
+		NewScheduler: gridsched.SchedulerFactory(),
 	})
 	must(err, "service")
 	return svc
+}
+
+// NewJournaledDispatchService is NewDispatchService with the write-ahead
+// journal enabled at the given fsync mode, over a throwaway data dir
+// (remove it after Close). Snapshots are pushed out of the measurement
+// window: they are a compaction cost with their own cadence knob, and
+// PERFORMANCE.md tracks the per-dispatch journal overhead.
+func NewJournaledDispatchService(mode journal.Mode) (*service.Service, string) {
+	dir, err := os.MkdirTemp("", "gridsched-bench-journal-*")
+	must(err, "journal dir")
+	svc, err := service.New(service.Config{
+		Topology:      service.Topology{Sites: 4, WorkersPerSite: 4, CapacityFiles: 1024},
+		NewScheduler:  gridsched.SchedulerFactory(),
+		DataDir:       dir,
+		Fsync:         mode,
+		SnapshotEvery: 1 << 30,
+	})
+	must(err, "journaled service")
+	return svc, dir
+}
+
+// ServiceDispatchJournaled measures the dispatch round-trip with the
+// write-ahead journal on — the number the "within 2x of the in-memory
+// path" acceptance bar reads.
+func ServiceDispatchJournaled(mode journal.Mode) func(b *testing.B) {
+	return func(b *testing.B) {
+		svc, dir := NewJournaledDispatchService(mode)
+		defer os.RemoveAll(dir)
+		defer svc.Close()
+		DispatchRoundTrip(b, client.InProcess(svc.Handler()))
+	}
 }
 
 // dispatchWorkload: one file per task so staging cost is constant and the
@@ -142,13 +176,13 @@ func dispatchWorkload(tasks int) *workload.Workload {
 
 // DispatchRoundTrip measures the pull→assign→report round-trip through
 // the full HTTP/JSON protocol against the given client.
-func DispatchRoundTrip(b *testing.B, svc *service.Service, cl *client.Client) {
+func DispatchRoundTrip(b *testing.B, cl *client.Client) {
 	ctx := context.Background()
 	reg, err := cl.Register(ctx, nil)
 	must(err, "register")
 	submit := func() {
 		w := dispatchWorkload(100_000)
-		_, err := svc.Submit("bench", "workqueue", w, core.NewWorkqueue(w))
+		_, err := cl.SubmitJob(ctx, "bench", "workqueue", 0, w)
 		must(err, "submit")
 	}
 	submit()
@@ -172,7 +206,7 @@ func DispatchRoundTrip(b *testing.B, svc *service.Service, cl *client.Client) {
 func ServiceDispatchInProcess(b *testing.B) {
 	svc := NewDispatchService()
 	defer svc.Close()
-	DispatchRoundTrip(b, svc, client.InProcess(svc.Handler()))
+	DispatchRoundTrip(b, client.InProcess(svc.Handler()))
 }
 
 // Handler exposes the service handler type for TCP variants without

@@ -122,6 +122,24 @@ type Scheduler interface {
 	Remaining() int
 }
 
+// Replayer is optionally implemented by schedulers whose NextFor takes
+// decisions that a journal replay (internal/service recovery) cannot
+// reproduce by re-asking: ReplayAssign forces the state transition NextFor
+// performed when it assigned task id to the worker at ref.
+//
+// Schedulers that do not implement it are replayed by calling NextFor and
+// verifying the returned task — exact for WorkerCentric (whose NextFor
+// mutates state, including its RNG, only when it assigns, so replaying the
+// assignment sequence reproduces every random draw) and for Workqueue
+// (whose only off-assignment mutation, popping completed retry entries, is
+// order-insensitive). StorageAffinity implements Replayer because its
+// NextFor also advances per-worker queue cursors on calls that end in
+// Wait; those probe calls are not journaled, so a re-asked NextFor could
+// legally pick a different task than the recorded run did.
+type Replayer interface {
+	ReplayAssign(id workload.TaskID, at WorkerRef) error
+}
+
 // fileIndex maps every file to the tasks referencing it, plus per-task file
 // counts. It is immutable after construction, shared by all site mirrors,
 // and cached per workload (the experiment harness constructs many

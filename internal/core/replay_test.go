@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"gridsched/internal/workload"
+)
+
+// sharedWorkload builds tasks tasks of filesPer files each with wrapping
+// file ids, so neighbors share inputs and the affinity draft has structure.
+func sharedWorkload(tasks, filesPer int) *workload.Workload {
+	numFiles := tasks*filesPer/2 + filesPer
+	w := &workload.Workload{Name: "replay", NumFiles: numFiles}
+	for i := 0; i < tasks; i++ {
+		task := workload.Task{ID: workload.TaskID(i)}
+		for f := 0; f < filesPer; f++ {
+			task.Files = append(task.Files, workload.FileID((i*filesPer/2+f)%numFiles))
+		}
+		w.Tasks = append(w.Tasks, task)
+	}
+	return w
+}
+
+// replayEvent is one scheduler-affecting step of a recorded run, the shape
+// a service journal replays: assignments plus completion/failure reports.
+type replayEvent struct {
+	op   int // 0 assign, 1 complete, 2 fail
+	task workload.TaskID
+	at   WorkerRef
+}
+
+// driveStorageAffinity runs a randomized service-like loop against s:
+// workers pull (one assignment per worker at a time), executions complete
+// or fail, replicas get cancelled. NextFor calls that end without an
+// assignment are deliberately NOT recorded — the service does not journal
+// them either — so the recorded log has exactly the information recovery
+// has. Returns the event log after stopAfter events or job drain.
+func driveStorageAffinity(s *StorageAffinity, rng *rand.Rand, sites, workersPer, stopAfter int) []replayEvent {
+	type exec struct {
+		task workload.TaskID
+		at   WorkerRef
+	}
+	var log []replayEvent
+	var running []exec
+	idle := func(at WorkerRef) bool {
+		for _, e := range running {
+			if e.at == at {
+				return false
+			}
+		}
+		return true
+	}
+	for guard := 0; len(log) < stopAfter && s.Remaining() > 0 && guard < 100000; guard++ {
+		if rng.Intn(2) == 0 || len(running) == 0 {
+			at := WorkerRef{Site: rng.Intn(sites), Worker: rng.Intn(workersPer)}
+			if !idle(at) {
+				continue
+			}
+			task, status := s.NextFor(at)
+			if status != Assigned {
+				continue
+			}
+			log = append(log, replayEvent{op: 0, task: task.ID, at: at})
+			running = append(running, exec{task: task.ID, at: at})
+			continue
+		}
+		i := rng.Intn(len(running))
+		e := running[i]
+		running = append(running[:i], running[i+1:]...)
+		if s.completed[e.task] {
+			continue // replica obsoleted by an earlier completion
+		}
+		if rng.Intn(4) == 0 {
+			log = append(log, replayEvent{op: 2, task: e.task, at: e.at})
+			s.OnExecutionFailed(e.task, e.at)
+			continue
+		}
+		log = append(log, replayEvent{op: 1, task: e.task, at: e.at})
+		cancel := s.OnTaskComplete(e.task, e.at)
+		for _, ref := range cancel {
+			for j, r := range running {
+				if r.at == ref && r.task == e.task {
+					running = append(running[:j], running[j+1:]...)
+					break
+				}
+			}
+		}
+	}
+	return log
+}
+
+// TestStorageAffinityReplayAssignReproducesRun rebuilds a scheduler from a
+// recorded event log via ReplayAssign and asserts (a) every dispatch-state
+// component except the queue cursors matches the original instance exactly,
+// and (b) the rebuilt instance drains the remainder of the job to
+// completion with every task completed exactly once — the correctness
+// property recovery must preserve even where cursor drift (see the
+// ReplayAssign comment) lets it pick differently than the original would.
+func TestStorageAffinityReplayAssignReproducesRun(t *testing.T) {
+	const sites, workersPer, tasks = 3, 2, 60
+	w := sharedWorkload(tasks, 6)
+	cfg := StorageAffinityConfig{
+		Sites: sites, WorkersPerSite: workersPer,
+		CapacityFiles: 40, Policy: 1, MaxReplicas: 2,
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		original, err := NewStorageAffinity(w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for site := 0; site < sites; site++ {
+			original.AttachSite(site)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		log := driveStorageAffinity(original, rng, sites, workersPer, 90)
+
+		rebuilt, err := NewStorageAffinity(w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for site := 0; site < sites; site++ {
+			rebuilt.AttachSite(site)
+		}
+		for i, e := range log {
+			switch e.op {
+			case 0:
+				if err := rebuilt.ReplayAssign(e.task, e.at); err != nil {
+					t.Fatalf("seed %d event %d: %v", seed, i, err)
+				}
+			case 1:
+				rebuilt.OnTaskComplete(e.task, e.at)
+			case 2:
+				rebuilt.OnExecutionFailed(e.task, e.at)
+			}
+		}
+
+		if got, want := rebuilt.Remaining(), original.Remaining(); got != want {
+			t.Fatalf("seed %d: remaining %d after replay, want %d", seed, got, want)
+		}
+		for id := range w.Tasks {
+			tid := workload.TaskID(id)
+			if rebuilt.completed[id] != original.completed[id] {
+				t.Fatalf("seed %d: task %d completed=%v, want %v", seed, id, rebuilt.completed[id], original.completed[id])
+			}
+			if rebuilt.started[id] != original.started[id] {
+				t.Fatalf("seed %d: task %d started=%v, want %v", seed, id, rebuilt.started[id], original.started[id])
+			}
+			a, b := rebuilt.running[tid], original.running[tid]
+			if len(a) != len(b) {
+				t.Fatalf("seed %d: task %d running %v, want %v", seed, id, a, b)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("seed %d: task %d running %v, want %v", seed, id, a, b)
+				}
+			}
+		}
+		for site := 0; site < sites; site++ {
+			if rebuilt.unstarted[site] != original.unstarted[site] {
+				t.Fatalf("seed %d: site %d unstarted %d, want %d", seed, site, rebuilt.unstarted[site], original.unstarted[site])
+			}
+		}
+
+		// Drain the rebuilt instance: every incomplete task must complete
+		// exactly once; nothing may be lost or completed twice.
+		completions := make([]int, tasks)
+		for id, done := range rebuilt.completed {
+			if done {
+				completions[id] = 1
+			}
+		}
+		crng := rand.New(rand.NewSource(seed + 100))
+		for step := 0; rebuilt.Remaining() > 0; step++ {
+			if step > 100000 {
+				t.Fatalf("seed %d: drain did not converge (remaining %d)", seed, rebuilt.Remaining())
+			}
+			at := WorkerRef{Site: crng.Intn(sites), Worker: crng.Intn(workersPer)}
+			task, status := rebuilt.NextFor(at)
+			if status != Assigned {
+				continue
+			}
+			if !rebuilt.completed[task.ID] {
+				completions[task.ID]++
+			}
+			rebuilt.OnTaskComplete(task.ID, at)
+		}
+		for id, n := range completions {
+			if n != 1 {
+				t.Fatalf("seed %d: task %d completed %d times", seed, id, n)
+			}
+		}
+	}
+}

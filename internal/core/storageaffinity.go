@@ -72,7 +72,10 @@ type StorageAffinity struct {
 	remaining int
 }
 
-var _ Scheduler = (*StorageAffinity)(nil)
+var (
+	_ Scheduler = (*StorageAffinity)(nil)
+	_ Replayer  = (*StorageAffinity)(nil)
+)
 
 // NewStorageAffinity builds the baseline scheduler.
 func NewStorageAffinity(w *workload.Workload, cfg StorageAffinityConfig) (*StorageAffinity, error) {
@@ -349,6 +352,57 @@ func (s *StorageAffinity) alreadyRunningAt(id workload.TaskID, at WorkerRef) boo
 		}
 	}
 	return false
+}
+
+// ReplayAssign implements Replayer: force the assignment of task id to the
+// worker at ref, reproducing what NextFor did when the assignment was first
+// made (journal recovery, internal/service).
+//
+// The own-queue scan mirrors NextFor: entries ahead of id that NextFor
+// would have skipped (completed, or started and replica-capped) are
+// consumed so the cursor converges to the original run's position. The
+// cursor may still lag it — NextFor also consumes skippable entries on
+// calls that end in Wait, and those probes are not journaled — so when id
+// is not reachable over currently-skippable entries the assignment is
+// applied as a steal/replica instead, leaving the queue untouched. The
+// divergence is bounded to the cursor: a left-behind entry is either
+// consumed later by the same skips the original run made, or re-dispatched
+// as a legal extra replica; completed entries are always skipped. Pending
+// membership, the running set, and the completion set — everything the
+// dispatch weights read — replay exactly.
+func (s *StorageAffinity) ReplayAssign(id workload.TaskID, at WorkerRef) error {
+	if !s.assigned {
+		if err := s.initialAssign(); err != nil {
+			return err
+		}
+		s.assigned = true
+	}
+	if at.Site < 0 || at.Site >= s.cfg.Sites || at.Worker < 0 || at.Worker >= s.cfg.WorkersPerSite {
+		return fmt.Errorf("core: replay assign %d at %+v outside configured pool", id, at)
+	}
+	if int(id) < 0 || int(id) >= len(s.w.Tasks) {
+		return fmt.Errorf("core: replay assign unknown task %d", id)
+	}
+	if s.completed[id] {
+		return fmt.Errorf("core: replay assign of completed task %d", id)
+	}
+	q := s.queues[at.Site][at.Worker]
+	head := &s.qHead[at.Site][at.Worker]
+	for *head < len(q) {
+		qid := q[*head]
+		if qid == id {
+			*head++
+			break
+		}
+		if s.completed[qid] || (s.started[qid] && len(s.running[qid]) >= s.cfg.MaxReplicas) {
+			*head++
+			continue
+		}
+		break // blocked by a live entry: the dispatch was a steal/replica
+	}
+	s.markStarted(id)
+	s.running[id] = append(s.running[id], at)
+	return nil
 }
 
 // OnExecutionFailed implements Scheduler: the failed execution leaves the

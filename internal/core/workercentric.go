@@ -765,4 +765,3 @@ func (f *fenwick) kth(k int) workload.TaskID {
 	}
 	return workload.TaskID(pos) // 0-based: internal pos+1 - 1
 }
-

@@ -1,0 +1,297 @@
+package journal_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"gridsched/internal/journal"
+)
+
+func openWriter(t *testing.T, path string, mode journal.Mode, lastLSN uint64, validSize int64) *journal.Writer {
+	t.Helper()
+	w, err := journal.OpenWriter(path, mode, time.Millisecond, lastLSN, validSize, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func readAll(t *testing.T, path string, afterLSN uint64) (journal.LogInfo, []string) {
+	t.Helper()
+	var got []string
+	info, err := journal.ReadLog(path, afterLSN, func(lsn uint64, payload []byte) error {
+		got = append(got, fmt.Sprintf("%d:%s", lsn, payload))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info, got
+}
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w := openWriter(t, path, journal.SyncAlways, 0, 0)
+	for i := 0; i < 5; i++ {
+		lsn, err := w.Append([]byte(fmt.Sprintf("rec%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("lsn = %d, want %d", lsn, i+1)
+		}
+		if err := w.WaitDurable(lsn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	info, got := readAll(t, path, 0)
+	if info.Torn || info.LastLSN != 5 || info.Records != 5 {
+		t.Fatalf("info = %+v", info)
+	}
+	want := []string{"1:rec0", "2:rec1", "3:rec2", "4:rec3", "5:rec4"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+
+	// afterLSN skips the covered prefix.
+	if _, got := readAll(t, path, 3); len(got) != 2 || got[0] != "4:rec3" {
+		t.Fatalf("after 3: %v", got)
+	}
+}
+
+func TestTornTailIsTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w := openWriter(t, path, journal.SyncNever, 0, 0)
+	for i := 0; i < 3; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("rec%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: a partial frame at the tail.
+	for _, tail := range [][]byte{
+		{0x10}, // short header
+		{0x10, 0, 0, 0, 1, 2, 3, 4, 9, 0, 0, 0, 0, 0, 0, 0, 'x'}, // short payload
+	} {
+		whole, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(append([]byte{}, whole...), tail...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		info, got := readAll(t, path, 0)
+		if !info.Torn || len(got) != 3 || info.LastLSN != 3 {
+			t.Fatalf("tail %v: info %+v records %v", tail, info, got)
+		}
+		// Reopening truncates the garbage and appends cleanly after it.
+		w := openWriter(t, path, journal.SyncNever, info.LastLSN, info.ValidSize)
+		if _, err := w.Append([]byte("next")); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		info, got = readAll(t, path, 0)
+		if info.Torn || len(got) != 4 || got[3] != "4:next" {
+			t.Fatalf("after reopen: info %+v records %v", info, got)
+		}
+		// Restore the 3-record file for the next tail variant.
+		if err := os.WriteFile(path, whole, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestTornMagicSelfHeals: a crash during the very first OpenWriter can
+// leave a short header; the log must reset itself, not brick recovery.
+func TestTornMagicSelfHeals(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	if err := os.WriteFile(path, []byte("GSW"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	info, got := readAll(t, path, 0)
+	if !info.Torn || info.ValidSize != 0 || len(got) != 0 {
+		t.Fatalf("info %+v records %v", info, got)
+	}
+	w := openWriter(t, path, journal.SyncNever, info.LastLSN, info.ValidSize)
+	if _, err := w.Append([]byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, got = readAll(t, path, 0)
+	if info.Torn || len(got) != 1 || got[0] != "1:fresh" {
+		t.Fatalf("after self-heal: info %+v records %v", info, got)
+	}
+}
+
+func TestCorruptPayloadStopsScan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w := openWriter(t, path, journal.SyncNever, 0, 0)
+	for i := 0; i < 3; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("record-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the last record's payload: CRC must catch it.
+	data[len(data)-2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	info, got := readAll(t, path, 0)
+	if !info.Torn || len(got) != 2 || info.LastLSN != 2 {
+		t.Fatalf("info %+v records %v", info, got)
+	}
+}
+
+func TestRotateContinuesLSN(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w := openWriter(t, path, journal.SyncNever, 0, 0)
+	if _, err := w.Append([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := w.Append([]byte("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 3 {
+		t.Fatalf("post-rotate lsn = %d, want 3", lsn)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, got := readAll(t, path, 0)
+	if info.Torn || len(got) != 1 || got[0] != "3:c" {
+		t.Fatalf("info %+v records %v", info, got)
+	}
+}
+
+func TestAbandonKeepsAppendedRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w := openWriter(t, path, journal.SyncBatch, 0, 0)
+	if _, err := w.Append([]byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	w.Abandon() // SIGKILL equivalent: no sync, no snapshot
+	info, got := readAll(t, path, 0)
+	if info.Torn || len(got) != 1 || got[0] != "1:kept" {
+		t.Fatalf("info %+v records %v", info, got)
+	}
+	if _, err := w.Append([]byte("x")); err == nil {
+		t.Fatal("append after abandon succeeded")
+	}
+}
+
+func TestGroupCommitConcurrentWaiters(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	var met journal.Metrics
+	w, err := journal.OpenWriter(path, journal.SyncAlways, time.Millisecond, 0, 0, &met)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lsn, err := w.Append([]byte(fmt.Sprintf("r%d", i)))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = w.WaitDurable(lsn)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("waiter %d: %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := met.Records.Load(); got != n {
+		t.Fatalf("records metric = %d, want %d", got, n)
+	}
+	// Group commit: far fewer fsyncs than records (usually a handful).
+	if got := met.Fsyncs.Load(); got > n {
+		t.Fatalf("fsyncs = %d, expected batching below %d", got, n)
+	}
+	info, got := readAll(t, path, 0)
+	if info.Torn || len(got) != n {
+		t.Fatalf("info %+v, %d records", info, len(got))
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap")
+	if err := journal.WriteFileAtomic(path, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := journal.WriteFileAtomic(path, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, []byte("two")) {
+		t.Fatalf("content %q", data)
+	}
+	ents, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("temp files left behind: %v", ents)
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for in, want := range map[string]journal.Mode{
+		"always": journal.SyncAlways,
+		"batch":  journal.SyncBatch,
+		"":       journal.SyncBatch,
+		"never":  journal.SyncNever,
+	} {
+		got, err := journal.ParseMode(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseMode(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := journal.ParseMode("sometimes"); err == nil {
+		t.Fatal("accepted bad mode")
+	}
+}

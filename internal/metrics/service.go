@@ -34,6 +34,17 @@ type ServiceCounters struct {
 	DispatchNanos    atomic.Int64
 	DispatchCount    atomic.Int64
 	DispatchMaxNanos atomic.Int64
+
+	// Persistence metrics (zero when the service runs without -data-dir):
+	// journal activity counters plus recovery and snapshot gauges.
+	JournalRecords   atomic.Int64 // records appended to the write-ahead log
+	JournalBytes     atomic.Int64 // frame bytes written to the log
+	JournalFsyncs    atomic.Int64 // fsync(2) calls issued by the log writer
+	Snapshots        atomic.Int64 // snapshots written
+	SnapshotBytes    atomic.Int64 // size of the most recent snapshot
+	ReplayRecords    atomic.Int64 // snapshot ledger + log records replayed at startup
+	ReplayNanos      atomic.Int64 // time the startup replay took
+	RecoveredExpired atomic.Int64 // in-flight leases expired by recovery
 }
 
 // ObserveDispatch folds one dispatch duration into the latency summary.
@@ -71,6 +82,13 @@ func (c *ServiceCounters) WriteText(w io.Writer) error {
 		{"gridsched_active_workers", "gauge", c.ActiveWorkers.Load()},
 		{"gridsched_active_leases", "gauge", c.ActiveLeases.Load()},
 		{"gridsched_open_jobs", "gauge", c.OpenJobs.Load()},
+		{"gridsched_journal_records_total", "counter", c.JournalRecords.Load()},
+		{"gridsched_journal_bytes_total", "counter", c.JournalBytes.Load()},
+		{"gridsched_journal_fsyncs_total", "counter", c.JournalFsyncs.Load()},
+		{"gridsched_snapshots_total", "counter", c.Snapshots.Load()},
+		{"gridsched_snapshot_bytes", "gauge", c.SnapshotBytes.Load()},
+		{"gridsched_replay_records", "gauge", c.ReplayRecords.Load()},
+		{"gridsched_recovered_expired_leases", "gauge", c.RecoveredExpired.Load()},
 	} {
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", m.name, m.kind, m.name, m.v); err != nil {
 			return err
@@ -89,5 +107,8 @@ func (c *ServiceCounters) WriteText(w io.Writer) error {
 		float64(c.DispatchMaxNanos.Load())/nsPerSec); err != nil {
 		return err
 	}
-	return nil
+	_, err := fmt.Fprintf(w,
+		"# TYPE gridsched_replay_seconds gauge\ngridsched_replay_seconds %g\n",
+		float64(c.ReplayNanos.Load())/nsPerSec)
+	return err
 }

@@ -64,6 +64,14 @@ type SubmitJobRequest struct {
 	Algorithm string             `json:"algorithm"`
 	Seed      int64              `json:"seed,omitempty"`
 	Workload  *workload.Workload `json:"workload"`
+	// SubmissionID is an optional client-chosen idempotency key: a
+	// resubmission carrying the same key returns the original job's id
+	// instead of creating a duplicate. This is what makes retrying a
+	// submission safe when the acknowledgement was lost to a connection
+	// failure or a server restart (the Go client generates one per
+	// SubmitJob call). On a journaled server the key survives restarts
+	// until its job is deleted.
+	SubmissionID string `json:"submissionId,omitempty"`
 }
 
 // SubmitJobResponse acknowledges a submission.

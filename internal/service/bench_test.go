@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"gridsched/internal/benchsuite"
+	"gridsched/internal/journal"
 	"gridsched/internal/service/client"
 )
 
@@ -24,5 +25,18 @@ func BenchmarkDispatchRoundTripTCP(b *testing.B) {
 	b.Cleanup(svc.Close)
 	ts := httptest.NewServer(benchsuite.Handler(svc))
 	b.Cleanup(ts.Close)
-	benchsuite.DispatchRoundTrip(b, svc, client.New(ts.URL, nil))
+	benchsuite.DispatchRoundTrip(b, client.New(ts.URL, nil))
+}
+
+// BenchmarkDispatchRoundTripJournaledBatch: in-process dispatch with the
+// write-ahead journal at -fsync=batch — the acceptance bar is within 2x of
+// BenchmarkDispatchRoundTripInProcess (see PERFORMANCE.md).
+func BenchmarkDispatchRoundTripJournaledBatch(b *testing.B) {
+	benchsuite.ServiceDispatchJournaled(journal.SyncBatch)(b)
+}
+
+// BenchmarkDispatchRoundTripJournaledAlways: every acknowledgement behind
+// a (group-committed) fsync; the machine-crash-durable configuration.
+func BenchmarkDispatchRoundTripJournaledAlways(b *testing.B) {
+	benchsuite.ServiceDispatchJournaled(journal.SyncAlways)(b)
 }

@@ -8,7 +8,10 @@ package client
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -23,6 +26,15 @@ import (
 type Client struct {
 	base string
 	http *http.Client
+
+	// ResubmitWindow bounds how long SubmitJob keeps resubmitting through
+	// transient failures (connection refused/reset, server restarting)
+	// before giving up. Every attempt carries the same generated
+	// submission id, so a retry whose predecessor actually landed — the
+	// acknowledgement was what got lost — resolves to the existing job
+	// instead of a duplicate. Zero means the 15s default; negative
+	// disables retrying.
+	ResubmitWindow time.Duration
 }
 
 // New builds a client for the server at base (e.g. "http://host:8080").
@@ -83,13 +95,67 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 }
 
 // SubmitJob submits a workload under the given algorithm name and returns
-// the job id.
+// the job id. The submission is idempotent: a generated submission id rides
+// along, and transient transport failures (connection refused mid-restart,
+// acknowledgement lost on the wire) are retried with the same id for up to
+// ResubmitWindow — the server deduplicates, so the job is created exactly
+// once no matter how many attempts it takes. Server-side rejections
+// (4xx/5xx other than 503) are returned immediately.
 func (c *Client) SubmitJob(ctx context.Context, name, algorithm string, seed int64, w *workload.Workload) (string, error) {
-	var resp api.SubmitJobResponse
-	err := c.do(ctx, http.MethodPost, "/v1/jobs", api.SubmitJobRequest{
+	return c.SubmitJobIdempotent(ctx, api.SubmitJobRequest{
 		Name: name, Algorithm: algorithm, Seed: seed, Workload: w,
-	}, &resp)
-	return resp.JobID, err
+		SubmissionID: newSubmissionID(),
+	})
+}
+
+// SubmitJobIdempotent submits req as-is, retrying transient failures for
+// up to ResubmitWindow when req.SubmissionID is set (retrying without a
+// submission id could duplicate the job, so it is not attempted).
+func (c *Client) SubmitJobIdempotent(ctx context.Context, req api.SubmitJobRequest) (string, error) {
+	window := c.ResubmitWindow
+	if window == 0 {
+		window = 15 * time.Second
+	}
+	deadline := time.Now().Add(window)
+	backoff := 50 * time.Millisecond
+	for {
+		var resp api.SubmitJobResponse
+		err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &resp)
+		if err == nil {
+			return resp.JobID, nil
+		}
+		if req.SubmissionID == "" || !transientErr(err) || !time.Now().Add(backoff).Before(deadline) {
+			return "", err
+		}
+		select {
+		case <-ctx.Done():
+			return "", ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff < time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// transientErr reports whether err is worth retrying: transport-level
+// failures and 503 (the server is up but, e.g., still syncing its
+// journal). 4xx and other 5xx are real answers.
+func transientErr(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.StatusCode == http.StatusServiceUnavailable
+	}
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// newSubmissionID returns a fresh 128-bit idempotency key.
+func newSubmissionID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("client: submission id: %v", err))
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // Job fetches one job's status.

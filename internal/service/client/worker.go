@@ -37,6 +37,14 @@ type WorkerConfig struct {
 	// worker uses it to exit the moment its report completes the job
 	// (rep.JobState) instead of discovering it on the next empty poll.
 	OnReport func(ctx context.Context, a *api.Assignment, rep *api.ReportResponse) (stop bool)
+	// ReconnectWait, when positive, makes the worker survive server
+	// outages: transport-level pull/register failures (connection refused
+	// while gridschedd restarts) are retried at this interval instead of
+	// ending the loop, and the worker re-registers once the server is
+	// back. The server recovers its jobs from its journal but not worker
+	// registrations — re-registration is the designed reconnect path.
+	// Zero keeps the historical fail-fast behavior.
+	ReconnectWait time.Duration
 }
 
 // RunWorker registers a worker and runs the full protocol loop — long-poll
@@ -48,11 +56,29 @@ func (c *Client) RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	if cfg.PollWait <= 0 {
 		cfg.PollWait = 2 * time.Second
 	}
-	reg, err := c.Register(ctx, cfg.Site)
+	// register enrolls (or re-enrolls), riding out server outages when
+	// ReconnectWait allows.
+	register := func() (*api.RegisterResponse, error) {
+		for {
+			reg, err := c.Register(ctx, cfg.Site)
+			if err == nil || ctx.Err() != nil || cfg.ReconnectWait <= 0 || !transientErr(err) {
+				return reg, err
+			}
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(cfg.ReconnectWait):
+			}
+		}
+	}
+	reg, err := register()
 	if err != nil {
 		return err
 	}
 	defer func() {
+		if reg == nil { // a mid-loop re-registration failed
+			return
+		}
 		dctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 2*time.Second)
 		defer cancel()
 		_ = c.Deregister(dctx, reg.WorkerID)
@@ -67,17 +93,26 @@ func (c *Client) RunWorker(ctx context.Context, cfg WorkerConfig) error {
 			var ae *APIError
 			switch {
 			case errors.As(err, &ae) && ae.StatusCode == http.StatusNotFound:
-				// Registration lease lapsed; start over.
+				// Registration lease lapsed, or the server restarted and
+				// recovered (worker registrations are not journaled);
+				// start over.
 			case errors.As(err, &ae) && ae.StatusCode == http.StatusConflict:
 				// The server believes we hold an assignment — a Pull or
 				// Report response was lost in transit. Deregister (which
 				// requeues the orphaned assignment) and start over rather
 				// than dying on a transient network fault.
 				_ = c.Deregister(ctx, reg.WorkerID)
+			case cfg.ReconnectWait > 0 && transientErr(err):
+				// Server down (restarting?); wait and re-register.
+				select {
+				case <-ctx.Done():
+					return nil
+				case <-time.After(cfg.ReconnectWait):
+				}
 			default:
 				return err
 			}
-			if reg, err = c.Register(ctx, cfg.Site); err != nil {
+			if reg, err = register(); err != nil {
 				return err
 			}
 			continue

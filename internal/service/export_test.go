@@ -1,0 +1,31 @@
+package service
+
+// CrashForTest kills the service the way SIGKILL would: the sweeper stops,
+// parked long polls fail, and the journal's file descriptor is closed with
+// no final sync and no shutdown snapshot. Everything the journal already
+// wrote stays readable (it reached the page cache before any mutation was
+// acknowledged), which is exactly the state a kill -9 leaves on disk.
+// Crash-recovery tests reopen the data dir with New afterwards.
+func (s *Service) CrashForTest() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.sweepStop)
+	s.broadcastLocked()
+	s.mu.Unlock()
+	<-s.sweepDone
+	if s.pst != nil {
+		s.pst.w.Abandon()
+	}
+}
+
+// SnapshotForTest forces a snapshot+rotation, so tests can pin down which
+// state came from the snapshot and which from the journal tail.
+func (s *Service) SnapshotForTest() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotLocked()
+}

@@ -61,7 +61,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	id, err := s.SubmitByName(req.Name, req.Algorithm, req.Workload, req.Seed)
+	id, err := s.SubmitByName(req.Name, req.Algorithm, req.Workload, req.Seed, req.SubmissionID)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -160,6 +160,7 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.refreshJournalMetrics()
 	if err := s.counters.WriteText(w); err != nil {
 		// Connection-level failure; nothing more to do.
 		return

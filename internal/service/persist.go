@@ -1,0 +1,292 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"path/filepath"
+
+	"gridsched/internal/core"
+	"gridsched/internal/journal"
+	"gridsched/internal/service/api"
+	"gridsched/internal/workload"
+)
+
+// Persistence layout inside Config.DataDir.
+const (
+	walFile      = "wal.log"
+	snapshotFile = "snapshot.json"
+)
+
+// Journal record ops. The write-ahead log records every externally visible
+// mutation — job submission, task dispatch, execution report, lease
+// expiry, job deletion — before it is acknowledged; everything else
+// (worker registration, lease renewals, long polls) is ephemeral and is
+// reconstructed as re-registration after a restart.
+const (
+	opSubmit   = "submit"
+	opDispatch = "dispatch"
+	opReport   = "report"
+	opExpire   = "expire"
+	opDelete   = "delete"
+)
+
+// record is the JSON payload of one journal frame.
+type record struct {
+	Op string `json:"op"`
+	Ts int64  `json:"ts"` // unix milliseconds, for operators and recovered timestamps
+
+	Job string `json:"job,omitempty"`
+
+	// opSubmit
+	Name       string             `json:"name,omitempty"`
+	Algorithm  string             `json:"algorithm,omitempty"`
+	Seed       int64              `json:"seed,omitempty"`
+	Submission string             `json:"submission,omitempty"`
+	Workload   *workload.Workload `json:"workload,omitempty"`
+
+	// opDispatch / opReport / opExpire
+	Task       workload.TaskID `json:"task,omitempty"`
+	Site       int             `json:"site,omitempty"`
+	Worker     int             `json:"worker,omitempty"`
+	Assignment string          `json:"assignment,omitempty"` // opDispatch: minted id, for seq recovery and debugging
+	Outcome    string          `json:"outcome,omitempty"`    // opReport
+}
+
+// Ledger ops: the per-job replay history, a compact projection of the
+// job's journal records. Replaying a ledger through the job's freshly
+// rebuilt scheduler reproduces its dispatch state exactly (see recovery.go).
+const (
+	ledgerDispatch = uint8(iota)
+	ledgerSuccess
+	ledgerFailure
+	ledgerExpire
+)
+
+// ledgerRec is one replayable scheduler-affecting event.
+type ledgerRec struct {
+	Op     uint8           `json:"op"`
+	Task   workload.TaskID `json:"t"`
+	Site   int32           `json:"s"`
+	Worker int32           `json:"w"`
+	Ts     int64           `json:"ms,omitempty"` // unix milliseconds
+}
+
+// carryCounters preserves the monotone totals of deleted jobs across
+// snapshots, so the global /metrics counters stay exact over restarts.
+type carryCounters struct {
+	Jobs          int64 `json:"jobs"`
+	CompletedJobs int64 `json:"completedJobs"`
+	Dispatched    int64 `json:"dispatched"`
+	Completions   int64 `json:"completions"`
+	Failures      int64 `json:"failures"`
+	Cancellations int64 `json:"cancellations"`
+	Expired       int64 `json:"expired"`
+}
+
+// snapshot is the atomically-replaced checkpoint: everything the service
+// needs so that log records at or below LastLSN can be discarded.
+// Completed jobs shrink to their status summary; running jobs carry their
+// workload and replay ledger. Scheduler internals (weight-class indexes,
+// RNG state) are deliberately NOT serialized — they are reconstructed by
+// replaying the ledger through a freshly built scheduler, which reproduces
+// the exact state (including pending random draws) of the crashed process.
+type snapshot struct {
+	Version int           `json:"version"`
+	Seq     int64         `json:"seq"`
+	LastLSN uint64        `json:"lastLsn"`
+	Carry   carryCounters `json:"carry"`
+	Jobs    []snapJob     `json:"jobs"` // submission order
+}
+
+const snapshotVersion = 1
+
+// snapJob is one resident job in a snapshot.
+type snapJob struct {
+	ID         string `json:"id"`
+	Name       string `json:"name"`
+	Algorithm  string `json:"algorithm"`
+	Seed       int64  `json:"seed"`
+	Submission string `json:"submission,omitempty"`
+	State      string `json:"state"`
+	Tasks      int    `json:"tasks"`
+	Submitted  int64  `json:"submittedMs"`
+	Finished   int64  `json:"finishedMs,omitempty"`
+
+	// Running jobs: replay inputs.
+	Workload *workload.Workload `json:"workload,omitempty"`
+	Ledger   []ledgerRec        `json:"ledger,omitempty"`
+
+	// Completed jobs: the surviving summary.
+	Dispatched int   `json:"dispatched,omitempty"`
+	Completed  int   `json:"completed,omitempty"`
+	Failed     int   `json:"failed,omitempty"`
+	Cancelled  int   `json:"cancelled,omitempty"`
+	Expired    int   `json:"expired,omitempty"`
+	Transfers  int64 `json:"transfers,omitempty"`
+}
+
+// persistence is the journaling state of a Service with Config.DataDir set.
+type persistence struct {
+	dir            string
+	w              *journal.Writer
+	journalMetrics *journal.Metrics
+	carry          carryCounters
+	sinceSnapshot  int // records appended since the last snapshot
+}
+
+// refreshJournalMetrics copies the log writer's counters into the service
+// counters rendered at /metrics.
+func (s *Service) refreshJournalMetrics() {
+	if s.pst == nil || s.pst.journalMetrics == nil {
+		return
+	}
+	m := s.pst.journalMetrics
+	s.counters.JournalRecords.Store(m.Records.Load())
+	s.counters.JournalBytes.Store(m.Bytes.Load())
+	s.counters.JournalFsyncs.Store(m.Fsyncs.Load())
+}
+
+func (s *Service) walPath() string      { return filepath.Join(s.pst.dir, walFile) }
+func (s *Service) snapshotPath() string { return filepath.Join(s.pst.dir, snapshotFile) }
+
+// appendLocked journals rec. Callers hold s.mu; the returned LSN is what
+// WaitDurable (outside the lock) keys on. An error leaves service state
+// untouched, so callers that can abort cleanly (submit, report, delete)
+// surface it to the client. It deliberately does NOT snapshot: a record is
+// appended before its state change is applied, and a snapshot taken in
+// that window would claim (via LastLSN) to cover a record whose effect it
+// does not contain — recovery would then skip the record and lose the
+// mutation. Mutation paths call snapshotIfDueLocked once state and log
+// agree again.
+func (s *Service) appendLocked(rec *record) (uint64, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return 0, errf(500, "service: journal encode: %v", err)
+	}
+	lsn, err := s.pst.w.Append(payload)
+	if err != nil {
+		return 0, errf(503, "service: journal append: %v", err)
+	}
+	s.pst.sinceSnapshot++
+	return lsn, nil
+}
+
+// snapshotIfDueLocked snapshots once enough records accumulated. Only call
+// at a consistency point: every journaled record's effect is applied.
+func (s *Service) snapshotIfDueLocked() {
+	if s.pst == nil || s.pst.sinceSnapshot < s.cfg.SnapshotEvery {
+		return
+	}
+	s.maybeSnapshotLocked()
+}
+
+// mustAppendLocked journals rec on a path that cannot abort (the state
+// change already happened, or must happen — dispatch after NextFor, lease
+// expiry past its deadline). A journal failure there is fail-stop: better
+// to crash and recover from the last durable state than to let memory and
+// log diverge. The one tolerated error is ErrClosed — the shutdown path
+// stops journaling before the sweeper stops, and recovery re-derives
+// whatever the lost records described (all open leases expire at startup).
+func (s *Service) mustAppendLocked(rec *record) uint64 {
+	lsn, err := s.appendLocked(rec)
+	if err != nil {
+		if s.closed {
+			return 0
+		}
+		panic(fmt.Sprintf("service: write-ahead journal failed: %v", err))
+	}
+	return lsn
+}
+
+// waitDurable blocks until the record at lsn is durable per the configured
+// fsync mode. Call without holding s.mu.
+func (s *Service) waitDurable(lsn uint64) error {
+	if s.pst == nil || lsn == 0 {
+		return nil
+	}
+	if err := s.pst.w.WaitDurable(lsn); err != nil {
+		return errf(503, "service: journal sync: %v", err)
+	}
+	return nil
+}
+
+// maybeSnapshotLocked writes a snapshot, logging (not failing) on error —
+// the log keeps growing until a later snapshot succeeds, which costs
+// replay time but never correctness.
+func (s *Service) maybeSnapshotLocked() {
+	if err := s.snapshotLocked(); err != nil {
+		log.Printf("gridschedd: snapshot failed (journal keeps growing): %v", err)
+		// Back off a full interval before retrying.
+		s.pst.sinceSnapshot = 0
+	}
+}
+
+// snapshotLocked serializes the full service state and rotates the log.
+// Stop-the-world under s.mu: for the workload sizes gridschedd serves this
+// is milliseconds, and it runs only every SnapshotEvery records.
+func (s *Service) snapshotLocked() error {
+	snap := snapshot{
+		Version: snapshotVersion,
+		Seq:     s.seq,
+		LastLSN: s.pst.w.LastLSN(),
+		Carry:   s.pst.carry,
+	}
+	for _, j := range s.jobOrder {
+		sj := snapJob{
+			ID:         j.id,
+			Name:       j.name,
+			Algorithm:  j.algorithm,
+			Seed:       j.seed,
+			Submission: j.submissionID,
+			State:      j.state,
+			Tasks:      j.tasks,
+			Submitted:  j.submitted.UnixMilli(),
+		}
+		if !j.finished.IsZero() {
+			sj.Finished = j.finished.UnixMilli()
+		}
+		if j.state == api.JobCompleted {
+			sj.Dispatched, sj.Completed, sj.Failed = j.dispatched, j.completed, j.failed
+			sj.Cancelled, sj.Expired, sj.Transfers = j.cancelled, j.expired, j.transfers
+		} else {
+			sj.Workload = j.w
+			sj.Ledger = j.ledger
+		}
+		snap.Jobs = append(snap.Jobs, sj)
+	}
+	data, err := json.Marshal(&snap)
+	if err != nil {
+		return err
+	}
+	if err := journal.WriteFileAtomic(s.snapshotPath(), data); err != nil {
+		return err
+	}
+	if err := s.pst.w.Rotate(); err != nil {
+		return err
+	}
+	s.pst.sinceSnapshot = 0
+	s.counters.Snapshots.Add(1)
+	s.counters.SnapshotBytes.Store(int64(len(data)))
+	return nil
+}
+
+// replayAssignSched drives sched into the post-dispatch state for (id, at):
+// through ReplayAssign where the scheduler provides one, otherwise by
+// re-asking NextFor and verifying the decision — exact for the worker-
+// centric schedulers, whose NextFor mutates state (including the
+// ChooseTask(n) RNG) only when it assigns. A mismatch means the journal
+// and the scheduler disagree, which recovery treats as corruption.
+func replayAssignSched(sched core.Scheduler, id workload.TaskID, at core.WorkerRef) error {
+	if r, ok := sched.(core.Replayer); ok {
+		return r.ReplayAssign(id, at)
+	}
+	task, status := sched.NextFor(at)
+	if status != core.Assigned {
+		return fmt.Errorf("replay: scheduler returned %v for task %d at %+v", status, id, at)
+	}
+	if task.ID != id {
+		return fmt.Errorf("replay: scheduler assigned task %d, journal says %d (at %+v)", task.ID, id, at)
+	}
+	return nil
+}

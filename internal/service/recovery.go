@@ -1,0 +1,486 @@
+// Recovery rebuilds a Service from Config.DataDir: load the snapshot,
+// replay the write-ahead log tail on top of it, and reconstruct every
+// running job's scheduler, site stores, and counters exactly as the
+// crashed process left them.
+//
+// Scheduler state is reconstructed by *command replay*, not
+// deserialization: the factory rebuilds the scheduler from (algorithm,
+// workload, seed) — fully deterministic — and the job's ledger drives it
+// through the same dispatch/complete/fail sequence the original instance
+// saw. That reproduces internal state the schedulers could never
+// serialize portably, in particular the ChooseTask(n) RNG stream: a
+// recovered worker-centric scheduler makes the same future random draws an
+// uninterrupted run would have made.
+//
+// Worker registrations and leases are NOT recovered — they are liveness
+// state about processes that may not have survived the outage. Every
+// assignment open at crash time is expired through the scheduler's normal
+// failure path (journaled, so a second crash replays identically), and
+// workers re-register on their next pull; the client loop does this
+// transparently.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"gridsched/internal/core"
+	"gridsched/internal/journal"
+	"gridsched/internal/service/api"
+	"gridsched/internal/storage"
+	"gridsched/internal/workload"
+)
+
+// openKey identifies one in-flight execution during replay. At most one
+// live assignment exists per (task, worker slot): the service grants a
+// worker one assignment at a time, and a slot is vacated only after its
+// assignment ended.
+type openKey struct {
+	task   int32
+	site   int32
+	worker int32
+}
+
+// openExec mirrors assignment.cancelled for replay.
+type openExec struct {
+	cancelled bool
+}
+
+// recover loads DataDir and rebuilds state. Called from New, before the
+// sweeper starts and before the service is reachable.
+func (s *Service) recover() error {
+	start := time.Now()
+	if err := os.MkdirAll(s.pst.dir, 0o755); err != nil {
+		return err
+	}
+	// Sweep snapshot temp files orphaned by a crash between CreateTemp and
+	// rename; without this every crash-during-snapshot leaks one file into
+	// the data dir forever.
+	if stale, err := filepath.Glob(s.snapshotPath() + ".tmp*"); err == nil {
+		for _, p := range stale {
+			_ = os.Remove(p)
+		}
+	}
+
+	// 1. Snapshot.
+	var snap snapshot
+	data, err := os.ReadFile(s.snapshotPath())
+	switch {
+	case os.IsNotExist(err):
+		snap.Version = snapshotVersion
+	case err != nil:
+		return err
+	default:
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return fmt.Errorf("service: corrupt snapshot %s: %w", s.snapshotPath(), err)
+		}
+		if snap.Version != snapshotVersion {
+			return fmt.Errorf("service: snapshot version %d, this binary speaks %d", snap.Version, snapshotVersion)
+		}
+	}
+	s.seq = snap.Seq
+	s.pst.carry = snap.Carry
+	for i := range snap.Jobs {
+		if err := s.restoreSnapJob(&snap.Jobs[i]); err != nil {
+			return err
+		}
+	}
+
+	// 2. Log tail: records the snapshot does not cover. They extend the
+	// per-job ledgers (and create/delete jobs) but are not applied yet.
+	var deletes []string
+	info, err := journal.ReadLog(s.walPath(), snap.LastLSN, func(lsn uint64, payload []byte) error {
+		var rec record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("service: journal record %d: %w", lsn, err)
+		}
+		return s.applyLogRecord(&rec, &deletes)
+	})
+	if err != nil {
+		return err
+	}
+
+	// 3. Open the writer over the validated prefix (truncating any torn
+	// tail) before replay: replay appends the expiry records for
+	// assignments that were in flight at the crash.
+	lastLSN := max(snap.LastLSN, info.LastLSN)
+	met := &journal.Metrics{}
+	w, err := journal.OpenWriter(s.walPath(), s.cfg.Fsync, s.cfg.FsyncInterval, lastLSN, info.ValidSize, met)
+	if err != nil {
+		return err
+	}
+	s.pst.w = w
+	s.pst.journalMetrics = met
+
+	// 4. Replay each resident job's ledger through a rebuilt scheduler,
+	// then expire whatever was still in flight.
+	replayed := info.Records
+	for _, j := range s.jobOrder {
+		if j.state == api.JobCompleted {
+			continue
+		}
+		n, err := s.replayJob(j)
+		if err != nil {
+			return fmt.Errorf("service: replay job %s (%s): %w", j.id, j.algorithm, err)
+		}
+		replayed += n
+	}
+	for _, id := range deletes {
+		j := s.jobs[id]
+		if j == nil {
+			return fmt.Errorf("service: journal deletes unknown job %s", id)
+		}
+		if j.state != api.JobCompleted {
+			return fmt.Errorf("service: journal deletes running job %s", id)
+		}
+		s.dropJobLocked(j)
+	}
+
+	// 5. Rebuild the monotone counters from carry + resident jobs.
+	s.restoreCounters()
+
+	// 6. Compact: a fresh snapshot makes the next restart O(snapshot) and
+	// clears the replayed tail. Skipped for a pristine data dir.
+	if replayed > 0 || info.Torn || len(snap.Jobs) > 0 {
+		s.maybeSnapshotLocked()
+	}
+
+	s.counters.ReplayRecords.Store(int64(replayed))
+	s.counters.ReplayNanos.Store(time.Since(start).Nanoseconds())
+	return nil
+}
+
+// restoreSnapJob materializes one snapshot entry as a resident job shell.
+// Running jobs get their scheduler and stores in replayJob.
+func (s *Service) restoreSnapJob(sj *snapJob) error {
+	if sj.State != api.JobRunning && sj.State != api.JobCompleted {
+		return fmt.Errorf("service: snapshot job %s in state %q", sj.ID, sj.State)
+	}
+	j := &job{
+		id:           sj.ID,
+		name:         sj.Name,
+		algorithm:    sj.Algorithm,
+		seed:         sj.Seed,
+		submissionID: sj.Submission,
+		tasks:        sj.Tasks,
+		state:        sj.State,
+		submitted:    time.UnixMilli(sj.Submitted),
+	}
+	if sj.Finished != 0 {
+		j.finished = time.UnixMilli(sj.Finished)
+	}
+	if sj.State == api.JobCompleted {
+		j.dispatched, j.completed, j.failed = sj.Dispatched, sj.Completed, sj.Failed
+		j.cancelled, j.expired, j.transfers = sj.Cancelled, sj.Expired, sj.Transfers
+	} else {
+		if sj.Workload == nil {
+			return fmt.Errorf("service: snapshot job %s running but has no workload", sj.ID)
+		}
+		j.w = sj.Workload
+		j.ledger = sj.Ledger
+	}
+	s.addJobLocked(j)
+	s.bumpSeqFromID(j.id)
+	return nil
+}
+
+// applyLogRecord folds one tail record into the job shells. Deletions are
+// collected and applied after replay: a delete always refers to a job that
+// completed earlier in the log, and completion is only known once the
+// ledger has been replayed.
+func (s *Service) applyLogRecord(rec *record, deletes *[]string) error {
+	switch rec.Op {
+	case opSubmit:
+		if rec.Workload == nil {
+			return fmt.Errorf("service: submit record %s has no workload", rec.Job)
+		}
+		j := &job{
+			id:           rec.Job,
+			name:         rec.Name,
+			algorithm:    rec.Algorithm,
+			seed:         rec.Seed,
+			submissionID: rec.Submission,
+			tasks:        len(rec.Workload.Tasks),
+			w:            rec.Workload,
+			state:        api.JobRunning,
+			submitted:    time.UnixMilli(rec.Ts),
+		}
+		s.addJobLocked(j)
+		s.bumpSeqFromID(j.id)
+	case opDispatch, opReport, opExpire:
+		j := s.jobs[rec.Job]
+		if j == nil {
+			return fmt.Errorf("service: journal %s record for unknown job %s", rec.Op, rec.Job)
+		}
+		op := ledgerExpire
+		switch {
+		case rec.Op == opDispatch:
+			op = ledgerDispatch
+			s.bumpSeqFromID(rec.Assignment)
+		case rec.Op == opReport && rec.Outcome == api.OutcomeSuccess:
+			op = ledgerSuccess
+		case rec.Op == opReport:
+			op = ledgerFailure
+		}
+		// Records for jobs the snapshot already saw completed are leftover
+		// reports/expiries of cancelled replicas; only the counter survives.
+		if j.state == api.JobCompleted {
+			if op == ledgerDispatch {
+				return fmt.Errorf("service: journal dispatches into completed job %s", j.id)
+			}
+			j.cancelled++
+			return nil
+		}
+		j.ledger = append(j.ledger, ledgerRec{
+			Op: op, Task: rec.Task, Site: int32(rec.Site), Worker: int32(rec.Worker), Ts: rec.Ts,
+		})
+	case opDelete:
+		*deletes = append(*deletes, rec.Job)
+	default:
+		return fmt.Errorf("service: unknown journal op %q", rec.Op)
+	}
+	return nil
+}
+
+// replayJob rebuilds a running job's scheduler and stores and drives them
+// through the job's ledger, mirroring the live mutation paths
+// (assignLocked, Report, expireAssignmentLocked) event for event. Returns
+// the number of ledger events replayed.
+func (s *Service) replayJob(j *job) (int, error) {
+	if err := j.w.Validate(); err != nil {
+		return 0, err
+	}
+	if err := s.cfg.CheckWorkload(j.w); err != nil {
+		return 0, err
+	}
+	sched, err := s.cfg.NewScheduler(j.algorithm, j.w, s.cfg.Topology, j.seed)
+	if err != nil {
+		return 0, err
+	}
+	j.sched = sched
+	j.stores = nil
+	for i := 0; i < s.cfg.Sites; i++ {
+		st, err := storage.New(s.cfg.CapacityFiles, s.cfg.Policy)
+		if err != nil {
+			return 0, err
+		}
+		st.Reserve(j.w.NumFiles)
+		j.stores = append(j.stores, st)
+		sched.AttachSite(i)
+	}
+	if len(j.w.Tasks) == 0 {
+		s.completeJobReplay(j, j.submitted.UnixMilli())
+		return 0, nil
+	}
+
+	open := make(map[openKey]*openExec)
+	for i, e := range j.ledger {
+		if err := s.replayEvent(j, e, open); err != nil {
+			return i, fmt.Errorf("ledger event %d/%d: %w", i, len(j.ledger), err)
+		}
+	}
+
+	// Expire everything still in flight: the workers holding those leases
+	// predate the restart. Journaled like a live expiry so a second crash
+	// replays the same way.
+	if len(open) > 0 && j.state == api.JobRunning {
+		now := time.Now().UnixMilli()
+		keys := make([]openKey, 0, len(open))
+		for k := range open {
+			keys = append(keys, k)
+		}
+		// Deterministic order (map iteration is not): by task, site, worker.
+		sort.Slice(keys, func(a, b int) bool {
+			if keys[a].task != keys[b].task {
+				return keys[a].task < keys[b].task
+			}
+			if keys[a].site != keys[b].site {
+				return keys[a].site < keys[b].site
+			}
+			return keys[a].worker < keys[b].worker
+		})
+		for _, k := range keys {
+			e := ledgerRec{Op: ledgerExpire, Task: workload.TaskID(k.task), Site: k.site, Worker: k.worker, Ts: now}
+			s.mustAppendLocked(&record{
+				Op: opExpire, Ts: now, Job: j.id,
+				Task: e.Task, Site: int(k.site), Worker: int(k.worker),
+			})
+			j.ledger = append(j.ledger, e)
+			if err := s.replayEvent(j, e, open); err != nil {
+				return len(j.ledger), err
+			}
+			s.counters.RecoveredExpired.Add(1)
+		}
+	}
+	return len(j.ledger), nil
+}
+
+// replayEvent applies one ledger event, keeping open in sync with what the
+// live assignment table would have held.
+func (s *Service) replayEvent(j *job, e ledgerRec, open map[openKey]*openExec) error {
+	key := openKey{task: int32(e.Task), site: e.Site, worker: e.Worker}
+	ref := core.WorkerRef{Site: int(e.Site), Worker: int(e.Worker)}
+	switch e.Op {
+	case ledgerDispatch:
+		if j.state != api.JobRunning || j.sched == nil {
+			return fmt.Errorf("dispatch of task %d into %s job", e.Task, j.state)
+		}
+		if int(e.Task) < 0 || int(e.Task) >= len(j.w.Tasks) {
+			return fmt.Errorf("dispatch of unknown task %d", e.Task)
+		}
+		if ref.Site < 0 || ref.Site >= s.cfg.Sites || ref.Worker < 0 || ref.Worker >= s.cfg.WorkersPerSite {
+			return fmt.Errorf("dispatch at %+v outside the configured pool", ref)
+		}
+		if open[key] != nil {
+			return fmt.Errorf("task %d already in flight at %+v", e.Task, ref)
+		}
+		if err := replayAssignSched(j.sched, e.Task, ref); err != nil {
+			return err
+		}
+		task := j.w.Tasks[e.Task]
+		fetched, evicted, err := j.stores[ref.Site].CommitBatchInto(task.Files, s.fetchBuf[:0], s.evictBuf[:0])
+		if err != nil {
+			return fmt.Errorf("stage task %d at site %d: %w", e.Task, ref.Site, err)
+		}
+		s.fetchBuf, s.evictBuf = fetched[:0], evicted[:0]
+		j.sched.NoteBatch(ref.Site, task.Files, fetched, evicted)
+		j.transfers += int64(len(fetched))
+		j.dispatched++
+		open[key] = &openExec{}
+	case ledgerSuccess, ledgerFailure, ledgerExpire:
+		o := open[key]
+		if o == nil {
+			return fmt.Errorf("%d on task %d at %+v with no open execution", e.Op, e.Task, ref)
+		}
+		delete(open, key)
+		switch {
+		case o.cancelled:
+			j.cancelled++
+		case e.Op == ledgerSuccess:
+			victims := j.sched.OnTaskComplete(e.Task, ref)
+			j.completed++
+			for _, v := range victims {
+				vk := openKey{task: int32(e.Task), site: int32(v.Site), worker: int32(v.Worker)}
+				if vo := open[vk]; vo != nil {
+					vo.cancelled = true
+				}
+			}
+			if j.sched.Remaining() == 0 {
+				s.completeJobReplay(j, e.Ts)
+				// Mirror completeJobLocked's cancellation sweep: whatever is
+				// still in flight is an obsolete replica.
+				for _, vo := range open {
+					vo.cancelled = true
+				}
+			}
+		case e.Op == ledgerFailure:
+			j.failed++
+			if j.sched != nil {
+				j.sched.OnExecutionFailed(e.Task, ref)
+			}
+		default: // ledgerExpire
+			j.expired++
+			if j.sched != nil {
+				j.sched.OnExecutionFailed(e.Task, ref)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown ledger op %d", e.Op)
+	}
+	return nil
+}
+
+// completeJobReplay is completeJobLocked minus the live-only concerns
+// (broadcast, counters — rebuilt afterwards in restoreCounters).
+func (s *Service) completeJobReplay(j *job, tsMillis int64) {
+	j.state = api.JobCompleted
+	j.finished = time.UnixMilli(tsMillis)
+	j.w, j.sched, j.stores, j.ledger = nil, nil, nil, nil
+}
+
+// addJobLocked registers a job shell during recovery.
+func (s *Service) addJobLocked(j *job) {
+	s.jobs[j.id] = j
+	s.jobOrder = append(s.jobOrder, j)
+	if j.submissionID != "" {
+		s.submissions[j.submissionID] = j.id
+	}
+}
+
+// dropJobLocked removes a job; with journaling the job's totals are folded
+// into the snapshot carry so the global counters stay exact.
+func (s *Service) dropJobLocked(j *job) {
+	delete(s.jobs, j.id)
+	if j.submissionID != "" {
+		delete(s.submissions, j.submissionID)
+	}
+	for i, o := range s.jobOrder {
+		if o == j {
+			s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
+			break
+		}
+	}
+	if s.pst == nil {
+		return
+	}
+	s.pst.carry.Jobs++
+	s.pst.carry.CompletedJobs++
+	s.pst.carry.Dispatched += int64(j.dispatched)
+	s.pst.carry.Completions += int64(j.completed)
+	s.pst.carry.Failures += int64(j.failed)
+	s.pst.carry.Cancellations += int64(j.cancelled)
+	s.pst.carry.Expired += int64(j.expired)
+}
+
+// restoreCounters rebuilds the monotone /metrics totals as carry (deleted
+// jobs) plus the resident jobs. Process-local series — pulls, heartbeats,
+// dispatch latency, stale reports — restart at zero.
+func (s *Service) restoreCounters() {
+	c := s.pst.carry
+	open := int64(0)
+	for _, j := range s.jobOrder {
+		c.Jobs++
+		if j.state == api.JobCompleted {
+			c.CompletedJobs++
+		} else {
+			open++
+		}
+		c.Dispatched += int64(j.dispatched)
+		c.Completions += int64(j.completed)
+		c.Failures += int64(j.failed)
+		c.Cancellations += int64(j.cancelled)
+		c.Expired += int64(j.expired)
+	}
+	s.counters.JobsSubmitted.Store(c.Jobs)
+	s.counters.JobsCompleted.Store(c.CompletedJobs)
+	s.counters.Assignments.Store(c.Dispatched)
+	s.counters.Completions.Store(c.Completions)
+	s.counters.Failures.Store(c.Failures)
+	s.counters.Cancellations.Store(c.Cancellations)
+	s.counters.LeasesExpired.Store(c.Expired)
+	s.counters.OpenJobs.Store(open)
+}
+
+// bumpSeqFromID raises the id sequence above a recovered "j<n>"/"a<n>" id
+// so freshly minted ids never collide with journaled ones. (Worker ids
+// carry a per-process nonce instead: registrations are not journaled, so
+// their ids cannot be recovered this way.)
+func (s *Service) bumpSeqFromID(id string) {
+	if len(id) < 2 {
+		return
+	}
+	n := int64(0)
+	for _, r := range id[1:] {
+		if r < '0' || r > '9' {
+			return
+		}
+		n = n*10 + int64(r-'0')
+	}
+	if n > s.seq {
+		s.seq = n
+	}
+}

@@ -28,12 +28,16 @@
 package service
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"fmt"
+	"log"
 	"net/http"
 	"sync"
 	"time"
 
 	"gridsched/internal/core"
+	"gridsched/internal/journal"
 	"gridsched/internal/metrics"
 	"gridsched/internal/storage"
 	"gridsched/internal/workload"
@@ -85,8 +89,28 @@ type Config struct {
 	SweepInterval time.Duration
 	// NewScheduler resolves algorithm names for jobs submitted over HTTP.
 	// Nil disables by-name submission (Submit with a pre-built scheduler
-	// still works).
+	// still works). Required when DataDir is set: recovery rebuilds every
+	// running job's scheduler through it.
 	NewScheduler SchedulerFactory
+
+	// DataDir enables durability: every externally visible mutation is
+	// written to a write-ahead journal under this directory before it is
+	// acknowledged, and New replays snapshot+journal to reconstruct the
+	// service exactly as the previous process left it (see recovery.go).
+	// Empty means in-memory only, the pre-journal behavior.
+	DataDir string
+	// Fsync selects the journal's machine-crash durability (process
+	// crashes lose nothing in any mode): journal.SyncAlways groups
+	// concurrent acknowledgements into shared fsyncs; journal.SyncBatch
+	// (default) fsyncs every FsyncInterval; journal.SyncNever only syncs
+	// at snapshots.
+	Fsync journal.Mode
+	// FsyncInterval is the SyncBatch flush cadence. Defaults to 25ms.
+	FsyncInterval time.Duration
+	// SnapshotEvery is how many journal records accumulate before the
+	// service writes a compacting snapshot and rotates the journal.
+	// Defaults to 4096.
+	SnapshotEvery int
 }
 
 func (c *Config) normalize() error {
@@ -106,6 +130,15 @@ func (c *Config) normalize() error {
 	}
 	if c.SweepInterval <= 0 {
 		c.SweepInterval = c.LeaseTTL / 4
+	}
+	if c.FsyncInterval <= 0 {
+		c.FsyncInterval = 25 * time.Millisecond
+	}
+	if c.SnapshotEvery < 1 {
+		c.SnapshotEvery = 4096
+	}
+	if c.DataDir != "" && c.NewScheduler == nil {
+		return fmt.Errorf("service: DataDir requires a NewScheduler factory (recovery rebuilds schedulers by name)")
 	}
 	return nil
 }
@@ -130,14 +163,21 @@ func errf(code int, format string, args ...any) *Error {
 // nil) so a long-running daemon does not accumulate every finished job's
 // heavy state; the status summary fields survive.
 type job struct {
-	id        string
-	name      string
-	algorithm string
-	tasks     int
-	w         *workload.Workload
-	sched     core.Scheduler
-	stores    []*storage.Store
-	state     string // api.JobRunning | api.JobCompleted
+	id           string
+	name         string
+	algorithm    string
+	seed         int64
+	submissionID string // client-chosen idempotency key, "" when absent
+	tasks        int
+	w            *workload.Workload
+	sched        core.Scheduler
+	stores       []*storage.Store
+	state        string // api.JobRunning | api.JobCompleted
+	// ledger is the job's replay history (journaling only): the ordered
+	// dispatch/report/expiry events that, replayed through a freshly built
+	// scheduler, reproduce its exact state. Serialized into snapshots;
+	// released on completion with the rest of the heavy state.
+	ledger []ledgerRec
 
 	dispatched int
 	completed  int
@@ -175,11 +215,20 @@ type Service struct {
 	cfg      Config
 	counters *metrics.ServiceCounters
 
+	// instance is a per-process nonce suffixed onto worker ids: worker
+	// registrations are not journaled, so after a recovery a fresh id
+	// sequence could otherwise re-mint a pre-crash worker id while its
+	// original holder is still retrying against it.
+	instance string
+	// pst is the journaling state; nil when Config.DataDir is unset.
+	pst *persistence
+
 	mu          sync.Mutex
 	closed      bool
 	seq         int64
 	jobs        map[string]*job
-	jobOrder    []*job // submission order; pull scans it front to back
+	jobOrder    []*job            // submission order; pull scans it front to back
+	submissions map[string]string // idempotency key -> job id
 	workers     map[string]*worker
 	assignments map[string]*assignment
 	slots       [][]string // [site][worker] -> workerID, "" when free
@@ -197,15 +246,24 @@ type Service struct {
 	sweepDone chan struct{}
 }
 
-// New builds a service and starts its lease sweeper.
+// New builds a service and starts its lease sweeper. With cfg.DataDir set
+// it first recovers the previous process's state from snapshot + journal;
+// the service is not reachable until recovery finished, so every response
+// it ever gives reflects the recovered history.
 func New(cfg Config) (*Service, error) {
 	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	var nonce [4]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
 		return nil, err
 	}
 	s := &Service{
 		cfg:         cfg,
 		counters:    metrics.NewServiceCounters(),
+		instance:    hex.EncodeToString(nonce[:]),
 		jobs:        make(map[string]*job),
+		submissions: make(map[string]string),
 		workers:     make(map[string]*worker),
 		assignments: make(map[string]*assignment),
 		slots:       make([][]string, cfg.Sites),
@@ -216,6 +274,15 @@ func New(cfg Config) (*Service, error) {
 	for i := range s.slots {
 		s.slots[i] = make([]string, cfg.WorkersPerSite)
 	}
+	if cfg.DataDir != "" {
+		s.pst = &persistence{dir: cfg.DataDir}
+		if err := s.recover(); err != nil {
+			if s.pst.w != nil {
+				_ = s.pst.w.Close()
+			}
+			return nil, err
+		}
+	}
 	go s.sweeper()
 	return s, nil
 }
@@ -223,7 +290,9 @@ func New(cfg Config) (*Service, error) {
 // Counters exposes the service's metrics (also rendered at /metrics).
 func (s *Service) Counters() *metrics.ServiceCounters { return s.counters }
 
-// Close stops the sweeper and fails every parked long poll. Idempotent.
+// Close stops the sweeper and fails every parked long poll; with
+// journaling enabled it then writes a final snapshot (making the next
+// start a snapshot-only recovery) and closes the journal. Idempotent.
 func (s *Service) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -235,6 +304,16 @@ func (s *Service) Close() {
 	s.broadcastLocked()
 	s.mu.Unlock()
 	<-s.sweepDone
+	if s.pst != nil {
+		s.mu.Lock()
+		s.maybeSnapshotLocked()
+		s.mu.Unlock()
+		if err := s.pst.w.Close(); err != nil {
+			// The snapshot above already persisted everything; the journal
+			// close failing loses nothing, but say so.
+			log.Printf("gridschedd: journal close: %v", err)
+		}
+	}
 }
 
 // sweeper periodically expires leases even when no worker is polling.
@@ -268,8 +347,50 @@ func (s *Service) nextID(prefix string) string {
 // Submit adds a job built around a caller-constructed scheduler. The
 // scheduler must be fresh and is driven exclusively by the service from
 // here on (the service serializes all calls; see core.Scheduler's
-// concurrency contract).
+// concurrency contract). Incompatible with journaling: recovery cannot
+// rebuild an opaque scheduler, so services with DataDir set only accept
+// SubmitByName.
 func (s *Service) Submit(name, algorithm string, w *workload.Workload, sched core.Scheduler) (string, error) {
+	if s.pst != nil {
+		return "", errf(http.StatusNotImplemented,
+			"service: journaling requires by-name submission (the recovery path rebuilds schedulers from the factory)")
+	}
+	return s.submitJob(name, algorithm, 0, "", w, sched)
+}
+
+// SubmitByName builds the job's scheduler from the configured factory —
+// the path behind POST /v1/jobs. submissionID, when non-empty, is an
+// idempotency key: a resubmission carrying the same key returns the
+// original job's id instead of creating a duplicate, which is what lets a
+// client safely retry a submission whose acknowledgement was lost to a
+// connection failure or a server restart. With journaling enabled the key
+// survives restarts.
+func (s *Service) SubmitByName(name, algorithm string, w *workload.Workload, seed int64, submissionID string) (string, error) {
+	if s.cfg.NewScheduler == nil {
+		return "", errf(http.StatusNotImplemented, "service: no scheduler factory configured")
+	}
+	if w == nil {
+		return "", errf(http.StatusBadRequest, "service: nil workload")
+	}
+	if submissionID != "" {
+		// Fast path: an already-known key skips scheduler construction.
+		s.mu.Lock()
+		id, ok := s.submissions[submissionID]
+		s.mu.Unlock()
+		if ok {
+			return id, nil
+		}
+	}
+	sched, err := s.cfg.NewScheduler(algorithm, w, s.cfg.Topology, seed)
+	if err != nil {
+		return "", errf(http.StatusBadRequest, "service: %v", err)
+	}
+	return s.submitJob(name, algorithm, seed, submissionID, w, sched)
+}
+
+// submitJob validates, journals (before acknowledging), and registers one
+// job.
+func (s *Service) submitJob(name, algorithm string, seed int64, submissionID string, w *workload.Workload, sched core.Scheduler) (string, error) {
 	if w == nil {
 		return "", errf(http.StatusBadRequest, "service: nil workload")
 	}
@@ -279,14 +400,17 @@ func (s *Service) Submit(name, algorithm string, w *workload.Workload, sched cor
 	if err := s.cfg.CheckWorkload(w); err != nil {
 		return "", errf(http.StatusBadRequest, "service: %v", err)
 	}
+	now := time.Now()
 	j := &job{
-		name:      name,
-		algorithm: algorithm,
-		tasks:     len(w.Tasks),
-		w:         w,
-		sched:     sched,
-		state:     api.JobRunning,
-		submitted: time.Now(),
+		name:         name,
+		algorithm:    algorithm,
+		seed:         seed,
+		submissionID: submissionID,
+		tasks:        len(w.Tasks),
+		w:            w,
+		sched:        sched,
+		state:        api.JobRunning,
+		submitted:    now,
 	}
 	for i := 0; i < s.cfg.Sites; i++ {
 		st, err := storage.New(s.cfg.CapacityFiles, s.cfg.Policy)
@@ -299,36 +423,52 @@ func (s *Service) Submit(name, algorithm string, w *workload.Workload, sched cor
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return "", errf(http.StatusServiceUnavailable, "service: closed")
 	}
+	if submissionID != "" {
+		if id, ok := s.submissions[submissionID]; ok {
+			// Lost ack resent: the job already exists.
+			s.mu.Unlock()
+			return id, nil
+		}
+	}
 	j.id = s.nextID("j")
+	var lsn uint64
+	if s.pst != nil {
+		var err error
+		lsn, err = s.appendLocked(&record{
+			Op: opSubmit, Ts: now.UnixMilli(), Job: j.id,
+			Name: name, Algorithm: algorithm, Seed: seed, Submission: submissionID,
+			Workload: w,
+		})
+		if err != nil {
+			s.mu.Unlock()
+			return "", err
+		}
+	}
 	s.jobs[j.id] = j
 	s.jobOrder = append(s.jobOrder, j)
+	if submissionID != "" {
+		s.submissions[submissionID] = j.id
+	}
 	s.counters.JobsSubmitted.Add(1)
 	s.counters.OpenJobs.Add(1)
 	if len(w.Tasks) == 0 {
-		s.completeJobLocked(j, time.Now())
+		s.completeJobLocked(j, now)
 	}
 	s.broadcastLocked()
-	return j.id, nil
-}
-
-// SubmitByName builds the job's scheduler from the configured factory —
-// the path behind POST /v1/jobs.
-func (s *Service) SubmitByName(name, algorithm string, w *workload.Workload, seed int64) (string, error) {
-	if s.cfg.NewScheduler == nil {
-		return "", errf(http.StatusNotImplemented, "service: no scheduler factory configured")
+	s.snapshotIfDueLocked()
+	id := j.id
+	s.mu.Unlock()
+	if err := s.waitDurable(lsn); err != nil {
+		// The job is journaled and resident but the configured durability
+		// could not be confirmed; surface that. An idempotent retry
+		// resolves to the same job id.
+		return "", err
 	}
-	if w == nil {
-		return "", errf(http.StatusBadRequest, "service: nil workload")
-	}
-	sched, err := s.cfg.NewScheduler(algorithm, w, s.cfg.Topology, seed)
-	if err != nil {
-		return "", errf(http.StatusBadRequest, "service: %v", err)
-	}
-	return s.Submit(name, algorithm, w, sched)
+	return id, nil
 }
 
 // Register enrolls a worker into a free (site, worker) slot. site < 0 picks
@@ -373,8 +513,12 @@ func (s *Service) Register(site int) (*api.RegisterResponse, error) {
 	if slot < 0 {
 		return nil, errf(http.StatusServiceUnavailable, "service: site %d has no free worker slots", target)
 	}
+	// Worker ids carry the process instance nonce: registrations are not
+	// journaled, so a recovered process would otherwise re-mint ids that
+	// pre-crash workers still present.
+	s.seq++
 	w := &worker{
-		id:      s.nextID("w"),
+		id:      fmt.Sprintf("w%d-%s", s.seq, s.instance),
 		ref:     core.WorkerRef{Site: target, Worker: slot},
 		expires: time.Now().Add(s.cfg.LeaseTTL),
 	}
@@ -404,6 +548,7 @@ func (s *Service) Deregister(workerID string) error {
 	}
 	s.removeWorkerLocked(w)
 	s.broadcastLocked()
+	s.snapshotIfDueLocked()
 	return nil
 }
 
@@ -446,14 +591,22 @@ func (s *Service) Pull(done <-chan struct{}, workerID string, wait time.Duration
 			return nil, errf(http.StatusConflict, "service: worker %q already holds assignment %q", workerID, w.assignment.id)
 		}
 		dispatchStart := time.Now()
-		if a := s.assignLocked(w, now); a != nil {
+		if a, lsn := s.assignLocked(w, now); a != nil {
 			s.counters.ObserveDispatch(time.Since(dispatchStart).Nanoseconds())
 			resp := &api.PullResponse{
 				Status:     api.StatusAssigned,
 				Assignment: a,
 				OpenJobs:   int(s.counters.OpenJobs.Load()),
 			}
+			s.snapshotIfDueLocked()
 			s.mu.Unlock()
+			if err := s.waitDurable(lsn); err != nil {
+				// The assignment stands (journaled and leased); only its
+				// durability confirmation failed. The worker gets an error,
+				// abandons the pull, and the lease expires back into the
+				// queue.
+				return nil, err
+			}
 			return resp, nil
 		}
 		open := int(s.counters.OpenJobs.Load())
@@ -496,7 +649,10 @@ func (s *Service) Pull(done <-chan struct{}, workerID string, wait time.Duration
 // first task any scheduler grants this worker. Staging happens here: the
 // batch is committed into the job's site store and the scheduler notified,
 // exactly as the simulator and live runtime do around an execution start.
-func (s *Service) assignLocked(w *worker, now time.Time) *api.Assignment {
+// With journaling enabled the dispatch record is appended before the
+// assignment is returned; the caller must confirm durability (waitDurable
+// on the returned LSN) before acknowledging it to the worker.
+func (s *Service) assignLocked(w *worker, now time.Time) (*api.Assignment, uint64) {
 	for _, j := range s.jobOrder {
 		if j.state != api.JobRunning {
 			continue
@@ -527,13 +683,29 @@ func (s *Service) assignLocked(w *worker, now time.Time) *api.Assignment {
 			s.noteDeadlineLocked(a.deadline)
 			s.counters.Assignments.Add(1)
 			s.counters.ActiveLeases.Add(1)
+			var lsn uint64
+			if s.pst != nil {
+				// The scheduler already moved (NextFor is the decision), so
+				// this append cannot abort — mustAppendLocked fail-stops on
+				// journal I/O errors.
+				lsn = s.mustAppendLocked(&record{
+					Op: opDispatch, Ts: now.UnixMilli(), Job: j.id,
+					Task: task.ID, Site: w.ref.Site, Worker: w.ref.Worker,
+					Assignment: a.id,
+				})
+				j.ledger = append(j.ledger, ledgerRec{
+					Op: ledgerDispatch, Task: task.ID,
+					Site: int32(w.ref.Site), Worker: int32(w.ref.Worker),
+					Ts: now.UnixMilli(),
+				})
+			}
 			return &api.Assignment{
 				ID:             a.id,
 				JobID:          j.id,
 				Task:           task,
 				Staged:         a.staged,
 				LeaseTTLMillis: s.cfg.LeaseTTL.Milliseconds(),
-			}
+			}, lsn
 		case core.Wait:
 			// Nothing for this worker now; try the next job.
 		case core.Done:
@@ -546,7 +718,7 @@ func (s *Service) assignLocked(w *worker, now time.Time) *api.Assignment {
 			panic(fmt.Sprintf("service: unknown scheduler status %v", status))
 		}
 	}
-	return nil
+	return nil, 0
 }
 
 // Heartbeat renews an assignment's lease and reports whether the execution
@@ -579,18 +751,45 @@ func (s *Service) Report(assignmentID, workerID, outcome string) (*api.ReportRes
 		return nil, errf(http.StatusBadRequest, "service: unknown outcome %q", outcome)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	a := s.assignments[assignmentID]
 	if a == nil || a.workerID != workerID {
 		s.counters.StaleReports.Add(1)
+		s.mu.Unlock()
 		return &api.ReportResponse{Accepted: false, Stale: true}, nil
 	}
 	now := time.Now()
+	j := a.job
+	var lsn uint64
+	if s.pst != nil {
+		// Journal before applying: if the append fails the report is
+		// refused with the assignment intact, and the worker's retry (or
+		// eventual lease expiry) keeps state and log agreeing.
+		var err error
+		lsn, err = s.appendLocked(&record{
+			Op: opReport, Ts: now.UnixMilli(), Job: j.id,
+			Task: a.task.ID, Site: a.ref.Site, Worker: a.ref.Worker,
+			Outcome: outcome,
+		})
+		if err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+		op := ledgerFailure
+		if outcome == api.OutcomeSuccess {
+			op = ledgerSuccess
+		}
+		if j.state == api.JobRunning {
+			j.ledger = append(j.ledger, ledgerRec{
+				Op: op, Task: a.task.ID,
+				Site: int32(a.ref.Site), Worker: int32(a.ref.Worker),
+				Ts: now.UnixMilli(),
+			})
+		}
+	}
 	s.detachAssignmentLocked(a)
 	if w := s.workers[workerID]; w != nil {
 		w.expires = now.Add(s.cfg.LeaseTTL)
 	}
-	j := a.job
 	resp := &api.ReportResponse{Accepted: true}
 	// Long-poll wakeups are targeted: parked pulls only care about events
 	// that can make new work dispatchable (a failure requeues the task) or
@@ -602,13 +801,18 @@ func (s *Service) Report(assignmentID, workerID, outcome string) (*api.ReportRes
 	// the whole herd just to find nothing.
 	switch {
 	case a.cancelled:
+		// Covers replicas obsoleted by another completion AND any
+		// execution that outlived its job: completeJobLocked cancel-marks
+		// every assignment still in flight for the job, so no report can
+		// reach a completed job's (released) scheduler or resurrect a task
+		// another worker already finished.
 		j.cancelled++
 		s.counters.Cancellations.Add(1)
 		resp.Cancelled = true
 	case outcome == api.OutcomeFailure:
 		j.failed++
 		s.counters.Failures.Add(1)
-		if j.sched != nil { // nil once completed; nothing left to requeue
+		if j.sched != nil { // defensive: unreachable once completed (cancel-marked above)
 			j.sched.OnExecutionFailed(a.task.ID, a.ref)
 		}
 		s.broadcastLocked()
@@ -624,6 +828,11 @@ func (s *Service) Report(assignmentID, workerID, outcome string) (*api.ReportRes
 		}
 	}
 	resp.JobState = j.state
+	s.snapshotIfDueLocked()
+	s.mu.Unlock()
+	if err := s.waitDurable(lsn); err != nil {
+		return nil, err
+	}
 	return resp, nil
 }
 
@@ -655,10 +864,27 @@ func (s *Service) detachAssignmentLocked(a *assignment) {
 
 // expireAssignmentLocked ends a lease without a report: the task is
 // requeued through the scheduler's failure path (unless the execution was
-// already cancelled, in which case there is nothing to requeue).
+// already cancelled — a replica obsoleted by a completion, or any lease
+// that outlived its job — in which case there is nothing to requeue).
+// The expiry is journaled like every other scheduler-affecting event: a
+// later dispatch record of the requeued task only replays if the expiry
+// that made it pending replays first.
 func (s *Service) expireAssignmentLocked(a *assignment) {
 	s.detachAssignmentLocked(a)
 	j := a.job
+	if s.pst != nil {
+		s.mustAppendLocked(&record{
+			Op: opExpire, Ts: time.Now().UnixMilli(), Job: j.id,
+			Task: a.task.ID, Site: a.ref.Site, Worker: a.ref.Worker,
+		})
+		if j.state == api.JobRunning {
+			j.ledger = append(j.ledger, ledgerRec{
+				Op: ledgerExpire, Task: a.task.ID,
+				Site: int32(a.ref.Site), Worker: int32(a.ref.Worker),
+				Ts: time.Now().UnixMilli(),
+			})
+		}
+	}
 	if a.cancelled {
 		j.cancelled++
 		s.counters.Cancellations.Add(1)
@@ -666,7 +892,7 @@ func (s *Service) expireAssignmentLocked(a *assignment) {
 	}
 	j.expired++
 	s.counters.LeasesExpired.Add(1)
-	if j.sched != nil { // nil once completed; nothing left to requeue
+	if j.sched != nil { // defensive: unreachable once completed (cancel-marked)
 		j.sched.OnExecutionFailed(a.task.ID, a.ref)
 	}
 }
@@ -723,45 +949,65 @@ func (s *Service) sweepLocked(now time.Time) {
 	if changed {
 		s.broadcastLocked()
 	}
+	s.snapshotIfDueLocked()
 }
 
 // completeJobLocked transitions a job to completed (idempotent) and
-// releases its heavy state. No scheduler or store call can follow
-// completion: completion means Remaining()==0, so any assignment still
-// live for this job is cancelled-marked, and the cancelled paths in
-// Report/expiry never touch the scheduler.
+// releases its heavy state, cancel-marking every assignment still in
+// flight for it first. The marking is what makes releasing the scheduler
+// safe against late reports and lease expiries: both route cancelled
+// executions to counting paths that never touch the scheduler. Earlier
+// revisions relied on the completing OnTaskComplete's victim list covering
+// all in-flight replicas — an invariant a scheduler implementation behind
+// the public Submit API need not uphold, and whose violation let a
+// cancelled job's in-flight report resurrect an already-completed task
+// (or nil-panic the report path). See TestCompletedJobInFlightReport*.
 func (s *Service) completeJobLocked(j *job, now time.Time) {
 	if j.state == api.JobCompleted {
 		return
 	}
 	j.state = api.JobCompleted
 	j.finished = now
-	j.w, j.sched, j.stores = nil, nil, nil
+	for _, a := range s.assignments {
+		if a.job == j {
+			a.cancelled = true
+		}
+	}
+	j.w, j.sched, j.stores, j.ledger = nil, nil, nil, nil
 	s.counters.JobsCompleted.Add(1)
 	s.counters.OpenJobs.Add(-1)
 	s.broadcastLocked()
 }
 
 // DeleteJob drops a completed job's record (retention control for
-// long-running daemons). Running jobs cannot be deleted.
+// long-running daemons). Running jobs cannot be deleted. With journaling,
+// the job's monotone counter totals are folded into a carry persisted with
+// every snapshot, so deletion never makes the global /metrics counters
+// jump backwards across a restart.
 func (s *Service) DeleteJob(jobID string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j := s.jobs[jobID]
 	if j == nil {
+		s.mu.Unlock()
 		return errf(http.StatusNotFound, "service: unknown job %q", jobID)
 	}
 	if j.state != api.JobCompleted {
+		s.mu.Unlock()
 		return errf(http.StatusConflict, "service: job %q is %s; only completed jobs can be deleted", jobID, j.state)
 	}
-	delete(s.jobs, jobID)
-	for i, o := range s.jobOrder {
-		if o == j {
-			s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
-			break
+	var lsn uint64
+	if s.pst != nil {
+		var err error
+		lsn, err = s.appendLocked(&record{Op: opDelete, Ts: time.Now().UnixMilli(), Job: jobID})
+		if err != nil {
+			s.mu.Unlock()
+			return err
 		}
 	}
-	return nil
+	s.dropJobLocked(j)
+	s.snapshotIfDueLocked()
+	s.mu.Unlock()
+	return s.waitDurable(lsn)
 }
 
 // JobStatus returns one job's observable state.
