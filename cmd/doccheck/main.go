@@ -1,0 +1,202 @@
+// Command doccheck validates the repository's markdown documentation: it
+// walks the given files and directories for .md files, extracts every
+// inline link and image, and verifies that relative targets exist —
+// including `#anchor` fragments, which are checked against the target
+// file's headings using GitHub's slug rules. External (http/https/mailto)
+// links are skipped: CI must not flake on someone else's server.
+//
+// Usage:
+//
+//	doccheck README.md docs
+//
+// Exit status is nonzero if any link is broken, with one line per
+// finding. The CI docs job runs it over README.md and docs/ so the
+// documentation surface cannot rot silently.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"unicode"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <file-or-dir>...")
+		os.Exit(2)
+	}
+	problems, err := run(args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d broken link(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// run checks every markdown file under the given paths and returns one
+// line per broken link.
+func run(paths []string) ([]string, error) {
+	var files []string
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			files = append(files, p)
+			continue
+		}
+		err = filepath.WalkDir(p, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	var problems []string
+	for _, f := range files {
+		ps, err := checkFile(f)
+		if err != nil {
+			return nil, err
+		}
+		problems = append(problems, ps...)
+	}
+	return problems, nil
+}
+
+// linkRe matches inline links and images: [text](target) / ![alt](target).
+// Targets containing spaces or nested parens are out of scope (the repo
+// does not use them).
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+// checkFile validates every relative link in one markdown file.
+func checkFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	inFence := false
+	for ln, line := range strings.Split(string(data), "\n") {
+		// Links inside fenced code blocks are literal text, not links.
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if bad := checkTarget(path, target); bad != "" {
+				problems = append(problems, fmt.Sprintf("%s:%d: %s", path, ln+1, bad))
+			}
+		}
+	}
+	return problems, nil
+}
+
+// checkTarget resolves one link target relative to the file containing it
+// and returns a description of the problem ("" when the target is fine).
+func checkTarget(fromFile, target string) string {
+	switch {
+	case strings.HasPrefix(target, "http://"),
+		strings.HasPrefix(target, "https://"),
+		strings.HasPrefix(target, "mailto:"):
+		return "" // external; not checked
+	}
+	file, anchor, _ := strings.Cut(target, "#")
+	resolved := fromFile
+	if file != "" {
+		resolved = filepath.Join(filepath.Dir(fromFile), file)
+		if _, err := os.Stat(resolved); err != nil {
+			return fmt.Sprintf("broken link %q: %s does not exist", target, resolved)
+		}
+	}
+	if anchor == "" {
+		return ""
+	}
+	if !strings.HasSuffix(resolved, ".md") {
+		return "" // anchors into non-markdown files are not checked
+	}
+	ok, err := hasAnchor(resolved, anchor)
+	if err != nil {
+		return fmt.Sprintf("broken link %q: %v", target, err)
+	}
+	if !ok {
+		return fmt.Sprintf("broken link %q: no heading slugs to %q in %s", target, anchor, resolved)
+	}
+	return ""
+}
+
+// hasAnchor reports whether the markdown file has a heading whose GitHub
+// slug equals anchor, applying GitHub's duplicate rule: the second
+// occurrence of a slug becomes slug-1, the third slug-2, and so on.
+func hasAnchor(path, anchor string) (bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	inFence := false
+	seen := make(map[string]int)
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		heading := strings.TrimLeft(line, "#")
+		if heading == line || (heading != "" && heading[0] != ' ') {
+			continue // not a heading ("#!/bin/sh", "#anchor")
+		}
+		slug := slugify(heading)
+		if n := seen[slug]; n > 0 {
+			seen[slug] = n + 1
+			slug = fmt.Sprintf("%s-%d", slug, n)
+		} else {
+			seen[slug] = 1
+		}
+		if slug == anchor {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// slugify applies GitHub's heading-to-anchor rules: lowercase, drop
+// everything but letters/digits/underscores/spaces/hyphens, spaces to
+// hyphens.
+func slugify(heading string) string {
+	heading = strings.TrimSpace(heading)
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		case r > 127 && (unicode.IsLetter(r) || unicode.IsDigit(r)):
+			b.WriteRune(r) // unicode letters survive slugging; punctuation does not
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoccheckFindsBrokenLinks(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "README.md"), strings.Join([]string{
+		"# Top",
+		"",
+		"Good: [guide](docs/GUIDE.md), [section](docs/GUIDE.md#real-section),",
+		"[self](#top), [ext](https://example.com/nope).",
+		"",
+		"Bad: [gone](docs/MISSING.md) and [ghost](docs/GUIDE.md#no-such-heading).",
+		"",
+		"```sh",
+		"echo [not-a-link](nowhere.md)",
+		"```",
+	}, "\n"))
+	write(t, filepath.Join(dir, "docs", "GUIDE.md"), strings.Join([]string{
+		"# Guide",
+		"",
+		"## Real Section",
+		"",
+		"## Recovery",
+		"",
+		"## Recovery",
+		"",
+		"First [dup](#recovery), second [dup](#recovery-1), absent [dup](#recovery-2).",
+		"Back to [readme](../README.md).",
+	}, "\n"))
+
+	problems, err := run([]string{filepath.Join(dir, "README.md"), filepath.Join(dir, "docs")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 3 {
+		t.Fatalf("found %d problems, want 3:\n%s", len(problems), strings.Join(problems, "\n"))
+	}
+	joined := strings.Join(problems, "\n")
+	for _, want := range []string{"MISSING.md", "no-such-heading", "recovery-2"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("problems miss %q:\n%s", want, joined)
+		}
+	}
+	for _, never := range []string{"nowhere.md", "example.com"} {
+		if strings.Contains(joined, never) {
+			t.Fatalf("false positive on %q:\n%s", never, joined)
+		}
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	for heading, want := range map[string]string{
+		"# Fair-share arbitration":          "fair-share-arbitration",
+		"## On-disk formats":                "on-disk-formats",
+		"### POST /v1/jobs — submit a job":  "post-v1jobs--submit-a-job",
+		"Quickstart: the scheduler service": "quickstart-the-scheduler-service",
+		"## wal_record fields":              "wal_record-fields",
+	} {
+		h := strings.TrimLeft(heading, "#")
+		if got := slugify(h); got != want {
+			t.Fatalf("slugify(%q) = %q, want %q", heading, got, want)
+		}
+	}
+}
+
+// TestRepositoryDocsAreClean runs the checker over the real README and
+// docs/ tree, so `go test` fails on a broken doc link even before the
+// dedicated CI job runs.
+func TestRepositoryDocsAreClean(t *testing.T) {
+	root := "../.."
+	if _, err := os.Stat(filepath.Join(root, "README.md")); err != nil {
+		t.Skip("repository root not reachable from test binary")
+	}
+	problems, err := run([]string{
+		filepath.Join(root, "README.md"),
+		filepath.Join(root, "docs"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) > 0 {
+		t.Fatalf("broken documentation links:\n%s", strings.Join(problems, "\n"))
+	}
+}

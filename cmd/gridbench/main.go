@@ -80,6 +80,7 @@ func run(args []string, stdout *os.File) error {
 		{"EndToEndSimulation", benchsuite.EndToEndSimulation},
 		{"WorkloadGeneration", benchsuite.WorkloadGeneration},
 		{"ServiceDispatchInProcess", benchsuite.ServiceDispatchInProcess},
+		{"ServiceDispatchContended", benchsuite.ServiceDispatchContended},
 		{"ServiceDispatchJournaled/batch", benchsuite.ServiceDispatchJournaled(journal.SyncBatch)},
 		{"ServiceDispatchJournaled/always", benchsuite.ServiceDispatchJournaled(journal.SyncAlways)},
 	}

@@ -10,13 +10,21 @@
 //	gridschedd -data-dir /var/lib/gridschedd          # durable: journal + snapshots
 //	gridschedd -data-dir d -fsync always              # fsync before every acknowledgement
 //	gridschedd -data-dir d -snapshot-every 10000      # compaction cadence in journal records
+//	gridschedd -tenant-quota 8 -default-weight 1      # multi-tenant fair share (docs/ARCHITECTURE.md)
 //	gridschedd -pprof   # also serve net/http/pprof under /debug/pprof/
+//
+// Jobs may carry a tenant and an integer weight; the dispatch path
+// arbitrates runnable jobs by weighted fair share and enforces per-tenant
+// in-flight quotas (-tenant-quota server-wide, PUT /v1/tenants/{tenant}
+// per tenant). Per-tenant share targets, achieved shares, and throttle
+// counts are exported at /metrics.
 //
 // With -data-dir, every externally visible mutation is journaled before it
 // is acknowledged and a restart replays snapshot+journal, reconstructing
-// queues, leases-turned-requeues, and scheduler state (including the
-// randomized dispatch stream) exactly; workers reconnect by re-registering
-// (the Go client does this transparently). See README "Operations".
+// queues, leases-turned-requeues, scheduler state (including the
+// randomized dispatch stream), and fair-share arbitration state exactly;
+// workers reconnect by re-registering (the Go client does this
+// transparently). See README "Operations" and docs/PROTOCOL.md.
 //
 // Then, from anywhere:
 //
@@ -66,6 +74,8 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 		policy   = fs.String("policy", "lru", "store replacement policy: lru or fifo")
 		lease    = fs.Duration("lease", 15*time.Second, "worker/assignment lease TTL")
 		sweep    = fs.Duration("sweep", 0, "lease sweep interval (0: lease/4)")
+		weight   = fs.Int("default-weight", 1, "fair-share weight for jobs submitted without one")
+		quota    = fs.Int("tenant-quota", 0, "per-tenant cap on concurrently leased assignments (0: unlimited; override per tenant via PUT /v1/tenants/{tenant})")
 		pprof    = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		dataDir  = fs.String("data-dir", "", "journal+snapshot directory; empty disables durability")
 		fsync    = fs.String("fsync", "batch", "journal fsync mode: always, batch or never")
@@ -97,12 +107,14 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 			CapacityFiles:  *capacity,
 			Policy:         pol,
 		},
-		LeaseTTL:      *lease,
-		SweepInterval: *sweep,
-		DataDir:       *dataDir,
-		Fsync:         mode,
-		FsyncInterval: *fsyncInt,
-		SnapshotEvery: *snapshot,
+		LeaseTTL:          *lease,
+		SweepInterval:     *sweep,
+		DefaultWeight:     *weight,
+		TenantMaxInFlight: *quota,
+		DataDir:           *dataDir,
+		Fsync:             mode,
+		FsyncInterval:     *fsyncInt,
+		SnapshotEvery:     *snapshot,
 	})
 	if err != nil {
 		return err

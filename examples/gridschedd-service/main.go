@@ -60,7 +60,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	coaddJob, err := cl.SubmitJob(ctx, "coadd-sweep", "combined.2", 1, coadd)
+	// Tenant "astro" carries twice the fair-share weight of "analytics":
+	// over the contended 8-worker pool the service dispatches the two jobs
+	// at a 2:1 rate while both have runnable work.
+	coaddJob, err := cl.SubmitTenantJob(ctx, "astro", 2, "coadd-sweep", "combined.2", 1, coadd)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,11 +75,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	uniformJob, err := cl.SubmitJob(ctx, "uniform", "workqueue", 2, uniform)
+	uniformJob, err := cl.SubmitTenantJob(ctx, "analytics", 1, "uniform", "workqueue", 2, uniform)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("submitted jobs %s (combined.2) and %s (workqueue)", coaddJob, uniformJob)
+	log.Printf("submitted jobs %s (combined.2, tenant astro w=2) and %s (workqueue, tenant analytics w=1)",
+		coaddJob, uniformJob)
 
 	// A fleet of 8 protocol workers; each "execution" hashes the task's
 	// file ids for a few hundred microseconds.
@@ -120,5 +124,13 @@ func main() {
 		}
 		log.Printf("job %s (%s, %s): %d/%d tasks, %d transfers, %d expired leases, state %s",
 			st.ID, st.Name, st.Algorithm, st.Completed, st.Tasks, st.Transfers, st.Expired, st.State)
+	}
+	tenants, err := cl.Tenants(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ts := range tenants {
+		log.Printf("tenant %q: %d dispatches, achieved share %.2f over the last window",
+			ts.Tenant, ts.Dispatches, ts.ShareAchieved)
 	}
 }

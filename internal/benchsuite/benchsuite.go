@@ -209,6 +209,49 @@ func ServiceDispatchInProcess(b *testing.B) {
 	DispatchRoundTrip(b, client.InProcess(svc.Handler()))
 }
 
+// ServiceDispatchContended measures the dispatch round-trip with six
+// tenant-weighted jobs resident at once: every pull runs the fair-share
+// arbiter (heap pop, quota check, charge, reinsert — see
+// internal/service/arbiter.go) across a contended job set instead of
+// PR 1's first-job scan. Compare against ServiceDispatchInProcess for the
+// arbitration overhead.
+func ServiceDispatchContended(b *testing.B) {
+	svc := NewDispatchService()
+	defer svc.Close()
+	cl := client.InProcess(svc.Handler())
+	ctx := context.Background()
+	reg, err := cl.Register(ctx, nil)
+	must(err, "register")
+	tenants := []struct {
+		name   string
+		weight int
+	}{{"alpha", 3}, {"beta", 2}, {"gamma", 1}}
+	submit := func() {
+		for _, t := range tenants {
+			for k := 0; k < 2; k++ {
+				w := dispatchWorkload(50_000)
+				_, err := cl.SubmitTenantJob(ctx, t.name, t.weight,
+					fmt.Sprintf("bench-%s-%d", t.name, k), "workqueue", 0, w)
+				must(err, "submit "+t.name)
+			}
+		}
+	}
+	submit()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := cl.Pull(ctx, reg.WorkerID, 0)
+		must(err, "pull")
+		if resp.Status != api.StatusAssigned {
+			// All six jobs drained mid-benchmark; refill (rare: every 300k
+			// iterations).
+			submit()
+			continue
+		}
+		_, err = cl.Report(ctx, resp.Assignment.ID, reg.WorkerID, api.OutcomeSuccess)
+		must(err, "report")
+	}
+}
+
 // Handler exposes the service handler type for TCP variants without
 // making consumers import net/http/httptest here.
 func Handler(svc *service.Service) http.Handler { return svc.Handler() }

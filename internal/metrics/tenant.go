@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+)
+
+// ShareWindow tracks which key each of the last N observations belonged to
+// and reports every key's fraction of the window. The gridschedd fair-share
+// arbiter feeds it one observation per dispatch, keyed by tenant, and the
+// per-tenant "achieved share" gauges at /metrics read it back.
+//
+// Not safe for concurrent use: the service observes and reads under its own
+// mutex, matching the rest of its dispatch state.
+type ShareWindow struct {
+	ring   []string
+	counts map[string]int
+	next   int
+	filled bool
+}
+
+// NewShareWindow returns a window over the last size observations.
+func NewShareWindow(size int) *ShareWindow {
+	if size < 1 {
+		size = 1
+	}
+	return &ShareWindow{ring: make([]string, size), counts: make(map[string]int)}
+}
+
+// Observe records one event for key, evicting the oldest observation once
+// the window is full.
+func (w *ShareWindow) Observe(key string) {
+	if w.filled {
+		old := w.ring[w.next]
+		if w.counts[old] <= 1 {
+			delete(w.counts, old)
+		} else {
+			w.counts[old]--
+		}
+	}
+	w.ring[w.next] = key
+	w.counts[key]++
+	w.next++
+	if w.next == len(w.ring) {
+		w.next, w.filled = 0, true
+	}
+}
+
+// Len reports how many observations the window currently holds.
+func (w *ShareWindow) Len() int {
+	if w.filled {
+		return len(w.ring)
+	}
+	return w.next
+}
+
+// Share reports key's fraction of the current window (0 when empty).
+func (w *ShareWindow) Share(key string) float64 {
+	n := w.Len()
+	if n == 0 {
+		return 0
+	}
+	return float64(w.counts[key]) / float64(n)
+}
+
+// TenantLine is one tenant's gauge row rendered by WriteTenantText.
+type TenantLine struct {
+	Tenant        string
+	Weight        int64
+	InFlight      int64
+	MaxInFlight   int64
+	ShareTarget   float64
+	ShareAchieved float64
+	Dispatches    int64
+	Throttles     int64
+}
+
+// WriteTenantText renders per-tenant fair-share metrics in the Prometheus
+// text exposition format, one labeled series per tenant. The anonymous
+// default tenant renders with an empty label value.
+func WriteTenantText(w io.Writer, lines []TenantLine) error {
+	if len(lines) == 0 {
+		return nil
+	}
+	for _, m := range []struct {
+		name, kind string
+		v          func(TenantLine) string
+	}{
+		{"gridsched_tenant_weight", "gauge", func(l TenantLine) string { return fmt.Sprintf("%d", l.Weight) }},
+		{"gridsched_tenant_inflight", "gauge", func(l TenantLine) string { return fmt.Sprintf("%d", l.InFlight) }},
+		{"gridsched_tenant_quota", "gauge", func(l TenantLine) string { return fmt.Sprintf("%d", l.MaxInFlight) }},
+		{"gridsched_tenant_share_target", "gauge", func(l TenantLine) string { return fmt.Sprintf("%g", l.ShareTarget) }},
+		{"gridsched_tenant_share_achieved", "gauge", func(l TenantLine) string { return fmt.Sprintf("%g", l.ShareAchieved) }},
+		{"gridsched_tenant_dispatches_total", "counter", func(l TenantLine) string { return fmt.Sprintf("%d", l.Dispatches) }},
+		{"gridsched_tenant_quota_throttles_total", "counter", func(l TenantLine) string { return fmt.Sprintf("%d", l.Throttles) }},
+	} {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.kind); err != nil {
+			return err
+		}
+		for _, l := range lines {
+			if _, err := fmt.Fprintf(w, "%s{tenant=%q} %s\n", m.name, l.Tenant, m.v(l)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

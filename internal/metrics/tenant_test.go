@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestShareWindowEvictsOldest(t *testing.T) {
+	w := NewShareWindow(4)
+	if w.Len() != 0 || w.Share("a") != 0 {
+		t.Fatalf("empty window: len %d share %g", w.Len(), w.Share("a"))
+	}
+	for _, k := range []string{"a", "a", "b", "a"} {
+		w.Observe(k)
+	}
+	if w.Len() != 4 {
+		t.Fatalf("len %d, want 4", w.Len())
+	}
+	if got := w.Share("a"); got != 0.75 {
+		t.Fatalf("share a = %g, want 0.75", got)
+	}
+	// Four more observations push the first four out entirely.
+	for i := 0; i < 4; i++ {
+		w.Observe("c")
+	}
+	if got := w.Share("a"); got != 0 {
+		t.Fatalf("share a after eviction = %g, want 0", got)
+	}
+	if got := w.Share("c"); got != 1 {
+		t.Fatalf("share c = %g, want 1", got)
+	}
+}
+
+func TestShareWindowPartialFill(t *testing.T) {
+	w := NewShareWindow(100)
+	w.Observe("x")
+	w.Observe("y")
+	w.Observe("x")
+	if w.Len() != 3 {
+		t.Fatalf("len %d, want 3", w.Len())
+	}
+	if got := w.Share("x"); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("share x = %g, want 2/3", got)
+	}
+}
+
+func TestWriteTenantText(t *testing.T) {
+	var sb strings.Builder
+	err := WriteTenantText(&sb, []TenantLine{
+		{Tenant: "", Weight: 1, ShareTarget: 0.25, ShareAchieved: 0.2, Dispatches: 7},
+		{Tenant: "acme", Weight: 3, InFlight: 2, MaxInFlight: 4, ShareTarget: 0.75, Dispatches: 21, Throttles: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE gridsched_tenant_weight gauge",
+		`gridsched_tenant_weight{tenant=""} 1`,
+		`gridsched_tenant_weight{tenant="acme"} 3`,
+		`gridsched_tenant_inflight{tenant="acme"} 2`,
+		`gridsched_tenant_quota{tenant="acme"} 4`,
+		`gridsched_tenant_share_target{tenant="acme"} 0.75`,
+		`gridsched_tenant_share_achieved{tenant=""} 0.2`,
+		`gridsched_tenant_dispatches_total{tenant="acme"} 21`,
+		`gridsched_tenant_quota_throttles_total{tenant="acme"} 5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// No tenants, no output (the shared counters section stands alone).
+	sb.Reset()
+	if err := WriteTenantText(&sb, nil); err != nil || sb.Len() != 0 {
+		t.Fatalf("empty render: err %v, %d bytes", err, sb.Len())
+	}
+}

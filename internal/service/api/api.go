@@ -7,6 +7,8 @@
 //	GET    /v1/jobs                                       -> []JobStatus
 //	GET    /v1/jobs/{id}                                  -> JobStatus
 //	DELETE /v1/jobs/{id}                                  -> {} (completed jobs only)
+//	GET    /v1/tenants                                    -> []TenantStatus
+//	PUT    /v1/tenants/{tenant}         TenantQuotaRequest -> TenantStatus
 //	POST   /v1/workers                  RegisterRequest   -> RegisterResponse
 //	DELETE /v1/workers/{id}                               -> {}
 //	POST   /v1/workers/{id}/pull        PullRequest       -> PullResponse (long poll)
@@ -16,6 +18,7 @@
 //	GET    /metrics                                       -> text (see internal/metrics)
 //
 // Errors are returned as an ErrorResponse body with a non-2xx status code.
+// The full schema of every endpoint is documented in docs/PROTOCOL.md.
 package api
 
 import (
@@ -72,6 +75,17 @@ type SubmitJobRequest struct {
 	// SubmitJob call). On a journaled server the key survives restarts
 	// until its job is deleted.
 	SubmissionID string `json:"submissionId,omitempty"`
+	// Tenant groups jobs for fair-share arbitration and concurrency
+	// quotas: up to 128 characters of [A-Za-z0-9._-] (it must survive as
+	// a URL path segment and a metrics label). Empty means the anonymous
+	// default tenant; such jobs still get a fair share and can never be
+	// starved by weighted tenants.
+	Tenant string `json:"tenant,omitempty"`
+	// Weight is the job's fair-share weight: over a contended worker pool
+	// the dispatch rates of runnable jobs converge to the ratio of their
+	// weights. Zero (or absent) means the server's default weight; the
+	// server rejects negative or absurdly large values.
+	Weight int `json:"weight,omitempty"`
 }
 
 // SubmitJobResponse acknowledges a submission.
@@ -85,6 +99,10 @@ type JobStatus struct {
 	Name      string `json:"name"`
 	Algorithm string `json:"algorithm"`
 	State     string `json:"state"` // JobRunning | JobCompleted
+	// Tenant and Weight are the job's fair-share parameters as resolved by
+	// the server (Weight is never zero: absent weights take the default).
+	Tenant    string `json:"tenant,omitempty"`
+	Weight    int    `json:"weight"`
 	Tasks     int    `json:"tasks"`
 	Remaining int    `json:"remaining"`
 	// Dispatched counts assignments handed to workers (including
@@ -172,6 +190,46 @@ type ReportResponse struct {
 	Stale     bool   `json:"stale,omitempty"`
 	Cancelled bool   `json:"cancelled,omitempty"`
 	JobState  string `json:"jobState,omitempty"`
+}
+
+// TenantStatus is the fair-share arbiter's view of one tenant, returned by
+// GET /v1/tenants and rendered as labeled gauges at /metrics.
+type TenantStatus struct {
+	// Tenant is the tenant name; "" is the anonymous default tenant that
+	// jobs submitted without a tenant belong to.
+	Tenant string `json:"tenant"`
+	// Weight is the summed weight of the tenant's running jobs.
+	Weight int64 `json:"weight"`
+	// RunningJobs counts the tenant's resident running jobs.
+	RunningJobs int `json:"runningJobs"`
+	// InFlight is the tenant's currently leased assignments.
+	InFlight int `json:"inFlight"`
+	// MaxInFlight is the resolved concurrency quota enforced at lease
+	// grant (0: unlimited). Per-tenant overrides set via PUT /v1/tenants
+	// take precedence over the server-wide default.
+	MaxInFlight int `json:"maxInFlight"`
+	// ShareTarget is Weight over the total weight of all running jobs —
+	// the dispatch fraction the arbiter steers toward while the tenant
+	// has runnable work.
+	ShareTarget float64 `json:"shareTarget"`
+	// ShareAchieved is the tenant's fraction of the most recent dispatches
+	// (a sliding window; see /metrics gridsched_tenant_share_achieved).
+	ShareAchieved float64 `json:"shareAchieved"`
+	// Dispatches counts the tenant's task dispatches (including
+	// re-dispatches), surviving restarts on a journaled server.
+	Dispatches int64 `json:"dispatches"`
+	// Throttles counts dispatch opportunities skipped because the tenant
+	// was at its MaxInFlight quota. Process-local.
+	Throttles int64 `json:"throttles"`
+}
+
+// TenantQuotaRequest (PUT /v1/tenants/{tenant}) overrides one tenant's
+// concurrency quota. MaxInFlight > 0 caps the tenant's concurrently leased
+// assignments; 0 reverts the tenant to the server-wide default; negative
+// values are rejected. On a journaled server the override survives
+// restarts.
+type TenantQuotaRequest struct {
+	MaxInFlight int `json:"maxInFlight"`
 }
 
 // Health is the /healthz body.

@@ -1,0 +1,244 @@
+// Fair-share arbitration. The worker pull is the natural control point of
+// the paper's worker-centric model, so inter-job arbitration happens
+// exactly there: instead of scanning resident jobs in submission order,
+// assignLocked asks the arbiter which runnable job has the smallest
+// normalized dispatch consumption and offers the worker to that job first.
+//
+// The discipline is weighted deficit-round-robin in its start-time
+// fair-queuing form: every job carries a virtual finish tag ("fair") that
+// advances by fairScale/weight per dispatch, and a min-heap keyed on
+// (fair, seq) picks the most underserved job in O(log jobs). A global
+// virtual time floor — the tag of the most recent dispatch — caps how much
+// credit an idle or undispatchable job can bank, so a job that could not
+// use its turns for a while resumes at the current share rather than
+// monopolizing the pool to "catch up" (the standard SFQ treatment of idle
+// flows). Jobs submitted without a tenant or weight join the anonymous
+// default tenant at the default weight; because the heap always serves the
+// minimum tag and every weight is at least 1, no runnable job can starve.
+//
+// Tenants additionally carry a concurrency quota (maxInFlight), enforced
+// at lease grant: a tenant at its quota is skipped (counted as a
+// throttle) until a report or lease expiry returns capacity. Quotas are
+// liveness-side only — they never affect recovery replay, which re-applies
+// recorded dispatches rather than re-running the arbiter.
+//
+// Determinism: (fair, seq) is a total order, so the arbiter's choice is a
+// pure function of the tags, and the tags are reconstructed exactly on
+// recovery (snapshots persist each job's tag and the virtual time; journal
+// tail records re-apply charges in log order — see recovery.go). A
+// recovered service therefore makes the identical dispatch sequence an
+// uninterrupted one would have made.
+package service
+
+import "gridsched/internal/metrics"
+
+// fairScale is the virtual-time charge of one dispatch at weight 1; a
+// weight-w dispatch charges fairScale/w. Integer arithmetic keeps recovery
+// replay bit-exact. maxWeight caps weights so a charge is never rounded
+// to zero.
+const (
+	fairScale = 1 << 20
+	maxWeight = fairScale
+)
+
+// shareWindowSize is how many recent dispatches the achieved-share gauges
+// are computed over.
+const shareWindowSize = 1024
+
+// tenantState is the arbiter's record of one tenant, created on first
+// reference. Retention follows job retention: a tenant stays resident (in
+// memory, in /v1/tenants and /metrics, and — quota and dispatch totals —
+// in snapshots) while any of its job records do or a quota override is
+// set, and is pruned when the last anchor goes away — DeleteJob dropping
+// its last record, or a quota override reverted on a jobless tenant (see
+// Service.pruneTenantLocked) — so churning tenant names cannot grow the
+// daemon without bound.
+type tenantState struct {
+	name     string
+	weight   int64 // Σ running jobs' weights
+	running  int   // running jobs
+	inFlight int   // leased assignments
+	// quota overrides the server-wide default cap when > 0; 0 defers to
+	// Config.TenantMaxInFlight. Set via PUT /v1/tenants/{tenant} and
+	// journaled.
+	quota      int
+	dispatches int64 // task dispatches, exact across restarts (journaled)
+	throttles  int64 // quota skips, process-local
+}
+
+// arbiter is the fair-share dispatch state. It is part of Service and
+// shares its mutex.
+type arbiter struct {
+	// heap is a min-heap of runnable jobs ordered by (fair, seq): the
+	// root is the most underserved job. heapIdx on the job tracks its
+	// position; -1 means not in the heap.
+	heap []*job
+	// vtime is the virtual time floor: the pre-charge tag of the most
+	// recent dispatch. New jobs join at vtime, and charges start from
+	// max(job tag, vtime).
+	vtime uint64
+	// tenants indexes tenantState by name ("" = default tenant).
+	tenants map[string]*tenantState
+	// window is the sliding dispatch window behind the achieved-share
+	// gauges. Guarded by the service mutex like everything else here.
+	window *metrics.ShareWindow
+	// deferred is pop scratch reused across assignLocked calls.
+	deferred []*job
+}
+
+func newArbiter() *arbiter {
+	return &arbiter{
+		tenants: make(map[string]*tenantState),
+		window:  metrics.NewShareWindow(shareWindowSize),
+	}
+}
+
+// tenant returns the state for name, creating it on first reference.
+func (a *arbiter) tenant(name string) *tenantState {
+	t := a.tenants[name]
+	if t == nil {
+		t = &tenantState{name: name}
+		a.tenants[name] = t
+	}
+	return t
+}
+
+// less is the heap order: most underserved first, submission order on ties.
+func (a *arbiter) less(i, j int) bool {
+	if a.heap[i].fair != a.heap[j].fair {
+		return a.heap[i].fair < a.heap[j].fair
+	}
+	return a.heap[i].seq < a.heap[j].seq
+}
+
+func (a *arbiter) swap(i, j int) {
+	a.heap[i], a.heap[j] = a.heap[j], a.heap[i]
+	a.heap[i].heapIdx = i
+	a.heap[j].heapIdx = j
+}
+
+func (a *arbiter) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !a.less(i, parent) {
+			return
+		}
+		a.swap(i, parent)
+		i = parent
+	}
+}
+
+func (a *arbiter) down(i int) {
+	n := len(a.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && a.less(l, min) {
+			min = l
+		}
+		if r < n && a.less(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		a.swap(i, min)
+		i = min
+	}
+}
+
+// push adds a runnable job to the heap. The job's fair tag and seq must be
+// set; a job already in the heap is left alone.
+func (a *arbiter) push(j *job) {
+	if j.heapIdx >= 0 {
+		return
+	}
+	j.heapIdx = len(a.heap)
+	a.heap = append(a.heap, j)
+	a.up(j.heapIdx)
+}
+
+// pop removes and returns the most underserved job.
+func (a *arbiter) pop() *job {
+	j := a.heap[0]
+	last := len(a.heap) - 1
+	a.swap(0, last)
+	a.heap = a.heap[:last]
+	j.heapIdx = -1
+	if last > 0 {
+		a.down(0)
+	}
+	return j
+}
+
+// remove takes a job out of the heap wherever it sits (job completion).
+// No-op when the job is not in the heap.
+func (a *arbiter) remove(j *job) {
+	i := j.heapIdx
+	if i < 0 {
+		return
+	}
+	last := len(a.heap) - 1
+	a.swap(i, last)
+	a.heap = a.heap[:last]
+	j.heapIdx = -1
+	if i < last {
+		a.down(i)
+		a.up(i)
+	}
+}
+
+// charge advances a job's fair tag for one dispatch and moves the virtual
+// time floor. The identical computation runs during recovery when journal
+// tail dispatch records are re-applied, which is what makes the tags — and
+// therefore the post-recovery dispatch order — exact.
+func (a *arbiter) charge(j *job) {
+	start := j.fair
+	if start < a.vtime {
+		start = a.vtime
+	}
+	j.fair = start + fairScale/uint64(j.weight)
+	a.vtime = start
+}
+
+// admit registers a newly running job: tag at the current virtual time,
+// tenant weight bumped, heap entry created.
+func (a *arbiter) admit(j *job) {
+	j.fair = a.vtime
+	t := a.tenant(j.tenant)
+	t.weight += int64(j.weight)
+	t.running++
+	a.push(j)
+}
+
+// retire unregisters a job that stopped running (completion).
+func (a *arbiter) retire(j *job) {
+	a.remove(j)
+	t := a.tenant(j.tenant)
+	t.weight -= int64(j.weight)
+	t.running--
+}
+
+// quotaFor resolves a tenant's effective in-flight cap: per-tenant
+// override first, server default otherwise; 0 is unlimited.
+func (a *arbiter) quotaFor(t *tenantState, serverDefault int) int {
+	if t.quota > 0 {
+		return t.quota
+	}
+	return serverDefault
+}
+
+// normalizeWeight resolves a submitted weight against the server default.
+// Callers validated 0 <= w <= maxWeight.
+func normalizeWeight(w, serverDefault int) int {
+	if w <= 0 {
+		w = serverDefault
+	}
+	if w <= 0 {
+		w = 1
+	}
+	if w > maxWeight {
+		w = maxWeight
+	}
+	return w
+}

@@ -19,6 +19,13 @@ func BenchmarkDispatchRoundTripInProcess(b *testing.B) {
 	benchsuite.ServiceDispatchInProcess(b)
 }
 
+// BenchmarkDispatchRoundTripContended: six tenant-weighted jobs resident
+// at once, so every pull exercises the fair-share arbiter across a
+// contended job set.
+func BenchmarkDispatchRoundTripContended(b *testing.B) {
+	benchsuite.ServiceDispatchContended(b)
+}
+
 // BenchmarkDispatchRoundTripTCP: the same path over loopback HTTP.
 func BenchmarkDispatchRoundTripTCP(b *testing.B) {
 	svc := benchsuite.NewDispatchService()

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
 
@@ -108,6 +109,18 @@ func (c *Client) SubmitJob(ctx context.Context, name, algorithm string, seed int
 	})
 }
 
+// SubmitTenantJob is SubmitJob with fair-share parameters: the job is
+// accounted to tenant (""= the default tenant) at the given weight (0 =
+// the server's default). Over a contended pool the server's arbiter
+// converges dispatch rates of runnable jobs to the ratio of their weights.
+func (c *Client) SubmitTenantJob(ctx context.Context, tenant string, weight int, name, algorithm string, seed int64, w *workload.Workload) (string, error) {
+	return c.SubmitJobIdempotent(ctx, api.SubmitJobRequest{
+		Name: name, Algorithm: algorithm, Seed: seed, Workload: w,
+		Tenant: tenant, Weight: weight,
+		SubmissionID: newSubmissionID(),
+	})
+}
+
 // SubmitJobIdempotent submits req as-is, retrying transient failures for
 // up to ResubmitWindow when req.SubmissionID is set (retrying without a
 // submission id could duplicate the job, so it is not attempted).
@@ -178,6 +191,27 @@ func (c *Client) Jobs(ctx context.Context) ([]api.JobStatus, error) {
 	var out []api.JobStatus
 	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
 	return out, err
+}
+
+// Tenants lists every tenant the server's fair-share arbiter knows, with
+// share targets, achieved shares, in-flight counts, and quotas.
+func (c *Client) Tenants(ctx context.Context) ([]api.TenantStatus, error) {
+	var out []api.TenantStatus
+	err := c.do(ctx, http.MethodGet, "/v1/tenants", nil, &out)
+	return out, err
+}
+
+// SetTenantQuota overrides a tenant's in-flight concurrency quota
+// (maxInFlight > 0 caps it; 0 reverts to the server default). On a
+// journaled server the override survives restarts.
+func (c *Client) SetTenantQuota(ctx context.Context, tenant string, maxInFlight int) (*api.TenantStatus, error) {
+	var st api.TenantStatus
+	err := c.do(ctx, http.MethodPut, "/v1/tenants/"+url.PathEscape(tenant),
+		api.TenantQuotaRequest{MaxInFlight: maxInFlight}, &st)
+	if err != nil {
+		return nil, err
+	}
+	return &st, nil
 }
 
 // Register enrolls a worker. site pins it to a site; nil lets the server

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"gridsched/internal/metrics"
 	"gridsched/internal/service/api"
 )
 
@@ -22,6 +23,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDeleteJob)
+	mux.HandleFunc("GET /v1/tenants", s.handleTenants)
+	mux.HandleFunc("PUT /v1/tenants/{tenant}", s.handleTenantQuota)
 	mux.HandleFunc("POST /v1/workers", s.handleRegister)
 	mux.HandleFunc("DELETE /v1/workers/{id}", s.handleDeregister)
 	mux.HandleFunc("POST /v1/workers/{id}/pull", s.handlePull)
@@ -61,12 +64,29 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	id, err := s.SubmitByName(req.Name, req.Algorithm, req.Workload, req.Seed, req.SubmissionID)
+	id, err := s.SubmitJob(req)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, api.SubmitJobResponse{JobID: id})
+}
+
+func (s *Service) handleTenants(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Tenants())
+}
+
+func (s *Service) handleTenantQuota(w http.ResponseWriter, r *http.Request) {
+	var req api.TenantQuotaRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	st, err := s.SetTenantQuota(r.PathValue("tenant"), req.MaxInFlight)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
@@ -169,4 +189,19 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "gridsched_job_remaining{job=%q,algorithm=%q} %d\n", st.ID, st.Algorithm, st.Remaining)
 		fmt.Fprintf(w, "gridsched_job_completed{job=%q,algorithm=%q} %d\n", st.ID, st.Algorithm, st.Completed)
 	}
+	tenants := s.Tenants()
+	lines := make([]metrics.TenantLine, 0, len(tenants))
+	for _, t := range tenants {
+		lines = append(lines, metrics.TenantLine{
+			Tenant:        t.Tenant,
+			Weight:        t.Weight,
+			InFlight:      int64(t.InFlight),
+			MaxInFlight:   int64(t.MaxInFlight),
+			ShareTarget:   t.ShareTarget,
+			ShareAchieved: t.ShareAchieved,
+			Dispatches:    t.Dispatches,
+			Throttles:     t.Throttles,
+		})
+	}
+	_ = metrics.WriteTenantText(w, lines)
 }

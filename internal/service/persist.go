@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log"
 	"path/filepath"
+	"sort"
 
 	"gridsched/internal/core"
 	"gridsched/internal/journal"
@@ -29,6 +30,10 @@ const (
 	opReport   = "report"
 	opExpire   = "expire"
 	opDelete   = "delete"
+	// opQuota records a per-tenant in-flight quota override (PUT
+	// /v1/tenants/{tenant}); quotas gate live dispatch, so they must
+	// survive restarts like every other externally visible setting.
+	opQuota = "quota"
 )
 
 // record is the JSON payload of one journal frame.
@@ -44,6 +49,15 @@ type record struct {
 	Seed       int64              `json:"seed,omitempty"`
 	Submission string             `json:"submission,omitempty"`
 	Workload   *workload.Workload `json:"workload,omitempty"`
+	// Tenant rides on opSubmit (the job's tenant, resolved) and opQuota
+	// (the tenant being configured). Weight is the job's resolved
+	// fair-share weight — journaled resolved so replay cannot be skewed by
+	// a changed server default; absent (0) in pre-fair-share journals and
+	// re-resolved against the default at replay. Quota is opQuota's new
+	// in-flight cap (0: revert to the server default).
+	Tenant string `json:"tenant,omitempty"`
+	Weight int    `json:"weight,omitempty"`
+	Quota  int    `json:"quota,omitempty"`
 
 	// opDispatch / opReport / opExpire
 	Task       workload.TaskID `json:"task,omitempty"`
@@ -96,7 +110,23 @@ type snapshot struct {
 	Seq     int64         `json:"seq"`
 	LastLSN uint64        `json:"lastLsn"`
 	Carry   carryCounters `json:"carry"`
-	Jobs    []snapJob     `json:"jobs"` // submission order
+	// VTime is the fair-share arbiter's virtual time floor and Tenants its
+	// per-tenant durable state; journal tail records re-apply charges on
+	// top (see recovery.go). Both absent in pre-fair-share snapshots,
+	// which recover with all tags zero — submission order, the old
+	// behavior.
+	VTime   uint64       `json:"vtime,omitempty"`
+	Tenants []snapTenant `json:"tenants,omitempty"` // sorted by name
+	Jobs    []snapJob    `json:"jobs"`              // submission order
+}
+
+// snapTenant is one tenant's durable state in a snapshot: its quota
+// override and its exact cumulative dispatch total (in-flight counts and
+// share windows are liveness state and restart empty).
+type snapTenant struct {
+	Name       string `json:"name"`
+	Quota      int    `json:"quota,omitempty"`
+	Dispatches int64  `json:"dispatches,omitempty"`
 }
 
 const snapshotVersion = 1
@@ -112,6 +142,12 @@ type snapJob struct {
 	Tasks      int    `json:"tasks"`
 	Submitted  int64  `json:"submittedMs"`
 	Finished   int64  `json:"finishedMs,omitempty"`
+	// Fair-share state: resolved tenant and weight, plus (running jobs
+	// only) the arbiter's virtual finish tag, restored exactly so the
+	// post-recovery dispatch order matches an uninterrupted run.
+	Tenant string `json:"tenant,omitempty"`
+	Weight int    `json:"weight,omitempty"`
+	Fair   uint64 `json:"fair,omitempty"`
 
 	// Running jobs: replay inputs.
 	Workload *workload.Workload `json:"workload,omitempty"`
@@ -231,6 +267,21 @@ func (s *Service) snapshotLocked() error {
 		Seq:     s.seq,
 		LastLSN: s.pst.w.LastLSN(),
 		Carry:   s.pst.carry,
+		VTime:   s.arb.vtime,
+	}
+	tenantNames := make([]string, 0, len(s.arb.tenants))
+	for name := range s.arb.tenants {
+		tenantNames = append(tenantNames, name)
+	}
+	sort.Strings(tenantNames)
+	for _, name := range tenantNames {
+		t := s.arb.tenants[name]
+		if t.quota == 0 && t.dispatches == 0 {
+			continue // nothing durable to say about this tenant
+		}
+		snap.Tenants = append(snap.Tenants, snapTenant{
+			Name: name, Quota: t.quota, Dispatches: t.dispatches,
+		})
 	}
 	for _, j := range s.jobOrder {
 		sj := snapJob{
@@ -242,6 +293,8 @@ func (s *Service) snapshotLocked() error {
 			State:      j.state,
 			Tasks:      j.tasks,
 			Submitted:  j.submitted.UnixMilli(),
+			Tenant:     j.tenant,
+			Weight:     j.weight,
 		}
 		if !j.finished.IsZero() {
 			sj.Finished = j.finished.UnixMilli()
@@ -252,6 +305,7 @@ func (s *Service) snapshotLocked() error {
 		} else {
 			sj.Workload = j.w
 			sj.Ledger = j.ledger
+			sj.Fair = j.fair
 		}
 		snap.Jobs = append(snap.Jobs, sj)
 	}

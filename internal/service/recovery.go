@@ -84,6 +84,14 @@ func (s *Service) recover() error {
 	}
 	s.seq = snap.Seq
 	s.pst.carry = snap.Carry
+	// Fair-share state: the arbiter's virtual time and per-tenant durable
+	// state come from the snapshot; tail records then re-apply charges and
+	// quota changes in log order, exactly as the live paths did.
+	s.arb.vtime = snap.VTime
+	for _, st := range snap.Tenants {
+		t := s.arb.tenant(st.Name)
+		t.quota, t.dispatches = st.Quota, st.Dispatches
+	}
 	for i := range snap.Jobs {
 		if err := s.restoreSnapJob(&snap.Jobs[i]); err != nil {
 			return err
@@ -140,8 +148,25 @@ func (s *Service) recover() error {
 		s.dropJobLocked(j)
 	}
 
-	// 5. Rebuild the monotone counters from carry + resident jobs.
+	// 5. Rebuild the monotone counters from carry + resident jobs, and the
+	// arbiter's runnable set: every still-running job enters the heap with
+	// its recovered tag, and its tenant's weight/running gauges return.
+	// (In-flight counts stay zero: step 4 expired every recovered lease.)
 	s.restoreCounters()
+	for _, j := range s.jobOrder {
+		if j.state == api.JobRunning {
+			t := s.arb.tenant(j.tenant)
+			t.weight += int64(j.weight)
+			t.running++
+			s.arb.push(j)
+		}
+	}
+	// Sweep anchorless tenant states: replaying a set-then-revert opQuota
+	// pair (or loading a legacy snapshot) can materialize tenants the live
+	// process had already pruned, and recovery must not resurrect them.
+	for name := range s.arb.tenants {
+		s.pruneTenantLocked(name)
+	}
 
 	// 6. Compact: a fresh snapshot makes the next restart O(snapshot) and
 	// clears the replayed tail. Skipped for a pristine data dir.
@@ -166,6 +191,11 @@ func (s *Service) restoreSnapJob(sj *snapJob) error {
 		algorithm:    sj.Algorithm,
 		seed:         sj.Seed,
 		submissionID: sj.Submission,
+		tenant:       sj.Tenant,
+		weight:       normalizeWeight(sj.Weight, s.cfg.DefaultWeight),
+		seq:          idNum(sj.ID),
+		fair:         sj.Fair,
+		heapIdx:      -1,
 		tasks:        sj.Tasks,
 		state:        sj.State,
 		submitted:    time.UnixMilli(sj.Submitted),
@@ -204,6 +234,11 @@ func (s *Service) applyLogRecord(rec *record, deletes *[]string) error {
 			algorithm:    rec.Algorithm,
 			seed:         rec.Seed,
 			submissionID: rec.Submission,
+			tenant:       rec.Tenant,
+			weight:       normalizeWeight(rec.Weight, s.cfg.DefaultWeight),
+			seq:          idNum(rec.Job),
+			fair:         s.arb.vtime, // exactly what admit gave it live
+			heapIdx:      -1,
 			tasks:        len(rec.Workload.Tasks),
 			w:            rec.Workload,
 			state:        api.JobRunning,
@@ -211,9 +246,19 @@ func (s *Service) applyLogRecord(rec *record, deletes *[]string) error {
 		}
 		s.addJobLocked(j)
 		s.bumpSeqFromID(j.id)
+	case opQuota:
+		s.arb.tenant(rec.Tenant).quota = rec.Quota
 	case opDispatch, opReport, opExpire:
 		j := s.jobs[rec.Job]
 		if j == nil {
+			// A report/expiry naming a job neither the snapshot nor the
+			// tail knows is the trace of a cancelled replica that outlived
+			// its deleted job, written by a pre-residency-guard binary;
+			// there is nothing left to apply it to. A dispatch into an
+			// unknown job, by contrast, can only be corruption.
+			if rec.Op == opReport || rec.Op == opExpire {
+				return nil
+			}
 			return fmt.Errorf("service: journal %s record for unknown job %s", rec.Op, rec.Job)
 		}
 		op := ledgerExpire
@@ -221,6 +266,12 @@ func (s *Service) applyLogRecord(rec *record, deletes *[]string) error {
 		case rec.Op == opDispatch:
 			op = ledgerDispatch
 			s.bumpSeqFromID(rec.Assignment)
+			// Re-apply the fair-share charge in log order: tags and the
+			// virtual time floor end up bit-identical to the crashed
+			// process, so the recovered arbiter makes the same choices an
+			// uninterrupted one would have.
+			s.arb.charge(j)
+			s.arb.tenant(j.tenant).dispatches++
 		case rec.Op == opReport && rec.Outcome == api.OutcomeSuccess:
 			op = ledgerSuccess
 		case rec.Op == opReport:
@@ -412,7 +463,10 @@ func (s *Service) addJobLocked(j *job) {
 }
 
 // dropJobLocked removes a job; with journaling the job's totals are folded
-// into the snapshot carry so the global counters stay exact.
+// into the snapshot carry so the global counters stay exact. Dropping a
+// tenant's last job record also retires the tenant (unless a quota
+// override or live state keeps it relevant) — job deletion is the
+// retention control, and tenant cardinality follows it.
 func (s *Service) dropJobLocked(j *job) {
 	delete(s.jobs, j.id)
 	if j.submissionID != "" {
@@ -424,6 +478,7 @@ func (s *Service) dropJobLocked(j *job) {
 			break
 		}
 	}
+	s.pruneTenantLocked(j.tenant)
 	if s.pst == nil {
 		return
 	}
@@ -465,22 +520,29 @@ func (s *Service) restoreCounters() {
 	s.counters.OpenJobs.Store(open)
 }
 
+// idNum extracts the numeric part of a "j<n>"/"a<n>" id (0 when the id
+// does not parse). For jobs it doubles as the arbiter's deterministic
+// tie-breaker: it is the submission sequence number.
+func idNum(id string) int64 {
+	if len(id) < 2 {
+		return 0
+	}
+	n := int64(0)
+	for _, r := range id[1:] {
+		if r < '0' || r > '9' {
+			return 0
+		}
+		n = n*10 + int64(r-'0')
+	}
+	return n
+}
+
 // bumpSeqFromID raises the id sequence above a recovered "j<n>"/"a<n>" id
 // so freshly minted ids never collide with journaled ones. (Worker ids
 // carry a per-process nonce instead: registrations are not journaled, so
 // their ids cannot be recovered this way.)
 func (s *Service) bumpSeqFromID(id string) {
-	if len(id) < 2 {
-		return
-	}
-	n := int64(0)
-	for _, r := range id[1:] {
-		if r < '0' || r > '9' {
-			return
-		}
-		n = n*10 + int64(r-'0')
-	}
-	if n > s.seq {
+	if n := idNum(id); n > s.seq {
 		s.seq = n
 	}
 }

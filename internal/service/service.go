@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -93,6 +94,16 @@ type Config struct {
 	// running job's scheduler through it.
 	NewScheduler SchedulerFactory
 
+	// DefaultWeight is the fair-share weight given to jobs submitted
+	// without one. Defaults to 1. See arbiter.go for the dispatch
+	// discipline.
+	DefaultWeight int
+	// TenantMaxInFlight caps any one tenant's concurrently leased
+	// assignments (enforced at lease grant, returned on report or lease
+	// expiry). 0 disables the cap. Per-tenant overrides set via
+	// SetTenantQuota (PUT /v1/tenants/{tenant}) take precedence.
+	TenantMaxInFlight int
+
 	// DataDir enables durability: every externally visible mutation is
 	// written to a write-ahead journal under this directory before it is
 	// acknowledged, and New replays snapshot+journal to reconstruct the
@@ -134,6 +145,15 @@ func (c *Config) normalize() error {
 	if c.FsyncInterval <= 0 {
 		c.FsyncInterval = 25 * time.Millisecond
 	}
+	if c.DefaultWeight <= 0 {
+		c.DefaultWeight = 1
+	}
+	if c.DefaultWeight > maxWeight {
+		return fmt.Errorf("service: DefaultWeight %d above the maximum %d", c.DefaultWeight, maxWeight)
+	}
+	if c.TenantMaxInFlight < 0 {
+		return fmt.Errorf("service: TenantMaxInFlight = %d", c.TenantMaxInFlight)
+	}
 	if c.SnapshotEvery < 1 {
 		c.SnapshotEvery = 4096
 	}
@@ -145,6 +165,45 @@ func (c *Config) normalize() error {
 
 // maxPullWait caps one long-poll request; clients just pull again.
 const maxPullWait = 30 * time.Second
+
+// maxTenantName bounds tenant names (they become metrics label values and
+// journal payload).
+const maxTenantName = 128
+
+// validateFairShare rejects malformed tenant/weight parameters. O(name
+// length); submission paths run it before scheduler construction so a
+// doomed request never pays the O(workload) factory cost.
+func validateFairShare(req *api.SubmitJobRequest) error {
+	if req.Weight < 0 || req.Weight > maxWeight {
+		return errf(http.StatusBadRequest, "service: weight %d outside [0,%d]", req.Weight, maxWeight)
+	}
+	if !validTenantName(req.Tenant) {
+		return errf(http.StatusBadRequest,
+			"service: invalid tenant name %q (up to %d of [A-Za-z0-9._-])", req.Tenant, maxTenantName)
+	}
+	return nil
+}
+
+// validTenantName restricts tenant names to characters that survive every
+// place a tenant name travels: a single URL path segment (PUT
+// /v1/tenants/{tenant}), a Prometheus label value, a JSON field. "" (the
+// default tenant) is valid on submission but not addressable by PUT.
+// "." and ".." are excluded outright: ServeMux path-cleans them away, so
+// such a tenant could be created but never addressed.
+func validTenantName(name string) bool {
+	if len(name) > maxTenantName || name == "." || name == ".." {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
 
 // Error is a protocol-level failure with an HTTP status.
 type Error struct {
@@ -173,6 +232,18 @@ type job struct {
 	sched        core.Scheduler
 	stores       []*storage.Store
 	state        string // api.JobRunning | api.JobCompleted
+
+	// Fair-share state (see arbiter.go). tenant and weight are resolved at
+	// submission ("" = default tenant; weight never below 1) and journaled
+	// resolved, so a changed server default cannot skew recovery. seq is
+	// the numeric part of the job id, the deterministic tie-breaker. fair
+	// is the virtual finish tag; heapIdx the arbiter-heap position (-1:
+	// not runnable/not in heap).
+	tenant  string
+	weight  int
+	seq     int64
+	fair    uint64
+	heapIdx int
 	// ledger is the job's replay history (journaling only): the ordered
 	// dispatch/report/expiry events that, replayed through a freshly built
 	// scheduler, reproduce its exact state. Serialized into snapshots;
@@ -227,7 +298,8 @@ type Service struct {
 	closed      bool
 	seq         int64
 	jobs        map[string]*job
-	jobOrder    []*job            // submission order; pull scans it front to back
+	jobOrder    []*job            // submission order (status listings)
+	arb         *arbiter          // fair-share dispatch order (arbiter.go)
 	submissions map[string]string // idempotency key -> job id
 	workers     map[string]*worker
 	assignments map[string]*assignment
@@ -262,6 +334,7 @@ func New(cfg Config) (*Service, error) {
 		cfg:         cfg,
 		counters:    metrics.NewServiceCounters(),
 		instance:    hex.EncodeToString(nonce[:]),
+		arb:         newArbiter(),
 		jobs:        make(map[string]*job),
 		submissions: make(map[string]string),
 		workers:     make(map[string]*worker),
@@ -355,44 +428,62 @@ func (s *Service) Submit(name, algorithm string, w *workload.Workload, sched cor
 		return "", errf(http.StatusNotImplemented,
 			"service: journaling requires by-name submission (the recovery path rebuilds schedulers from the factory)")
 	}
-	return s.submitJob(name, algorithm, 0, "", w, sched)
+	return s.submitJob(api.SubmitJobRequest{Name: name, Algorithm: algorithm, Workload: w}, sched)
 }
 
-// SubmitByName builds the job's scheduler from the configured factory —
-// the path behind POST /v1/jobs. submissionID, when non-empty, is an
-// idempotency key: a resubmission carrying the same key returns the
-// original job's id instead of creating a duplicate, which is what lets a
-// client safely retry a submission whose acknowledgement was lost to a
-// connection failure or a server restart. With journaling enabled the key
-// survives restarts.
+// SubmitByName builds the job's scheduler from the configured factory.
+// submissionID, when non-empty, is an idempotency key: a resubmission
+// carrying the same key returns the original job's id instead of creating
+// a duplicate, which is what lets a client safely retry a submission whose
+// acknowledgement was lost to a connection failure or a server restart.
+// With journaling enabled the key survives restarts. The job joins the
+// default tenant at the default weight; SubmitJob takes the full request.
 func (s *Service) SubmitByName(name, algorithm string, w *workload.Workload, seed int64, submissionID string) (string, error) {
+	return s.SubmitJob(api.SubmitJobRequest{
+		Name: name, Algorithm: algorithm, Workload: w, Seed: seed, SubmissionID: submissionID,
+	})
+}
+
+// SubmitJob is the path behind POST /v1/jobs: it resolves the request's
+// fair-share parameters (tenant, weight), builds the scheduler from the
+// configured factory, and registers the job.
+func (s *Service) SubmitJob(req api.SubmitJobRequest) (string, error) {
 	if s.cfg.NewScheduler == nil {
 		return "", errf(http.StatusNotImplemented, "service: no scheduler factory configured")
 	}
-	if w == nil {
+	if req.Workload == nil {
 		return "", errf(http.StatusBadRequest, "service: nil workload")
 	}
-	if submissionID != "" {
+	// Cheap rejections before the factory call: scheduler construction is
+	// O(workload) and not worth paying for a request that cannot land.
+	if err := validateFairShare(&req); err != nil {
+		return "", err
+	}
+	if req.SubmissionID != "" {
 		// Fast path: an already-known key skips scheduler construction.
 		s.mu.Lock()
-		id, ok := s.submissions[submissionID]
+		id, ok := s.submissions[req.SubmissionID]
 		s.mu.Unlock()
 		if ok {
 			return id, nil
 		}
 	}
-	sched, err := s.cfg.NewScheduler(algorithm, w, s.cfg.Topology, seed)
+	sched, err := s.cfg.NewScheduler(req.Algorithm, req.Workload, s.cfg.Topology, req.Seed)
 	if err != nil {
 		return "", errf(http.StatusBadRequest, "service: %v", err)
 	}
-	return s.submitJob(name, algorithm, seed, submissionID, w, sched)
+	return s.submitJob(req, sched)
 }
 
 // submitJob validates, journals (before acknowledging), and registers one
 // job.
-func (s *Service) submitJob(name, algorithm string, seed int64, submissionID string, w *workload.Workload, sched core.Scheduler) (string, error) {
+func (s *Service) submitJob(req api.SubmitJobRequest, sched core.Scheduler) (string, error) {
+	name, w, submissionID := req.Name, req.Workload, req.SubmissionID
 	if w == nil {
 		return "", errf(http.StatusBadRequest, "service: nil workload")
+	}
+	if err := validateFairShare(&req); err != nil {
+		return "", err
 	}
 	if err := w.Validate(); err != nil {
 		return "", errf(http.StatusBadRequest, "service: %v", err)
@@ -403,9 +494,12 @@ func (s *Service) submitJob(name, algorithm string, seed int64, submissionID str
 	now := time.Now()
 	j := &job{
 		name:         name,
-		algorithm:    algorithm,
-		seed:         seed,
+		algorithm:    req.Algorithm,
+		seed:         req.Seed,
 		submissionID: submissionID,
+		tenant:       req.Tenant,
+		weight:       normalizeWeight(req.Weight, s.cfg.DefaultWeight),
+		heapIdx:      -1,
 		tasks:        len(w.Tasks),
 		w:            w,
 		sched:        sched,
@@ -435,12 +529,16 @@ func (s *Service) submitJob(name, algorithm string, seed int64, submissionID str
 		}
 	}
 	j.id = s.nextID("j")
+	j.seq = s.seq
 	var lsn uint64
 	if s.pst != nil {
 		var err error
+		// Tenant and weight are journaled resolved (weight never zero), so
+		// replay is independent of the server's default-weight setting.
 		lsn, err = s.appendLocked(&record{
 			Op: opSubmit, Ts: now.UnixMilli(), Job: j.id,
-			Name: name, Algorithm: algorithm, Seed: seed, Submission: submissionID,
+			Name: name, Algorithm: req.Algorithm, Seed: req.Seed, Submission: submissionID,
+			Tenant: j.tenant, Weight: j.weight,
 			Workload: w,
 		})
 		if err != nil {
@@ -450,6 +548,7 @@ func (s *Service) submitJob(name, algorithm string, seed int64, submissionID str
 	}
 	s.jobs[j.id] = j
 	s.jobOrder = append(s.jobOrder, j)
+	s.arb.admit(j)
 	if submissionID != "" {
 		s.submissions[submissionID] = j.id
 	}
@@ -645,16 +744,32 @@ func (s *Service) Pull(done <-chan struct{}, workerID string, wait time.Duration
 	}
 }
 
-// assignLocked scans resident jobs in submission order and dispatches the
-// first task any scheduler grants this worker. Staging happens here: the
-// batch is committed into the job's site store and the scheduler notified,
-// exactly as the simulator and live runtime do around an execution start.
-// With journaling enabled the dispatch record is appended before the
-// assignment is returned; the caller must confirm durability (waitDurable
-// on the returned LSN) before acknowledging it to the worker.
+// assignLocked offers the worker to runnable jobs in fair-share order —
+// most underserved tenant-weighted job first (see arbiter.go) — and
+// dispatches the first task any scheduler grants it. Jobs whose tenant is
+// at its in-flight quota are skipped before their scheduler is consulted
+// (NextFor mutates scheduler state, including the randomized pick stream,
+// only when its assignment is used). Staging happens here: the batch is
+// committed into the job's site store and the scheduler notified, exactly
+// as the simulator and live runtime do around an execution start. With
+// journaling enabled the dispatch record is appended before the assignment
+// is returned; the caller must confirm durability (waitDurable on the
+// returned LSN) before acknowledging it to the worker.
 func (s *Service) assignLocked(w *worker, now time.Time) (*api.Assignment, uint64) {
-	for _, j := range s.jobOrder {
-		if j.state != api.JobRunning {
+	arb := s.arb
+	// Jobs that cannot serve this pull (quota-throttled, scheduler said
+	// Wait) are popped aside and reinserted afterwards; each costs one
+	// O(log jobs) heap round-trip, and the common case dispatches straight
+	// off the root.
+	deferred := arb.deferred[:0]
+	var out *api.Assignment
+	var lsn uint64
+	for len(arb.heap) > 0 && out == nil {
+		j := arb.heap[0]
+		t := arb.tenant(j.tenant)
+		if q := arb.quotaFor(t, s.cfg.TenantMaxInFlight); q > 0 && t.inFlight >= q {
+			t.throttles++
+			deferred = append(deferred, arb.pop())
 			continue
 		}
 		task, status := j.sched.NextFor(w.ref)
@@ -669,6 +784,11 @@ func (s *Service) assignLocked(w *worker, now time.Time) (*api.Assignment, uint6
 			j.sched.NoteBatch(w.ref.Site, task.Files, fetched, evicted)
 			j.transfers += int64(len(fetched))
 			j.dispatched++
+			arb.charge(j)
+			arb.down(j.heapIdx)
+			t.inFlight++
+			t.dispatches++
+			arb.window.Observe(j.tenant)
 			a := &assignment{
 				id:       s.nextID("a"),
 				job:      j,
@@ -683,7 +803,6 @@ func (s *Service) assignLocked(w *worker, now time.Time) (*api.Assignment, uint6
 			s.noteDeadlineLocked(a.deadline)
 			s.counters.Assignments.Add(1)
 			s.counters.ActiveLeases.Add(1)
-			var lsn uint64
 			if s.pst != nil {
 				// The scheduler already moved (NextFor is the decision), so
 				// this append cannot abort — mustAppendLocked fail-stops on
@@ -699,26 +818,33 @@ func (s *Service) assignLocked(w *worker, now time.Time) (*api.Assignment, uint6
 					Ts: now.UnixMilli(),
 				})
 			}
-			return &api.Assignment{
+			out = &api.Assignment{
 				ID:             a.id,
 				JobID:          j.id,
 				Task:           task,
 				Staged:         a.staged,
 				LeaseTTLMillis: s.cfg.LeaseTTL.Milliseconds(),
-			}, lsn
+			}
 		case core.Wait:
-			// Nothing for this worker now; try the next job.
+			// Nothing for this worker now; try the next-most underserved.
+			deferred = append(deferred, arb.pop())
 		case core.Done:
 			// The scheduler has nothing pending, but in-flight leases may
 			// still fail and requeue — only Remaining()==0 ends the job.
 			if j.sched.Remaining() == 0 {
-				s.completeJobLocked(j, now)
+				s.completeJobLocked(j, now) // retires the job from the heap
+			} else {
+				deferred = append(deferred, arb.pop())
 			}
 		default:
 			panic(fmt.Sprintf("service: unknown scheduler status %v", status))
 		}
 	}
-	return nil, 0
+	for _, j := range deferred {
+		arb.push(j)
+	}
+	arb.deferred = deferred[:0]
+	return out, lsn
 }
 
 // Heartbeat renews an assignment's lease and reports whether the execution
@@ -760,7 +886,13 @@ func (s *Service) Report(assignmentID, workerID, outcome string) (*api.ReportRes
 	now := time.Now()
 	j := a.job
 	var lsn uint64
-	if s.pst != nil {
+	// Journal only while the job record is resident: a cancelled replica's
+	// lease can outlive its completed-then-DELETEd job, and a record
+	// naming a dropped job id would be unreplayable after the next
+	// snapshot no longer carries the job (recovery would refuse the data
+	// dir). The report still counts below; it just isn't history anyone
+	// can replay.
+	if s.pst != nil && s.jobs[j.id] == j {
 		// Journal before applying: if the append fails the report is
 		// refused with the assignment intact, and the worker's retry (or
 		// eventual lease expiry) keeps state and log agreeing.
@@ -853,12 +985,30 @@ func (s *Service) cancelExecutionLocked(j *job, id workload.TaskID, ref core.Wor
 }
 
 // detachAssignmentLocked removes the assignment from the lease table and
-// its worker without touching the scheduler.
+// its worker without touching the scheduler. This is the single point
+// where a lease ends (report, expiry, deregistration), so it is also where
+// the tenant's in-flight quota capacity is returned. When the tenant was
+// at its quota — parked pulls may have skipped its runnable jobs — the
+// freed capacity makes work dispatchable again, so this is a wakeup
+// event even on a plain success report (the targeted-wakeup rationale
+// "success frees no work for anyone else" predates quotas and does not
+// hold for a throttled tenant).
 func (s *Service) detachAssignmentLocked(a *assignment) {
 	delete(s.assignments, a.id)
 	if w := s.workers[a.workerID]; w != nil && w.assignment == a {
 		w.assignment = nil
 	}
+	t := s.arb.tenant(a.job.tenant)
+	if q := s.arb.quotaFor(t, s.cfg.TenantMaxInFlight); q > 0 && t.inFlight >= q && t.running > 0 {
+		s.broadcastLocked()
+	}
+	t.inFlight--
+	// A lease can be a tenant's last anchor: its job record may have been
+	// deleted while this assignment was still in flight (a cancelled
+	// replica outliving its completed, then deleted, job). O(1) for any
+	// tenant with running jobs — pruneTenantLocked early-outs before its
+	// job scan.
+	s.pruneTenantLocked(a.job.tenant)
 	s.counters.ActiveLeases.Add(-1)
 }
 
@@ -872,7 +1022,9 @@ func (s *Service) detachAssignmentLocked(a *assignment) {
 func (s *Service) expireAssignmentLocked(a *assignment) {
 	s.detachAssignmentLocked(a)
 	j := a.job
-	if s.pst != nil {
+	// Same residency guard as Report: never journal history for a job id
+	// that snapshots no longer carry.
+	if s.pst != nil && s.jobs[j.id] == j {
 		s.mustAppendLocked(&record{
 			Op: opExpire, Ts: time.Now().UnixMilli(), Job: j.id,
 			Task: a.task.ID, Site: a.ref.Site, Worker: a.ref.Worker,
@@ -968,6 +1120,7 @@ func (s *Service) completeJobLocked(j *job, now time.Time) {
 	}
 	j.state = api.JobCompleted
 	j.finished = now
+	s.arb.retire(j)
 	for _, a := range s.assignments {
 		if a.job == j {
 			a.cancelled = true
@@ -1043,6 +1196,8 @@ func (s *Service) jobStatusLocked(j *job) api.JobStatus {
 		Name:            j.name,
 		Algorithm:       j.algorithm,
 		State:           j.state,
+		Tenant:          j.tenant,
+		Weight:          j.weight,
 		Tasks:           j.tasks,
 		Remaining:       remaining,
 		Dispatched:      j.dispatched,
@@ -1055,6 +1210,122 @@ func (s *Service) jobStatusLocked(j *job) api.JobStatus {
 	}
 	if !j.finished.IsZero() {
 		st.FinishedAtUnix = j.finished.Unix()
+	}
+	return st
+}
+
+// SetTenantQuota overrides one tenant's in-flight concurrency quota — the
+// path behind PUT /v1/tenants/{tenant}. maxInFlight > 0 caps the tenant's
+// concurrently leased assignments; 0 reverts to Config.TenantMaxInFlight.
+// With journaling enabled the override is journaled before it is
+// acknowledged and survives restarts.
+func (s *Service) SetTenantQuota(tenant string, maxInFlight int) (*api.TenantStatus, error) {
+	if tenant == "" {
+		return nil, errf(http.StatusBadRequest, "service: empty tenant name (the default tenant's quota is the server-wide -tenant-quota)")
+	}
+	if !validTenantName(tenant) {
+		return nil, errf(http.StatusBadRequest,
+			"service: invalid tenant name %q (up to %d of [A-Za-z0-9._-])", tenant, maxTenantName)
+	}
+	if maxInFlight < 0 {
+		return nil, errf(http.StatusBadRequest, "service: maxInFlight = %d", maxInFlight)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errf(http.StatusServiceUnavailable, "service: closed")
+	}
+	var lsn uint64
+	if s.pst != nil {
+		var err error
+		lsn, err = s.appendLocked(&record{
+			Op: opQuota, Ts: time.Now().UnixMilli(), Tenant: tenant, Quota: maxInFlight,
+		})
+		if err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+	}
+	t := s.arb.tenant(tenant)
+	t.quota = maxInFlight
+	// A raised (or lifted) quota can make a throttled tenant's work
+	// dispatchable; wake parked pulls rather than leaving them to their
+	// poll timeout. Rare operator action, so no need to be selective.
+	s.broadcastLocked()
+	st := s.tenantStatusLocked(t, s.runnableWeightLocked())
+	// Reverting a jobless tenant's quota leaves nothing relevant about it;
+	// drop the state rather than let reverted names accumulate.
+	s.pruneTenantLocked(tenant)
+	s.snapshotIfDueLocked()
+	s.mu.Unlock()
+	if err := s.waitDurable(lsn); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Tenants returns every known tenant's fair-share state, sorted by name
+// (the anonymous default tenant, "", sorts first when present).
+func (s *Service) Tenants() []api.TenantStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.arb.tenants))
+	for name := range s.arb.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	total := s.runnableWeightLocked()
+	out := make([]api.TenantStatus, 0, len(names))
+	for _, name := range names {
+		out = append(out, s.tenantStatusLocked(s.arb.tenants[name], total))
+	}
+	return out
+}
+
+// runnableWeightLocked is the summed weight of all running jobs — the
+// denominator of every tenant's share target.
+func (s *Service) runnableWeightLocked() int64 {
+	total := int64(0)
+	for _, t := range s.arb.tenants {
+		total += t.weight
+	}
+	return total
+}
+
+// pruneTenantLocked drops a tenant's state when nothing keeps it
+// relevant: no quota override, no live leases, and no resident job
+// records (running or completed-but-retained). Called at every event
+// that can strip a tenant of its last anchor — job-record deletion,
+// quota-override revert, lease end, and the post-recovery sweep — so
+// churning tenant names cannot grow the daemon, its snapshots, or its
+// metrics without bound. The job scan is guarded by O(1) early-outs, so
+// hot paths only pay it for tenants that are actually dying.
+func (s *Service) pruneTenantLocked(name string) {
+	t := s.arb.tenants[name]
+	if t == nil || t.quota != 0 || t.running != 0 || t.inFlight != 0 {
+		return
+	}
+	for _, o := range s.jobOrder {
+		if o.tenant == name {
+			return
+		}
+	}
+	delete(s.arb.tenants, name)
+}
+
+func (s *Service) tenantStatusLocked(t *tenantState, totalWeight int64) api.TenantStatus {
+	st := api.TenantStatus{
+		Tenant:        t.name,
+		Weight:        t.weight,
+		RunningJobs:   t.running,
+		InFlight:      t.inFlight,
+		MaxInFlight:   s.arb.quotaFor(t, s.cfg.TenantMaxInFlight),
+		ShareAchieved: s.arb.window.Share(t.name),
+		Dispatches:    t.dispatches,
+		Throttles:     t.throttles,
+	}
+	if totalWeight > 0 {
+		st.ShareTarget = float64(t.weight) / float64(totalWeight)
 	}
 	return st
 }
