@@ -4,10 +4,10 @@
 //
 // Usage:
 //
-//	gridbench                  # run everything, write BENCH_PR2.json
+//	gridbench                  # run everything, write BENCH_PR5.json
 //	gridbench -bench Figure    # filter by regexp
 //	gridbench -out bench.json  # choose the output file
-//	gridbench -baseline BENCH_PR2.json -max-regress 0.25
+//	gridbench -baseline BENCH_PR5.json -max-regress 0.25
 //	                           # regression guard: exit nonzero if any
 //	                           # benchmark present in the baseline got
 //	                           # more than 25% slower (ns/op)
@@ -59,7 +59,7 @@ func main() {
 func run(args []string, stdout *os.File) error {
 	fs := flag.NewFlagSet("gridbench", flag.ContinueOnError)
 	var (
-		out      = fs.String("out", "BENCH_PR2.json", "output JSON file")
+		out      = fs.String("out", "BENCH_PR5.json", "output JSON file")
 		filter   = fs.String("bench", "", "regexp selecting benchmarks to run (default: all)")
 		baseline = fs.String("baseline", "", "baseline JSON to compare against (regression guard)")
 		maxReg   = fs.Float64("max-regress", 0.25, "with -baseline: fail when ns/op regresses by more than this fraction")
@@ -81,6 +81,8 @@ func run(args []string, stdout *os.File) error {
 		{"WorkloadGeneration", benchsuite.WorkloadGeneration},
 		{"ServiceDispatchInProcess", benchsuite.ServiceDispatchInProcess},
 		{"ServiceDispatchContended", benchsuite.ServiceDispatchContended},
+		{"ServiceDispatchParallel/shards=1", benchsuite.ServiceDispatchParallel(1)},
+		{"ServiceDispatchParallel/shards=8", benchsuite.ServiceDispatchParallel(8)},
 		{"ServiceDispatchJournaled/batch", benchsuite.ServiceDispatchJournaled(journal.SyncBatch)},
 		{"ServiceDispatchJournaled/always", benchsuite.ServiceDispatchJournaled(journal.SyncAlways)},
 	}

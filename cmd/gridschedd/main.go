@@ -11,6 +11,7 @@
 //	gridschedd -data-dir d -fsync always              # fsync before every acknowledgement
 //	gridschedd -data-dir d -snapshot-every 10000      # compaction cadence in journal records
 //	gridschedd -tenant-quota 8 -default-weight 1      # multi-tenant fair share (docs/ARCHITECTURE.md)
+//	gridschedd -shards 16                             # job-state lock stripes (0: sized to the machine)
 //	gridschedd -pprof   # also serve net/http/pprof under /debug/pprof/
 //
 // Jobs may carry a tenant and an integer weight; the dispatch path
@@ -24,11 +25,15 @@
 // queues, leases-turned-requeues, scheduler state (including the
 // randomized dispatch stream), and fair-share arbitration state exactly;
 // workers reconnect by re-registering (the Go client does this
-// transparently). See README "Operations" and docs/PROTOCOL.md.
+// transparently). The listener binds BEFORE recovery starts: GET /healthz
+// answers 200 (the process is alive) and GET /readyz answers 503
+// "recovering" until replay completes, then 200 "ready" — the probe pair
+// orchestrators want. See README "Operations" and docs/PROTOCOL.md.
 //
 // Then, from anywhere:
 //
 //	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/readyz
 //	curl -s -X POST localhost:8080/v1/jobs -d '{"name":"sweep","algorithm":"combined.2","workload":{...}}'
 //	gridworker -server http://localhost:8080 -n 8
 //	curl -s localhost:8080/metrics
@@ -45,6 +50,8 @@ import (
 	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"gridsched"
@@ -53,7 +60,7 @@ import (
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, os.Args[1:], nil); err != nil {
 		fmt.Fprintln(os.Stderr, "gridschedd:", err)
@@ -61,9 +68,43 @@ func main() {
 	}
 }
 
+// swappable routes requests to whichever handler is currently installed:
+// the bootstrap probe surface while recovery runs, the full service
+// afterwards.
+type swappable struct {
+	h atomic.Pointer[http.Handler]
+}
+
+func (s *swappable) store(h http.Handler) { s.h.Store(&h) }
+func (s *swappable) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	(*s.h.Load()).ServeHTTP(w, r)
+}
+
+// bootstrapHandler is what the daemon serves between bind and recovery
+// completion: alive but not ready.
+func bootstrapHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, `{"status":"starting"}`)
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"recovering"}`)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"error":"recovering; retry after /readyz reports ready"}`)
+	})
+	return mux
+}
+
 // run starts the daemon and blocks until ctx is cancelled. onReady, when
-// non-nil, receives the bound address once the listener is up (tests bind
-// ":0").
+// non-nil, receives the bound address once the service answers traffic
+// (tests bind ":0").
 func run(ctx context.Context, args []string, onReady func(addr string)) error {
 	fs := flag.NewFlagSet("gridschedd", flag.ContinueOnError)
 	var (
@@ -74,6 +115,7 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 		policy   = fs.String("policy", "lru", "store replacement policy: lru or fifo")
 		lease    = fs.Duration("lease", 15*time.Second, "worker/assignment lease TTL")
 		sweep    = fs.Duration("sweep", 0, "lease sweep interval (0: lease/4)")
+		shards   = fs.Int("shards", 0, "job-state lock stripes (0: sized to the machine; see docs/ARCHITECTURE.md)")
 		weight   = fs.Int("default-weight", 1, "fair-share weight for jobs submitted without one")
 		quota    = fs.Int("tenant-quota", 0, "per-tenant cap on concurrently leased assignments (0: unlimited; override per tenant via PUT /v1/tenants/{tenant})")
 		pprof    = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
@@ -99,6 +141,19 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 		return err
 	}
 
+	// Bind before recovery: a restarting durable daemon is reachable for
+	// liveness/readiness probes while it replays, instead of looking dead
+	// to its orchestrator for the whole replay.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	wrapper := &swappable{}
+	wrapper.store(bootstrapHandler())
+	srv := &http.Server{Handler: wrapper}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
 	recoverStart := time.Now()
 	svc, err := gridsched.NewService(gridsched.ServiceConfig{
 		Topology: gridsched.ServiceTopology{
@@ -109,6 +164,7 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 		},
 		LeaseTTL:          *lease,
 		SweepInterval:     *sweep,
+		Shards:            *shards,
 		DefaultWeight:     *weight,
 		TenantMaxInFlight: *quota,
 		DataDir:           *dataDir,
@@ -117,6 +173,8 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 		SnapshotEvery:     *snapshot,
 	})
 	if err != nil {
+		_ = srv.Close()
+		<-serveErr
 		return err
 	}
 	defer svc.Close()
@@ -125,10 +183,6 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 			*dataDir, time.Since(recoverStart).Round(time.Millisecond), mode, *snapshot)
 	}
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		return err
-	}
 	handler := svc.Handler()
 	if *pprof {
 		// Mount the profiling handlers next to the service without going
@@ -142,7 +196,7 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
 		handler = mux
 	}
-	srv := &http.Server{Handler: handler}
+	wrapper.store(handler)
 	log.Printf("gridschedd: listening on %s (%d sites x %d workers, capacity %d files, lease %s)",
 		ln.Addr(), *sites, *workers, *capacity, *lease)
 	if onReady != nil {
@@ -160,7 +214,7 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 		defer cancel()
 		_ = srv.Shutdown(sctx)
 	}()
-	err = srv.Serve(ln)
+	err = <-serveErr
 	<-done
 	if errors.Is(err, http.ErrServerClosed) {
 		return nil

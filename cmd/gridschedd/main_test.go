@@ -51,6 +51,16 @@ func TestDaemonServesProtocol(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz: %d", resp.StatusCode)
 	}
+	// onReady fires after recovery, so readiness must already report ready.
+	resp, err = http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(ready), "ready") {
+		t.Fatalf("readyz: %d %s", resp.StatusCode, ready)
+	}
 
 	// Submit a one-task job by name and read it back.
 	body := map[string]any{

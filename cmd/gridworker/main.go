@@ -5,10 +5,16 @@
 // internal/service/client.RunWorker with their own Execute), and reports
 // outcomes.
 //
+// Shutdown is graceful: on SIGINT or SIGTERM the workers stop pulling new
+// work, finish (up to -drain) and report the tasks they hold, deregister,
+// and exit — so an orchestrated restart hands no lease to the expiry
+// sweeper. A second signal aborts immediately.
+//
 // Usage:
 //
 //	gridworker -server http://localhost:8080 -n 8
 //	gridworker -server http://localhost:8080 -n 4 -site 2 -task-time 50ms -exit-when-idle
+//	gridworker -server http://localhost:8080 -n 8 -drain 10s
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"os"
 	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"gridsched/internal/core"
@@ -27,8 +34,13 @@ import (
 )
 
 func main() {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Print("gridworker: signal received; draining in-flight tasks (second signal aborts)")
+		stop() // restore default handling: a second signal kills the process
+	}()
 	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "gridworker:", err)
 		os.Exit(1)
@@ -46,6 +58,7 @@ func run(ctx context.Context, args []string) error {
 		oneShot = fs.Bool("exit-when-idle", false, "exit once no jobs remain open")
 		quiet   = fs.Bool("quiet", false, "suppress per-task logging")
 		reconn  = fs.Duration("reconnect", 0, "retry interval across server outages (0: fail fast)")
+		drain   = fs.Duration("drain", 30*time.Second, "on SIGINT/SIGTERM, let an in-flight task finish and report for up to this long (0: abort it immediately)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,6 +77,7 @@ func run(ctx context.Context, args []string) error {
 			cfg := client.WorkerConfig{
 				PollWait:      *poll,
 				ReconnectWait: *reconn,
+				DrainGrace:    *drain,
 				Execute: func(execCtx context.Context, ref core.WorkerRef, a *api.Assignment) error {
 					if d := *taskDur * time.Duration(len(a.Task.Files)); d > 0 {
 						select {

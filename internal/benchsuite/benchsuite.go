@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"sync"
 	"testing"
 
 	"gridsched"
@@ -249,6 +250,88 @@ func ServiceDispatchContended(b *testing.B) {
 		}
 		_, err = cl.Report(ctx, resp.Assignment.ID, reg.WorkerID, api.OutcomeSuccess)
 		must(err, "report")
+	}
+}
+
+// ParallelWorkers and ParallelJobs fix the scale of the multi-core
+// dispatch benchmark: 8 concurrent workers drawing from 8 resident jobs,
+// the ISSUE-5 acceptance configuration.
+const (
+	ParallelWorkers = 8
+	ParallelJobs    = 8
+)
+
+// ServiceDispatchParallel measures aggregate dispatch throughput with
+// ParallelWorkers workers pulling and reporting concurrently against
+// ParallelJobs resident worker-centric jobs, driving the Service API
+// directly (no HTTP codec, so the number isolates the dispatch core, not
+// the transport). The shards parameter sets the lock-stripe count:
+// shards=1 approximates the old single-mutex service (every job behind
+// one stripe), larger counts let jobs' scheduler work proceed in
+// parallel. Compare shards=1 against shards=8 on a multi-core runner for
+// the scaling headline; on a single-core machine the two should be within
+// noise, which bounds the refactor's overhead.
+func ServiceDispatchParallel(shards int) func(b *testing.B) {
+	return func(b *testing.B) {
+		svc, err := service.New(service.Config{
+			Topology:     service.Topology{Sites: ParallelWorkers, WorkersPerSite: 1, CapacityFiles: 1024},
+			NewScheduler: gridsched.SchedulerFactory(),
+			Shards:       shards,
+		})
+		must(err, "service")
+		defer svc.Close()
+
+		var submitMu sync.Mutex
+		batch := 0
+		submit := func() {
+			submitMu.Lock()
+			defer submitMu.Unlock()
+			if svc.Counters().OpenJobs.Load() > int64(ParallelJobs/2) {
+				return // another worker already refilled
+			}
+			for k := 0; k < ParallelJobs; k++ {
+				_, err := svc.SubmitByName(fmt.Sprintf("par-%d-%d", batch, k), "rest",
+					dispatchWorkload(50_000), int64(k), "")
+				must(err, "submit")
+			}
+			batch++
+		}
+		submit()
+		regs := make([]string, ParallelWorkers)
+		for i := range regs {
+			reg, err := svc.Register(i)
+			must(err, "register")
+			regs[i] = reg.WorkerID
+		}
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for i := 0; i < ParallelWorkers; i++ {
+			n := b.N / ParallelWorkers
+			if i < b.N%ParallelWorkers {
+				n++
+			}
+			if n == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(workerID string, n int) {
+				defer wg.Done()
+				for done := 0; done < n; {
+					resp, err := svc.Pull(nil, workerID, 0)
+					must(err, "pull")
+					if resp.Status != api.StatusAssigned {
+						// Jobs drained mid-benchmark (rare: every 400k
+						// dispatches); refill outside the counted work.
+						submit()
+						continue
+					}
+					_, err = svc.Report(resp.Assignment.ID, workerID, api.OutcomeSuccess)
+					must(err, "report")
+					done++
+				}
+			}(regs[i], n)
+		}
+		wg.Wait()
 	}
 }
 

@@ -215,34 +215,56 @@ func OpenWriter(path string, mode Mode, interval time.Duration, lastLSN uint64, 
 // write(2). The record is process-crash durable when Append returns;
 // machine-crash durability is WaitDurable's job.
 func (w *Writer) Append(payload []byte) (uint64, error) {
-	if len(payload) > MaxRecordLen {
-		return 0, fmt.Errorf("journal: record %d bytes exceeds cap %d", len(payload), MaxRecordLen)
+	return w.AppendBatch([][]byte{payload})
+}
+
+// AppendBatch frames every payload as consecutive records and writes the
+// whole group with ONE write(2) — the group-append primitive behind the
+// service's commit stage, where records accumulated while a previous
+// write was in flight land together. Returns the LSN of the first record;
+// the i-th payload has LSN first+i. All-or-nothing: a short or failed
+// write poisons the writer (the service treats that as fail-stop), so no
+// prefix of the batch is ever acknowledged piecemeal.
+func (w *Writer) AppendBatch(payloads [][]byte) (uint64, error) {
+	need := 0
+	for _, p := range payloads {
+		if len(p) > MaxRecordLen {
+			return 0, fmt.Errorf("journal: record %d bytes exceeds cap %d", len(p), MaxRecordLen)
+		}
+		need += frameHeaderLen + len(p)
+	}
+	if len(payloads) == 0 {
+		return 0, fmt.Errorf("journal: empty batch")
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if err := w.failed(); err != nil {
 		return 0, err
 	}
-	lsn := w.appended.Load() + 1
-	need := frameHeaderLen + len(payload)
+	first := w.appended.Load() + 1
 	if cap(w.scratch) < need {
 		w.scratch = make([]byte, need)
 	}
 	buf := w.scratch[:need]
-	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(buf[4:8], frameCRC(lsn, payload))
-	binary.LittleEndian.PutUint64(buf[8:16], lsn)
-	copy(buf[frameHeaderLen:], payload)
+	off := 0
+	for i, p := range payloads {
+		lsn := first + uint64(i)
+		binary.LittleEndian.PutUint32(buf[off:off+4], uint32(len(p)))
+		binary.LittleEndian.PutUint32(buf[off+4:off+8], frameCRC(lsn, p))
+		binary.LittleEndian.PutUint64(buf[off+8:off+16], lsn)
+		copy(buf[off+frameHeaderLen:], p)
+		off += frameHeaderLen + len(p)
+	}
 	if _, err := w.f.Write(buf); err != nil {
 		w.poison(err)
 		return 0, err
 	}
-	w.appended.Store(lsn)
+	w.appended.Store(first + uint64(len(payloads)) - 1)
 	if w.met != nil {
-		w.met.Records.Add(1)
+		w.met.Records.Add(int64(len(payloads)))
 		w.met.Bytes.Add(int64(need))
 	}
-	return lsn, nil
+	return first, nil
 }
 
 // WaitDurable blocks until the record at lsn is fsync-covered (SyncAlways)

@@ -295,3 +295,51 @@ func TestParseMode(t *testing.T) {
 		t.Fatal("accepted bad mode")
 	}
 }
+
+// TestAppendBatchFramesConsecutively: the commit stage's group append must
+// be indistinguishable, on disk, from the same records appended one at a
+// time — consecutive LSNs, every frame CRC-valid, one durability wait
+// covering the lot.
+func TestAppendBatchFramesConsecutively(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "batch.log")
+	w, err := journal.OpenWriter(path, journal.SyncAlways, 0, 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := w.AppendBatch([][]byte{[]byte("a"), []byte("bb"), []byte("")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 1 {
+		t.Fatalf("first LSN %d, want 1", first)
+	}
+	if lsn, err := w.Append([]byte("solo")); err != nil || lsn != 4 {
+		t.Fatalf("append after batch: lsn %d, %v (want 4)", lsn, err)
+	}
+	if err := w.WaitDurable(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	info, err := journal.ReadLog(path, 0, func(lsn uint64, payload []byte) error {
+		got = append(got, string(payload))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != 4 || info.LastLSN != 4 || info.Torn {
+		t.Fatalf("read back %+v", info)
+	}
+	want := []string{"a", "bb", "", "solo"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if _, err := w.AppendBatch(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}

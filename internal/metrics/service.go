@@ -27,6 +27,10 @@ type ServiceCounters struct {
 	ActiveWorkers atomic.Int64
 	ActiveLeases  atomic.Int64
 	OpenJobs      atomic.Int64
+	// Shards is the configured lock-stripe count — a static gauge that
+	// lets dashboards correlate dispatch latency with the concurrency
+	// layout of the process that produced it.
+	Shards atomic.Int64
 
 	// Dispatch latency summary: time spent choosing + staging a task on a
 	// successful pull, accumulated as a Prometheus-style summary (count +
@@ -82,6 +86,7 @@ func (c *ServiceCounters) WriteText(w io.Writer) error {
 		{"gridsched_active_workers", "gauge", c.ActiveWorkers.Load()},
 		{"gridsched_active_leases", "gauge", c.ActiveLeases.Load()},
 		{"gridsched_open_jobs", "gauge", c.OpenJobs.Load()},
+		{"gridsched_shards", "gauge", c.Shards.Load()},
 		{"gridsched_journal_records_total", "counter", c.JournalRecords.Load()},
 		{"gridsched_journal_bytes_total", "counter", c.JournalBytes.Load()},
 		{"gridsched_journal_fsyncs_total", "counter", c.JournalFsyncs.Load()},

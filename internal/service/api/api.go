@@ -239,6 +239,13 @@ type Health struct {
 	Workers int    `json:"workers"`
 }
 
+// Readiness is the /readyz body. "ready" (200) once recovery completed
+// and the service answers traffic; "recovering" (503) while a daemon that
+// bound its listener early is still replaying snapshot + journal.
+type Readiness struct {
+	Status string `json:"status"` // "ready" | "recovering"
+}
+
 // ErrorResponse is the body of every non-2xx reply.
 type ErrorResponse struct {
 	Error string `json:"error"`

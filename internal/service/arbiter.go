@@ -1,24 +1,26 @@
 // Fair-share arbitration. The worker pull is the natural control point of
 // the paper's worker-centric model, so inter-job arbitration happens
 // exactly there: instead of scanning resident jobs in submission order,
-// assignLocked asks the arbiter which runnable job has the smallest
-// normalized dispatch consumption and offers the worker to that job first.
+// the dispatch path (dispatch.go) offers the worker to runnable jobs in
+// order of normalized dispatch consumption.
 //
 // The discipline is weighted deficit-round-robin in its start-time
 // fair-queuing form: every job carries a virtual finish tag ("fair") that
-// advances by fairScale/weight per dispatch, and a min-heap keyed on
-// (fair, seq) picks the most underserved job in O(log jobs). A global
-// virtual time floor — the tag of the most recent dispatch — caps how much
-// credit an idle or undispatchable job can bank, so a job that could not
-// use its turns for a while resumes at the current share rather than
-// monopolizing the pool to "catch up" (the standard SFQ treatment of idle
-// flows). Jobs submitted without a tenant or weight join the anonymous
-// default tenant at the default weight; because the heap always serves the
-// minimum tag and every weight is at least 1, no runnable job can starve.
+// advances by fairScale/weight per dispatch, and ordering by (fair, seq)
+// picks the most underserved job in O(log jobs). A global virtual time
+// floor — the tag of the most recent dispatch — caps how much credit an
+// idle or undispatchable job can bank, so a job that could not use its
+// turns for a while resumes at the current share rather than monopolizing
+// the pool to "catch up" (the standard SFQ treatment of idle flows). Jobs
+// submitted without a tenant or weight join the anonymous default tenant
+// at the default weight; because dispatch always offers to the minimum
+// tag first and every weight is at least 1, no runnable job can starve.
 //
 // Tenants additionally carry a concurrency quota (maxInFlight), enforced
 // at lease grant: a tenant at its quota is skipped (counted as a
-// throttle) until a report or lease expiry returns capacity. Quotas are
+// throttle) until a report or lease expiry returns capacity. Under
+// concurrent pulls the grant goes through a reservation (see
+// tryJobLocked) so racing pulls cannot overshoot the cap. Quotas are
 // liveness-side only — they never affect recovery replay, which re-applies
 // recorded dispatches rather than re-running the arbiter.
 //
@@ -27,7 +29,8 @@
 // recovery (snapshots persist each job's tag and the virtual time; journal
 // tail records re-apply charges in log order — see recovery.go). A
 // recovered service therefore makes the identical dispatch sequence an
-// uninterrupted one would have made.
+// uninterrupted one would have made. All arbiter state is guarded by the
+// coordinator mutex (dispatch.go).
 package service
 
 import "gridsched/internal/metrics"
@@ -49,15 +52,23 @@ const shareWindowSize = 1024
 // reference. Retention follows job retention: a tenant stays resident (in
 // memory, in /v1/tenants and /metrics, and — quota and dispatch totals —
 // in snapshots) while any of its job records do or a quota override is
-// set, and is pruned when the last anchor goes away — DeleteJob dropping
-// its last record, or a quota override reverted on a jobless tenant (see
-// Service.pruneTenantLocked) — so churning tenant names cannot grow the
-// daemon without bound.
+// set, and is pruned when the last anchor goes away (see
+// coordinator.prune) — so churning tenant names cannot grow the daemon
+// without bound.
 type tenantState struct {
 	name     string
 	weight   int64 // Σ running jobs' weights
 	running  int   // running jobs
 	inFlight int   // leased assignments
+	// reserved counts quota slots held by pulls between the pre-NextFor
+	// quota check and the grant (or release); inFlight+reserved is the
+	// figure the cap is enforced against, so concurrent pulls cannot
+	// overshoot it.
+	reserved int
+	// records counts resident job records (running or completed-but-
+	// retained) — the O(1) replacement for scanning every shard's job
+	// table when deciding whether the tenant can be pruned.
+	records int
 	// quota overrides the server-wide default cap when > 0; 0 defers to
 	// Config.TenantMaxInFlight. Set via PUT /v1/tenants/{tenant} and
 	// journaled.
@@ -66,12 +77,14 @@ type tenantState struct {
 	throttles  int64 // quota skips, process-local
 }
 
-// arbiter is the fair-share dispatch state. It is part of Service and
-// shares its mutex.
+// arbiter is the fair-share bookkeeping embedded in the dispatch
+// coordinator; every field is guarded by the coordinator mutex.
 type arbiter struct {
 	// heap is a min-heap of runnable jobs ordered by (fair, seq): the
 	// root is the most underserved job. heapIdx on the job tracks its
-	// position; -1 means not in the heap.
+	// position; -1 means not in the heap. Jobs stay in the heap for their
+	// whole running life — dispatch snapshots and sorts it rather than
+	// popping (dispatch.go).
 	heap []*job
 	// vtime is the virtual time floor: the pre-charge tag of the most
 	// recent dispatch. New jobs join at vtime, and charges start from
@@ -80,17 +93,8 @@ type arbiter struct {
 	// tenants indexes tenantState by name ("" = default tenant).
 	tenants map[string]*tenantState
 	// window is the sliding dispatch window behind the achieved-share
-	// gauges. Guarded by the service mutex like everything else here.
+	// gauges.
 	window *metrics.ShareWindow
-	// deferred is pop scratch reused across assignLocked calls.
-	deferred []*job
-}
-
-func newArbiter() *arbiter {
-	return &arbiter{
-		tenants: make(map[string]*tenantState),
-		window:  metrics.NewShareWindow(shareWindowSize),
-	}
 }
 
 // tenant returns the state for name, creating it on first reference.
@@ -156,19 +160,6 @@ func (a *arbiter) push(j *job) {
 	j.heapIdx = len(a.heap)
 	a.heap = append(a.heap, j)
 	a.up(j.heapIdx)
-}
-
-// pop removes and returns the most underserved job.
-func (a *arbiter) pop() *job {
-	j := a.heap[0]
-	last := len(a.heap) - 1
-	a.swap(0, last)
-	a.heap = a.heap[:last]
-	j.heapIdx = -1
-	if last > 0 {
-		a.down(0)
-	}
-	return j
 }
 
 // remove takes a job out of the heap wherever it sits (job completion).

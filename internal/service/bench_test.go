@@ -1,6 +1,7 @@
 package service_test
 
 import (
+	"fmt"
 	"net/http/httptest"
 	"testing"
 
@@ -24,6 +25,17 @@ func BenchmarkDispatchRoundTripInProcess(b *testing.B) {
 // contended job set.
 func BenchmarkDispatchRoundTripContended(b *testing.B) {
 	benchsuite.ServiceDispatchContended(b)
+}
+
+// BenchmarkServiceDispatchParallel: 8 concurrent workers × 8 resident
+// jobs against the Service API, at stripe counts bracketing the
+// single-lock baseline (shards=1) and the sharded core (shards=8). The
+// ISSUE-5 acceptance bar reads the shards=8 / shards=1 throughput ratio
+// on a multi-core runner.
+func BenchmarkServiceDispatchParallel(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), benchsuite.ServiceDispatchParallel(shards))
+	}
 }
 
 // BenchmarkDispatchRoundTripTCP: the same path over loopback HTTP.

@@ -45,6 +45,15 @@ type WorkerConfig struct {
 	// registrations — re-registration is the designed reconnect path.
 	// Zero keeps the historical fail-fast behavior.
 	ReconnectWait time.Duration
+	// DrainGrace, when positive, makes shutdown graceful: after ctx is
+	// cancelled an in-flight execution keeps running for up to this long
+	// — heartbeats included — so the task finishes and its outcome is
+	// reported instead of abandoning the lease to expire server-side. The
+	// loop stops pulling new work either way, and RunWorker still
+	// deregisters on the way out. Zero keeps the historical behavior:
+	// cancellation aborts the execution immediately (which reports a
+	// failure, requeueing the task).
+	DrainGrace time.Duration
 }
 
 // RunWorker registers a worker and runs the full protocol loop — long-poll
@@ -139,7 +148,33 @@ func (c *Client) RunWorker(ctx context.Context, cfg WorkerConfig) error {
 // when no report was made (lost lease) or the report did not go through.
 func (c *Client) runAssignment(ctx context.Context, reg *api.RegisterResponse, a *api.Assignment, cfg WorkerConfig) *api.ReportResponse {
 	ref := core.WorkerRef{Site: reg.Site, Worker: reg.Worker}
-	execCtx, cancel := context.WithCancel(ctx)
+	var execCtx context.Context
+	var cancel context.CancelFunc
+	if cfg.DrainGrace > 0 {
+		// Graceful drain: the execution context outlives ctx by up to
+		// DrainGrace, so a shutdown signal lets the in-flight task finish
+		// and report instead of abandoning the lease. Heartbeat
+		// cancellation (replica obsoleted, lease gone) still aborts it
+		// immediately via cancel below.
+		execCtx, cancel = context.WithCancel(context.WithoutCancel(ctx))
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-watchDone:
+			case <-ctx.Done():
+				t := time.NewTimer(cfg.DrainGrace)
+				defer t.Stop()
+				select {
+				case <-watchDone:
+				case <-t.C:
+					cancel()
+				}
+			}
+		}()
+	} else {
+		execCtx, cancel = context.WithCancel(ctx)
+	}
 	defer cancel()
 
 	// Heartbeat at a third of the lease TTL until the execution ends; a

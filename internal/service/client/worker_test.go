@@ -1,0 +1,129 @@
+package client_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"gridsched"
+	"gridsched/internal/core"
+	"gridsched/internal/service"
+	"gridsched/internal/service/api"
+	"gridsched/internal/service/client"
+)
+
+// TestWorkerDrainsInFlightTaskOnShutdown: with DrainGrace set, cancelling
+// the worker's context mid-execution must NOT abort the task — the worker
+// finishes it, reports success, and deregisters, leaving no lease behind
+// for the expiry sweeper (the gridworker SIGTERM path).
+func TestWorkerDrainsInFlightTaskOnShutdown(t *testing.T) {
+	s, err := service.New(service.Config{
+		Topology:     service.Topology{Sites: 1, WorkersPerSite: 1, CapacityFiles: 64},
+		NewScheduler: gridsched.SchedulerFactory(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	cl := client.New(ts.URL, nil)
+
+	jobID, err := cl.SubmitJob(context.Background(), "drain", "workqueue", 0, smallWorkload(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	aborted := make(chan error, 1)
+	workerDone := make(chan error, 1)
+	go func() {
+		workerDone <- cl.RunWorker(ctx, client.WorkerConfig{
+			PollWait:   100 * time.Millisecond,
+			DrainGrace: 10 * time.Second,
+			Execute: func(execCtx context.Context, ref core.WorkerRef, a *api.Assignment) error {
+				close(started)
+				select {
+				case <-release:
+					aborted <- nil
+				case <-execCtx.Done():
+					aborted <- execCtx.Err()
+				}
+				return nil
+			},
+		})
+	}()
+
+	<-started
+	cancel() // SIGTERM-equivalent: shutdown lands mid-execution
+	time.Sleep(50 * time.Millisecond)
+	close(release) // the task finishes after the signal, within the grace
+	if err := <-workerDone; err != nil {
+		t.Fatalf("worker loop: %v", err)
+	}
+	if err := <-aborted; err != nil {
+		t.Fatalf("execution aborted despite DrainGrace: %v", err)
+	}
+
+	st, err := cl.Job(context.Background(), jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != api.JobCompleted || st.Completed != 1 || st.Expired != 0 || st.Failed != 0 {
+		t.Fatalf("drained shutdown left %+v, want 1 completion, 0 expiries, 0 failures", st)
+	}
+	// Deregistered on the way out: the slot is free for a successor.
+	if h := s.Health(); h.Workers != 0 {
+		t.Fatalf("%d workers still registered after drain", h.Workers)
+	}
+}
+
+// TestWorkerAbortsWithoutDrainGrace pins the historical contract: with no
+// grace, cancellation interrupts the execution and the outcome reports as
+// a failure (requeue) rather than a false success.
+func TestWorkerAbortsWithoutDrainGrace(t *testing.T) {
+	s, err := service.New(service.Config{
+		Topology:     service.Topology{Sites: 1, WorkersPerSite: 1, CapacityFiles: 64},
+		NewScheduler: gridsched.SchedulerFactory(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	cl := client.New(ts.URL, nil)
+
+	jobID, err := cl.SubmitJob(context.Background(), "abort", "workqueue", 0, smallWorkload(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	workerDone := make(chan error, 1)
+	go func() {
+		workerDone <- cl.RunWorker(ctx, client.WorkerConfig{
+			PollWait: 100 * time.Millisecond,
+			Execute: func(execCtx context.Context, ref core.WorkerRef, a *api.Assignment) error {
+				close(started)
+				<-execCtx.Done()
+				return nil
+			},
+		})
+	}()
+	<-started
+	cancel()
+	if err := <-workerDone; err != nil {
+		t.Fatalf("worker loop: %v", err)
+	}
+	st, err := cl.Job(context.Background(), jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed != 0 || st.Failed != 1 {
+		t.Fatalf("abort-without-grace reported %+v, want the failure/requeue path", st)
+	}
+}

@@ -1,0 +1,87 @@
+// The commit stage: the funnel between the lock-striped shards and the
+// single totally-ordered write-ahead log. Shards (and the dispatch
+// coordinator, for order-sensitive records) enqueue marshaled records
+// while holding their own locks; the stage serializes them into the WAL
+// and batches whatever accumulates while a write is in flight into one
+// AppendBatch — one write(2) for the whole group. The enqueue returns
+// once the record is appended (process-crash durable, LSN assigned), so
+// write-ahead error semantics are preserved exactly; fsync — machine-crash
+// durability — stays behind Writer.WaitDurable, which callers invoke
+// after releasing every service lock. No shard ever holds its lock
+// across an fsync.
+package service
+
+import (
+	"sync"
+
+	"gridsched/internal/journal"
+)
+
+// commitReq is one record waiting for its batch to reach the log.
+type commitReq struct {
+	payload []byte
+	lsn     uint64
+	err     error
+	done    bool
+}
+
+// commitStage batches concurrent journal appends. Leaf lock: the stage
+// never acquires any other service lock.
+type commitStage struct {
+	w *journal.Writer
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*commitReq
+	writing bool // a batch write is in flight
+}
+
+func newCommitStage(w *journal.Writer) *commitStage {
+	c := &commitStage{w: w}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// append enqueues one payload and blocks until it is written to the log,
+// returning its LSN. Requests that arrive while a batch write is in
+// flight coalesce into the next batch; the first waiter of that batch
+// becomes its writer (flat combining — no dedicated goroutine to stall
+// behind). FIFO: LSN order equals enqueue order, which is what lets
+// callers fix a record's WAL position by enqueueing inside the relevant
+// critical section.
+func (c *commitStage) append(payload []byte) (uint64, error) {
+	req := &commitReq{payload: payload}
+	c.mu.Lock()
+	c.queue = append(c.queue, req)
+	for !req.done {
+		if c.writing {
+			c.cond.Wait()
+			continue
+		}
+		// Become the writer for everything queued so far (including req).
+		batch := c.queue
+		c.queue = nil
+		c.writing = true
+		c.mu.Unlock()
+
+		payloads := make([][]byte, len(batch))
+		for i, r := range batch {
+			payloads[i] = r.payload
+		}
+		first, err := c.w.AppendBatch(payloads)
+
+		c.mu.Lock()
+		for i, r := range batch {
+			if err == nil {
+				r.lsn = first + uint64(i)
+			}
+			r.err = err
+			r.done = true
+		}
+		c.writing = false
+		c.cond.Broadcast()
+	}
+	lsn, err := req.lsn, req.err
+	c.mu.Unlock()
+	return lsn, err
+}

@@ -7,15 +7,11 @@ package service
 // acknowledged), which is exactly the state a kill -9 leaves on disk.
 // Crash-recovery tests reopen the data dir with New afterwards.
 func (s *Service) CrashForTest() {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if !s.closed.CompareAndSwap(false, true) {
 		return
 	}
-	s.closed = true
 	close(s.sweepStop)
-	s.broadcastLocked()
-	s.mu.Unlock()
+	s.hub.broadcast()
 	<-s.sweepDone
 	if s.pst != nil {
 		s.pst.w.Abandon()
@@ -25,7 +21,7 @@ func (s *Service) CrashForTest() {
 // SnapshotForTest forces a snapshot+rotation, so tests can pin down which
 // state came from the snapshot and which from the journal tail.
 func (s *Service) SnapshotForTest() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.snapshotLocked()
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	return s.snapshot()
 }

@@ -489,6 +489,57 @@ func TestQuotaRevertNotResurrectedByRecovery(t *testing.T) {
 	}
 }
 
+// TestDeletedTenantNotResurrectedByTailDelete: a job delete sitting in
+// the journal tail (after a snapshot that still carried the job) must
+// leave the tenant's resident-record count at exactly zero on recovery —
+// not negative — so the tenant is pruned just as the live process pruned
+// it, and stays prunable forever after. Regression test for a recovery
+// ordering bug: deletes used to apply before record counting.
+func TestDeletedTenantNotResurrectedByTailDelete(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := service.New(durableConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobID := submitTenant(t, s1, "once", "ephemeral", 1, 2)
+	if n := len(pullPairs(t, s1, -1)); n != 2 {
+		t.Fatalf("drained %d dispatches, want 2", n)
+	}
+	// Snapshot while the job record is resident, so the delete below lands
+	// in the journal tail of the next recovery.
+	if err := s1.SnapshotForTest(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.DeleteJob(jobID); err != nil {
+		t.Fatal(err)
+	}
+	if left := s1.Tenants(); len(left) != 0 {
+		t.Fatalf("live tenants after delete: %+v", left)
+	}
+	s1.CrashForTest()
+
+	s2, err := service.New(durableConfig(dir))
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	if left := s2.Tenants(); len(left) != 0 {
+		t.Fatalf("recovery resurrected the deleted job's tenant: %+v", left)
+	}
+	// The count must be zero, not negative: one more live submit+delete
+	// cycle for the same tenant must still prune it.
+	jobID2 := submitTenant(t, s2, "again", "ephemeral", 1, 2)
+	if n := len(pullPairs(t, s2, -1)); n != 2 {
+		t.Fatalf("drained %d dispatches, want 2", n)
+	}
+	if err := s2.DeleteJob(jobID2); err != nil {
+		t.Fatal(err)
+	}
+	if left := s2.Tenants(); len(left) != 0 {
+		t.Fatalf("tenant record count recovered skewed; tenant leaked: %+v", left)
+	}
+	s2.Close()
+}
+
 // TestTenantPrunedWhenLastLeaseEnds: a cancelled replica's lease can
 // outlive its job's record (job completed, then deleted); the tenant must
 // be pruned when that last lease ends, not leak forever.

@@ -31,6 +31,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/assignments/{id}/heartbeat", s.handleHeartbeat)
 	mux.HandleFunc("POST /v1/assignments/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -176,6 +177,19 @@ func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Health())
+}
+
+// handleReadyz answers readiness probes: 200 once recovery completed, 503
+// before. A constructed Service is always ready (New only returns after
+// recovery), so the 503 arm matters to servers that bind their listener
+// before construction finishes — cmd/gridschedd serves its own
+// recovering-state /readyz until the service exists, then routes here.
+func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.Ready() {
+		writeJSON(w, http.StatusServiceUnavailable, api.Readiness{Status: "recovering"})
+		return
+	}
+	writeJSON(w, http.StatusOK, api.Readiness{Status: "ready"})
 }
 
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,277 @@
+// The worker registry and the lease protocol surface (register,
+// deregister, heartbeat, report). The registry is a leaf lock guarding
+// worker registrations, (site, worker) slots, and each worker's
+// current-assignment pointer; everything lease-state-ful about an
+// assignment itself (deadline, cancellation, the live lease table) lives
+// on the owning job's shard. A report or heartbeat therefore touches two
+// locks back to back — registry to resolve the assignment, shard to act
+// on it — and never blocks traffic for unrelated jobs.
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"gridsched/internal/core"
+	"gridsched/internal/service/api"
+)
+
+// registry guards worker registrations and slots.
+type registry struct {
+	mu      sync.Mutex
+	workers map[string]*worker
+	slots   [][]string // [site][worker] -> workerID, "" when free
+}
+
+func newRegistry(sites, workersPerSite int) *registry {
+	r := &registry{
+		workers: make(map[string]*worker),
+		slots:   make([][]string, sites),
+	}
+	for i := range r.slots {
+		r.slots[i] = make([]string, workersPerSite)
+	}
+	return r
+}
+
+// removeLocked frees the worker's slot and forgets it. Callers hold r.mu.
+func (r *registry) removeLocked(w *worker) {
+	r.slots[w.ref.Site][w.ref.Worker] = ""
+	delete(r.workers, w.id)
+}
+
+// Register enrolls a worker into a free (site, worker) slot. site < 0 picks
+// the site with the most free slots.
+func (s *Service) Register(site int) (*api.RegisterResponse, error) {
+	if s.closed.Load() {
+		return nil, errf(http.StatusServiceUnavailable, "service: closed")
+	}
+	now := time.Now()
+	s.maybeSweep(now)
+	r := s.reg
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	target := -1
+	if site >= 0 {
+		if site >= s.cfg.Sites {
+			return nil, errf(http.StatusBadRequest, "service: site %d outside [0,%d)", site, s.cfg.Sites)
+		}
+		target = site
+	} else {
+		bestFree := 0
+		for si := range r.slots {
+			free := 0
+			for _, id := range r.slots[si] {
+				if id == "" {
+					free++
+				}
+			}
+			if free > bestFree {
+				bestFree, target = free, si
+			}
+		}
+		if target < 0 {
+			return nil, errf(http.StatusServiceUnavailable, "service: all worker slots taken")
+		}
+	}
+	slot := -1
+	for wi, id := range r.slots[target] {
+		if id == "" {
+			slot = wi
+			break
+		}
+	}
+	if slot < 0 {
+		return nil, errf(http.StatusServiceUnavailable, "service: site %d has no free worker slots", target)
+	}
+	// Worker ids carry the process instance nonce: registrations are not
+	// journaled, so a recovered process would otherwise re-mint ids that
+	// pre-crash workers still present.
+	w := &worker{
+		id:      fmt.Sprintf("w%d-%s", s.seq.Add(1), s.instance),
+		ref:     core.WorkerRef{Site: target, Worker: slot},
+		expires: now.Add(s.cfg.LeaseTTL),
+	}
+	r.slots[target][slot] = w.id
+	r.workers[w.id] = w
+	s.noteDeadline(w.expires)
+	s.counters.ActiveWorkers.Add(1)
+	return &api.RegisterResponse{
+		WorkerID:       w.id,
+		Site:           w.ref.Site,
+		Worker:         w.ref.Worker,
+		LeaseTTLMillis: s.cfg.LeaseTTL.Milliseconds(),
+	}, nil
+}
+
+// Deregister removes a worker. An outstanding assignment is requeued
+// through the scheduler's failure path.
+func (s *Service) Deregister(workerID string) error {
+	r := s.reg
+	r.mu.Lock()
+	w := r.workers[workerID]
+	if w == nil {
+		r.mu.Unlock()
+		return errf(http.StatusNotFound, "service: unknown worker %q", workerID)
+	}
+	a := w.assignment
+	r.removeLocked(w)
+	s.counters.ActiveWorkers.Add(-1)
+	r.mu.Unlock()
+	if a != nil {
+		sh := s.shardOf(a.job.id)
+		sh.mu.Lock()
+		if sh.assignments[a.id] == a {
+			s.expireAssignmentLocked(sh, a, time.Now())
+		}
+		sh.mu.Unlock()
+	}
+	s.hub.broadcast()
+	s.snapshotIfDue()
+	return nil
+}
+
+// lookupLease resolves (assignmentID, workerID) to the worker's live
+// assignment, renewing the worker's registration lease on the way. nil
+// means the pair names no live lease — the stale/gone outcome.
+func (s *Service) lookupLease(assignmentID, workerID string, now time.Time) *assignment {
+	r := s.reg
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.workers[workerID]
+	if w == nil || w.assignment == nil || w.assignment.id != assignmentID {
+		return nil
+	}
+	w.expires = now.Add(s.cfg.LeaseTTL)
+	return w.assignment
+}
+
+// Heartbeat renews an assignment's lease and reports whether the execution
+// is still wanted.
+func (s *Service) Heartbeat(assignmentID, workerID string) (*api.HeartbeatResponse, error) {
+	s.counters.Heartbeats.Add(1)
+	now := time.Now()
+	a := s.lookupLease(assignmentID, workerID, now)
+	if a == nil {
+		return &api.HeartbeatResponse{State: api.HeartbeatGone}, nil
+	}
+	sh := s.shardOf(a.job.id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.assignments[assignmentID] != a {
+		return &api.HeartbeatResponse{State: api.HeartbeatGone}, nil
+	}
+	a.deadline = now.Add(s.cfg.LeaseTTL)
+	if a.cancelled {
+		return &api.HeartbeatResponse{State: api.HeartbeatCancelled}, nil
+	}
+	return &api.HeartbeatResponse{State: api.HeartbeatActive}, nil
+}
+
+// Report ends an assignment. Reports on expired (requeued) assignments are
+// rejected as stale; reports on cancelled replicas are accepted but counted
+// as cancellations, not completions. The first successful completion of a
+// task wins — both properties together guarantee no duplicate completions.
+func (s *Service) Report(assignmentID, workerID, outcome string) (*api.ReportResponse, error) {
+	if outcome != api.OutcomeSuccess && outcome != api.OutcomeFailure {
+		return nil, errf(http.StatusBadRequest, "service: unknown outcome %q", outcome)
+	}
+	now := time.Now()
+	a := s.lookupLease(assignmentID, workerID, now)
+	if a == nil {
+		s.counters.StaleReports.Add(1)
+		return &api.ReportResponse{Accepted: false, Stale: true}, nil
+	}
+	sh := s.shardOf(a.job.id)
+	sh.mu.Lock()
+	if sh.assignments[assignmentID] != a {
+		sh.mu.Unlock()
+		s.counters.StaleReports.Add(1)
+		return &api.ReportResponse{Accepted: false, Stale: true}, nil
+	}
+	j := a.job
+	var lsn uint64
+	// Journal only while the job record is resident: a cancelled replica's
+	// lease can outlive its completed-then-DELETEd job, and a record
+	// naming a dropped job id would be unreplayable after the next
+	// snapshot no longer carries the job (recovery would refuse the data
+	// dir). The report still counts below; it just isn't history anyone
+	// can replay.
+	if s.pst != nil && sh.jobs[j.id] == j {
+		// Journal before applying: if the append fails the report is
+		// refused with the assignment intact, and the worker's retry (or
+		// eventual lease expiry) keeps state and log agreeing.
+		var err error
+		lsn, err = s.appendRecord(&record{
+			Op: opReport, Ts: now.UnixMilli(), Job: j.id,
+			Task: a.task.ID, Site: a.ref.Site, Worker: a.ref.Worker,
+			Outcome: outcome,
+		})
+		if err != nil {
+			sh.mu.Unlock()
+			return nil, err
+		}
+		op := ledgerFailure
+		if outcome == api.OutcomeSuccess {
+			op = ledgerSuccess
+		}
+		if j.state == api.JobRunning {
+			j.ledger = append(j.ledger, ledgerRec{
+				Op: op, Task: a.task.ID,
+				Site: int32(a.ref.Site), Worker: int32(a.ref.Worker),
+				Ts: now.UnixMilli(),
+			})
+		}
+	}
+	delete(sh.assignments, a.id)
+	resp := &api.ReportResponse{Accepted: true}
+	// Long-poll wakeups are targeted: parked pulls only care about events
+	// that can make new work dispatchable (a failure requeues the task, a
+	// freed quota slot unthrottles a tenant — finishLease handles that
+	// one) or change the open-job count (completion of the job's last
+	// task, which completeJobLocked broadcasts itself). A plain success or
+	// a cancelled replica frees no work for anyone else, so the common
+	// case does not wake the whole herd just to find nothing.
+	wake := false
+	switch {
+	case a.cancelled:
+		// Covers replicas obsoleted by another completion AND any
+		// execution that outlived its job: completeJobLocked cancel-marks
+		// every assignment still in flight for the job, so no report can
+		// reach a completed job's (released) scheduler or resurrect a task
+		// another worker already finished.
+		j.cancelled++
+		s.counters.Cancellations.Add(1)
+		resp.Cancelled = true
+	case outcome == api.OutcomeFailure:
+		j.failed++
+		s.counters.Failures.Add(1)
+		if j.sched != nil { // defensive: unreachable once completed (cancel-marked above)
+			j.sched.OnExecutionFailed(a.task.ID, a.ref)
+		}
+		wake = true
+	default:
+		victims := j.sched.OnTaskComplete(a.task.ID, a.ref)
+		j.completed++
+		s.counters.Completions.Add(1)
+		for _, v := range victims {
+			s.cancelExecutionLocked(sh, j, a.task.ID, v)
+		}
+		if j.sched.Remaining() == 0 {
+			s.completeJobLocked(sh, j, now) // broadcasts
+		}
+	}
+	resp.JobState = j.state
+	sh.mu.Unlock()
+	s.finishLease(a)
+	if wake {
+		s.hub.broadcast()
+	}
+	s.snapshotIfDue()
+	if err := s.waitDurable(lsn); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}

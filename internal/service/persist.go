@@ -6,6 +6,7 @@ import (
 	"log"
 	"path/filepath"
 	"sort"
+	"sync/atomic"
 
 	"gridsched/internal/core"
 	"gridsched/internal/journal"
@@ -162,13 +163,16 @@ type snapJob struct {
 	Transfers  int64 `json:"transfers,omitempty"`
 }
 
-// persistence is the journaling state of a Service with Config.DataDir set.
+// persistence is the journaling state of a Service with Config.DataDir
+// set. carry is guarded by the coordinator mutex; sinceSnapshot is
+// atomic; stage serializes appends (commit.go).
 type persistence struct {
 	dir            string
 	w              *journal.Writer
+	stage          *commitStage
 	journalMetrics *journal.Metrics
 	carry          carryCounters
-	sinceSnapshot  int // records appended since the last snapshot
+	sinceSnapshot  atomic.Int64 // records appended since the last snapshot
 }
 
 // refreshJournalMetrics copies the log writer's counters into the service
@@ -186,57 +190,49 @@ func (s *Service) refreshJournalMetrics() {
 func (s *Service) walPath() string      { return filepath.Join(s.pst.dir, walFile) }
 func (s *Service) snapshotPath() string { return filepath.Join(s.pst.dir, snapshotFile) }
 
-// appendLocked journals rec. Callers hold s.mu; the returned LSN is what
-// WaitDurable (outside the lock) keys on. An error leaves service state
-// untouched, so callers that can abort cleanly (submit, report, delete)
-// surface it to the client. It deliberately does NOT snapshot: a record is
-// appended before its state change is applied, and a snapshot taken in
-// that window would claim (via LastLSN) to cover a record whose effect it
-// does not contain — recovery would then skip the record and lose the
-// mutation. Mutation paths call snapshotIfDueLocked once state and log
-// agree again.
-func (s *Service) appendLocked(rec *record) (uint64, error) {
+// appendRecord journals rec through the commit stage. Callers hold the
+// lock that owns rec's state change (the job's shard, or the coordinator
+// for records whose WAL position must match arbiter order); the returned
+// LSN is what waitDurable (outside every lock) keys on. An error leaves
+// service state untouched, so callers that can abort cleanly (submit,
+// report, delete) surface it to the client. The append-then-apply pair
+// always sits inside one critical section of a lock the snapshot path
+// acquires, so a snapshot can never claim (via LastLSN) to cover a record
+// whose effect it does not contain.
+func (s *Service) appendRecord(rec *record) (uint64, error) {
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		return 0, errf(500, "service: journal encode: %v", err)
 	}
-	lsn, err := s.pst.w.Append(payload)
+	lsn, err := s.pst.stage.append(payload)
 	if err != nil {
 		return 0, errf(503, "service: journal append: %v", err)
 	}
-	s.pst.sinceSnapshot++
+	s.pst.sinceSnapshot.Add(1)
 	return lsn, nil
 }
 
-// snapshotIfDueLocked snapshots once enough records accumulated. Only call
-// at a consistency point: every journaled record's effect is applied.
-func (s *Service) snapshotIfDueLocked() {
-	if s.pst == nil || s.pst.sinceSnapshot < s.cfg.SnapshotEvery {
-		return
-	}
-	s.maybeSnapshotLocked()
-}
-
-// mustAppendLocked journals rec on a path that cannot abort (the state
-// change already happened, or must happen — dispatch after NextFor, lease
-// expiry past its deadline). A journal failure there is fail-stop: better
-// to crash and recover from the last durable state than to let memory and
-// log diverge. The one tolerated error is ErrClosed — the shutdown path
-// stops journaling before the sweeper stops, and recovery re-derives
-// whatever the lost records described (all open leases expire at startup).
-func (s *Service) mustAppendLocked(rec *record) uint64 {
-	lsn, err := s.appendLocked(rec)
+// mustAppend journals rec on a path that cannot abort (the state change
+// already happened, or must happen — dispatch after NextFor, lease expiry
+// past its deadline). A journal failure there is fail-stop: better to
+// crash and recover from the last durable state than to let memory and
+// log diverge. The one tolerated error is the closed writer — the
+// shutdown path stops journaling before in-flight requests drain, and
+// recovery re-derives whatever the lost records described (all open
+// leases expire at startup).
+func (s *Service) mustAppend(rec *record) uint64 {
+	lsn, err := s.appendRecord(rec)
 	if err != nil {
-		if s.closed {
+		if s.closed.Load() {
 			return 0
 		}
-		panic(fmt.Sprintf("service: write-ahead journal failed: %v", err))
+		panicf("service: write-ahead journal failed: %v", err)
 	}
 	return lsn
 }
 
 // waitDurable blocks until the record at lsn is durable per the configured
-// fsync mode. Call without holding s.mu.
+// fsync mode. Call without holding any service lock.
 func (s *Service) waitDurable(lsn uint64) error {
 	if s.pst == nil || lsn == 0 {
 		return nil
@@ -247,35 +243,46 @@ func (s *Service) waitDurable(lsn uint64) error {
 	return nil
 }
 
-// maybeSnapshotLocked writes a snapshot, logging (not failing) on error —
-// the log keeps growing until a later snapshot succeeds, which costs
-// replay time but never correctness.
-func (s *Service) maybeSnapshotLocked() {
-	if err := s.snapshotLocked(); err != nil {
+// snapshotIfDue snapshots once enough records accumulated. Callers must
+// hold no service lock: the snapshot is stop-the-world (lockAll).
+func (s *Service) snapshotIfDue() {
+	if s.pst == nil || s.pst.sinceSnapshot.Load() < int64(s.cfg.SnapshotEvery) {
+		return
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if s.pst.sinceSnapshot.Load() < int64(s.cfg.SnapshotEvery) {
+		return // another request snapshotted while we waited
+	}
+	if err := s.snapshot(); err != nil {
 		log.Printf("gridschedd: snapshot failed (journal keeps growing): %v", err)
 		// Back off a full interval before retrying.
-		s.pst.sinceSnapshot = 0
+		s.pst.sinceSnapshot.Store(0)
 	}
 }
 
-// snapshotLocked serializes the full service state and rotates the log.
-// Stop-the-world under s.mu: for the workload sizes gridschedd serves this
-// is milliseconds, and it runs only every SnapshotEvery records.
-func (s *Service) snapshotLocked() error {
+// snapshot serializes the full service state and rotates the log.
+// Stop-the-world under every shard plus the coordinator (lockAll): for
+// the workload sizes gridschedd serves this is milliseconds, and it runs
+// only every SnapshotEvery records. With all stripes held no append can
+// be in flight, so LastLSN names a frozen log position whose every
+// record's effect the snapshot contains. Callers hold snapMu.
+func (s *Service) snapshot() error {
+	s.lockAll()
 	snap := snapshot{
 		Version: snapshotVersion,
-		Seq:     s.seq,
+		Seq:     s.seq.Load(),
 		LastLSN: s.pst.w.LastLSN(),
 		Carry:   s.pst.carry,
-		VTime:   s.arb.vtime,
+		VTime:   s.coord.vtime,
 	}
-	tenantNames := make([]string, 0, len(s.arb.tenants))
-	for name := range s.arb.tenants {
+	tenantNames := make([]string, 0, len(s.coord.tenants))
+	for name := range s.coord.tenants {
 		tenantNames = append(tenantNames, name)
 	}
 	sort.Strings(tenantNames)
 	for _, name := range tenantNames {
-		t := s.arb.tenants[name]
+		t := s.coord.tenants[name]
 		if t.quota == 0 && t.dispatches == 0 {
 			continue // nothing durable to say about this tenant
 		}
@@ -283,7 +290,14 @@ func (s *Service) snapshotLocked() error {
 			Name: name, Quota: t.quota, Dispatches: t.dispatches,
 		})
 	}
-	for _, j := range s.jobOrder {
+	var jobs []*job
+	for _, sh := range s.shards {
+		for _, j := range sh.jobs {
+			jobs = append(jobs, j)
+		}
+	}
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].seq < jobs[k].seq }) // submission order
+	for _, j := range jobs {
 		sj := snapJob{
 			ID:         j.id,
 			Name:       j.name,
@@ -309,6 +323,12 @@ func (s *Service) snapshotLocked() error {
 		}
 		snap.Jobs = append(snap.Jobs, sj)
 	}
+	// The locks stay held through the file replacement AND the rotation:
+	// Rotate truncates the whole log, so an append landing between the
+	// LastLSN capture and the truncation would be destroyed without being
+	// represented in the snapshot. With every stripe held no such append
+	// can exist.
+	defer s.unlockAll()
 	data, err := json.Marshal(&snap)
 	if err != nil {
 		return err
@@ -319,7 +339,7 @@ func (s *Service) snapshotLocked() error {
 	if err := s.pst.w.Rotate(); err != nil {
 		return err
 	}
-	s.pst.sinceSnapshot = 0
+	s.pst.sinceSnapshot.Store(0)
 	s.counters.Snapshots.Add(1)
 	s.counters.SnapshotBytes.Store(int64(len(data)))
 	return nil

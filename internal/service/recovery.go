@@ -18,6 +18,13 @@
 // failure path (journaled, so a second crash replays identically), and
 // workers re-register on their next pull; the client loop does this
 // transparently.
+//
+// Recovery runs single-threaded from New, before the sweeper starts and
+// before the service is reachable, so it touches shard and coordinator
+// state without contention; it still goes through the locked helpers it
+// shares with the live paths. The shard stripe count is irrelevant to
+// what is recovered: jobs land on whatever stripe the current Config
+// routes them to.
 package service
 
 import (
@@ -50,6 +57,13 @@ type openExec struct {
 	cancelled bool
 }
 
+// recoveryState carries the submission-ordered job list recovery builds
+// up from the snapshot and the log tail.
+type recoveryState struct {
+	order   []*job
+	deletes []string
+}
+
 // recover loads DataDir and rebuilds state. Called from New, before the
 // sweeper starts and before the service is reachable.
 func (s *Service) recover() error {
@@ -65,6 +79,7 @@ func (s *Service) recover() error {
 			_ = os.Remove(p)
 		}
 	}
+	rs := &recoveryState{}
 
 	// 1. Snapshot.
 	var snap snapshot
@@ -82,31 +97,30 @@ func (s *Service) recover() error {
 			return fmt.Errorf("service: snapshot version %d, this binary speaks %d", snap.Version, snapshotVersion)
 		}
 	}
-	s.seq = snap.Seq
+	s.seq.Store(snap.Seq)
 	s.pst.carry = snap.Carry
 	// Fair-share state: the arbiter's virtual time and per-tenant durable
 	// state come from the snapshot; tail records then re-apply charges and
 	// quota changes in log order, exactly as the live paths did.
-	s.arb.vtime = snap.VTime
+	s.coord.vtime = snap.VTime
 	for _, st := range snap.Tenants {
-		t := s.arb.tenant(st.Name)
+		t := s.coord.tenant(st.Name)
 		t.quota, t.dispatches = st.Quota, st.Dispatches
 	}
 	for i := range snap.Jobs {
-		if err := s.restoreSnapJob(&snap.Jobs[i]); err != nil {
+		if err := s.restoreSnapJob(rs, &snap.Jobs[i]); err != nil {
 			return err
 		}
 	}
 
 	// 2. Log tail: records the snapshot does not cover. They extend the
 	// per-job ledgers (and create/delete jobs) but are not applied yet.
-	var deletes []string
 	info, err := journal.ReadLog(s.walPath(), snap.LastLSN, func(lsn uint64, payload []byte) error {
 		var rec record
 		if err := json.Unmarshal(payload, &rec); err != nil {
 			return fmt.Errorf("service: journal record %d: %w", lsn, err)
 		}
-		return s.applyLogRecord(&rec, &deletes)
+		return s.applyLogRecord(rs, &rec)
 	})
 	if err != nil {
 		return err
@@ -114,7 +128,8 @@ func (s *Service) recover() error {
 
 	// 3. Open the writer over the validated prefix (truncating any torn
 	// tail) before replay: replay appends the expiry records for
-	// assignments that were in flight at the crash.
+	// assignments that were in flight at the crash. The commit stage
+	// comes up with the writer — replay appends go through it too.
 	lastLSN := max(snap.LastLSN, info.LastLSN)
 	met := &journal.Metrics{}
 	w, err := journal.OpenWriter(s.walPath(), s.cfg.Fsync, s.cfg.FsyncInterval, lastLSN, info.ValidSize, met)
@@ -122,12 +137,13 @@ func (s *Service) recover() error {
 		return err
 	}
 	s.pst.w = w
+	s.pst.stage = newCommitStage(w)
 	s.pst.journalMetrics = met
 
 	// 4. Replay each resident job's ledger through a rebuilt scheduler,
 	// then expire whatever was still in flight.
 	replayed := info.Records
-	for _, j := range s.jobOrder {
+	for _, j := range rs.order {
 		if j.state == api.JobCompleted {
 			continue
 		}
@@ -137,41 +153,54 @@ func (s *Service) recover() error {
 		}
 		replayed += n
 	}
-	for _, id := range deletes {
-		j := s.jobs[id]
+	for _, id := range rs.deletes {
+		sh := s.shardOf(id)
+		j := sh.jobs[id]
 		if j == nil {
 			return fmt.Errorf("service: journal deletes unknown job %s", id)
 		}
 		if j.state != api.JobCompleted {
 			return fmt.Errorf("service: journal deletes running job %s", id)
 		}
-		s.dropJobLocked(j)
+		sh.mu.Lock()
+		s.dropJobLocked(sh, j)
+		sh.mu.Unlock()
 	}
 
 	// 5. Rebuild the monotone counters from carry + resident jobs, and the
 	// arbiter's runnable set: every still-running job enters the heap with
 	// its recovered tag, and its tenant's weight/running gauges return.
-	// (In-flight counts stay zero: step 4 expired every recovered lease.)
+	// (Tenant record counts were anchored at materialization, before the
+	// deletes above ran against them; in-flight counts stay zero: step 4
+	// expired every recovered lease.)
 	s.restoreCounters()
-	for _, j := range s.jobOrder {
-		if j.state == api.JobRunning {
-			t := s.arb.tenant(j.tenant)
-			t.weight += int64(j.weight)
-			t.running++
-			s.arb.push(j)
+	for _, sh := range s.shards {
+		for _, j := range sh.jobs {
+			if j.state == api.JobRunning {
+				t := s.coord.tenant(j.tenant)
+				t.weight += int64(j.weight)
+				t.running++
+				s.coord.push(j)
+			}
 		}
 	}
 	// Sweep anchorless tenant states: replaying a set-then-revert opQuota
 	// pair (or loading a legacy snapshot) can materialize tenants the live
 	// process had already pruned, and recovery must not resurrect them.
-	for name := range s.arb.tenants {
-		s.pruneTenantLocked(name)
+	for name := range s.coord.tenants {
+		s.coord.prune(name)
 	}
 
 	// 6. Compact: a fresh snapshot makes the next restart O(snapshot) and
 	// clears the replayed tail. Skipped for a pristine data dir.
 	if replayed > 0 || info.Torn || len(snap.Jobs) > 0 {
-		s.maybeSnapshotLocked()
+		s.snapMu.Lock()
+		if err := s.snapshot(); err != nil {
+			// Not fatal: the log keeps growing until a later snapshot
+			// succeeds, which costs replay time but never correctness.
+			fmt.Fprintf(os.Stderr, "gridschedd: post-recovery snapshot: %v\n", err)
+		}
+		s.snapMu.Unlock()
 	}
 
 	s.counters.ReplayRecords.Store(int64(replayed))
@@ -181,7 +210,7 @@ func (s *Service) recover() error {
 
 // restoreSnapJob materializes one snapshot entry as a resident job shell.
 // Running jobs get their scheduler and stores in replayJob.
-func (s *Service) restoreSnapJob(sj *snapJob) error {
+func (s *Service) restoreSnapJob(rs *recoveryState, sj *snapJob) error {
 	if sj.State != api.JobRunning && sj.State != api.JobCompleted {
 		return fmt.Errorf("service: snapshot job %s in state %q", sj.ID, sj.State)
 	}
@@ -213,8 +242,7 @@ func (s *Service) restoreSnapJob(sj *snapJob) error {
 		j.w = sj.Workload
 		j.ledger = sj.Ledger
 	}
-	s.addJobLocked(j)
-	s.bumpSeqFromID(j.id)
+	s.addRecoveredJob(rs, j)
 	return nil
 }
 
@@ -222,7 +250,7 @@ func (s *Service) restoreSnapJob(sj *snapJob) error {
 // collected and applied after replay: a delete always refers to a job that
 // completed earlier in the log, and completion is only known once the
 // ledger has been replayed.
-func (s *Service) applyLogRecord(rec *record, deletes *[]string) error {
+func (s *Service) applyLogRecord(rs *recoveryState, rec *record) error {
 	switch rec.Op {
 	case opSubmit:
 		if rec.Workload == nil {
@@ -237,19 +265,18 @@ func (s *Service) applyLogRecord(rec *record, deletes *[]string) error {
 			tenant:       rec.Tenant,
 			weight:       normalizeWeight(rec.Weight, s.cfg.DefaultWeight),
 			seq:          idNum(rec.Job),
-			fair:         s.arb.vtime, // exactly what admit gave it live
+			fair:         s.coord.vtime, // exactly what admit gave it live
 			heapIdx:      -1,
 			tasks:        len(rec.Workload.Tasks),
 			w:            rec.Workload,
 			state:        api.JobRunning,
 			submitted:    time.UnixMilli(rec.Ts),
 		}
-		s.addJobLocked(j)
-		s.bumpSeqFromID(j.id)
+		s.addRecoveredJob(rs, j)
 	case opQuota:
-		s.arb.tenant(rec.Tenant).quota = rec.Quota
+		s.coord.tenant(rec.Tenant).quota = rec.Quota
 	case opDispatch, opReport, opExpire:
-		j := s.jobs[rec.Job]
+		j := s.shardOf(rec.Job).jobs[rec.Job]
 		if j == nil {
 			// A report/expiry naming a job neither the snapshot nor the
 			// tail knows is the trace of a cancelled replica that outlived
@@ -268,10 +295,11 @@ func (s *Service) applyLogRecord(rec *record, deletes *[]string) error {
 			s.bumpSeqFromID(rec.Assignment)
 			// Re-apply the fair-share charge in log order: tags and the
 			// virtual time floor end up bit-identical to the crashed
-			// process, so the recovered arbiter makes the same choices an
-			// uninterrupted one would have.
-			s.arb.charge(j)
-			s.arb.tenant(j.tenant).dispatches++
+			// process (the live path appends dispatch records in charge
+			// order, under the coordinator), so the recovered arbiter
+			// makes the same choices an uninterrupted one would have.
+			s.coord.charge(j)
+			s.coord.tenant(j.tenant).dispatches++
 		case rec.Op == opReport && rec.Outcome == api.OutcomeSuccess:
 			op = ledgerSuccess
 		case rec.Op == opReport:
@@ -290,7 +318,7 @@ func (s *Service) applyLogRecord(rec *record, deletes *[]string) error {
 			Op: op, Task: rec.Task, Site: int32(rec.Site), Worker: int32(rec.Worker), Ts: rec.Ts,
 		})
 	case opDelete:
-		*deletes = append(*deletes, rec.Job)
+		rs.deletes = append(rs.deletes, rec.Job)
 	default:
 		return fmt.Errorf("service: unknown journal op %q", rec.Op)
 	}
@@ -299,7 +327,7 @@ func (s *Service) applyLogRecord(rec *record, deletes *[]string) error {
 
 // replayJob rebuilds a running job's scheduler and stores and drives them
 // through the job's ledger, mirroring the live mutation paths
-// (assignLocked, Report, expireAssignmentLocked) event for event. Returns
+// (tryJobLocked, Report, expireAssignmentLocked) event for event. Returns
 // the number of ledger events replayed.
 func (s *Service) replayJob(j *job) (int, error) {
 	if err := j.w.Validate(); err != nil {
@@ -356,7 +384,7 @@ func (s *Service) replayJob(j *job) (int, error) {
 		})
 		for _, k := range keys {
 			e := ledgerRec{Op: ledgerExpire, Task: workload.TaskID(k.task), Site: k.site, Worker: k.worker, Ts: now}
-			s.mustAppendLocked(&record{
+			s.mustAppend(&record{
 				Op: opExpire, Ts: now, Job: j.id,
 				Task: e.Task, Site: int(k.site), Worker: int(k.worker),
 			})
@@ -392,12 +420,13 @@ func (s *Service) replayEvent(j *job, e ledgerRec, open map[openKey]*openExec) e
 		if err := replayAssignSched(j.sched, e.Task, ref); err != nil {
 			return err
 		}
+		sh := s.shardOf(j.id)
 		task := j.w.Tasks[e.Task]
-		fetched, evicted, err := j.stores[ref.Site].CommitBatchInto(task.Files, s.fetchBuf[:0], s.evictBuf[:0])
+		fetched, evicted, err := j.stores[ref.Site].CommitBatchInto(task.Files, sh.fetchBuf[:0], sh.evictBuf[:0])
 		if err != nil {
 			return fmt.Errorf("stage task %d at site %d: %w", e.Task, ref.Site, err)
 		}
-		s.fetchBuf, s.evictBuf = fetched[:0], evicted[:0]
+		sh.fetchBuf, sh.evictBuf = fetched[:0], evicted[:0]
 		j.sched.NoteBatch(ref.Site, task.Files, fetched, evicted)
 		j.transfers += int64(len(fetched))
 		j.dispatched++
@@ -446,49 +475,28 @@ func (s *Service) replayEvent(j *job, e ledgerRec, open map[openKey]*openExec) e
 }
 
 // completeJobReplay is completeJobLocked minus the live-only concerns
-// (broadcast, counters — rebuilt afterwards in restoreCounters).
+// (broadcast, arbiter retirement, counters — rebuilt afterwards).
 func (s *Service) completeJobReplay(j *job, tsMillis int64) {
 	j.state = api.JobCompleted
 	j.finished = time.UnixMilli(tsMillis)
 	j.w, j.sched, j.stores, j.ledger = nil, nil, nil, nil
 }
 
-// addJobLocked registers a job shell during recovery.
-func (s *Service) addJobLocked(j *job) {
-	s.jobs[j.id] = j
-	s.jobOrder = append(s.jobOrder, j)
+// addRecoveredJob registers a job shell during recovery: into its shard,
+// the submission index, the replay order, and its tenant's record count.
+// The record is anchored HERE, at materialization — not in the post-replay
+// sweep — so a journal-tail delete (dropJobLocked, which decrements)
+// always runs against a count that included the job, exactly as the live
+// path does; counting later would drive the tenant negative and defeat
+// pruning forever.
+func (s *Service) addRecoveredJob(rs *recoveryState, j *job) {
+	s.shardOf(j.id).jobs[j.id] = j
 	if j.submissionID != "" {
-		s.submissions[j.submissionID] = j.id
+		s.coord.submissions[j.submissionID] = j.id
 	}
-}
-
-// dropJobLocked removes a job; with journaling the job's totals are folded
-// into the snapshot carry so the global counters stay exact. Dropping a
-// tenant's last job record also retires the tenant (unless a quota
-// override or live state keeps it relevant) — job deletion is the
-// retention control, and tenant cardinality follows it.
-func (s *Service) dropJobLocked(j *job) {
-	delete(s.jobs, j.id)
-	if j.submissionID != "" {
-		delete(s.submissions, j.submissionID)
-	}
-	for i, o := range s.jobOrder {
-		if o == j {
-			s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
-			break
-		}
-	}
-	s.pruneTenantLocked(j.tenant)
-	if s.pst == nil {
-		return
-	}
-	s.pst.carry.Jobs++
-	s.pst.carry.CompletedJobs++
-	s.pst.carry.Dispatched += int64(j.dispatched)
-	s.pst.carry.Completions += int64(j.completed)
-	s.pst.carry.Failures += int64(j.failed)
-	s.pst.carry.Cancellations += int64(j.cancelled)
-	s.pst.carry.Expired += int64(j.expired)
+	s.coord.tenant(j.tenant).records++
+	rs.order = append(rs.order, j)
+	s.bumpSeqFromID(j.id)
 }
 
 // restoreCounters rebuilds the monotone /metrics totals as carry (deleted
@@ -497,18 +505,20 @@ func (s *Service) dropJobLocked(j *job) {
 func (s *Service) restoreCounters() {
 	c := s.pst.carry
 	open := int64(0)
-	for _, j := range s.jobOrder {
-		c.Jobs++
-		if j.state == api.JobCompleted {
-			c.CompletedJobs++
-		} else {
-			open++
+	for _, sh := range s.shards {
+		for _, j := range sh.jobs {
+			c.Jobs++
+			if j.state == api.JobCompleted {
+				c.CompletedJobs++
+			} else {
+				open++
+			}
+			c.Dispatched += int64(j.dispatched)
+			c.Completions += int64(j.completed)
+			c.Failures += int64(j.failed)
+			c.Cancellations += int64(j.cancelled)
+			c.Expired += int64(j.expired)
 		}
-		c.Dispatched += int64(j.dispatched)
-		c.Completions += int64(j.completed)
-		c.Failures += int64(j.failed)
-		c.Cancellations += int64(j.cancelled)
-		c.Expired += int64(j.expired)
 	}
 	s.counters.JobsSubmitted.Store(c.Jobs)
 	s.counters.JobsCompleted.Store(c.CompletedJobs)
@@ -522,7 +532,8 @@ func (s *Service) restoreCounters() {
 
 // idNum extracts the numeric part of a "j<n>"/"a<n>" id (0 when the id
 // does not parse). For jobs it doubles as the arbiter's deterministic
-// tie-breaker: it is the submission sequence number.
+// tie-breaker AND the shard routing key: it is the submission sequence
+// number, so consecutively submitted jobs round-robin across stripes.
 func idNum(id string) int64 {
 	if len(id) < 2 {
 		return 0
@@ -540,9 +551,10 @@ func idNum(id string) int64 {
 // bumpSeqFromID raises the id sequence above a recovered "j<n>"/"a<n>" id
 // so freshly minted ids never collide with journaled ones. (Worker ids
 // carry a per-process nonce instead: registrations are not journaled, so
-// their ids cannot be recovered this way.)
+// their ids cannot be recovered this way.) Recovery is single-threaded,
+// so the load/store pair cannot race.
 func (s *Service) bumpSeqFromID(id string) {
-	if n := idNum(id); n > s.seq {
-		s.seq = n
+	if n := idNum(id); n > s.seq.Load() {
+		s.seq.Store(n)
 	}
 }

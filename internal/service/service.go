@@ -21,10 +21,36 @@
 // report that arrives after its lease expired is rejected as stale, which
 // is what guarantees a task is never completed twice.
 //
-// Concurrency: the service serializes all scheduler and store access under
-// one mutex (see the core.Scheduler concurrency contract); long-poll
-// waiters park outside the lock on a broadcast channel and are woken by any
-// state change that could make new work dispatchable.
+// # Concurrency model
+//
+// There is no global service mutex. Mutable state is split across four
+// separately locked domains (see docs/ARCHITECTURE.md, "Concurrency
+// model", for the full treatment):
+//
+//   - N lock-striped shards (shard.go) own job state — scheduler, site
+//     stores, replay ledger, assignment leases — keyed by job id, so
+//     submits, reports, heartbeats, and lease expiries on different jobs
+//     never contend.
+//   - The dispatch coordinator (dispatch.go) owns the fair-share arbiter
+//     heap, the per-tenant quota table, and the submission-dedup index.
+//     A pull consults it only to decide WHICH runnable job to offer the
+//     worker to; the scheduler call and lease grant then run under that
+//     job's shard alone.
+//   - The worker registry (leases.go) owns worker registrations and
+//     (site, worker) slots.
+//   - The commit stage (commit.go) serializes journal appends from all
+//     shards into the single totally-ordered WAL, batching concurrent
+//     appends into one write(2); fsync waits happen outside every lock.
+//
+// Lock ordering: a shard lock may be held while acquiring the coordinator
+// or the registry (one at a time, never both); the coordinator may be held
+// while acquiring the commit stage or the wakeup hub; no path ever holds
+// two shard locks (the stop-the-world snapshot is the one exception and
+// acquires shards in index order). Read-mostly endpoints (/v1/status,
+// /v1/tenants, /metrics) are served from atomic counters plus brief
+// per-shard copy-on-read, so they never block dispatch. Long-poll waiters
+// park outside every lock on a broadcast hub and are woken by any state
+// change that could make new work dispatchable.
 package service
 
 import (
@@ -33,8 +59,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gridsched/internal/core"
@@ -78,6 +106,10 @@ func (t Topology) CheckWorkload(w *workload.Workload) error {
 // the set.
 type SchedulerFactory func(algorithm string, w *workload.Workload, topo Topology, seed int64) (core.Scheduler, error)
 
+// maxShards bounds the stripe count; beyond this the per-shard maps stop
+// paying for themselves.
+const maxShards = 1024
+
 // Config parameterizes a Service.
 type Config struct {
 	Topology
@@ -93,6 +125,15 @@ type Config struct {
 	// still works). Required when DataDir is set: recovery rebuilds every
 	// running job's scheduler through it.
 	NewScheduler SchedulerFactory
+
+	// Shards is the number of lock-striped job-state shards. Job state is
+	// distributed by job id, so operations on different jobs contend only
+	// when they land on the same stripe. 0 picks a default sized to the
+	// machine (GOMAXPROCS, at least 4, at most 32). The stripe count is a
+	// pure concurrency knob: it never affects scheduling decisions,
+	// journal contents, or recovery (a data dir written under one shard
+	// count recovers under any other).
+	Shards int
 
 	// DefaultWeight is the fair-share weight given to jobs submitted
 	// without one. Defaults to 1. See arbiter.go for the dispatch
@@ -144,6 +185,15 @@ func (c *Config) normalize() error {
 	}
 	if c.FsyncInterval <= 0 {
 		c.FsyncInterval = 25 * time.Millisecond
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("service: Shards = %d", c.Shards)
+	}
+	if c.Shards == 0 {
+		c.Shards = min(max(runtime.GOMAXPROCS(0), 4), 32)
+	}
+	if c.Shards > maxShards {
+		c.Shards = maxShards
 	}
 	if c.DefaultWeight <= 0 {
 		c.DefaultWeight = 1
@@ -221,6 +271,11 @@ func errf(code int, format string, args ...any) *Error {
 // On completion the workload, scheduler, and stores are released (set to
 // nil) so a long-running daemon does not accumulate every finished job's
 // heavy state; the status summary fields survive.
+//
+// Locking: id, name, algorithm, seed, submissionID, tenant, weight, and
+// seq are immutable after registration. fair and heapIdx belong to the
+// coordinator. Everything else — scheduler, stores, ledger, state, and
+// the counters — belongs to the job's shard.
 type job struct {
 	id           string
 	name         string
@@ -233,12 +288,13 @@ type job struct {
 	stores       []*storage.Store
 	state        string // api.JobRunning | api.JobCompleted
 
-	// Fair-share state (see arbiter.go). tenant and weight are resolved at
-	// submission ("" = default tenant; weight never below 1) and journaled
-	// resolved, so a changed server default cannot skew recovery. seq is
-	// the numeric part of the job id, the deterministic tie-breaker. fair
-	// is the virtual finish tag; heapIdx the arbiter-heap position (-1:
-	// not runnable/not in heap).
+	// Fair-share state (see arbiter.go, dispatch.go). tenant and weight
+	// are resolved at submission ("" = default tenant; weight never below
+	// 1) and journaled resolved, so a changed server default cannot skew
+	// recovery. seq is the numeric part of the job id, the deterministic
+	// tie-breaker. fair is the virtual finish tag; heapIdx the
+	// arbiter-heap position (-1: not runnable/not in heap). Both are
+	// guarded by the coordinator, not the shard.
 	tenant  string
 	weight  int
 	seq     int64
@@ -261,14 +317,18 @@ type job struct {
 }
 
 // worker is one registered remote worker holding a (site, worker) slot.
+// Guarded by the registry mutex.
 type worker struct {
 	id         string
 	ref        core.WorkerRef
 	expires    time.Time
 	assignment *assignment // nil when idle; at most one at a time
+	pulling    bool        // a Pull is mid-dispatch for this worker
 }
 
-// assignment is one leased task execution.
+// assignment is one leased task execution. id, job, task, workerID, ref,
+// and staged are immutable; deadline and cancelled are guarded by the
+// owning job's shard.
 type assignment struct {
 	id        string
 	job       *job
@@ -278,6 +338,32 @@ type assignment struct {
 	deadline  time.Time
 	cancelled bool // obsoleted by another replica's completion
 	staged    int
+}
+
+// hub is the long-poll wakeup primitive: waiters grab the current channel
+// BEFORE scanning for work and park on it; a broadcast closes the channel
+// and replaces it, so any state change after the waiter subscribed is
+// never lost. Leaf lock — a hub never acquires another service lock.
+type hub struct {
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+func newHub() *hub { return &hub{ch: make(chan struct{})} }
+
+// wait returns the channel the next broadcast will close.
+func (h *hub) wait() <-chan struct{} {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ch
+}
+
+// broadcast wakes every parked waiter.
+func (h *hub) broadcast() {
+	h.mu.Lock()
+	close(h.ch)
+	h.ch = make(chan struct{})
+	h.mu.Unlock()
 }
 
 // Service is the gridschedd core. Create with New, expose with Handler,
@@ -294,26 +380,23 @@ type Service struct {
 	// pst is the journaling state; nil when Config.DataDir is unset.
 	pst *persistence
 
-	mu          sync.Mutex
-	closed      bool
-	seq         int64
-	jobs        map[string]*job
-	jobOrder    []*job            // submission order (status listings)
-	arb         *arbiter          // fair-share dispatch order (arbiter.go)
-	submissions map[string]string // idempotency key -> job id
-	workers     map[string]*worker
-	assignments map[string]*assignment
-	slots       [][]string // [site][worker] -> workerID, "" when free
-	notify      chan struct{}
-	// staging scratch reused across dispatches (guarded by mu; consumed
-	// synchronously by NoteBatch before the next dispatch can run).
-	fetchBuf, evictBuf []workload.FileID
-	// nextSweep is the earliest known lease deadline; maybeSweepLocked
-	// skips the O(assignments+workers) sweep until it is due. Zero means
-	// unknown (sweep next time). It may lag behind renewals, which only
-	// costs a harmless extra sweep.
-	nextSweep time.Time
+	seq    atomic.Int64 // job/assignment/worker id sequence
+	closed atomic.Bool
+	ready  atomic.Bool // recovery finished; flips before New returns
 
+	shards []*shard
+	coord  *coordinator
+	reg    *registry
+	hub    *hub
+
+	// nextSweep is the earliest known lease deadline (unix nanos);
+	// maybeSweep skips the cross-shard sweep until it is due. 0 means
+	// unknown (sweep next time). It may lag behind a deadline created
+	// mid-sweep, which costs at most one SweepInterval of expiry delay —
+	// the background sweeper runs unconditionally.
+	nextSweep atomic.Int64
+
+	snapMu    sync.Mutex // serializes stop-the-world snapshots
 	sweepStop chan struct{}
 	sweepDone chan struct{}
 }
@@ -321,7 +404,9 @@ type Service struct {
 // New builds a service and starts its lease sweeper. With cfg.DataDir set
 // it first recovers the previous process's state from snapshot + journal;
 // the service is not reachable until recovery finished, so every response
-// it ever gives reflects the recovered history.
+// it ever gives reflects the recovered history. Ready reports the
+// recovery status for /readyz-style probes that bind their listener
+// before construction completes.
 func New(cfg Config) (*Service, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
@@ -331,22 +416,20 @@ func New(cfg Config) (*Service, error) {
 		return nil, err
 	}
 	s := &Service{
-		cfg:         cfg,
-		counters:    metrics.NewServiceCounters(),
-		instance:    hex.EncodeToString(nonce[:]),
-		arb:         newArbiter(),
-		jobs:        make(map[string]*job),
-		submissions: make(map[string]string),
-		workers:     make(map[string]*worker),
-		assignments: make(map[string]*assignment),
-		slots:       make([][]string, cfg.Sites),
-		notify:      make(chan struct{}),
-		sweepStop:   make(chan struct{}),
-		sweepDone:   make(chan struct{}),
+		cfg:       cfg,
+		counters:  metrics.NewServiceCounters(),
+		instance:  hex.EncodeToString(nonce[:]),
+		coord:     newCoordinator(),
+		reg:       newRegistry(cfg.Sites, cfg.WorkersPerSite),
+		hub:       newHub(),
+		sweepStop: make(chan struct{}),
+		sweepDone: make(chan struct{}),
 	}
-	for i := range s.slots {
-		s.slots[i] = make([]string, cfg.WorkersPerSite)
+	s.shards = make([]*shard, cfg.Shards)
+	for i := range s.shards {
+		s.shards[i] = newShard()
 	}
+	s.counters.Shards.Store(int64(cfg.Shards))
 	if cfg.DataDir != "" {
 		s.pst = &persistence{dir: cfg.DataDir}
 		if err := s.recover(); err != nil {
@@ -356,6 +439,7 @@ func New(cfg Config) (*Service, error) {
 			return nil, err
 		}
 	}
+	s.ready.Store(true)
 	go s.sweeper()
 	return s, nil
 }
@@ -363,24 +447,27 @@ func New(cfg Config) (*Service, error) {
 // Counters exposes the service's metrics (also rendered at /metrics).
 func (s *Service) Counters() *metrics.ServiceCounters { return s.counters }
 
+// Ready reports whether recovery completed — true for the whole lifetime
+// of a constructed Service (New only returns after recovery), exposed so
+// a server can answer /readyz from a handler bound before New finished.
+func (s *Service) Ready() bool { return s.ready.Load() }
+
 // Close stops the sweeper and fails every parked long poll; with
 // journaling enabled it then writes a final snapshot (making the next
 // start a snapshot-only recovery) and closes the journal. Idempotent.
 func (s *Service) Close() {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if !s.closed.CompareAndSwap(false, true) {
 		return
 	}
-	s.closed = true
 	close(s.sweepStop)
-	s.broadcastLocked()
-	s.mu.Unlock()
+	s.hub.broadcast()
 	<-s.sweepDone
 	if s.pst != nil {
-		s.mu.Lock()
-		s.maybeSnapshotLocked()
-		s.mu.Unlock()
+		s.snapMu.Lock()
+		if err := s.snapshot(); err != nil {
+			log.Printf("gridschedd: final snapshot: %v", err)
+		}
+		s.snapMu.Unlock()
 		if err := s.pst.w.Close(); err != nil {
 			// The snapshot above already persisted everything; the journal
 			// close failing loses nothing, but say so.
@@ -399,30 +486,21 @@ func (s *Service) sweeper() {
 		case <-s.sweepStop:
 			return
 		case <-t.C:
-			s.mu.Lock()
-			s.sweepLocked(time.Now())
-			s.mu.Unlock()
+			s.maybeSweep(time.Now())
 		}
 	}
 }
 
-// broadcastLocked wakes every parked long poll. Callers hold s.mu.
-func (s *Service) broadcastLocked() {
-	close(s.notify)
-	s.notify = make(chan struct{})
-}
-
 func (s *Service) nextID(prefix string) string {
-	s.seq++
-	return fmt.Sprintf("%s%d", prefix, s.seq)
+	return fmt.Sprintf("%s%d", prefix, s.seq.Add(1))
 }
 
 // Submit adds a job built around a caller-constructed scheduler. The
 // scheduler must be fresh and is driven exclusively by the service from
-// here on (the service serializes all calls; see core.Scheduler's
-// concurrency contract). Incompatible with journaling: recovery cannot
-// rebuild an opaque scheduler, so services with DataDir set only accept
-// SubmitByName.
+// here on (the service serializes all calls per job under its shard; see
+// core.Scheduler's concurrency contract). Incompatible with journaling:
+// recovery cannot rebuild an opaque scheduler, so services with DataDir
+// set only accept SubmitByName.
 func (s *Service) Submit(name, algorithm string, w *workload.Workload, sched core.Scheduler) (string, error) {
 	if s.pst != nil {
 		return "", errf(http.StatusNotImplemented,
@@ -461,9 +539,9 @@ func (s *Service) SubmitJob(req api.SubmitJobRequest) (string, error) {
 	}
 	if req.SubmissionID != "" {
 		// Fast path: an already-known key skips scheduler construction.
-		s.mu.Lock()
-		id, ok := s.submissions[req.SubmissionID]
-		s.mu.Unlock()
+		s.coord.mu.Lock()
+		id, ok := s.coord.submissions[req.SubmissionID]
+		s.coord.mu.Unlock()
 		if ok {
 			return id, nil
 		}
@@ -476,7 +554,10 @@ func (s *Service) SubmitJob(req api.SubmitJobRequest) (string, error) {
 }
 
 // submitJob validates, journals (before acknowledging), and registers one
-// job.
+// job. The submit record is appended under the coordinator lock, in the
+// same critical section that admits the job at the current virtual time:
+// the WAL position of a submit record relative to dispatch records is
+// what lets recovery reconstruct the admission tag bit-exactly.
 func (s *Service) submitJob(req api.SubmitJobRequest, sched core.Scheduler) (string, error) {
 	name, w, submissionID := req.Name, req.Workload, req.SubmissionID
 	if w == nil {
@@ -490,6 +571,9 @@ func (s *Service) submitJob(req api.SubmitJobRequest, sched core.Scheduler) (str
 	}
 	if err := s.cfg.CheckWorkload(w); err != nil {
 		return "", errf(http.StatusBadRequest, "service: %v", err)
+	}
+	if s.closed.Load() {
+		return "", errf(http.StatusServiceUnavailable, "service: closed")
 	}
 	now := time.Now()
 	j := &job{
@@ -516,620 +600,63 @@ func (s *Service) submitJob(req api.SubmitJobRequest, sched core.Scheduler) (str
 		sched.AttachSite(i)
 	}
 
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	n := s.seq.Add(1)
+	j.id, j.seq = fmt.Sprintf("j%d", n), n
+	sh := s.shardOf(j.id)
+	sh.mu.Lock()
+	if s.closed.Load() {
+		sh.mu.Unlock()
 		return "", errf(http.StatusServiceUnavailable, "service: closed")
 	}
+	c := s.coord
+	c.mu.Lock()
 	if submissionID != "" {
-		if id, ok := s.submissions[submissionID]; ok {
+		if id, ok := c.submissions[submissionID]; ok {
 			// Lost ack resent: the job already exists.
-			s.mu.Unlock()
+			c.mu.Unlock()
+			sh.mu.Unlock()
 			return id, nil
 		}
 	}
-	j.id = s.nextID("j")
-	j.seq = s.seq
 	var lsn uint64
 	if s.pst != nil {
 		var err error
 		// Tenant and weight are journaled resolved (weight never zero), so
 		// replay is independent of the server's default-weight setting.
-		lsn, err = s.appendLocked(&record{
+		lsn, err = s.appendRecord(&record{
 			Op: opSubmit, Ts: now.UnixMilli(), Job: j.id,
 			Name: name, Algorithm: req.Algorithm, Seed: req.Seed, Submission: submissionID,
 			Tenant: j.tenant, Weight: j.weight,
 			Workload: w,
 		})
 		if err != nil {
-			s.mu.Unlock()
+			c.mu.Unlock()
+			sh.mu.Unlock()
 			return "", err
 		}
 	}
-	s.jobs[j.id] = j
-	s.jobOrder = append(s.jobOrder, j)
-	s.arb.admit(j)
+	c.admit(j)
+	c.tenant(j.tenant).records++
 	if submissionID != "" {
-		s.submissions[submissionID] = j.id
+		c.submissions[submissionID] = j.id
 	}
+	c.mu.Unlock()
+	sh.jobs[j.id] = j
 	s.counters.JobsSubmitted.Add(1)
 	s.counters.OpenJobs.Add(1)
 	if len(w.Tasks) == 0 {
-		s.completeJobLocked(j, now)
+		s.completeJobLocked(sh, j, now)
 	}
-	s.broadcastLocked()
-	s.snapshotIfDueLocked()
-	id := j.id
-	s.mu.Unlock()
+	sh.mu.Unlock()
+	s.hub.broadcast()
+	s.snapshotIfDue()
 	if err := s.waitDurable(lsn); err != nil {
 		// The job is journaled and resident but the configured durability
 		// could not be confirmed; surface that. An idempotent retry
 		// resolves to the same job id.
 		return "", err
 	}
-	return id, nil
-}
-
-// Register enrolls a worker into a free (site, worker) slot. site < 0 picks
-// the site with the most free slots.
-func (s *Service) Register(site int) (*api.RegisterResponse, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return nil, errf(http.StatusServiceUnavailable, "service: closed")
-	}
-	s.maybeSweepLocked(time.Now())
-	target := -1
-	if site >= 0 {
-		if site >= s.cfg.Sites {
-			return nil, errf(http.StatusBadRequest, "service: site %d outside [0,%d)", site, s.cfg.Sites)
-		}
-		target = site
-	} else {
-		bestFree := 0
-		for si := range s.slots {
-			free := 0
-			for _, id := range s.slots[si] {
-				if id == "" {
-					free++
-				}
-			}
-			if free > bestFree {
-				bestFree, target = free, si
-			}
-		}
-		if target < 0 {
-			return nil, errf(http.StatusServiceUnavailable, "service: all worker slots taken")
-		}
-	}
-	slot := -1
-	for wi, id := range s.slots[target] {
-		if id == "" {
-			slot = wi
-			break
-		}
-	}
-	if slot < 0 {
-		return nil, errf(http.StatusServiceUnavailable, "service: site %d has no free worker slots", target)
-	}
-	// Worker ids carry the process instance nonce: registrations are not
-	// journaled, so a recovered process would otherwise re-mint ids that
-	// pre-crash workers still present.
-	s.seq++
-	w := &worker{
-		id:      fmt.Sprintf("w%d-%s", s.seq, s.instance),
-		ref:     core.WorkerRef{Site: target, Worker: slot},
-		expires: time.Now().Add(s.cfg.LeaseTTL),
-	}
-	s.slots[target][slot] = w.id
-	s.workers[w.id] = w
-	s.noteDeadlineLocked(w.expires)
-	s.counters.ActiveWorkers.Add(1)
-	return &api.RegisterResponse{
-		WorkerID:       w.id,
-		Site:           w.ref.Site,
-		Worker:         w.ref.Worker,
-		LeaseTTLMillis: s.cfg.LeaseTTL.Milliseconds(),
-	}, nil
-}
-
-// Deregister removes a worker. An outstanding assignment is requeued
-// through the scheduler's failure path.
-func (s *Service) Deregister(workerID string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	w := s.workers[workerID]
-	if w == nil {
-		return errf(http.StatusNotFound, "service: unknown worker %q", workerID)
-	}
-	if w.assignment != nil {
-		s.expireAssignmentLocked(w.assignment)
-	}
-	s.removeWorkerLocked(w)
-	s.broadcastLocked()
-	s.snapshotIfDueLocked()
-	return nil
-}
-
-// removeWorkerLocked frees the worker's slot and forgets it.
-func (s *Service) removeWorkerLocked(w *worker) {
-	s.slots[w.ref.Site][w.ref.Worker] = ""
-	delete(s.workers, w.id)
-	s.counters.ActiveWorkers.Add(-1)
-}
-
-// Pull hands the worker a leased task, parking up to wait for one to become
-// dispatchable. It blocks in ServeHTTP; done aborts the park (request
-// context).
-func (s *Service) Pull(done <-chan struct{}, workerID string, wait time.Duration) (*api.PullResponse, error) {
-	if wait < 0 {
-		wait = 0
-	}
-	if wait > maxPullWait {
-		wait = maxPullWait
-	}
-	s.counters.Pulls.Add(1)
-	deadline := time.Now().Add(wait)
-	openAtEntry := -1
-	for {
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			return nil, errf(http.StatusServiceUnavailable, "service: closed")
-		}
-		now := time.Now()
-		s.maybeSweepLocked(now)
-		w := s.workers[workerID]
-		if w == nil {
-			s.mu.Unlock()
-			return nil, errf(http.StatusNotFound, "service: unknown worker %q (lease expired? re-register)", workerID)
-		}
-		w.expires = now.Add(s.cfg.LeaseTTL)
-		if w.assignment != nil {
-			s.mu.Unlock()
-			return nil, errf(http.StatusConflict, "service: worker %q already holds assignment %q", workerID, w.assignment.id)
-		}
-		dispatchStart := time.Now()
-		if a, lsn := s.assignLocked(w, now); a != nil {
-			s.counters.ObserveDispatch(time.Since(dispatchStart).Nanoseconds())
-			resp := &api.PullResponse{
-				Status:     api.StatusAssigned,
-				Assignment: a,
-				OpenJobs:   int(s.counters.OpenJobs.Load()),
-			}
-			s.snapshotIfDueLocked()
-			s.mu.Unlock()
-			if err := s.waitDurable(lsn); err != nil {
-				// The assignment stands (journaled and leased); only its
-				// durability confirmation failed. The worker gets an error,
-				// abandons the pull, and the lease expires back into the
-				// queue.
-				return nil, err
-			}
-			return resp, nil
-		}
-		open := int(s.counters.OpenJobs.Load())
-		ch := s.notify
-		s.mu.Unlock()
-
-		// Surface idleness promptly when a job finishes while we wait:
-		// drain-watching clients (exit-when-idle workers, the live
-		// runtime) react at the completion broadcast instead of sitting
-		// out the rest of their poll budget.
-		if open > openAtEntry {
-			openAtEntry = open
-		}
-		if open < openAtEntry {
-			return &api.PullResponse{Status: api.StatusEmpty, OpenJobs: open}, nil
-		}
-
-		park := time.Until(deadline)
-		if park <= 0 {
-			return &api.PullResponse{Status: api.StatusEmpty, OpenJobs: open}, nil
-		}
-		// Cap each park below the lease TTL so the loop re-renews the
-		// worker's registration lease while it waits.
-		if cap := s.cfg.LeaseTTL / 3; cap > 0 && park > cap {
-			park = cap
-		}
-		timer := time.NewTimer(park)
-		select {
-		case <-done:
-			timer.Stop()
-			return nil, errf(499, "service: pull abandoned by client")
-		case <-ch:
-			timer.Stop()
-		case <-timer.C:
-		}
-	}
-}
-
-// assignLocked offers the worker to runnable jobs in fair-share order —
-// most underserved tenant-weighted job first (see arbiter.go) — and
-// dispatches the first task any scheduler grants it. Jobs whose tenant is
-// at its in-flight quota are skipped before their scheduler is consulted
-// (NextFor mutates scheduler state, including the randomized pick stream,
-// only when its assignment is used). Staging happens here: the batch is
-// committed into the job's site store and the scheduler notified, exactly
-// as the simulator and live runtime do around an execution start. With
-// journaling enabled the dispatch record is appended before the assignment
-// is returned; the caller must confirm durability (waitDurable on the
-// returned LSN) before acknowledging it to the worker.
-func (s *Service) assignLocked(w *worker, now time.Time) (*api.Assignment, uint64) {
-	arb := s.arb
-	// Jobs that cannot serve this pull (quota-throttled, scheduler said
-	// Wait) are popped aside and reinserted afterwards; each costs one
-	// O(log jobs) heap round-trip, and the common case dispatches straight
-	// off the root.
-	deferred := arb.deferred[:0]
-	var out *api.Assignment
-	var lsn uint64
-	for len(arb.heap) > 0 && out == nil {
-		j := arb.heap[0]
-		t := arb.tenant(j.tenant)
-		if q := arb.quotaFor(t, s.cfg.TenantMaxInFlight); q > 0 && t.inFlight >= q {
-			t.throttles++
-			deferred = append(deferred, arb.pop())
-			continue
-		}
-		task, status := j.sched.NextFor(w.ref)
-		switch status {
-		case core.Assigned:
-			fetched, evicted, err := j.stores[w.ref.Site].CommitBatchInto(task.Files, s.fetchBuf[:0], s.evictBuf[:0])
-			if err != nil {
-				// Submit validated capacity >= max task size.
-				panic(fmt.Sprintf("service: stage job %s task %d at site %d: %v", j.id, task.ID, w.ref.Site, err))
-			}
-			s.fetchBuf, s.evictBuf = fetched[:0], evicted[:0]
-			j.sched.NoteBatch(w.ref.Site, task.Files, fetched, evicted)
-			j.transfers += int64(len(fetched))
-			j.dispatched++
-			arb.charge(j)
-			arb.down(j.heapIdx)
-			t.inFlight++
-			t.dispatches++
-			arb.window.Observe(j.tenant)
-			a := &assignment{
-				id:       s.nextID("a"),
-				job:      j,
-				task:     task,
-				workerID: w.id,
-				ref:      w.ref,
-				deadline: now.Add(s.cfg.LeaseTTL),
-				staged:   len(fetched),
-			}
-			s.assignments[a.id] = a
-			w.assignment = a
-			s.noteDeadlineLocked(a.deadline)
-			s.counters.Assignments.Add(1)
-			s.counters.ActiveLeases.Add(1)
-			if s.pst != nil {
-				// The scheduler already moved (NextFor is the decision), so
-				// this append cannot abort — mustAppendLocked fail-stops on
-				// journal I/O errors.
-				lsn = s.mustAppendLocked(&record{
-					Op: opDispatch, Ts: now.UnixMilli(), Job: j.id,
-					Task: task.ID, Site: w.ref.Site, Worker: w.ref.Worker,
-					Assignment: a.id,
-				})
-				j.ledger = append(j.ledger, ledgerRec{
-					Op: ledgerDispatch, Task: task.ID,
-					Site: int32(w.ref.Site), Worker: int32(w.ref.Worker),
-					Ts: now.UnixMilli(),
-				})
-			}
-			out = &api.Assignment{
-				ID:             a.id,
-				JobID:          j.id,
-				Task:           task,
-				Staged:         a.staged,
-				LeaseTTLMillis: s.cfg.LeaseTTL.Milliseconds(),
-			}
-		case core.Wait:
-			// Nothing for this worker now; try the next-most underserved.
-			deferred = append(deferred, arb.pop())
-		case core.Done:
-			// The scheduler has nothing pending, but in-flight leases may
-			// still fail and requeue — only Remaining()==0 ends the job.
-			if j.sched.Remaining() == 0 {
-				s.completeJobLocked(j, now) // retires the job from the heap
-			} else {
-				deferred = append(deferred, arb.pop())
-			}
-		default:
-			panic(fmt.Sprintf("service: unknown scheduler status %v", status))
-		}
-	}
-	for _, j := range deferred {
-		arb.push(j)
-	}
-	arb.deferred = deferred[:0]
-	return out, lsn
-}
-
-// Heartbeat renews an assignment's lease and reports whether the execution
-// is still wanted.
-func (s *Service) Heartbeat(assignmentID, workerID string) (*api.HeartbeatResponse, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.counters.Heartbeats.Add(1)
-	a := s.assignments[assignmentID]
-	if a == nil || a.workerID != workerID {
-		return &api.HeartbeatResponse{State: api.HeartbeatGone}, nil
-	}
-	now := time.Now()
-	a.deadline = now.Add(s.cfg.LeaseTTL)
-	if w := s.workers[workerID]; w != nil {
-		w.expires = now.Add(s.cfg.LeaseTTL)
-	}
-	if a.cancelled {
-		return &api.HeartbeatResponse{State: api.HeartbeatCancelled}, nil
-	}
-	return &api.HeartbeatResponse{State: api.HeartbeatActive}, nil
-}
-
-// Report ends an assignment. Reports on expired (requeued) assignments are
-// rejected as stale; reports on cancelled replicas are accepted but counted
-// as cancellations, not completions. The first successful completion of a
-// task wins — both properties together guarantee no duplicate completions.
-func (s *Service) Report(assignmentID, workerID, outcome string) (*api.ReportResponse, error) {
-	if outcome != api.OutcomeSuccess && outcome != api.OutcomeFailure {
-		return nil, errf(http.StatusBadRequest, "service: unknown outcome %q", outcome)
-	}
-	s.mu.Lock()
-	a := s.assignments[assignmentID]
-	if a == nil || a.workerID != workerID {
-		s.counters.StaleReports.Add(1)
-		s.mu.Unlock()
-		return &api.ReportResponse{Accepted: false, Stale: true}, nil
-	}
-	now := time.Now()
-	j := a.job
-	var lsn uint64
-	// Journal only while the job record is resident: a cancelled replica's
-	// lease can outlive its completed-then-DELETEd job, and a record
-	// naming a dropped job id would be unreplayable after the next
-	// snapshot no longer carries the job (recovery would refuse the data
-	// dir). The report still counts below; it just isn't history anyone
-	// can replay.
-	if s.pst != nil && s.jobs[j.id] == j {
-		// Journal before applying: if the append fails the report is
-		// refused with the assignment intact, and the worker's retry (or
-		// eventual lease expiry) keeps state and log agreeing.
-		var err error
-		lsn, err = s.appendLocked(&record{
-			Op: opReport, Ts: now.UnixMilli(), Job: j.id,
-			Task: a.task.ID, Site: a.ref.Site, Worker: a.ref.Worker,
-			Outcome: outcome,
-		})
-		if err != nil {
-			s.mu.Unlock()
-			return nil, err
-		}
-		op := ledgerFailure
-		if outcome == api.OutcomeSuccess {
-			op = ledgerSuccess
-		}
-		if j.state == api.JobRunning {
-			j.ledger = append(j.ledger, ledgerRec{
-				Op: op, Task: a.task.ID,
-				Site: int32(a.ref.Site), Worker: int32(a.ref.Worker),
-				Ts: now.UnixMilli(),
-			})
-		}
-	}
-	s.detachAssignmentLocked(a)
-	if w := s.workers[workerID]; w != nil {
-		w.expires = now.Add(s.cfg.LeaseTTL)
-	}
-	resp := &api.ReportResponse{Accepted: true}
-	// Long-poll wakeups are targeted: parked pulls only care about events
-	// that can make new work dispatchable (a failure requeues the task) or
-	// change the open-job count (completion of the job's last task, which
-	// completeJobLocked broadcasts itself). A plain success or a cancelled
-	// replica frees no work for anyone else — completion only shrinks the
-	// schedulable set, and replica cancellation is delivered through the
-	// running worker's own heartbeat — so the common case no longer wakes
-	// the whole herd just to find nothing.
-	switch {
-	case a.cancelled:
-		// Covers replicas obsoleted by another completion AND any
-		// execution that outlived its job: completeJobLocked cancel-marks
-		// every assignment still in flight for the job, so no report can
-		// reach a completed job's (released) scheduler or resurrect a task
-		// another worker already finished.
-		j.cancelled++
-		s.counters.Cancellations.Add(1)
-		resp.Cancelled = true
-	case outcome == api.OutcomeFailure:
-		j.failed++
-		s.counters.Failures.Add(1)
-		if j.sched != nil { // defensive: unreachable once completed (cancel-marked above)
-			j.sched.OnExecutionFailed(a.task.ID, a.ref)
-		}
-		s.broadcastLocked()
-	default:
-		victims := j.sched.OnTaskComplete(a.task.ID, a.ref)
-		j.completed++
-		s.counters.Completions.Add(1)
-		for _, v := range victims {
-			s.cancelExecutionLocked(j, a.task.ID, v)
-		}
-		if j.sched.Remaining() == 0 {
-			s.completeJobLocked(j, now) // broadcasts
-		}
-	}
-	resp.JobState = j.state
-	s.snapshotIfDueLocked()
-	s.mu.Unlock()
-	if err := s.waitDurable(lsn); err != nil {
-		return nil, err
-	}
-	return resp, nil
-}
-
-// cancelExecutionLocked marks the assignment running task id at ref (if
-// any) as cancelled; the worker learns at its next heartbeat.
-func (s *Service) cancelExecutionLocked(j *job, id workload.TaskID, ref core.WorkerRef) {
-	wid := s.slots[ref.Site][ref.Worker]
-	if wid == "" {
-		return
-	}
-	w := s.workers[wid]
-	if w == nil || w.assignment == nil {
-		return
-	}
-	if a := w.assignment; a.job == j && a.task.ID == id {
-		a.cancelled = true
-	}
-}
-
-// detachAssignmentLocked removes the assignment from the lease table and
-// its worker without touching the scheduler. This is the single point
-// where a lease ends (report, expiry, deregistration), so it is also where
-// the tenant's in-flight quota capacity is returned. When the tenant was
-// at its quota — parked pulls may have skipped its runnable jobs — the
-// freed capacity makes work dispatchable again, so this is a wakeup
-// event even on a plain success report (the targeted-wakeup rationale
-// "success frees no work for anyone else" predates quotas and does not
-// hold for a throttled tenant).
-func (s *Service) detachAssignmentLocked(a *assignment) {
-	delete(s.assignments, a.id)
-	if w := s.workers[a.workerID]; w != nil && w.assignment == a {
-		w.assignment = nil
-	}
-	t := s.arb.tenant(a.job.tenant)
-	if q := s.arb.quotaFor(t, s.cfg.TenantMaxInFlight); q > 0 && t.inFlight >= q && t.running > 0 {
-		s.broadcastLocked()
-	}
-	t.inFlight--
-	// A lease can be a tenant's last anchor: its job record may have been
-	// deleted while this assignment was still in flight (a cancelled
-	// replica outliving its completed, then deleted, job). O(1) for any
-	// tenant with running jobs — pruneTenantLocked early-outs before its
-	// job scan.
-	s.pruneTenantLocked(a.job.tenant)
-	s.counters.ActiveLeases.Add(-1)
-}
-
-// expireAssignmentLocked ends a lease without a report: the task is
-// requeued through the scheduler's failure path (unless the execution was
-// already cancelled — a replica obsoleted by a completion, or any lease
-// that outlived its job — in which case there is nothing to requeue).
-// The expiry is journaled like every other scheduler-affecting event: a
-// later dispatch record of the requeued task only replays if the expiry
-// that made it pending replays first.
-func (s *Service) expireAssignmentLocked(a *assignment) {
-	s.detachAssignmentLocked(a)
-	j := a.job
-	// Same residency guard as Report: never journal history for a job id
-	// that snapshots no longer carry.
-	if s.pst != nil && s.jobs[j.id] == j {
-		s.mustAppendLocked(&record{
-			Op: opExpire, Ts: time.Now().UnixMilli(), Job: j.id,
-			Task: a.task.ID, Site: a.ref.Site, Worker: a.ref.Worker,
-		})
-		if j.state == api.JobRunning {
-			j.ledger = append(j.ledger, ledgerRec{
-				Op: ledgerExpire, Task: a.task.ID,
-				Site: int32(a.ref.Site), Worker: int32(a.ref.Worker),
-				Ts: time.Now().UnixMilli(),
-			})
-		}
-	}
-	if a.cancelled {
-		j.cancelled++
-		s.counters.Cancellations.Add(1)
-		return
-	}
-	j.expired++
-	s.counters.LeasesExpired.Add(1)
-	if j.sched != nil { // defensive: unreachable once completed (cancel-marked)
-		j.sched.OnExecutionFailed(a.task.ID, a.ref)
-	}
-}
-
-// maybeSweepLocked sweeps only when the earliest known deadline is due —
-// the request-path entry point, so parked pulls woken by a broadcast do
-// not all pay the full sweep.
-func (s *Service) maybeSweepLocked(now time.Time) {
-	if !s.nextSweep.IsZero() && now.Before(s.nextSweep) {
-		return
-	}
-	s.sweepLocked(now)
-}
-
-// noteDeadlineLocked lowers nextSweep to cover a newly created deadline.
-func (s *Service) noteDeadlineLocked(t time.Time) {
-	if s.nextSweep.IsZero() || t.Before(s.nextSweep) {
-		s.nextSweep = t
-	}
-}
-
-// sweepLocked expires overdue assignment leases and worker registrations,
-// then recomputes the next deadline.
-func (s *Service) sweepLocked(now time.Time) {
-	changed := false
-	for _, a := range s.assignments {
-		if now.After(a.deadline) {
-			s.expireAssignmentLocked(a)
-			changed = true
-		}
-	}
-	for _, w := range s.workers {
-		if now.After(w.expires) {
-			if w.assignment != nil {
-				s.expireAssignmentLocked(w.assignment)
-			}
-			s.removeWorkerLocked(w)
-			s.counters.WorkersExpired.Add(1)
-			changed = true
-		}
-	}
-	next := time.Time{}
-	for _, a := range s.assignments {
-		if next.IsZero() || a.deadline.Before(next) {
-			next = a.deadline
-		}
-	}
-	for _, w := range s.workers {
-		if next.IsZero() || w.expires.Before(next) {
-			next = w.expires
-		}
-	}
-	s.nextSweep = next
-	if changed {
-		s.broadcastLocked()
-	}
-	s.snapshotIfDueLocked()
-}
-
-// completeJobLocked transitions a job to completed (idempotent) and
-// releases its heavy state, cancel-marking every assignment still in
-// flight for it first. The marking is what makes releasing the scheduler
-// safe against late reports and lease expiries: both route cancelled
-// executions to counting paths that never touch the scheduler. Earlier
-// revisions relied on the completing OnTaskComplete's victim list covering
-// all in-flight replicas — an invariant a scheduler implementation behind
-// the public Submit API need not uphold, and whose violation let a
-// cancelled job's in-flight report resurrect an already-completed task
-// (or nil-panic the report path). See TestCompletedJobInFlightReport*.
-func (s *Service) completeJobLocked(j *job, now time.Time) {
-	if j.state == api.JobCompleted {
-		return
-	}
-	j.state = api.JobCompleted
-	j.finished = now
-	s.arb.retire(j)
-	for _, a := range s.assignments {
-		if a.job == j {
-			a.cancelled = true
-		}
-	}
-	j.w, j.sched, j.stores, j.ledger = nil, nil, nil, nil
-	s.counters.JobsCompleted.Add(1)
-	s.counters.OpenJobs.Add(-1)
-	s.broadcastLocked()
+	return j.id, nil
 }
 
 // DeleteJob drops a completed job's record (retention control for
@@ -1138,55 +665,64 @@ func (s *Service) completeJobLocked(j *job, now time.Time) {
 // every snapshot, so deletion never makes the global /metrics counters
 // jump backwards across a restart.
 func (s *Service) DeleteJob(jobID string) error {
-	s.mu.Lock()
-	j := s.jobs[jobID]
+	sh := s.shardOf(jobID)
+	sh.mu.Lock()
+	j := sh.jobs[jobID]
 	if j == nil {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return errf(http.StatusNotFound, "service: unknown job %q", jobID)
 	}
 	if j.state != api.JobCompleted {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return errf(http.StatusConflict, "service: job %q is %s; only completed jobs can be deleted", jobID, j.state)
 	}
 	var lsn uint64
 	if s.pst != nil {
 		var err error
-		lsn, err = s.appendLocked(&record{Op: opDelete, Ts: time.Now().UnixMilli(), Job: jobID})
+		lsn, err = s.appendRecord(&record{Op: opDelete, Ts: time.Now().UnixMilli(), Job: jobID})
 		if err != nil {
-			s.mu.Unlock()
+			sh.mu.Unlock()
 			return err
 		}
 	}
-	s.dropJobLocked(j)
-	s.snapshotIfDueLocked()
-	s.mu.Unlock()
+	s.dropJobLocked(sh, j)
+	sh.mu.Unlock()
+	s.snapshotIfDue()
 	return s.waitDurable(lsn)
 }
 
 // JobStatus returns one job's observable state.
 func (s *Service) JobStatus(jobID string) (*api.JobStatus, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	j := s.jobs[jobID]
+	sh := s.shardOf(jobID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	j := sh.jobs[jobID]
 	if j == nil {
 		return nil, errf(http.StatusNotFound, "service: unknown job %q", jobID)
 	}
-	st := s.jobStatusLocked(j)
+	st := jobStatusLocked(j)
 	return &st, nil
 }
 
-// Jobs lists every resident job in submission order.
+// Jobs lists every resident job in submission order. Copy-on-read: each
+// shard is locked just long enough to copy its jobs' summaries, so a
+// status listing never blocks dispatch on the other stripes.
 func (s *Service) Jobs() []api.JobStatus {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]api.JobStatus, 0, len(s.jobOrder))
-	for _, j := range s.jobOrder {
-		out = append(out, s.jobStatusLocked(j))
+	var out []api.JobStatus
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, j := range sh.jobs {
+			out = append(out, jobStatusLocked(j))
+		}
+		sh.mu.Unlock()
 	}
+	// Submission order: job ids are minted from one sequence.
+	sort.Slice(out, func(i, k int) bool { return idNum(out[i].ID) < idNum(out[k].ID) })
 	return out
 }
 
-func (s *Service) jobStatusLocked(j *job) api.JobStatus {
+// jobStatusLocked copies one job's summary. Callers hold the job's shard.
+func jobStatusLocked(j *job) api.JobStatus {
 	remaining := 0
 	if j.sched != nil {
 		remaining = j.sched.Remaining()
@@ -1230,34 +766,34 @@ func (s *Service) SetTenantQuota(tenant string, maxInFlight int) (*api.TenantSta
 	if maxInFlight < 0 {
 		return nil, errf(http.StatusBadRequest, "service: maxInFlight = %d", maxInFlight)
 	}
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if s.closed.Load() {
 		return nil, errf(http.StatusServiceUnavailable, "service: closed")
 	}
+	c := s.coord
+	c.mu.Lock()
 	var lsn uint64
 	if s.pst != nil {
 		var err error
-		lsn, err = s.appendLocked(&record{
+		lsn, err = s.appendRecord(&record{
 			Op: opQuota, Ts: time.Now().UnixMilli(), Tenant: tenant, Quota: maxInFlight,
 		})
 		if err != nil {
-			s.mu.Unlock()
+			c.mu.Unlock()
 			return nil, err
 		}
 	}
-	t := s.arb.tenant(tenant)
+	t := c.tenant(tenant)
 	t.quota = maxInFlight
+	st := s.tenantStatusLocked(t, c.runnableWeight())
+	// Reverting a jobless tenant's quota leaves nothing relevant about it;
+	// drop the state rather than let reverted names accumulate.
+	c.prune(tenant)
+	c.mu.Unlock()
 	// A raised (or lifted) quota can make a throttled tenant's work
 	// dispatchable; wake parked pulls rather than leaving them to their
 	// poll timeout. Rare operator action, so no need to be selective.
-	s.broadcastLocked()
-	st := s.tenantStatusLocked(t, s.runnableWeightLocked())
-	// Reverting a jobless tenant's quota leaves nothing relevant about it;
-	// drop the state rather than let reverted names accumulate.
-	s.pruneTenantLocked(tenant)
-	s.snapshotIfDueLocked()
-	s.mu.Unlock()
+	s.hub.broadcast()
+	s.snapshotIfDue()
 	if err := s.waitDurable(lsn); err != nil {
 		return nil, err
 	}
@@ -1267,60 +803,32 @@ func (s *Service) SetTenantQuota(tenant string, maxInFlight int) (*api.TenantSta
 // Tenants returns every known tenant's fair-share state, sorted by name
 // (the anonymous default tenant, "", sorts first when present).
 func (s *Service) Tenants() []api.TenantStatus {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	names := make([]string, 0, len(s.arb.tenants))
-	for name := range s.arb.tenants {
+	c := s.coord
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.tenants))
+	for name := range c.tenants {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	total := s.runnableWeightLocked()
+	total := c.runnableWeight()
 	out := make([]api.TenantStatus, 0, len(names))
 	for _, name := range names {
-		out = append(out, s.tenantStatusLocked(s.arb.tenants[name], total))
+		out = append(out, s.tenantStatusLocked(c.tenants[name], total))
 	}
 	return out
 }
 
-// runnableWeightLocked is the summed weight of all running jobs — the
-// denominator of every tenant's share target.
-func (s *Service) runnableWeightLocked() int64 {
-	total := int64(0)
-	for _, t := range s.arb.tenants {
-		total += t.weight
-	}
-	return total
-}
-
-// pruneTenantLocked drops a tenant's state when nothing keeps it
-// relevant: no quota override, no live leases, and no resident job
-// records (running or completed-but-retained). Called at every event
-// that can strip a tenant of its last anchor — job-record deletion,
-// quota-override revert, lease end, and the post-recovery sweep — so
-// churning tenant names cannot grow the daemon, its snapshots, or its
-// metrics without bound. The job scan is guarded by O(1) early-outs, so
-// hot paths only pay it for tenants that are actually dying.
-func (s *Service) pruneTenantLocked(name string) {
-	t := s.arb.tenants[name]
-	if t == nil || t.quota != 0 || t.running != 0 || t.inFlight != 0 {
-		return
-	}
-	for _, o := range s.jobOrder {
-		if o.tenant == name {
-			return
-		}
-	}
-	delete(s.arb.tenants, name)
-}
-
+// tenantStatusLocked copies one tenant's status. Callers hold the
+// coordinator.
 func (s *Service) tenantStatusLocked(t *tenantState, totalWeight int64) api.TenantStatus {
 	st := api.TenantStatus{
 		Tenant:        t.name,
 		Weight:        t.weight,
 		RunningJobs:   t.running,
 		InFlight:      t.inFlight,
-		MaxInFlight:   s.arb.quotaFor(t, s.cfg.TenantMaxInFlight),
-		ShareAchieved: s.arb.window.Share(t.name),
+		MaxInFlight:   s.coord.quotaFor(t, s.cfg.TenantMaxInFlight),
+		ShareAchieved: s.coord.window.Share(t.name),
 		Dispatches:    t.dispatches,
 		Throttles:     t.throttles,
 	}
@@ -1332,7 +840,14 @@ func (s *Service) tenantStatusLocked(t *tenantState, totalWeight int64) api.Tena
 
 // Health summarizes liveness for /healthz.
 func (s *Service) Health() api.Health {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return api.Health{Status: "ok", Jobs: len(s.jobs), Workers: len(s.workers)}
+	jobs := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		jobs += len(sh.jobs)
+		sh.mu.Unlock()
+	}
+	s.reg.mu.Lock()
+	workers := len(s.reg.workers)
+	s.reg.mu.Unlock()
+	return api.Health{Status: "ok", Jobs: jobs, Workers: workers}
 }

@@ -1,0 +1,308 @@
+// Job-state shards. Every job is owned by exactly one lock stripe,
+// selected by the numeric part of its id, and everything mutable about the
+// job — scheduler, site stores, replay ledger, per-job counters, and the
+// assignment leases granted from it — is guarded by that stripe's mutex.
+// Submits, reports, heartbeats, and lease expiries on different jobs
+// therefore never contend; only the brief which-job decision (dispatch.go)
+// and the WAL total order (commit.go) are shared.
+//
+// Lock ordering (see the package comment): a shard may acquire the
+// coordinator or the registry while held; nothing acquires a shard while
+// holding either, and no path holds two shards (lockAll, the
+// stop-the-world snapshot path, is the exception and takes them in index
+// order).
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gridsched/internal/core"
+	"gridsched/internal/service/api"
+	"gridsched/internal/workload"
+)
+
+// shard is one lock stripe of job state.
+type shard struct {
+	mu   sync.Mutex
+	jobs map[string]*job
+	// assignments holds every live lease granted from this shard's jobs,
+	// keyed by assignment id. (An assignment lives on its job's shard, not
+	// on a shard derived from its own id.)
+	assignments map[string]*assignment
+	// Staging scratch reused across dispatches (guarded by mu; consumed
+	// synchronously by NoteBatch before the next dispatch can run).
+	fetchBuf, evictBuf []workload.FileID
+}
+
+func newShard() *shard {
+	return &shard{
+		jobs:        make(map[string]*job),
+		assignments: make(map[string]*assignment),
+	}
+}
+
+// shardOf routes a job id to its owning stripe. Sequentially minted ids
+// round-robin across stripes, so concurrent jobs spread evenly. The
+// mapping is a placement detail only: it never influences scheduling or
+// the journal, so a data dir recovers correctly under any stripe count.
+func (s *Service) shardOf(jobID string) *shard {
+	return s.shards[int(idNum(jobID)%int64(len(s.shards)))]
+}
+
+// lockAll acquires every shard in index order plus the coordinator — the
+// stop-the-world entry for snapshots. With all stripes held no append
+// path can run (each holds a shard or the coordinator), so the journal
+// position is frozen too.
+func (s *Service) lockAll() {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+	}
+	s.coord.mu.Lock()
+}
+
+func (s *Service) unlockAll() {
+	s.coord.mu.Unlock()
+	for _, sh := range s.shards {
+		sh.mu.Unlock()
+	}
+}
+
+// completeJobLocked transitions a job to completed (idempotent) and
+// releases its heavy state, cancel-marking every assignment still in
+// flight for it first. The marking is what makes releasing the scheduler
+// safe against late reports and lease expiries: both route cancelled
+// executions to counting paths that never touch the scheduler. The sweep
+// is over the shard's own lease table — an assignment always lives on its
+// job's shard — so no cross-shard coordination is needed. See
+// TestCompletedJobInFlightReport*.
+func (s *Service) completeJobLocked(sh *shard, j *job, now time.Time) {
+	if j.state == api.JobCompleted {
+		return
+	}
+	j.state = api.JobCompleted
+	j.finished = now
+	c := s.coord
+	c.mu.Lock()
+	c.retire(j)
+	c.mu.Unlock()
+	for _, a := range sh.assignments {
+		if a.job == j {
+			a.cancelled = true
+		}
+	}
+	j.w, j.sched, j.stores, j.ledger = nil, nil, nil, nil
+	s.counters.JobsCompleted.Add(1)
+	s.counters.OpenJobs.Add(-1)
+	s.hub.broadcast()
+}
+
+// cancelExecutionLocked marks the assignment running task id of j at ref
+// (if any) as cancelled; the worker learns at its next heartbeat. The
+// scan over the shard's lease table (bounded by the worker pool size)
+// replaces the old slot-table lookup: it needs no registry lock and
+// cannot miss an assignment granted moments ago, because grants insert
+// into the table under this same shard lock.
+func (s *Service) cancelExecutionLocked(sh *shard, j *job, id workload.TaskID, ref core.WorkerRef) {
+	for _, a := range sh.assignments {
+		if a.job == j && a.ref == ref && a.task.ID == id {
+			a.cancelled = true
+			return
+		}
+	}
+}
+
+// expireAssignmentLocked ends a lease without a report: the task is
+// requeued through the scheduler's failure path (unless the execution was
+// already cancelled — a replica obsoleted by a completion, or any lease
+// that outlived its job — in which case there is nothing to requeue).
+// The expiry is journaled like every other scheduler-affecting event: a
+// later dispatch record of the requeued task only replays if the expiry
+// that made it pending replays first. Callers hold sh.mu and must have
+// verified the assignment is still live (sh.assignments[a.id] == a).
+func (s *Service) expireAssignmentLocked(sh *shard, a *assignment, now time.Time) {
+	delete(sh.assignments, a.id)
+	j := a.job
+	// Same residency guard as Report: never journal history for a job id
+	// that snapshots no longer carry.
+	if s.pst != nil && sh.jobs[j.id] == j {
+		s.mustAppend(&record{
+			Op: opExpire, Ts: now.UnixMilli(), Job: j.id,
+			Task: a.task.ID, Site: a.ref.Site, Worker: a.ref.Worker,
+		})
+		if j.state == api.JobRunning {
+			j.ledger = append(j.ledger, ledgerRec{
+				Op: ledgerExpire, Task: a.task.ID,
+				Site: int32(a.ref.Site), Worker: int32(a.ref.Worker),
+				Ts: now.UnixMilli(),
+			})
+		}
+	}
+	if a.cancelled {
+		j.cancelled++
+		s.counters.Cancellations.Add(1)
+	} else {
+		j.expired++
+		s.counters.LeasesExpired.Add(1)
+		if j.sched != nil { // defensive: unreachable once completed (cancel-marked)
+			j.sched.OnExecutionFailed(a.task.ID, a.ref)
+		}
+	}
+	s.finishLease(a)
+}
+
+// finishLease is the single point where a lease ends (report, expiry,
+// deregistration) after its shard-side removal: the tenant's in-flight
+// quota capacity returns, the worker's assignment pointer clears, and the
+// lease gauge drops. When the tenant was at its quota — parked pulls may
+// have skipped its runnable jobs — the freed capacity makes work
+// dispatchable again, so this wakes the hub even on a plain success
+// report. May run with the assignment's shard held (shard ≺ coordinator,
+// shard ≺ registry); the two leaf locks are taken one after the other,
+// never nested.
+func (s *Service) finishLease(a *assignment) {
+	c := s.coord
+	wake := false
+	c.mu.Lock()
+	t := c.tenant(a.job.tenant)
+	if q := c.quotaFor(t, s.cfg.TenantMaxInFlight); q > 0 && t.inFlight+t.reserved >= q && t.running > 0 {
+		wake = true
+	}
+	t.inFlight--
+	// A lease can be a tenant's last anchor: its job record may have been
+	// deleted while this assignment was still in flight (a cancelled
+	// replica outliving its completed, then deleted, job).
+	c.prune(a.job.tenant)
+	c.mu.Unlock()
+	if wake {
+		s.hub.broadcast()
+	}
+	s.reg.mu.Lock()
+	if w := s.reg.workers[a.workerID]; w != nil && w.assignment == a {
+		w.assignment = nil
+	}
+	s.reg.mu.Unlock()
+	s.counters.ActiveLeases.Add(-1)
+}
+
+// dropJobLocked removes a job record; with journaling the job's totals are
+// folded into the snapshot carry so the global counters stay exact.
+// Dropping a tenant's last anchor also retires the tenant. Callers hold
+// sh.mu.
+func (s *Service) dropJobLocked(sh *shard, j *job) {
+	delete(sh.jobs, j.id)
+	c := s.coord
+	c.mu.Lock()
+	if j.submissionID != "" {
+		delete(c.submissions, j.submissionID)
+	}
+	if t := c.tenants[j.tenant]; t != nil {
+		t.records--
+	}
+	c.prune(j.tenant)
+	if s.pst != nil {
+		s.pst.carry.Jobs++
+		s.pst.carry.CompletedJobs++
+		s.pst.carry.Dispatched += int64(j.dispatched)
+		s.pst.carry.Completions += int64(j.completed)
+		s.pst.carry.Failures += int64(j.failed)
+		s.pst.carry.Cancellations += int64(j.cancelled)
+		s.pst.carry.Expired += int64(j.expired)
+	}
+	c.mu.Unlock()
+}
+
+// maybeSweep runs the cross-shard expiry sweep only when the earliest
+// known deadline is due — the request-path entry point, so parked pulls
+// woken by a broadcast do not all pay the full sweep.
+func (s *Service) maybeSweep(now time.Time) {
+	if ns := s.nextSweep.Load(); ns != 0 && now.UnixNano() < ns {
+		return
+	}
+	s.sweep(now)
+}
+
+// noteDeadline lowers nextSweep to cover a newly created deadline.
+func (s *Service) noteDeadline(t time.Time) {
+	n := t.UnixNano()
+	for {
+		cur := s.nextSweep.Load()
+		if cur != 0 && cur <= n {
+			return
+		}
+		if s.nextSweep.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// sweep expires overdue worker registrations and assignment leases across
+// the registry and every shard, then recomputes the next deadline. Locks
+// are taken one domain at a time — registry first (collecting the expired
+// workers' orphaned assignments), then each shard in turn — so a sweep
+// never stalls dispatch on more than the stripe it is currently visiting.
+func (s *Service) sweep(now time.Time) {
+	changed := false
+	var next time.Time
+	lower := func(t time.Time) {
+		if next.IsZero() || t.Before(next) {
+			next = t
+		}
+	}
+
+	var orphans []*assignment
+	s.reg.mu.Lock()
+	for _, w := range s.reg.workers {
+		// A worker mid-pull renewed its registration at pull entry; skip it
+		// rather than yank the slot from under its own dispatch.
+		if w.pulling || !now.After(w.expires) {
+			lower(w.expires)
+			continue
+		}
+		if w.assignment != nil {
+			orphans = append(orphans, w.assignment)
+		}
+		s.reg.removeLocked(w)
+		s.counters.ActiveWorkers.Add(-1)
+		s.counters.WorkersExpired.Add(1)
+		changed = true
+	}
+	s.reg.mu.Unlock()
+	for _, a := range orphans {
+		sh := s.shardOf(a.job.id)
+		sh.mu.Lock()
+		if sh.assignments[a.id] == a {
+			s.expireAssignmentLocked(sh, a, now)
+		}
+		sh.mu.Unlock()
+	}
+
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, a := range sh.assignments {
+			if now.After(a.deadline) {
+				s.expireAssignmentLocked(sh, a, now)
+				changed = true
+			} else {
+				lower(a.deadline)
+			}
+		}
+		sh.mu.Unlock()
+	}
+
+	if next.IsZero() {
+		next = now.Add(s.cfg.SweepInterval)
+	}
+	s.nextSweep.Store(next.UnixNano())
+	if changed {
+		s.hub.broadcast()
+	}
+	s.snapshotIfDue()
+}
+
+// panicf exists so shard paths that must not continue (capacity invariants
+// validated at submission) fail loudly with context.
+func panicf(format string, args ...any) {
+	panic(fmt.Sprintf(format, args...))
+}

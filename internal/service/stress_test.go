@@ -1,0 +1,224 @@
+package service_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gridsched/internal/service"
+	"gridsched/internal/service/api"
+)
+
+// TestConcurrentMixedTraffic drives every mutation class at once across
+// the shard stripes — submits, pulls, success/failure reports, worker
+// churn, job deletion, quota overrides, and status reads — against a
+// journaled service, then proves three invariants survived: no task was
+// acknowledged complete twice, every job drained exactly its task count,
+// and a recovery of the data dir reproduces the same completed set. Run
+// under -race in CI, this is the lock-ordering and lost-wakeup detector
+// for the sharded core.
+func TestConcurrentMixedTraffic(t *testing.T) {
+	const (
+		submitters   = 4
+		jobsEach     = 6
+		tasksPerJob  = 8
+		workers      = 8
+		quotaFlips   = 40
+		statusProbes = 60
+	)
+	dir := t.TempDir()
+	cfg := durableConfig(dir)
+	cfg.Shards = 8
+	cfg.SnapshotEvery = 128
+	cfg.LeaseTTL = 5 * time.Second
+	s, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		ackMu sync.Mutex
+		acks  = make(map[string]int) // "job/task" -> completions acknowledged
+	)
+	jobIDs := make(chan string, submitters*jobsEach)
+	var submitted atomic.Int64
+
+	var wg sync.WaitGroup
+	// Submitters: tenant-spread jobs landing on every stripe.
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for k := 0; k < jobsEach; k++ {
+				tenant := fmt.Sprintf("t%d", (n+k)%3)
+				id, err := s.SubmitJob(api.SubmitJobRequest{
+					Name:      fmt.Sprintf("stress-%d-%d", n, k),
+					Algorithm: "workqueue",
+					Workload:  syntheticWorkload(tasksPerJob, 2),
+					Tenant:    tenant,
+					Weight:    1 + (n+k)%4,
+				})
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				submitted.Add(1)
+				jobIDs <- id
+			}
+		}(i)
+	}
+
+	// Workers: pull/report loops with occasional failures and re-registration.
+	stop := make(chan struct{})
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(n)))
+			reg, err := s.Register(n % 2)
+			if err != nil {
+				t.Errorf("register: %v", err)
+				return
+			}
+			for {
+				select {
+				case <-stop:
+					_ = s.Deregister(reg.WorkerID)
+					return
+				default:
+				}
+				resp, err := s.Pull(nil, reg.WorkerID, 20*time.Millisecond)
+				if err != nil {
+					t.Errorf("pull: %v", err)
+					return
+				}
+				if resp.Status != api.StatusAssigned {
+					continue
+				}
+				outcome := api.OutcomeSuccess
+				if rng.Intn(10) == 0 {
+					outcome = api.OutcomeFailure
+				}
+				rep, err := s.Report(resp.Assignment.ID, reg.WorkerID, outcome)
+				if err != nil {
+					t.Errorf("report: %v", err)
+					return
+				}
+				if rep.Accepted && !rep.Stale && !rep.Cancelled && outcome == api.OutcomeSuccess {
+					ackMu.Lock()
+					acks[fmt.Sprintf("%s/%d", resp.Assignment.JobID, resp.Assignment.Task.ID)]++
+					ackMu.Unlock()
+				}
+				// Occasional churn: drop the registration mid-stream and
+				// come back, exercising slot recycling under load.
+				if rng.Intn(50) == 0 {
+					_ = s.Deregister(reg.WorkerID)
+					if reg, err = s.Register(n % 2); err != nil {
+						t.Errorf("re-register: %v", err)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+
+	// Quota flipper: override and revert tenant caps while dispatch runs.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < quotaFlips; i++ {
+			tenant := fmt.Sprintf("t%d", rng.Intn(3))
+			if _, err := s.SetTenantQuota(tenant, rng.Intn(4)); err != nil {
+				t.Errorf("quota: %v", err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		// Leave every cap lifted so the drain below cannot be throttled to
+		// a crawl.
+		for i := 0; i < 3; i++ {
+			if _, err := s.SetTenantQuota(fmt.Sprintf("t%d", i), 0); err != nil {
+				t.Errorf("quota revert: %v", err)
+			}
+		}
+	}()
+
+	// Status readers + deleter: the read-mostly endpoints and retention
+	// path run against live dispatch; completed jobs are deleted as they
+	// appear, so recovery also exercises the deleted-jobs carry.
+	var deleted atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < statusProbes; i++ {
+			for _, st := range s.Jobs() {
+				if st.State == api.JobCompleted && deleted.Load() < 8 {
+					if err := s.DeleteJob(st.ID); err == nil {
+						deleted.Add(1)
+					}
+				}
+			}
+			_ = s.Tenants()
+			_ = s.Health()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Wait for the full submission volume, then let the workers drain it.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if submitted.Load() == submitters*jobsEach && s.Counters().OpenJobs.Load() == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("drain stalled: %d submitted, %d open",
+				submitted.Load(), s.Counters().OpenJobs.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	ackMu.Lock()
+	perJob := make(map[string]int)
+	for key, n := range acks {
+		if n > 1 {
+			t.Fatalf("%s acknowledged complete %d times", key, n)
+		}
+		perJob[key[:len(key)-2]]++ // task ids are single digits here
+	}
+	ackMu.Unlock()
+	close(jobIDs)
+	total := 0
+	for id := range jobIDs {
+		total++
+		if got := perJob[id]; got != tasksPerJob {
+			t.Fatalf("job %s acknowledged %d completions, want %d", id, got, tasksPerJob)
+		}
+	}
+	if total != submitters*jobsEach {
+		t.Fatalf("submitted %d jobs, want %d", total, submitters*jobsEach)
+	}
+	s.Close()
+
+	// The journal must reproduce the same completed universe.
+	r, err := service.New(durableConfig(dir))
+	if err != nil {
+		t.Fatalf("recovery after mixed traffic: %v", err)
+	}
+	defer r.Close()
+	resident := 0
+	for _, st := range r.Jobs() {
+		resident++
+		if st.State != api.JobCompleted || st.Completed != tasksPerJob {
+			t.Fatalf("recovered job %s: %+v", st.ID, st)
+		}
+	}
+	if want := submitters*jobsEach - int(deleted.Load()); resident != want {
+		t.Fatalf("recovered %d job records, want %d (%d deleted)", resident, want, deleted.Load())
+	}
+}
