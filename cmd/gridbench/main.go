@@ -80,6 +80,7 @@ func run(args []string, stdout *os.File) error {
 		{"EndToEndSimulation", benchsuite.EndToEndSimulation},
 		{"WorkloadGeneration", benchsuite.WorkloadGeneration},
 		{"ServiceDispatchInProcess", benchsuite.ServiceDispatchInProcess},
+		{"ServiceDispatchIngress", benchsuite.ServiceDispatchIngress},
 		{"ServiceDispatchContended", benchsuite.ServiceDispatchContended},
 		{"ServiceDispatchParallel/shards=1", benchsuite.ServiceDispatchParallel(1)},
 		{"ServiceDispatchParallel/shards=8", benchsuite.ServiceDispatchParallel(8)},

@@ -12,7 +12,18 @@
 //	gridschedd -data-dir d -snapshot-every 10000      # compaction cadence in journal records
 //	gridschedd -tenant-quota 8 -default-weight 1      # multi-tenant fair share (docs/ARCHITECTURE.md)
 //	gridschedd -shards 16                             # job-state lock stripes (0: sized to the machine)
+//	gridschedd -auth-tokens tokens.conf               # per-tenant bearer auth (SIGHUP reloads the file)
+//	gridschedd -rate-limit 500 -rate-burst 1000       # token-bucket throttling per IP and tenant
+//	gridschedd -shed-p99 250ms                        # shed pulls/submits when p99 breaches the bound
 //	gridschedd -pprof   # also serve net/http/pprof under /debug/pprof/
+//
+// Every instance fronts the service with the production ingress chain of
+// internal/middleware (docs/INGRESS.md): panic recovery, per-request trace
+// IDs (X-Trace-Id) with buffered error logging, and — when the flags above
+// enable them — bearer-token auth, weighted rate limiting, and
+// latency-based load shedding that sheds low-weight tenants first.
+// /healthz, /readyz, and /metrics always bypass auth, throttling, and
+// shedding.
 //
 // Jobs may carry a tenant and an integer weight; the dispatch path
 // arbitrates runnable jobs by weighted fair share and enforces per-tenant
@@ -56,6 +67,8 @@ import (
 
 	"gridsched"
 	"gridsched/internal/journal"
+	"gridsched/internal/metrics"
+	"gridsched/internal/middleware"
 	"gridsched/internal/storage"
 )
 
@@ -119,6 +132,10 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 		weight   = fs.Int("default-weight", 1, "fair-share weight for jobs submitted without one")
 		quota    = fs.Int("tenant-quota", 0, "per-tenant cap on concurrently leased assignments (0: unlimited; override per tenant via PUT /v1/tenants/{tenant})")
 		pprof    = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		tokens   = fs.String("auth-tokens", "", "bearer-token file enabling per-tenant auth (\"<token> <tenant> [admin]\" per line; SIGHUP reloads)")
+		rate     = fs.Float64("rate-limit", 0, "sustained requests/second allowed per client IP (tenant buckets scale by weight; 0 disables)")
+		burst    = fs.Float64("rate-burst", 0, "rate-limit bucket depth (0: 2x rate-limit)")
+		shedP99  = fs.Duration("shed-p99", 0, "shed pulls/submits with 429 when request p99 exceeds this bound, low-weight tenants first (0 disables)")
 		dataDir  = fs.String("data-dir", "", "journal+snapshot directory; empty disables durability")
 		fsync    = fs.String("fsync", "batch", "journal fsync mode: always, batch or never")
 		fsyncInt = fs.Duration("fsync-interval", 25*time.Millisecond, "batch-mode fsync cadence")
@@ -183,7 +200,35 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 			*dataDir, time.Since(recoverStart).Round(time.Millisecond), mode, *snapshot)
 	}
 
-	handler := svc.Handler()
+	var store *middleware.TokenStore
+	if *tokens != "" {
+		store, err = middleware.LoadTokenFile(*tokens)
+		if err != nil {
+			return err
+		}
+		log.Printf("gridschedd: auth enabled, %d tokens loaded from %s (SIGHUP reloads)", store.Len(), *tokens)
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for range hup {
+				if err := store.Reload(); err != nil {
+					log.Printf("gridschedd: token reload failed, previous table kept: %v", err)
+					continue
+				}
+				log.Printf("gridschedd: reloaded %d tokens from %s", store.Len(), *tokens)
+			}
+		}()
+	}
+	ingress := metrics.NewIngressCounters()
+	handler := middleware.Ingress(middleware.Config{
+		Counters:     ingress,
+		Tokens:       store,
+		RateLimit:    *rate,
+		RateBurst:    *burst,
+		ShedP99:      *shedP99,
+		TenantWeight: svc.TenantWeight,
+	}, svc.Handler())
 	if *pprof {
 		// Mount the profiling handlers next to the service without going
 		// through http.DefaultServeMux, so -pprof stays strictly opt-in.

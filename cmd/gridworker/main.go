@@ -59,6 +59,7 @@ func run(ctx context.Context, args []string) error {
 		quiet   = fs.Bool("quiet", false, "suppress per-task logging")
 		reconn  = fs.Duration("reconnect", 0, "retry interval across server outages (0: fail fast)")
 		drain   = fs.Duration("drain", 30*time.Second, "on SIGINT/SIGTERM, let an in-flight task finish and report for up to this long (0: abort it immediately)")
+		token   = fs.String("auth-token", "", "bearer token for a gridschedd running with -auth-tokens")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,6 +69,7 @@ func run(ctx context.Context, args []string) error {
 	}
 
 	cl := client.New(*server, nil)
+	cl.AuthToken = *token
 	var wg sync.WaitGroup
 	errs := make(chan error, *n)
 	for i := 0; i < *n; i++ {

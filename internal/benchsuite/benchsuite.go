@@ -15,14 +15,17 @@ package benchsuite
 import (
 	"context"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"gridsched"
 	"gridsched/internal/core"
 	"gridsched/internal/journal"
+	"gridsched/internal/middleware"
 	"gridsched/internal/service"
 	"gridsched/internal/service/api"
 	"gridsched/internal/service/client"
@@ -208,6 +211,29 @@ func ServiceDispatchInProcess(b *testing.B) {
 	svc := NewDispatchService()
 	defer svc.Close()
 	DispatchRoundTrip(b, client.InProcess(svc.Handler()))
+}
+
+// ServiceDispatchIngress is ServiceDispatchInProcess with the full
+// production middleware chain in front of the mux — trace IDs, panic
+// recovery, bearer auth, a permissive rate limiter, and a shedder whose
+// bound is never breached — so the delta against ServiceDispatchInProcess
+// is the chain's no-shed overhead. The PR 6 acceptance bar holds it to
+// ≤5% of the bare-mux dispatch round-trip.
+func ServiceDispatchIngress(b *testing.B) {
+	svc := NewDispatchService()
+	defer svc.Close()
+	chain := middleware.Ingress(middleware.Config{
+		Log: io.Discard,
+		Tokens: middleware.NewTokenStore(map[string]middleware.Principal{
+			"bench-token": {Tenant: "bench"},
+		}),
+		RateLimit:    1e9, // generous: the limiter runs, nothing throttles
+		ShedP99:      time.Hour,
+		TenantWeight: svc.TenantWeight,
+	}, svc.Handler())
+	cl := client.InProcess(chain)
+	cl.AuthToken = "bench-token"
+	DispatchRoundTrip(b, cl)
 }
 
 // ServiceDispatchContended measures the dispatch round-trip with six

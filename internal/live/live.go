@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"gridsched/internal/core"
+	"gridsched/internal/middleware"
 	"gridsched/internal/service"
 	"gridsched/internal/service/api"
 	"gridsched/internal/service/client"
@@ -160,7 +161,11 @@ func (c *Cluster) Run(ctx context.Context) (*Summary, error) {
 	if err != nil {
 		return nil, err
 	}
-	cl := client.InProcess(svc.Handler())
+	// The same ingress chain a networked gridschedd fronts with: here its
+	// job is panic containment (a handler panic becomes a 500 the worker
+	// retries instead of unwinding the embedding process) and trace IDs on
+	// every in-process request.
+	cl := client.InProcess(middleware.Ingress(middleware.Config{}, svc.Handler()))
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()

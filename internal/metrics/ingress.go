@@ -1,0 +1,187 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// IngressCounters are the operational metrics of the ingress middleware
+// chain (internal/middleware): lock-free atomic counters fed from the
+// request path, rendered in the Prometheus text exposition format and
+// appended to the service's /metrics output by the chain itself.
+type IngressCounters struct {
+	// Requests counts every request entering the chain (probes included).
+	Requests atomic.Int64
+	// Panics counts handler panics converted into 500s by the recovery
+	// middleware instead of killing the daemon.
+	Panics atomic.Int64
+	// AuthFailures counts requests rejected 401 (missing/unknown token);
+	// AuthDenied counts 403s (valid token without the required privilege).
+	AuthFailures atomic.Int64
+	AuthDenied   atomic.Int64
+	// ThrottledIP / ThrottledTenant count 429s from the client-IP and
+	// per-tenant token buckets respectively.
+	ThrottledIP     atomic.Int64
+	ThrottledTenant atomic.Int64
+	// Sheds counts requests rejected 429 by the latency-based load
+	// shedder; per-tenant totals are kept alongside (ObserveShed).
+	Sheds atomic.Int64
+
+	// ShedLevel is the shedder's current escalation level (gauge; 0 = not
+	// shedding). RequestP99Nanos is the most recently evaluated p99 of the
+	// request-latency window (gauge).
+	ShedLevel       atomic.Int64
+	RequestP99Nanos atomic.Int64
+
+	mu           sync.Mutex
+	shedByTenant map[string]int64
+}
+
+// NewIngressCounters returns zeroed counters.
+func NewIngressCounters() *IngressCounters {
+	return &IngressCounters{shedByTenant: make(map[string]int64)}
+}
+
+// ObserveShed records one shed request attributed to tenant ("" is the
+// anonymous/unauthenticated class).
+func (c *IngressCounters) ObserveShed(tenant string) {
+	c.Sheds.Add(1)
+	c.mu.Lock()
+	c.shedByTenant[tenant]++
+	c.mu.Unlock()
+}
+
+// TenantSheds returns one tenant's shed total (tests and dashboards).
+func (c *IngressCounters) TenantSheds(tenant string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shedByTenant[tenant]
+}
+
+// WriteText renders every ingress metric as Prometheus text exposition
+// lines.
+func (c *IngressCounters) WriteText(w io.Writer) error {
+	for _, m := range []struct {
+		name, kind string
+		v          int64
+	}{
+		{"gridsched_ingress_requests_total", "counter", c.Requests.Load()},
+		{"gridsched_ingress_panics_total", "counter", c.Panics.Load()},
+		{"gridsched_ingress_auth_failures_total", "counter", c.AuthFailures.Load()},
+		{"gridsched_ingress_auth_denied_total", "counter", c.AuthDenied.Load()},
+		{"gridsched_ingress_throttled_ip_total", "counter", c.ThrottledIP.Load()},
+		{"gridsched_ingress_throttled_tenant_total", "counter", c.ThrottledTenant.Load()},
+		{"gridsched_ingress_sheds_total", "counter", c.Sheds.Load()},
+		{"gridsched_ingress_shed_level", "gauge", c.ShedLevel.Load()},
+	} {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", m.name, m.kind, m.name, m.v); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w,
+		"# TYPE gridsched_ingress_request_p99_seconds gauge\ngridsched_ingress_request_p99_seconds %g\n",
+		float64(c.RequestP99Nanos.Load())/1e9); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	tenants := make([]string, 0, len(c.shedByTenant))
+	for t := range c.shedByTenant {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	lines := make([]string, len(tenants))
+	for i, t := range tenants {
+		lines[i] = fmt.Sprintf("gridsched_ingress_tenant_sheds_total{tenant=%q} %d", t, c.shedByTenant[t])
+	}
+	c.mu.Unlock()
+	if len(lines) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintln(w, "# TYPE gridsched_ingress_tenant_sheds_total counter"); err != nil {
+		return err
+	}
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LatencyWindow is a fixed-size ring of the most recent request latencies,
+// the percentile source for latency-based load shedding. The existing
+// dispatch summary (ServiceCounters.ObserveDispatch) records count+sum+max
+// — enough for rate dashboards but not for a tail-latency bound — so the
+// ingress chain keeps this bounded sample window alongside and evaluates
+// p99 over it at a fixed cadence. Writes are one mutexed ring store;
+// Percentile copies and sorts the (small, bounded) window and is only
+// called at evaluation ticks, never per request.
+type LatencyWindow struct {
+	mu    sync.Mutex
+	buf   []int64
+	n     int   // filled entries, ≤ len(buf)
+	idx   int   // next write position
+	total int64 // lifetime observations
+}
+
+// NewLatencyWindow returns a window of the given sample capacity (≤ 0
+// picks 1024).
+func NewLatencyWindow(size int) *LatencyWindow {
+	if size <= 0 {
+		size = 1024
+	}
+	return &LatencyWindow{buf: make([]int64, size)}
+}
+
+// Observe folds one latency into the ring, evicting the oldest sample
+// once full.
+func (lw *LatencyWindow) Observe(d time.Duration) {
+	lw.mu.Lock()
+	lw.buf[lw.idx] = int64(d)
+	lw.idx = (lw.idx + 1) % len(lw.buf)
+	if lw.n < len(lw.buf) {
+		lw.n++
+	}
+	lw.total++
+	lw.mu.Unlock()
+}
+
+// Total is the lifetime observation count — evaluation ticks compare it
+// across ticks to detect a stalled window (no fresh samples).
+func (lw *LatencyWindow) Total() int64 {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.total
+}
+
+// Samples is the number of latencies currently resident in the window.
+func (lw *LatencyWindow) Samples() int {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.n
+}
+
+// Percentile returns the q-th (0 < q ≤ 1) latency percentile of the
+// resident samples, 0 when the window is empty.
+func (lw *LatencyWindow) Percentile(q float64) time.Duration {
+	lw.mu.Lock()
+	samples := make([]int64, lw.n)
+	copy(samples, lw.buf[:lw.n])
+	lw.mu.Unlock()
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	i := int(q*float64(len(samples))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(samples) {
+		i = len(samples) - 1
+	}
+	return time.Duration(samples[i])
+}

@@ -1,0 +1,208 @@
+package middleware
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"gridsched/internal/metrics"
+)
+
+// LoadShedConfig parameterizes latency-based load shedding.
+type LoadShedConfig struct {
+	// P99 is the bound: when the 99th percentile of recent request
+	// latencies exceeds it, the shedder starts rejecting sheddable
+	// requests (pulls and submits) with 429 + Retry-After. Must be > 0 to
+	// install the middleware.
+	P99 time.Duration
+	// Window is the latency sample window size (metrics.LatencyWindow).
+	// 0 picks 1024.
+	Window int
+	// MinSamples is how many samples must be resident before the shedder
+	// trusts a p99. 0 picks 64.
+	MinSamples int
+	// EvalEvery is the evaluation cadence: p99 is recomputed and the shed
+	// level adjusted at most this often, one step per tick. 0 picks 250ms.
+	EvalEvery time.Duration
+	// RetryAfter is the Retry-After hint on shed responses. 0 picks 1s.
+	RetryAfter time.Duration
+	// TenantWeight resolves an authenticated tenant's fair-share weight
+	// (internal/service.Service.TenantWeight); it decides WHO sheds
+	// first. Nil, or an unauthenticated request, counts as weight 1;
+	// results < 0 clamp to 0 (shed first).
+	TenantWeight func(tenant string) int64
+	// Now is the clock (tests); nil is time.Now.
+	Now func() time.Time
+}
+
+func (c *LoadShedConfig) normalize() {
+	if c.Window <= 0 {
+		c.Window = 1024
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 64
+	}
+	if c.EvalEvery <= 0 {
+		c.EvalEvery = 250 * time.Millisecond
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// weightStale is how long a weight class stays in the shed ladder after
+// its last request; stale classes fall off so departed tenants do not
+// distort the ordering.
+const weightStale = time.Minute
+
+// shedder holds the escalation state. The discipline is a deterministic
+// ladder over the weight classes of recent traffic, so "low-weight
+// tenants shed first, paying tenants last" is an ordering guarantee, not
+// a probability:
+//
+//   - Every EvalEvery, p99 over the sample window is recomputed. Above
+//     the bound (with enough samples): the level climbs one step. At or
+//     below it — or when no fresh samples arrived, i.e. everything is
+//     being shed — the level decays one step.
+//   - At level L, the bar is the L-th smallest distinct weight among
+//     recently seen classes; sheddable requests from tenants with weight
+//     ≤ bar are rejected. Level 1 sheds only the lightest class; the
+//     heaviest class sheds only at the top of the ladder, and the decay
+//     tick readmits it first.
+type shedder struct {
+	cfg LoadShedConfig
+	c   *metrics.IngressCounters
+	win *metrics.LatencyWindow
+
+	mu        sync.RWMutex
+	lastEval  time.Time
+	lastTotal int64
+	level     int
+	bar       int64 // shed sheddable requests with weight ≤ bar; 0 = none
+	weights   map[int64]time.Time
+}
+
+// weightOf resolves the request's shed weight from its authenticated
+// tenant.
+func (s *shedder) weightOf(r *http.Request) (weight int64, tenant string) {
+	weight = 1
+	if p, ok := PrincipalFrom(r.Context()); ok {
+		tenant = p.Tenant
+		weight = resolveWeight(r.Context(), s.cfg.TenantWeight, tenant)
+		if weight < 0 {
+			weight = 0
+		}
+	}
+	return weight, tenant
+}
+
+// evaluate adjusts the shed level at the configured cadence and returns
+// the current admit bar. now flows in from the caller so tests can drive
+// a fake clock. The fast path — no eval due, weight class recently
+// recorded — takes only the read lock; the weight-seen timestamp is
+// refreshed lazily (at most every weightStale/2 per class), which keeps
+// the staleness check exact enough while sparing the hot path the
+// exclusive lock and map write.
+func (s *shedder) evaluate(now time.Time, weight int64) int64 {
+	s.mu.RLock()
+	seen, known := s.weights[weight]
+	due := now.Sub(s.lastEval) >= s.cfg.EvalEvery
+	bar := s.bar
+	s.mu.RUnlock()
+	if !due && known && now.Sub(seen) < weightStale/2 {
+		return bar
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.weights[weight] = now
+	if now.Sub(s.lastEval) < s.cfg.EvalEvery {
+		return s.bar
+	}
+	s.lastEval = now
+	total := s.win.Total()
+	fresh := total > s.lastTotal
+	s.lastTotal = total
+	p99 := s.win.Percentile(0.99)
+	s.c.RequestP99Nanos.Store(int64(p99))
+	switch {
+	case fresh && s.win.Samples() >= s.cfg.MinSamples && p99 > s.cfg.P99:
+		s.level++
+	case s.level > 0:
+		s.level--
+	}
+	// Recompute the ladder from the weight classes still current.
+	ladder := make([]int64, 0, len(s.weights))
+	for w, seen := range s.weights {
+		if now.Sub(seen) > weightStale {
+			delete(s.weights, w)
+			continue
+		}
+		ladder = append(ladder, w)
+	}
+	sort.Slice(ladder, func(i, j int) bool { return ladder[i] < ladder[j] })
+	if s.level > len(ladder) {
+		s.level = len(ladder)
+	}
+	if s.level == 0 || len(ladder) == 0 {
+		s.bar = 0
+	} else {
+		s.bar = ladder[s.level-1]
+	}
+	s.c.ShedLevel.Store(int64(s.level))
+	return s.bar
+}
+
+// sheddable reports whether the request may be shed: new work entering
+// the system — job submissions and worker pulls. Reports and heartbeats
+// always pass: they RETIRE in-flight work, and shedding them would deepen
+// the very overload being shed.
+func sheddable(r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		return false
+	}
+	return r.URL.Path == "/v1/jobs" ||
+		(strings.HasPrefix(r.URL.Path, "/v1/workers/") && strings.HasSuffix(r.URL.Path, "/pull"))
+}
+
+// LoadShed is the admission-control middleware: it samples every
+// non-exempt request's latency into a bounded window and, when the p99
+// breaches cfg.P99, sheds pulls and submits with 429 + Retry-After —
+// lightest weight classes first (see shedder). Shed responses are not
+// sampled, so a fully shed system goes quiet, the window stales, and the
+// decay tick readmits traffic — heaviest tenants first.
+func LoadShed(cfg LoadShedConfig, c *metrics.IngressCounters) Middleware {
+	cfg.normalize()
+	s := &shedder{
+		cfg:     cfg,
+		c:       c,
+		win:     metrics.NewLatencyWindow(cfg.Window),
+		weights: make(map[int64]time.Time),
+	}
+	retrySecs := strconv.FormatInt(int64((cfg.RetryAfter+time.Second-1)/time.Second), 10)
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if Exempt(r.URL.Path) {
+				next.ServeHTTP(w, r)
+				return
+			}
+			now := s.cfg.Now()
+			weight, tenant := s.weightOf(r)
+			bar := s.evaluate(now, weight)
+			if bar > 0 && weight <= bar && sheddable(r) {
+				s.c.ObserveShed(tenant)
+				Logf(r.Context(), "shed=true tenant=%q weight=%d bar=%d", tenant, weight, bar)
+				w.Header().Set("Retry-After", retrySecs)
+				writeJSONError(w, http.StatusTooManyRequests, "overloaded; shed, retry later")
+				return
+			}
+			next.ServeHTTP(w, r)
+			s.win.Observe(s.cfg.Now().Sub(now))
+		})
+	}
+}

@@ -1,0 +1,159 @@
+package middleware
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeader carries the request trace ID on both requests (clients may
+// supply one to correlate across systems) and responses (the server echoes
+// or generates one).
+const TraceHeader = "X-Trace-Id"
+
+// maxTraceID bounds accepted client-supplied trace IDs; longer ones are
+// replaced rather than propagated into logs and headers.
+const maxTraceID = 64
+
+// traceNonce distinguishes processes; trace IDs are nonce + a process
+// sequence number, which is unique enough for correlation and far cheaper
+// than per-request crypto randomness on the happy path.
+var (
+	traceNonce = func() string {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			panic(fmt.Sprintf("middleware: trace nonce: %v", err))
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	traceSeq atomic.Uint64
+)
+
+func newTraceID() string {
+	var b [32]byte
+	n := copy(b[:], traceNonce)
+	b[n] = '-'
+	return string(strconv.AppendUint(b[:n+1], traceSeq.Add(1), 16))
+}
+
+type ctxKey int
+
+const (
+	reqStateKey ctxKey = iota
+	principalKey
+)
+
+// reqState is the per-request scratch the chain shares through the
+// context: the trace ID, the status-recording response writer, the
+// buffered log lines, the authenticated principal, and the resolved
+// tenant weight. Folding all of it into one struct keeps the chain's
+// hot path to a single allocation plus the context it rides in — Auth
+// stores the principal here instead of wrapping a second context, and
+// the rate limiter and shedder share one tenant-weight resolution.
+type reqState struct {
+	trace string
+	start time.Time
+	sw    statusWriter
+
+	mu    sync.Mutex
+	lines []string
+
+	principal    Principal
+	hasPrincipal bool
+
+	weight    int64
+	hasWeight bool
+}
+
+// Logging is the outermost production middleware: it assigns (or adopts)
+// the request's trace ID, exposes it via the response header and the
+// context, and times the request. Log lines appended via Logf are
+// buffered in the request's state and flushed — with the trace ID, route,
+// status, and duration — only when the response is an error or a shed
+// (5xx, 401, 403, 429), so a healthy request writes nothing anywhere.
+// out defaults to os.Stderr.
+func Logging(out io.Writer) Middleware {
+	if out == nil {
+		out = os.Stderr
+	}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			// TraceHeader is already in canonical MIME form, so indexing
+			// the header maps directly skips Get/Set's canonicalization
+			// scan on the hottest two header operations in the chain.
+			var trace string
+			if vv := r.Header[TraceHeader]; len(vv) > 0 {
+				trace = vv[0]
+			}
+			if trace == "" || len(trace) > maxTraceID {
+				trace = newTraceID()
+			}
+			st := &reqState{trace: trace, start: time.Now()}
+			st.sw.ResponseWriter = w
+			w.Header()[TraceHeader] = []string{trace}
+			next.ServeHTTP(&st.sw, r.WithContext(context.WithValue(r.Context(), reqStateKey, st)))
+			if flushWorthy(st.sw.status) {
+				st.flush(out, r, st.sw.status, time.Since(st.start))
+			}
+		})
+	}
+}
+
+// flushWorthy reports whether a response status should flush the request's
+// buffered log: server errors, auth rejections, and throttle/shed 429s.
+func flushWorthy(status int) bool {
+	switch {
+	case status >= 500:
+		return true
+	case status == http.StatusUnauthorized, status == http.StatusForbidden,
+		status == http.StatusTooManyRequests:
+		return true
+	}
+	return false
+}
+
+// flush writes the request summary line plus every buffered line in one
+// Write, so concurrent flushes do not interleave mid-request.
+func (st *reqState) flush(out io.Writer, r *http.Request, status int, d time.Duration) {
+	st.mu.Lock()
+	lines := st.lines
+	st.mu.Unlock()
+	buf := make([]byte, 0, 160+64*len(lines))
+	buf = fmt.Appendf(buf, "ingress time=%s trace=%s method=%s path=%s status=%d dur=%s remote=%s\n",
+		time.Now().UTC().Format(time.RFC3339Nano), st.trace, r.Method, r.URL.Path, status,
+		d.Round(time.Microsecond), r.RemoteAddr)
+	for _, l := range lines {
+		buf = fmt.Appendf(buf, "ingress trace=%s %s\n", st.trace, l)
+	}
+	_, _ = out.Write(buf)
+}
+
+// Logf appends one line to the request's buffered log. Outside a Logging
+// request (no state in ctx) it is a no-op, so library code can call it
+// unconditionally.
+func Logf(ctx context.Context, format string, args ...any) {
+	st, _ := ctx.Value(reqStateKey).(*reqState)
+	if st == nil {
+		return
+	}
+	line := fmt.Sprintf(format, args...)
+	st.mu.Lock()
+	st.lines = append(st.lines, line)
+	st.mu.Unlock()
+}
+
+// TraceID returns the request's trace ID ("" outside a Logging request).
+func TraceID(ctx context.Context) string {
+	if st, _ := ctx.Value(reqStateKey).(*reqState); st != nil {
+		return st.trace
+	}
+	return ""
+}

@@ -1,0 +1,98 @@
+// Package middleware is gridschedd's production ingress: an onion-model,
+// express/koa-style composable chain of http.Handler wrappers installed
+// in front of the service mux (internal/service) by both the daemon
+// (cmd/gridschedd) and the in-process transport (internal/live).
+//
+// Five middlewares ship here, applied in one explicit, fixed order
+// (outermost first — see Ingress):
+//
+//  1. Logging — request-scoped structured logging with generated trace
+//     IDs propagated via the X-Trace-Id header and the request context.
+//     Log lines are buffered per request and flushed only on error or
+//     shed, so the happy path pays near zero.
+//  2. Recover — converts handler panics into 500s plus a metric instead
+//     of killing the daemon.
+//  3. MetricsText — appends the chain's own counters to GET /metrics.
+//  4. Auth — per-tenant bearer-token authentication from a hot-reloadable
+//     token file; admin endpoints require an admin token.
+//  5. RateLimit — token buckets keyed by client IP and by authenticated
+//     tenant, tenant limits scaled by fair-share weight.
+//  6. LoadShed — latency-based admission control: when the request p99
+//     breaches a bound, pulls and submits are shed 429 + Retry-After,
+//     low-weight tenants first and the heaviest tenants last.
+//
+// GET /healthz, /readyz, and /metrics bypass auth, rate limiting, and
+// shedding (Exempt) so probes never lie about the process. Decisions are
+// exported as counters/gauges (metrics.IngressCounters) appended to the
+// service's /metrics output. docs/INGRESS.md is the operator guide.
+package middleware
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"gridsched/internal/service/api"
+)
+
+// Middleware is one onion layer: it receives the next handler and returns
+// the wrapped one.
+type Middleware func(http.Handler) http.Handler
+
+// Chain wraps h in mw such that mw[0] is the outermost layer — requests
+// traverse mw[0], mw[1], …, then h; responses unwind in reverse.
+func Chain(h http.Handler, mw ...Middleware) http.Handler {
+	for i := len(mw) - 1; i >= 0; i-- {
+		h = mw[i](h)
+	}
+	return h
+}
+
+// Exempt reports whether path is a probe or metrics endpoint that
+// bypasses auth, rate limiting, and load shedding: orchestrator probes
+// and scrapers must see the truth even (especially) when the daemon is
+// overloaded or the operator fat-fingered the token file.
+func Exempt(path string) bool {
+	switch path {
+	case "/healthz", "/readyz", "/metrics":
+		return true
+	}
+	return false
+}
+
+// statusWriter records the response status so outer layers (logging,
+// recovery, metrics append) can observe what inner layers wrote. wrapStatus
+// reuses an existing wrapper, so one request allocates at most one.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func wrapStatus(w http.ResponseWriter) *statusWriter {
+	if sw, ok := w.(*statusWriter); ok {
+		return sw
+	}
+	return &statusWriter{ResponseWriter: w}
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// writeJSONError emits the protocol's standard error body
+// (api.ErrorResponse) — middleware rejections look exactly like service
+// rejections to clients.
+func writeJSONError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(api.ErrorResponse{Error: msg})
+}

@@ -1,0 +1,169 @@
+package middleware
+
+import (
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"gridsched/internal/metrics"
+)
+
+// RateLimitConfig parameterizes the token-bucket rate limiter.
+type RateLimitConfig struct {
+	// Rate is the sustained request rate (requests/second) allowed per
+	// client IP. Each authenticated tenant additionally gets a bucket of
+	// Rate × weight — a heavier (paying) tenant's fleet may collectively
+	// go proportionally faster. Must be > 0 to install the middleware.
+	Rate float64
+	// Burst is the bucket depth per client IP (tenant buckets scale by
+	// weight too). 0 picks 2×Rate, at least 1.
+	Burst float64
+	// TenantWeight resolves an authenticated tenant's fair-share weight
+	// (internal/service.Service.TenantWeight). Nil, or results < 1, count
+	// as weight 1 so an unknown tenant still gets the base rate.
+	TenantWeight func(tenant string) int64
+	// MaxBuckets bounds the bucket table; stale buckets are evicted when
+	// it fills. 0 picks 65536.
+	MaxBuckets int
+	// Now is the clock (tests); nil is time.Now.
+	Now func() time.Time
+}
+
+func (c *RateLimitConfig) normalize() {
+	if c.Burst <= 0 {
+		c.Burst = math.Max(2*c.Rate, 1)
+	}
+	if c.MaxBuckets <= 0 {
+		c.MaxBuckets = 65536
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// bucket is one token bucket: tokens at the last refill time.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// limiter owns the bucket tables — one keyed by client IP, one by
+// tenant, so keys need no allocating prefix on the hot path. One mutex
+// over both maps is plenty: an uncontended lock plus two map operations
+// is tens of nanoseconds, far below the JSON codec this chain fronts.
+type limiter struct {
+	cfg RateLimitConfig
+	mu  sync.Mutex
+	ip  map[string]*bucket
+	ten map[string]*bucket
+}
+
+// take spends one token from key's bucket in table m (refilled at rate,
+// capped at burst). When the bucket is empty it reports how long until a
+// token accrues. now is passed in so one clock read serves both the IP
+// and the tenant bucket of a request.
+func (l *limiter) take(m map[string]*bucket, key string, rate, burst float64, now time.Time) (ok bool, retryAfter time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := m[key]
+	if b == nil {
+		if len(l.ip)+len(l.ten) >= l.cfg.MaxBuckets {
+			l.evict(now)
+		}
+		b = &bucket{tokens: burst, last: now}
+		m[key] = b
+	} else {
+		b.tokens = math.Min(burst, b.tokens+rate*now.Sub(b.last).Seconds())
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / rate * float64(time.Second))
+}
+
+// evict drops buckets idle long enough to have refilled completely —
+// indistinguishable from fresh ones — keeping the tables bounded under
+// client-IP churn. Callers hold l.mu.
+func (l *limiter) evict(now time.Time) {
+	for _, m := range []map[string]*bucket{l.ip, l.ten} {
+		for k, b := range m {
+			if b.tokens >= l.cfg.Burst || now.Sub(b.last).Seconds()*l.cfg.Rate >= l.cfg.Burst {
+				delete(m, k)
+			}
+		}
+	}
+}
+
+// RateLimit rejects requests above the configured token-bucket rates with
+// 429 + Retry-After. Two keys gate every non-exempt request: the client
+// IP (connection origin, pre-auth abuse control) and, when the request is
+// authenticated, the tenant (aggregate across the tenant's whole fleet,
+// scaled by its fair-share weight).
+func RateLimit(cfg RateLimitConfig, c *metrics.IngressCounters) Middleware {
+	cfg.normalize()
+	l := &limiter{cfg: cfg, ip: make(map[string]*bucket), ten: make(map[string]*bucket)}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if Exempt(r.URL.Path) {
+				next.ServeHTTP(w, r)
+				return
+			}
+			now := cfg.Now()
+			if ok, retry := l.take(l.ip, clientIP(r), cfg.Rate, cfg.Burst, now); !ok {
+				c.ThrottledIP.Add(1)
+				Logf(r.Context(), "throttle=ip retryAfter=%s", retry)
+				throttle(w, retry)
+				return
+			}
+			if p, ok := PrincipalFrom(r.Context()); ok {
+				weight := float64(1)
+				if tw := resolveWeight(r.Context(), cfg.TenantWeight, p.Tenant); tw > 1 {
+					weight = float64(tw)
+				}
+				if ok, retry := l.take(l.ten, p.Tenant, cfg.Rate*weight, cfg.Burst*weight, now); !ok {
+					c.ThrottledTenant.Add(1)
+					Logf(r.Context(), "throttle=tenant tenant=%q retryAfter=%s", p.Tenant, retry)
+					throttle(w, retry)
+					return
+				}
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// throttle writes the protocol's 429: Retry-After in whole seconds
+// (rounded up, at least 1 — the header has one-second resolution) and the
+// standard error body.
+func throttle(w http.ResponseWriter, retry time.Duration) {
+	secs := int64(math.Ceil(retry.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeJSONError(w, http.StatusTooManyRequests, "rate limit exceeded; retry later")
+}
+
+// clientIP is the remote address without the port; the rate-limit key for
+// unauthenticated abuse control. Hand-rolled rather than
+// net.SplitHostPort because the error path there allocates, and
+// non-host:port RemoteAddrs (in-process transports) are a hot path here.
+func clientIP(r *http.Request) string {
+	addr := r.RemoteAddr
+	if strings.HasPrefix(addr, "[") { // "[::1]:port"
+		if j := strings.IndexByte(addr, ']'); j > 0 {
+			return addr[1:j]
+		}
+		return addr
+	}
+	i := strings.LastIndexByte(addr, ':')
+	if i < 0 || strings.IndexByte(addr[:i], ':') >= 0 {
+		return addr // no port, or a bare IPv6 address
+	}
+	return addr[:i]
+}

@@ -1,0 +1,69 @@
+package middleware
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime/debug"
+
+	"gridsched/internal/metrics"
+)
+
+// Recover converts a handler panic into a 500 response plus a metric
+// (IngressCounters.Panics) instead of letting net/http kill the
+// connection — or, under the in-process transport, the whole caller. The
+// panic value and stack go to out (default os.Stderr) immediately, and a
+// line lands in the request's buffered log so the Logging flush carries
+// the trace ID alongside.
+//
+// http.ErrAbortHandler is re-panicked untouched: it is net/http's
+// sanctioned way to abort a response and is not a failure.
+func Recover(c *metrics.IngressCounters, out io.Writer) Middleware {
+	if out == nil {
+		out = os.Stderr
+	}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw := wrapStatus(w)
+			defer func() {
+				p := recover()
+				if p == nil {
+					return
+				}
+				if p == http.ErrAbortHandler {
+					panic(p)
+				}
+				c.Panics.Add(1)
+				Logf(r.Context(), "panic=%q", fmt.Sprint(p))
+				fmt.Fprintf(out, "ingress: panic serving %s %s (trace %s): %v\n%s",
+					r.Method, r.URL.Path, TraceID(r.Context()), p, debug.Stack())
+				if sw.status == 0 {
+					writeJSONError(sw, http.StatusInternalServerError, "internal server error")
+				}
+			}()
+			next.ServeHTTP(sw, r)
+		})
+	}
+}
+
+// MetricsText appends the ingress chain's own counters to a successful
+// GET /metrics response. The Prometheus text format is line-oriented, so
+// appending after the inner handler's body keeps the service and the
+// chain decoupled: internal/service renders its counters without knowing
+// a chain exists, and the chain adds its lines on the way out.
+func MetricsText(c *metrics.IngressCounters) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet || r.URL.Path != "/metrics" {
+				next.ServeHTTP(w, r)
+				return
+			}
+			sw := wrapStatus(w)
+			next.ServeHTTP(sw, r)
+			if sw.status == http.StatusOK {
+				_ = c.WriteText(sw)
+			}
+		})
+	}
+}

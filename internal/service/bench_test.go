@@ -20,6 +20,15 @@ func BenchmarkDispatchRoundTripInProcess(b *testing.B) {
 	benchsuite.ServiceDispatchInProcess(b)
 }
 
+// BenchmarkDispatchRoundTripIngress: the same round-trip behind the full
+// production middleware chain (trace IDs, recovery, auth, rate limit,
+// shedder) with nothing rejecting — the delta against
+// BenchmarkDispatchRoundTripInProcess is the chain's no-shed overhead
+// (acceptance bar: ≤5%).
+func BenchmarkDispatchRoundTripIngress(b *testing.B) {
+	benchsuite.ServiceDispatchIngress(b)
+}
+
 // BenchmarkDispatchRoundTripContended: six tenant-weighted jobs resident
 // at once, so every pull exercises the fair-share arbiter across a
 // contended job set.

@@ -1,0 +1,26 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// TestShedDelay pins the 429 backoff envelope: exponential from 500ms,
+// raised to the server hint, capped at 15s, jittered into [d/2, d).
+func TestShedDelay(t *testing.T) {
+	within := func(got, lo, hi time.Duration) {
+		t.Helper()
+		if got < lo || got >= hi {
+			t.Fatalf("delay %s outside [%s, %s)", got, lo, hi)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		within(shedDelay(0, 0), 250*time.Millisecond, 500*time.Millisecond)
+		within(shedDelay(400*time.Millisecond, 0), 400*time.Millisecond, 800*time.Millisecond)
+		// The server's hint wins when it is longer than the doubled delay.
+		within(shedDelay(0, 4*time.Second), 2*time.Second, 4*time.Second)
+		// ... but never pushes past the cap.
+		within(shedDelay(0, time.Minute), 7500*time.Millisecond, 15*time.Second)
+		within(shedDelay(14*time.Second, 0), 7500*time.Millisecond, 15*time.Second)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -36,6 +37,11 @@ type Client struct {
 	// instead of a duplicate. Zero means the 15s default; negative
 	// disables retrying.
 	ResubmitWindow time.Duration
+
+	// AuthToken, when non-empty, rides every request as
+	// "Authorization: Bearer <token>" — the credential a gridschedd
+	// started with -auth-tokens requires. Set it before the first call.
+	AuthToken string
 }
 
 // New builds a client for the server at base (e.g. "http://host:8080").
@@ -52,6 +58,9 @@ func New(base string, httpClient *http.Client) *Client {
 type APIError struct {
 	StatusCode int
 	Message    string
+	// RetryAfter is the server's Retry-After hint on 429 (rate-limited or
+	// load-shed) replies; zero when absent.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -75,6 +84,11 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if c.AuthToken != "" {
+		// Canonical key, assigned directly: skips Set's canonicalization
+		// scan on every authenticated request.
+		req.Header["Authorization"] = []string{"Bearer " + c.AuthToken}
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
@@ -86,7 +100,11 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
 			msg = e.Error
 		}
-		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+		ae := &APIError{StatusCode: resp.StatusCode, Message: msg}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return ae
 	}
 	if out == nil {
 		_, err := io.Copy(io.Discard, resp.Body)
@@ -100,8 +118,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 // along, and transient transport failures (connection refused mid-restart,
 // acknowledgement lost on the wire) are retried with the same id for up to
 // ResubmitWindow — the server deduplicates, so the job is created exactly
-// once no matter how many attempts it takes. Server-side rejections
-// (4xx/5xx other than 503) are returned immediately.
+// once no matter how many attempts it takes. 429 replies are retried too,
+// honoring the server's Retry-After hint. Other server-side rejections
+// (4xx/5xx besides 503 and 429) are returned immediately.
 func (c *Client) SubmitJob(ctx context.Context, name, algorithm string, seed int64, w *workload.Workload) (string, error) {
 	return c.SubmitJobIdempotent(ctx, api.SubmitJobRequest{
 		Name: name, Algorithm: algorithm, Seed: seed, Workload: w,
@@ -140,10 +159,18 @@ func (c *Client) SubmitJobIdempotent(ctx context.Context, req api.SubmitJobReque
 		if req.SubmissionID == "" || !transientErr(err) || !time.Now().Add(backoff).Before(deadline) {
 			return "", err
 		}
+		// A 429 (rate-limited or load-shed) carries the server's own
+		// estimate of when capacity returns; waiting any less just burns
+		// the deadline on further rejections.
+		wait := backoff
+		var ae *APIError
+		if errors.As(err, &ae) && ae.RetryAfter > wait {
+			wait = ae.RetryAfter
+		}
 		select {
 		case <-ctx.Done():
 			return "", ctx.Err()
-		case <-time.After(backoff):
+		case <-time.After(wait):
 		}
 		if backoff < time.Second {
 			backoff *= 2
@@ -152,14 +179,26 @@ func (c *Client) SubmitJobIdempotent(ctx context.Context, req api.SubmitJobReque
 }
 
 // transientErr reports whether err is worth retrying: transport-level
-// failures and 503 (the server is up but, e.g., still syncing its
-// journal). 4xx and other 5xx are real answers.
+// failures, 503 (the server is up but, e.g., still syncing its journal),
+// and 429 (rate-limited or load-shed — capacity returns). Other 4xx/5xx
+// are real answers; notably 401/403 stay terminal, since retrying a
+// rejected credential can never succeed.
 func transientErr(err error) bool {
 	var ae *APIError
 	if errors.As(err, &ae) {
-		return ae.StatusCode == http.StatusServiceUnavailable
+		return ae.StatusCode == http.StatusServiceUnavailable ||
+			ae.StatusCode == http.StatusTooManyRequests
 	}
 	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// authErr reports whether err is a credential rejection (401 or 403) —
+// terminal for a worker: no retry cadence turns a bad token into a good
+// one, so the loop surfaces it instead of spinning.
+func authErr(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) &&
+		(ae.StatusCode == http.StatusUnauthorized || ae.StatusCode == http.StatusForbidden)
 }
 
 // newSubmissionID returns a fresh 128-bit idempotency key.

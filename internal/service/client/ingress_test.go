@@ -1,0 +1,183 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gridsched/internal/metrics"
+	"gridsched/internal/middleware"
+	"gridsched/internal/service/api"
+	"gridsched/internal/service/client"
+)
+
+// TestRunWorkerAuthFailureIsTerminal is the regression test for the
+// retry-forever bug class: a worker pointed at an authenticated server
+// with a bad (or revoked) credential must surface the 401 as a terminal
+// error immediately — even with ReconnectWait set, which retries every
+// other failure mode.
+func TestRunWorkerAuthFailureIsTerminal(t *testing.T) {
+	var registers atomic.Int64
+	chain := middleware.Ingress(middleware.Config{
+		Log:    io.Discard,
+		Tokens: middleware.NewTokenStore(map[string]middleware.Principal{"good": {Tenant: "t"}}),
+	}, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		registers.Add(1) // only authenticated requests reach here
+	}))
+	ts := httptest.NewServer(chain)
+	defer ts.Close()
+
+	cl := client.New(ts.URL, nil)
+	cl.AuthToken = "revoked"
+	done := make(chan error, 1)
+	go func() {
+		done <- cl.RunWorker(context.Background(), client.WorkerConfig{
+			ReconnectWait: 10 * time.Millisecond,
+			PollWait:      50 * time.Millisecond,
+		})
+	}()
+	select {
+	case err := <-done:
+		var ae *client.APIError
+		if !errors.As(err, &ae) || ae.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("RunWorker error = %v, want wrapped 401", err)
+		}
+		if !strings.Contains(err.Error(), "credentials rejected") {
+			t.Fatalf("error %q does not name the credential rejection", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunWorker still retrying a rejected credential after 5s")
+	}
+	if n := registers.Load(); n != 0 {
+		t.Fatalf("unauthenticated worker reached the service %d times", n)
+	}
+}
+
+// TestRunWorkerShedPullBacksOff: a 429 on pull (load shed) must NOT tear
+// the worker down or re-register it — the worker backs off and pulls
+// again against its existing registration.
+func TestRunWorkerShedPullBacksOff(t *testing.T) {
+	var registers, pulls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/workers", func(w http.ResponseWriter, r *http.Request) {
+		registers.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"workerId":"w1","site":0,"worker":0}`))
+	})
+	mux.HandleFunc("POST /v1/workers/w1/pull", func(w http.ResponseWriter, r *http.Request) {
+		if pulls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_, _ = w.Write([]byte(`{"error":"overloaded; shed, retry later"}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"status":"empty"}`))
+	})
+	mux.HandleFunc("DELETE /v1/workers/w1", func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(`{}`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	start := time.Now()
+	err := client.New(ts.URL, nil).RunWorker(context.Background(), client.WorkerConfig{
+		OnIdle: func(ctx context.Context, resp *api.PullResponse) (bool, error) { return true, nil },
+	})
+	if err != nil {
+		t.Fatalf("RunWorker: %v", err)
+	}
+	if got := registers.Load(); got != 1 {
+		t.Fatalf("registered %d times across shed pulls, want 1", got)
+	}
+	if got := pulls.Load(); got != 3 {
+		t.Fatalf("pulls = %d, want 3 (2 shed + 1 idle)", got)
+	}
+	// Two backoffs, each honoring the 1s Retry-After hint (jittered down
+	// to no less than half).
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("worker retried shed pulls after only %s; Retry-After ignored", elapsed)
+	}
+}
+
+// TestSubmitRetriesShed: SubmitJobIdempotent treats 429 as transient and
+// lands the job once capacity returns.
+func TestSubmitRetriesShed(t *testing.T) {
+	var submits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if submits.Add(1) == 1 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			_, _ = w.Write([]byte(`{"error":"overloaded; shed, retry later"}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusCreated)
+		_, _ = w.Write([]byte(`{"jobId":"j1"}`))
+	}))
+	defer ts.Close()
+
+	id, err := client.New(ts.URL, nil).SubmitJobIdempotent(context.Background(), api.SubmitJobRequest{
+		Name: "shed-retry", Algorithm: "workqueue", Workload: smallWorkload(2),
+		SubmissionID: "shed-key-1",
+	})
+	if err != nil || id != "j1" {
+		t.Fatalf("submit through shed: id=%q err=%v", id, err)
+	}
+	if got := submits.Load(); got != 2 {
+		t.Fatalf("submit attempts = %d, want 2", got)
+	}
+}
+
+// TestAPIErrorRetryAfter: do() surfaces the server's Retry-After hint on
+// the typed error.
+func TestAPIErrorRetryAfter(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_, _ = w.Write([]byte(`{"error":"rate limit exceeded; retry later"}`))
+	}))
+	defer ts.Close()
+
+	_, err := client.New(ts.URL, nil).Job(context.Background(), "j1")
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want APIError 429", err)
+	}
+	if ae.RetryAfter != 7*time.Second {
+		t.Fatalf("RetryAfter = %s, want 7s", ae.RetryAfter)
+	}
+}
+
+// TestClientSendsBearer: AuthToken rides every request and satisfies the
+// real auth middleware.
+func TestClientSendsBearer(t *testing.T) {
+	c := metrics.NewIngressCounters()
+	chain := middleware.Ingress(middleware.Config{
+		Counters: c,
+		Log:      io.Discard,
+		Tokens:   middleware.NewTokenStore(map[string]middleware.Principal{"tok": {Tenant: "t"}}),
+	}, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`[]`))
+	}))
+	ts := httptest.NewServer(chain)
+	defer ts.Close()
+
+	cl := client.New(ts.URL, nil)
+	if _, err := cl.Jobs(context.Background()); err == nil {
+		t.Fatal("tokenless request passed auth")
+	}
+	cl.AuthToken = "tok"
+	if _, err := cl.Jobs(context.Background()); err != nil {
+		t.Fatalf("authenticated request failed: %v", err)
+	}
+	if c.AuthFailures.Load() != 1 {
+		t.Fatalf("AuthFailures = %d, want 1", c.AuthFailures.Load())
+	}
+}

@@ -3,6 +3,8 @@ package client
 import (
 	"context"
 	"errors"
+	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"time"
 
@@ -60,28 +62,50 @@ type WorkerConfig struct {
 // pull, heartbeat while executing, report — until ctx is cancelled (returns
 // nil), OnIdle stops it (nil), or a protocol error occurs. A worker whose
 // registration lease lapsed (e.g. the process was suspended) re-registers
-// transparently.
+// transparently. Shed or rate-limited requests (429) are retried with
+// capped, jittered backoff honoring the server's Retry-After; rejected
+// credentials (401/403) end the loop with an error — they are the one
+// failure retrying cannot fix.
 func (c *Client) RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	if cfg.PollWait <= 0 {
 		cfg.PollWait = 2 * time.Second
 	}
 	// register enrolls (or re-enrolls), riding out server outages when
-	// ReconnectWait allows.
+	// ReconnectWait allows. A shed registration (429) is always retried —
+	// the server is up, merely overloaded, and its Retry-After says when —
+	// but a rejected credential (401/403) is terminal immediately:
+	// re-sending the same bad token forever is the one retry that can
+	// never work.
 	register := func() (*api.RegisterResponse, error) {
+		var shed time.Duration
 		for {
 			reg, err := c.Register(ctx, cfg.Site)
-			if err == nil || ctx.Err() != nil || cfg.ReconnectWait <= 0 || !transientErr(err) {
+			if err == nil || ctx.Err() != nil || authErr(err) {
+				return reg, err
+			}
+			var wait time.Duration
+			var ae *APIError
+			switch {
+			case errors.As(err, &ae) && ae.StatusCode == http.StatusTooManyRequests:
+				shed = shedDelay(shed, ae.RetryAfter)
+				wait = shed
+			case cfg.ReconnectWait > 0 && transientErr(err):
+				wait = cfg.ReconnectWait
+			default:
 				return reg, err
 			}
 			select {
 			case <-ctx.Done():
 				return nil, ctx.Err()
-			case <-time.After(cfg.ReconnectWait):
+			case <-time.After(wait):
 			}
 		}
 	}
 	reg, err := register()
 	if err != nil {
+		if authErr(err) {
+			return fmt.Errorf("client: worker credentials rejected: %w", err)
+		}
 		return err
 	}
 	defer func() {
@@ -93,6 +117,7 @@ func (c *Client) RunWorker(ctx context.Context, cfg WorkerConfig) error {
 		_ = c.Deregister(dctx, reg.WorkerID)
 	}()
 
+	var shed time.Duration
 	for ctx.Err() == nil {
 		resp, err := c.Pull(ctx, reg.WorkerID, cfg.PollWait)
 		if err != nil {
@@ -101,6 +126,21 @@ func (c *Client) RunWorker(ctx context.Context, cfg WorkerConfig) error {
 			}
 			var ae *APIError
 			switch {
+			case authErr(err):
+				// The token was revoked (or the server's auth table
+				// changed) mid-run. Terminal: see register.
+				return fmt.Errorf("client: worker credentials rejected: %w", err)
+			case errors.As(err, &ae) && ae.StatusCode == http.StatusTooManyRequests:
+				// Load-shed or rate-limited pull. Registration is intact —
+				// back off (capped, jittered, honoring Retry-After) and
+				// pull again; re-registering would only add load.
+				shed = shedDelay(shed, ae.RetryAfter)
+				select {
+				case <-ctx.Done():
+					return nil
+				case <-time.After(shed):
+				}
+				continue
 			case errors.As(err, &ae) && ae.StatusCode == http.StatusNotFound:
 				// Registration lease lapsed, or the server restarted and
 				// recovered (worker registrations are not journaled);
@@ -122,10 +162,14 @@ func (c *Client) RunWorker(ctx context.Context, cfg WorkerConfig) error {
 				return err
 			}
 			if reg, err = register(); err != nil {
+				if authErr(err) {
+					return fmt.Errorf("client: worker credentials rejected: %w", err)
+				}
 				return err
 			}
 			continue
 		}
+		shed = 0
 		if resp.Status != api.StatusAssigned {
 			if cfg.OnIdle != nil {
 				stop, err := cfg.OnIdle(ctx, resp)
@@ -141,6 +185,25 @@ func (c *Client) RunWorker(ctx context.Context, cfg WorkerConfig) error {
 		}
 	}
 	return nil
+}
+
+// shedDelay computes the next backoff after a 429: doubled from the
+// previous delay (starting at 500ms), raised to the server's Retry-After
+// hint when that is larger, capped at 15s, then jittered down into
+// [d/2, d) so a shed worker fleet re-offers load spread out instead of as
+// the synchronized stampede that triggered the shedding.
+func shedDelay(prev, hint time.Duration) time.Duration {
+	d := 2 * prev
+	if d < 500*time.Millisecond {
+		d = 500 * time.Millisecond
+	}
+	if hint > d {
+		d = hint
+	}
+	if d > 15*time.Second {
+		d = 15 * time.Second
+	}
+	return d/2 + rand.N(d/2)
 }
 
 // runAssignment executes one leased task: heartbeat in the background,

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"gridsched/internal/metrics"
+	"gridsched/internal/middleware"
 	"gridsched/internal/service/api"
 )
 
@@ -64,6 +65,19 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req api.SubmitJobRequest
 	if !readJSON(w, r, &req) {
 		return
+	}
+	// When the ingress chain authenticated the caller, the submission is
+	// bound to the token's tenant: a non-admin token may not submit on
+	// another tenant's behalf. Unauthenticated deployments (no chain, or
+	// no -auth-tokens) keep the historical request-names-the-tenant
+	// behavior.
+	if p, ok := middleware.PrincipalFrom(r.Context()); ok && !p.Admin {
+		if req.Tenant != "" && req.Tenant != p.Tenant {
+			writeError(w, errf(http.StatusForbidden,
+				"token for tenant %q cannot submit as tenant %q", p.Tenant, req.Tenant))
+			return
+		}
+		req.Tenant = p.Tenant
 	}
 	id, err := s.SubmitJob(req)
 	if err != nil {

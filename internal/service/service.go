@@ -819,6 +819,22 @@ func (s *Service) Tenants() []api.TenantStatus {
 	return out
 }
 
+// TenantWeight returns a tenant's current fair-share weight — the summed
+// weight of its running jobs — or 0 for a tenant with none. The ingress
+// chain uses it to scale rate limits and order load shedding, so the
+// same signal that divides dispatch capacity (arbiter) also divides
+// admission: a tenant running weight-4 work sheds after one running
+// weight-1 work.
+func (s *Service) TenantWeight(tenant string) int64 {
+	c := s.coord
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t := c.tenants[tenant]; t != nil {
+		return t.weight
+	}
+	return 0
+}
+
 // tenantStatusLocked copies one tenant's status. Callers hold the
 // coordinator.
 func (s *Service) tenantStatusLocked(t *tenantState, totalWeight int64) api.TenantStatus {
