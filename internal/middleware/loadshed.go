@@ -1,11 +1,13 @@
 package middleware
 
 import (
+	"context"
 	"net/http"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gridsched/internal/metrics"
@@ -158,6 +160,43 @@ func (s *shedder) evaluate(now time.Time, weight int64) int64 {
 	return s.bar
 }
 
+// ObserveParked records time a handler spent deliberately parked waiting
+// for work — the long-poll portion of a pull — so the shedder can
+// subtract it from the request's observed latency. Without this, an idle
+// worker's empty pull (parked server-side for the full poll budget,
+// client default 2s) would be sampled as a ~2s latency, breach any
+// realistic p99 bound, and shed a completely unloaded system.
+// internal/service reports each pull's accumulated park through here.
+// Outside a chain that tracks parked time it is a no-op.
+func ObserveParked(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if st, _ := ctx.Value(reqStateKey).(*reqState); st != nil {
+		st.parked.Add(int64(d))
+		return
+	}
+	if pk, _ := ctx.Value(parkedKey).(*atomic.Int64); pk != nil {
+		pk.Add(int64(d))
+	}
+}
+
+// parkedCounter returns the request's parked-time accumulator, reusing
+// the Logging request state when present (the production chain: zero
+// extra allocation) and otherwise installing a dedicated counter so a
+// standalone LoadShed still excludes long-poll waits.
+func parkedCounter(r *http.Request) (*atomic.Int64, *http.Request) {
+	ctx := r.Context()
+	if st, _ := ctx.Value(reqStateKey).(*reqState); st != nil {
+		return &st.parked, r
+	}
+	if pk, _ := ctx.Value(parkedKey).(*atomic.Int64); pk != nil {
+		return pk, r
+	}
+	pk := new(atomic.Int64)
+	return pk, r.WithContext(context.WithValue(ctx, parkedKey, pk))
+}
+
 // sheddable reports whether the request may be shed: new work entering
 // the system — job submissions and worker pulls. Reports and heartbeats
 // always pass: they RETIRE in-flight work, and shedding them would deepen
@@ -173,9 +212,12 @@ func sheddable(r *http.Request) bool {
 // LoadShed is the admission-control middleware: it samples every
 // non-exempt request's latency into a bounded window and, when the p99
 // breaches cfg.P99, sheds pulls and submits with 429 + Retry-After —
-// lightest weight classes first (see shedder). Shed responses are not
-// sampled, so a fully shed system goes quiet, the window stales, and the
-// decay tick readmits traffic — heaviest tenants first.
+// lightest weight classes first (see shedder). Time a handler reports as
+// deliberately parked (ObserveParked: long-poll pull waits) is excluded
+// from the sample, so idle workers polling an empty queue do not read as
+// multi-second latencies. Shed responses are not sampled, so a fully
+// shed system goes quiet, the window stales, and the decay tick readmits
+// traffic — heaviest tenants first.
 func LoadShed(cfg LoadShedConfig, c *metrics.IngressCounters) Middleware {
 	cfg.normalize()
 	s := &shedder{
@@ -201,8 +243,13 @@ func LoadShed(cfg LoadShedConfig, c *metrics.IngressCounters) Middleware {
 				writeJSONError(w, http.StatusTooManyRequests, "overloaded; shed, retry later")
 				return
 			}
+			pk, r := parkedCounter(r)
 			next.ServeHTTP(w, r)
-			s.win.Observe(s.cfg.Now().Sub(now))
+			if lat := s.cfg.Now().Sub(now) - time.Duration(pk.Load()); lat > 0 {
+				s.win.Observe(lat)
+			} else {
+				s.win.Observe(0)
+			}
 		})
 	}
 }

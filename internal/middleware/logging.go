@@ -23,6 +23,26 @@ const TraceHeader = "X-Trace-Id"
 // replaced rather than propagated into logs and headers.
 const maxTraceID = 64
 
+// validTraceID reports whether a client-supplied trace ID is safe to
+// adopt: bounded length, drawn entirely from [A-Za-z0-9_.-]. Anything
+// else — newlines, spaces, '=' — could split or forge entries in the
+// flushed log (the lines interpolate the ID verbatim), so such IDs are
+// replaced, not propagated.
+func validTraceID(s string) bool {
+	if s == "" || len(s) > maxTraceID {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // traceNonce distinguishes processes; trace IDs are nonce + a process
 // sequence number, which is unique enough for correlation and far cheaper
 // than per-request crypto randomness on the happy path.
@@ -49,6 +69,7 @@ type ctxKey int
 const (
 	reqStateKey ctxKey = iota
 	principalKey
+	parkedKey
 )
 
 // reqState is the per-request scratch the chain shares through the
@@ -71,6 +92,12 @@ type reqState struct {
 
 	weight    int64
 	hasWeight bool
+
+	// parked accumulates nanoseconds the handler spent deliberately
+	// waiting (long-poll pull parks, reported via ObserveParked); the
+	// load shedder subtracts it so an idle worker's empty 2s poll is not
+	// read as a 2s service latency.
+	parked atomic.Int64
 }
 
 // Logging is the outermost production middleware: it assigns (or adopts)
@@ -93,7 +120,7 @@ func Logging(out io.Writer) Middleware {
 			if vv := r.Header[TraceHeader]; len(vv) > 0 {
 				trace = vv[0]
 			}
-			if trace == "" || len(trace) > maxTraceID {
+			if !validTraceID(trace) {
 				trace = newTraceID()
 			}
 			st := &reqState{trace: trace, start: time.Now()}

@@ -106,6 +106,23 @@ func TestTraceID(t *testing.T) {
 	if len(seen) > maxTraceID {
 		t.Fatalf("oversized client trace propagated (%d bytes)", len(seen))
 	}
+
+	// IDs with characters outside [A-Za-z0-9_.-] are replaced too: they
+	// are interpolated verbatim into flushed log lines, so a newline or
+	// "key=value" text could forge or split trace-stamped entries.
+	for _, evil := range []string{
+		"evil\ningress trace=forged status=200",
+		"id status=500",
+		"id=x",
+		"тrace", // non-ASCII
+	} {
+		req = httptest.NewRequest("GET", "/x", nil)
+		req.Header[TraceHeader] = []string{evil}
+		h.ServeHTTP(httptest.NewRecorder(), req)
+		if seen == evil {
+			t.Fatalf("unsafe client trace %q adopted", evil)
+		}
+	}
 }
 
 // TestLoggingBuffered: a healthy request writes nothing; an error-class
@@ -306,6 +323,53 @@ func TestBucketRefill(t *testing.T) {
 	}
 }
 
+// TestRateLimitEvictionSparesWeightedTenants: tenant buckets are created
+// with burst = Burst×weight, so a weight-4 tenant actively being limited
+// holds more than cfg.Burst tokens most of the time. Eviction must judge
+// each bucket against its OWN capacity — deleting the tenant's bucket
+// would recreate it full on the next request, resetting the limit and
+// granting a free 4× burst whenever the table is under pressure.
+func TestRateLimitEvictionSparesWeightedTenants(t *testing.T) {
+	clock := newFakeClock()
+	l := &limiter{
+		cfg: RateLimitConfig{Rate: 1, Burst: 2, MaxBuckets: 64, Now: clock.now},
+		ip:  make(map[string]*bucket), ten: make(map[string]*bucket),
+	}
+	// The weight-4 tenant (rate 4, burst 8) spends one token: 7 left —
+	// above cfg.Burst (2) but below its own capacity, i.e. mid-spend.
+	l.take(l.ten, "gold", 4, 8, clock.now())
+	// An IP bucket goes idle long enough to refill completely.
+	l.take(l.ip, "198.51.100.9", 1, 2, clock.now())
+	clock.advance(3 * time.Second)
+	l.take(l.ten, "gold", 4, 8, clock.now()) // active again: refilled to cap, spends 1
+
+	l.mu.Lock()
+	l.evict(clock.now())
+	l.mu.Unlock()
+	if l.ten["gold"] == nil {
+		t.Fatal("active weighted tenant bucket evicted (judged against base burst)")
+	}
+	if l.ip["198.51.100.9"] != nil {
+		t.Fatal("fully refilled idle IP bucket not evicted")
+	}
+}
+
+// TestRateLimitHardBound: a sustained flood of unique client IPs creates
+// buckets that are all mid-spend (not reclaimable by evict), so the
+// limiter must fall back to dropping the least recently active — the
+// table may never exceed MaxBuckets.
+func TestRateLimitHardBound(t *testing.T) {
+	clock := newFakeClock()
+	cfg := RateLimitConfig{Rate: 1, Burst: 4, MaxBuckets: 8, Now: clock.now}
+	l := &limiter{cfg: cfg, ip: make(map[string]*bucket), ten: make(map[string]*bucket)}
+	for i := 0; i < 100; i++ {
+		l.take(l.ip, fmt.Sprintf("10.0.%d.%d", i/256, i%256), cfg.Rate, cfg.Burst, clock.now())
+		if n := len(l.ip) + len(l.ten); n > cfg.MaxBuckets {
+			t.Fatalf("bucket table grew to %d after %d unique IPs, want <= %d", n, i+1, cfg.MaxBuckets)
+		}
+	}
+}
+
 func TestRateLimitMiddleware(t *testing.T) {
 	clock := newFakeClock()
 	c := metrics.NewIngressCounters()
@@ -417,6 +481,52 @@ func TestLoadShedWeightedOrdering(t *testing.T) {
 	}
 	if c.Sheds.Load() != c.TenantSheds("bronze")+c.TenantSheds("gold") {
 		t.Fatalf("Sheds=%d != per-tenant sum", c.Sheds.Load())
+	}
+}
+
+// TestLoadShedIgnoresParkedWaits: an idle fleet long-polling for work
+// parks server-side for the whole poll budget. The handler reports that
+// wait via ObserveParked, and the shedder must subtract it — otherwise
+// every empty 2s poll reads as a 2s latency, breaches any realistic p99
+// bound, and sheds a completely unloaded system. Exercised both through
+// the full chain (Logging carries the counter) and standalone (LoadShed
+// installs its own).
+func TestLoadShedIgnoresParkedWaits(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		withLogger bool
+	}{{"full chain", true}, {"standalone", false}} {
+		t.Run(tc.name, func(t *testing.T) {
+			clock := newFakeClock()
+			c := metrics.NewIngressCounters()
+			handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				clock.advance(2 * time.Second) // the idle long-poll park
+				ObserveParked(r.Context(), 2*time.Second)
+				w.WriteHeader(http.StatusOK)
+			})
+			shed := LoadShed(LoadShedConfig{
+				P99: 250 * time.Millisecond, MinSamples: 2,
+				EvalEvery: 10 * time.Millisecond, Now: clock.now,
+			}, c)
+			var h http.Handler
+			if tc.withLogger {
+				h = Chain(handler, Logging(&bytes.Buffer{}), shed)
+			} else {
+				h = Chain(handler, shed)
+			}
+			// Every request is 2s of fake time apart, so each one lands on
+			// an eval tick with a full window of parked-only samples.
+			for i := 0; i < 20; i++ {
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/workers/w1/pull", nil))
+				if rec.Code != http.StatusOK {
+					t.Fatalf("pull %d shed (%d) on an idle system: parked waits counted as latency", i, rec.Code)
+				}
+			}
+			if lvl := c.ShedLevel.Load(); lvl != 0 {
+				t.Fatalf("shed level = %d on an idle system, want 0", lvl)
+			}
+		})
 	}
 }
 

@@ -3,6 +3,7 @@ package middleware
 import (
 	"math"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -25,8 +26,10 @@ type RateLimitConfig struct {
 	// (internal/service.Service.TenantWeight). Nil, or results < 1, count
 	// as weight 1 so an unknown tenant still gets the base rate.
 	TenantWeight func(tenant string) int64
-	// MaxBuckets bounds the bucket table; stale buckets are evicted when
-	// it fills. 0 picks 65536.
+	// MaxBuckets is a hard bound on the bucket table: refilled buckets
+	// are evicted when it fills, and if none are reclaimable the least
+	// recently active are dropped, so a flood of unique spoofed client
+	// IPs cannot grow the table without bound. 0 picks 65536.
 	MaxBuckets int
 	// Now is the clock (tests); nil is time.Now.
 	Now func() time.Time
@@ -44,10 +47,16 @@ func (c *RateLimitConfig) normalize() {
 	}
 }
 
-// bucket is one token bucket: tokens at the last refill time.
+// bucket is one token bucket: tokens at the last refill time. rate and
+// burst are the bucket's OWN parameters — tenant buckets scale by weight,
+// so eviction must compare against them, not the base config: a weight-4
+// tenant mid-spend holds more than cfg.Burst tokens while still being
+// actively limited.
 type bucket struct {
 	tokens float64
 	last   time.Time
+	rate   float64
+	burst  float64
 }
 
 // limiter owns the bucket tables — one keyed by client IP, one by
@@ -72,12 +81,21 @@ func (l *limiter) take(m map[string]*bucket, key string, rate, burst float64, no
 	if b == nil {
 		if len(l.ip)+len(l.ten) >= l.cfg.MaxBuckets {
 			l.evict(now)
+			// MaxBuckets is a hard bound, not advisory: if nothing was
+			// refilled enough to reclaim — every resident bucket mid-spend
+			// is exactly the unique-key-flood shape — force out the least
+			// recently active instead of growing the table.
+			if over := len(l.ip) + len(l.ten) - l.cfg.MaxBuckets + 1; over > 0 {
+				l.evictOldest(over)
+			}
 		}
-		b = &bucket{tokens: burst, last: now}
+		b = &bucket{tokens: burst, last: now, rate: rate, burst: burst}
 		m[key] = b
 	} else {
 		b.tokens = math.Min(burst, b.tokens+rate*now.Sub(b.last).Seconds())
-		b.last = now
+		// Refresh the bucket's own parameters too: a tenant's weight can
+		// change between requests, and eviction judges by them.
+		b.last, b.rate, b.burst = now, rate, burst
 	}
 	if b.tokens >= 1 {
 		b.tokens--
@@ -86,16 +104,49 @@ func (l *limiter) take(m map[string]*bucket, key string, rate, burst float64, no
 	return false, time.Duration((1 - b.tokens) / rate * float64(time.Second))
 }
 
-// evict drops buckets idle long enough to have refilled completely —
-// indistinguishable from fresh ones — keeping the tables bounded under
-// client-IP churn. Callers hold l.mu.
+// evict drops buckets full or idle long enough to have refilled
+// completely — indistinguishable from fresh ones — keeping the tables
+// bounded under client-IP churn. Each bucket is judged against its own
+// rate and burst (tenant buckets scale by weight), so an actively
+// limited heavy tenant is never reset to a free full burst just because
+// it holds more tokens than the base depth. Callers hold l.mu.
 func (l *limiter) evict(now time.Time) {
 	for _, m := range []map[string]*bucket{l.ip, l.ten} {
 		for k, b := range m {
-			if b.tokens >= l.cfg.Burst || now.Sub(b.last).Seconds()*l.cfg.Rate >= l.cfg.Burst {
+			if b.tokens >= b.burst || now.Sub(b.last).Seconds()*b.rate >= b.burst {
 				delete(m, k)
 			}
 		}
+	}
+}
+
+// evictOldest force-drops the n least recently refilled buckets, plus a
+// batch margin so a sustained flood of unique keys sorts the table once
+// per batch rather than once per insert. Only reached when evict
+// reclaimed too little; the casualties are the longest-inactive buckets,
+// whose loss costs their owners at most one fresh burst. Callers hold
+// l.mu.
+func (l *limiter) evictOldest(n int) {
+	if batch := l.cfg.MaxBuckets / 16; batch > n {
+		n = batch
+	}
+	type ref struct {
+		m    map[string]*bucket
+		key  string
+		last time.Time
+	}
+	refs := make([]ref, 0, len(l.ip)+len(l.ten))
+	for _, m := range []map[string]*bucket{l.ip, l.ten} {
+		for k, b := range m {
+			refs = append(refs, ref{m, k, b.last})
+		}
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].last.Before(refs[j].last) })
+	if n > len(refs) {
+		n = len(refs)
+	}
+	for _, rf := range refs[:n] {
+		delete(rf.m, rf.key)
 	}
 }
 

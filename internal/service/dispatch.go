@@ -145,6 +145,17 @@ func candPop(h []candidate) (candidate, []candidate) {
 // dispatchable. It blocks in ServeHTTP; done aborts the park (request
 // context).
 func (s *Service) Pull(done <-chan struct{}, workerID string, wait time.Duration) (*api.PullResponse, error) {
+	resp, _, err := s.pull(done, workerID, wait)
+	return resp, err
+}
+
+// pull implements Pull and additionally reports how long the call spent
+// parked waiting for work. The park is the long-poll portion of the
+// request's wall time — up to the full poll budget on an idle system —
+// and the HTTP handler forwards it to the ingress shedder
+// (middleware.ObserveParked) so it is never mistaken for service
+// latency.
+func (s *Service) pull(done <-chan struct{}, workerID string, wait time.Duration) (resp *api.PullResponse, parked time.Duration, err error) {
 	if wait < 0 {
 		wait = 0
 	}
@@ -156,7 +167,7 @@ func (s *Service) Pull(done <-chan struct{}, workerID string, wait time.Duration
 	openAtEntry := -1
 	for {
 		if s.closed.Load() {
-			return nil, errf(503, "service: closed")
+			return nil, parked, errf(503, "service: closed")
 		}
 		now := time.Now()
 		s.maybeSweep(now)
@@ -165,17 +176,17 @@ func (s *Service) Pull(done <-chan struct{}, workerID string, wait time.Duration
 		w := s.reg.workers[workerID]
 		if w == nil {
 			s.reg.mu.Unlock()
-			return nil, errf(404, "service: unknown worker %q (lease expired? re-register)", workerID)
+			return nil, parked, errf(404, "service: unknown worker %q (lease expired? re-register)", workerID)
 		}
 		w.expires = now.Add(s.cfg.LeaseTTL)
 		if w.assignment != nil {
 			id := w.assignment.id
 			s.reg.mu.Unlock()
-			return nil, errf(409, "service: worker %q already holds assignment %q", workerID, id)
+			return nil, parked, errf(409, "service: worker %q already holds assignment %q", workerID, id)
 		}
 		if w.pulling {
 			s.reg.mu.Unlock()
-			return nil, errf(409, "service: worker %q has another pull in flight", workerID)
+			return nil, parked, errf(409, "service: worker %q has another pull in flight", workerID)
 		}
 		w.pulling = true
 		ref := w.ref
@@ -209,7 +220,7 @@ func (s *Service) Pull(done <-chan struct{}, workerID string, wait time.Duration
 			}
 			sh.mu.Unlock()
 			s.hub.broadcast()
-			return nil, errf(404, "service: unknown worker %q (lease expired? re-register)", workerID)
+			return nil, parked, errf(404, "service: unknown worker %q (lease expired? re-register)", workerID)
 		}
 		if a != nil {
 			s.counters.ObserveDispatch(time.Since(dispatchStart).Nanoseconds())
@@ -219,9 +230,9 @@ func (s *Service) Pull(done <-chan struct{}, workerID string, wait time.Duration
 				// durability confirmation failed. The worker gets an error,
 				// abandons the pull, and the lease expires back into the
 				// queue.
-				return nil, err
+				return nil, parked, err
 			}
-			return resp, nil
+			return resp, parked, nil
 		}
 
 		// Surface idleness promptly when a job finishes while we wait:
@@ -233,12 +244,12 @@ func (s *Service) Pull(done <-chan struct{}, workerID string, wait time.Duration
 			openAtEntry = open
 		}
 		if open < openAtEntry {
-			return &api.PullResponse{Status: api.StatusEmpty, OpenJobs: open}, nil
+			return &api.PullResponse{Status: api.StatusEmpty, OpenJobs: open}, parked, nil
 		}
 
 		park := time.Until(deadline)
 		if park <= 0 {
-			return &api.PullResponse{Status: api.StatusEmpty, OpenJobs: open}, nil
+			return &api.PullResponse{Status: api.StatusEmpty, OpenJobs: open}, parked, nil
 		}
 		// Cap each park below the lease TTL so the loop re-renews the
 		// worker's registration lease while it waits.
@@ -246,13 +257,19 @@ func (s *Service) Pull(done <-chan struct{}, workerID string, wait time.Duration
 			park = cap
 		}
 		timer := time.NewTimer(park)
+		parkStart := time.Now()
+		aborted := false
 		select {
 		case <-done:
 			timer.Stop()
-			return nil, errf(499, "service: pull abandoned by client")
+			aborted = true
 		case <-ch:
 			timer.Stop()
 		case <-timer.C:
+		}
+		parked += time.Since(parkStart)
+		if aborted {
+			return nil, parked, errf(499, "service: pull abandoned by client")
 		}
 	}
 }

@@ -118,7 +118,24 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleDeleteJob(w http.ResponseWriter, r *http.Request) {
-	if err := s.DeleteJob(r.PathValue("id")); err != nil {
+	id := r.PathValue("id")
+	// Deletion is tenant-scoped: a non-admin token may delete only its own
+	// tenant's jobs (job tenants are immutable, so the check cannot race
+	// the delete). Reads stay cluster-visible by design — see the
+	// visibility model in docs/INGRESS.md.
+	if p, ok := middleware.PrincipalFrom(r.Context()); ok && !p.Admin {
+		st, err := s.JobStatus(id)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		if st.Tenant != p.Tenant {
+			writeError(w, errf(http.StatusForbidden,
+				"token for tenant %q cannot delete tenant %q's job %q", p.Tenant, st.Tenant, id))
+			return
+		}
+	}
+	if err := s.DeleteJob(id); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -155,7 +172,11 @@ func (s *Service) handlePull(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
-	resp, err := s.Pull(r.Context().Done(), r.PathValue("id"), time.Duration(req.WaitMillis)*time.Millisecond)
+	resp, parked, err := s.pull(r.Context().Done(), r.PathValue("id"), time.Duration(req.WaitMillis)*time.Millisecond)
+	// Report the long-poll park to the ingress shedder: an idle worker's
+	// empty pull spends its whole poll budget parked here, and counting
+	// that as request latency would shed a healthy, unloaded system.
+	middleware.ObserveParked(r.Context(), parked)
 	if err != nil {
 		writeError(w, err)
 		return

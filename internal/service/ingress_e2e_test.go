@@ -27,8 +27,9 @@ func TestIngressAuthEndToEnd(t *testing.T) {
 	svc := newService(t, service.Config{NewScheduler: gridsched.SchedulerFactory()})
 	c := metrics.NewIngressCounters()
 	store := middleware.NewTokenStore(map[string]middleware.Principal{
-		"gold-token":  {Tenant: "gold"},
-		"admin-token": {Tenant: "ops", Admin: true},
+		"gold-token":   {Tenant: "gold"},
+		"bronze-token": {Tenant: "bronze"},
+		"admin-token":  {Tenant: "ops", Admin: true},
 	})
 	ts := httptest.NewServer(middleware.Ingress(middleware.Config{
 		Counters: c, Log: io.Discard, Tokens: store, TenantWeight: svc.TenantWeight,
@@ -92,9 +93,65 @@ func TestIngressAuthEndToEnd(t *testing.T) {
 	if _, err := admin.SetTenantQuota(ctx, "gold", 4); err != nil {
 		t.Fatalf("admin quota override: %v", err)
 	}
+
+	// Job deletion is tenant-scoped: another tenant's token is refused
+	// outright (403, before any state check), while the owner reaches the
+	// delete path itself — the job is still running, so the service
+	// answers 409, proving the request got past authorization.
+	bronze := client.New(ts.URL, nil)
+	bronze.AuthToken = "bronze-token"
+	if err := bronze.DeleteJob(ctx, id); !errors.As(err, &ae) || ae.StatusCode != http.StatusForbidden {
+		t.Fatalf("cross-tenant delete: %v, want 403", err)
+	}
+	if err := gold.DeleteJob(ctx, id); !errors.As(err, &ae) || ae.StatusCode != http.StatusConflict {
+		t.Fatalf("owner delete of running job: %v, want 409", err)
+	}
+	if err := admin.DeleteJob(ctx, id); !errors.As(err, &ae) || ae.StatusCode != http.StatusConflict {
+		t.Fatalf("admin delete of running job: %v, want 409", err)
+	}
 	if c.AuthFailures.Load() == 0 || c.AuthDenied.Load() == 0 {
 		t.Fatalf("counters: failures=%d denied=%d, want both > 0",
 			c.AuthFailures.Load(), c.AuthDenied.Load())
+	}
+}
+
+// TestIngressIdleLongPollsDoNotShed: an idle fleet long-polling an empty
+// queue parks server-side for the full poll budget on every pull. Those
+// parked waits must not be read as request latency — with a 50ms shed
+// bound and ~100ms polls, a shedder that counted them would escalate
+// immediately and shed a completely unloaded system.
+func TestIngressIdleLongPollsDoNotShed(t *testing.T) {
+	svc := newService(t, service.Config{NewScheduler: gridsched.SchedulerFactory()})
+	c := metrics.NewIngressCounters()
+	ts := httptest.NewServer(middleware.Ingress(middleware.Config{
+		Counters:       c,
+		Log:            io.Discard,
+		ShedP99:        50 * time.Millisecond,
+		ShedMinSamples: 4,
+		ShedEvalEvery:  10 * time.Millisecond,
+		TenantWeight:   svc.TenantWeight,
+	}, svc.Handler()))
+	defer ts.Close()
+	ctx := context.Background()
+	cl := client.New(ts.URL, nil)
+	reg, err := cl.Register(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		resp, err := cl.Pull(ctx, reg.WorkerID, 100*time.Millisecond)
+		if err != nil {
+			t.Fatalf("pull %d on an idle cluster: %v", i, err)
+		}
+		if resp.Status != api.StatusEmpty {
+			t.Fatalf("pull %d: status %q, want empty", i, resp.Status)
+		}
+	}
+	if n := c.Sheds.Load(); n != 0 {
+		t.Fatalf("idle long-polls drove %d sheds (parked waits sampled as latency)", n)
+	}
+	if lvl := c.ShedLevel.Load(); lvl != 0 {
+		t.Fatalf("shed level = %d on an idle cluster, want 0", lvl)
 	}
 }
 
