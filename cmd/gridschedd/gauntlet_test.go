@@ -20,9 +20,18 @@ import (
 
 // daemon is one gridschedd subprocess under test.
 type daemon struct {
-	cmd    *exec.Cmd
-	stderr bytes.Buffer
-	waitCh chan error
+	cmd      *exec.Cmd
+	stderr   bytes.Buffer
+	waitCh   chan error
+	waitOnce sync.Once
+	waitErr  error
+}
+
+// wait reaps the process exactly once; safe to call repeatedly (kill9
+// followed by a deferred stop).
+func (d *daemon) wait() error {
+	d.waitOnce.Do(func() { d.waitErr = <-d.waitCh })
+	return d.waitErr
 }
 
 func startDaemon(t *testing.T, bin string, args ...string) *daemon {
@@ -51,12 +60,12 @@ func (d *daemon) kill9(t *testing.T) {
 	if err := d.cmd.Process.Kill(); err != nil {
 		t.Fatal(err)
 	}
-	<-d.waitCh
+	_ = d.wait()
 }
 
 func (d *daemon) stop() {
 	_ = d.cmd.Process.Kill()
-	<-d.waitCh
+	_ = d.wait()
 }
 
 func waitHealthy(t *testing.T, cl *client.Client) {
@@ -161,8 +170,8 @@ func TestRecoveryGauntletKill9(t *testing.T) {
 					}
 					return nil
 				},
-				OnReport: func(_ context.Context, a *api.Assignment, rep *api.ReportResponse) bool {
-					if rep.Accepted && !rep.Stale && !rep.Cancelled {
+				OnReport: func(_ context.Context, a *api.Assignment, outcome string, rep *api.ReportResponse) bool {
+					if outcome == api.OutcomeSuccess && rep.Accepted && !rep.Stale && !rep.Cancelled {
 						ackMu.Lock()
 						acks[a.Task.ID]++
 						ackMu.Unlock()

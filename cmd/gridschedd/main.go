@@ -15,6 +15,8 @@
 //	gridschedd -auth-tokens tokens.conf               # per-tenant bearer auth (SIGHUP reloads the file)
 //	gridschedd -rate-limit 500 -rate-burst 1000       # token-bucket throttling per IP and tenant
 //	gridschedd -shed-p99 250ms                        # shed pulls/submits when p99 breaches the bound
+//	gridschedd -data-dir d2 -follow http://leader:8080     # hot standby replicating the leader's journal
+//	gridschedd -data-dir d2 -follow ... -auto-promote 5s   # ... that self-promotes when the leader goes silent
 //	gridschedd -pprof   # also serve net/http/pprof under /debug/pprof/
 //
 // Every instance fronts the service with the production ingress chain of
@@ -39,7 +41,15 @@
 // transparently). The listener binds BEFORE recovery starts: GET /healthz
 // answers 200 (the process is alive) and GET /readyz answers 503
 // "recovering" until replay completes, then 200 "ready" — the probe pair
-// orchestrators want. See README "Operations" and docs/PROTOCOL.md.
+// orchestrators want. /readyz also reports the node's replication role and,
+// on a standby, its LSN lag. See README "Operations" and docs/PROTOCOL.md.
+//
+// With -follow, the daemon is a hot standby instead: it streams the
+// leader's journal over GET /v1/replication/stream, persists it locally,
+// serves read-only status (mutations answer 421 with the leader's URL,
+// which the Go client follows), and becomes the leader on POST
+// /v1/replication/promote — or by itself, with -auto-promote, once the
+// leader has been silent too long. See docs/REPLICATION.md.
 //
 // Then, from anywhere:
 //
@@ -140,9 +150,15 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 		fsync    = fs.String("fsync", "batch", "journal fsync mode: always, batch or never")
 		fsyncInt = fs.Duration("fsync-interval", 25*time.Millisecond, "batch-mode fsync cadence")
 		snapshot = fs.Int("snapshot-every", 4096, "journal records between compacting snapshots")
+		follow   = fs.String("follow", "", "run as a hot standby replicating the leader at this base URL (requires -data-dir); read-only until promoted")
+		replTok  = fs.String("replication-token", "", "bearer token presented to the leader's replication stream (an admin token when the leader runs -auth-tokens)")
+		autoProm = fs.Duration("auto-promote", 0, "standby only: promote automatically after this long without leader contact (0: manual promotion via POST /v1/replication/promote)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *follow != "" && *dataDir == "" {
+		return fmt.Errorf("-follow requires -data-dir (the standby's reason to exist is the replicated journal)")
 	}
 	var pol storage.Policy
 	switch *policy {
@@ -171,8 +187,7 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
-	recoverStart := time.Now()
-	svc, err := gridsched.NewService(gridsched.ServiceConfig{
+	svcCfg := gridsched.ServiceConfig{
 		Topology: gridsched.ServiceTopology{
 			Sites:          *sites,
 			WorkersPerSite: *workers,
@@ -188,22 +203,14 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 		Fsync:             mode,
 		FsyncInterval:     *fsyncInt,
 		SnapshotEvery:     *snapshot,
-	})
-	if err != nil {
-		_ = srv.Close()
-		<-serveErr
-		return err
-	}
-	defer svc.Close()
-	if *dataDir != "" {
-		log.Printf("gridschedd: recovered %s in %s (fsync=%s, snapshot every %d records)",
-			*dataDir, time.Since(recoverStart).Round(time.Millisecond), mode, *snapshot)
 	}
 
 	var store *middleware.TokenStore
 	if *tokens != "" {
 		store, err = middleware.LoadTokenFile(*tokens)
 		if err != nil {
+			_ = srv.Close()
+			<-serveErr
 			return err
 		}
 		log.Printf("gridschedd: auth enabled, %d tokens loaded from %s (SIGHUP reloads)", store.Len(), *tokens)
@@ -221,29 +228,66 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 		}()
 	}
 	ingress := metrics.NewIngressCounters()
-	handler := middleware.Ingress(middleware.Config{
-		Counters:     ingress,
-		Tokens:       store,
-		RateLimit:    *rate,
-		RateBurst:    *burst,
-		ShedP99:      *shedP99,
-		TenantWeight: svc.TenantWeight,
-	}, svc.Handler())
-	if *pprof {
-		// Mount the profiling handlers next to the service without going
-		// through http.DefaultServeMux, so -pprof stays strictly opt-in.
-		mux := http.NewServeMux()
-		mux.Handle("/", handler)
-		mux.HandleFunc("/debug/pprof/", httppprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
-		handler = mux
+	// buildIngress fronts h with the full production middleware chain (and
+	// -pprof's handlers). tenantWeight may be nil — a follower has no
+	// fair-share arbiter to resolve weights against.
+	buildIngress := func(h http.Handler, tenantWeight func(string) int64) http.Handler {
+		handler := middleware.Ingress(middleware.Config{
+			Counters:     ingress,
+			Tokens:       store,
+			RateLimit:    *rate,
+			RateBurst:    *burst,
+			ShedP99:      *shedP99,
+			TenantWeight: tenantWeight,
+		}, h)
+		if *pprof {
+			// Mount the profiling handlers next to the service without going
+			// through http.DefaultServeMux, so -pprof stays strictly opt-in.
+			mux := http.NewServeMux()
+			mux.Handle("/", handler)
+			mux.HandleFunc("/debug/pprof/", httppprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+			handler = mux
+		}
+		return handler
 	}
-	wrapper.store(handler)
-	log.Printf("gridschedd: listening on %s (%d sites x %d workers, capacity %d files, lease %s)",
-		ln.Addr(), *sites, *workers, *capacity, *lease)
+
+	// closeApp is what shutdown tears down; in standby mode promotion swaps
+	// it from "close the follower" to "close the promoted service".
+	var closeApp atomic.Pointer[func()]
+
+	if *follow != "" {
+		if err := runFollower(ctx, followerEnv{
+			svcCfg: svcCfg, leader: *follow, token: *replTok, autoPromote: *autoProm,
+			wrapper: wrapper, buildIngress: buildIngress, closeApp: &closeApp,
+		}); err != nil {
+			_ = srv.Close()
+			<-serveErr
+			return err
+		}
+		log.Printf("gridschedd: standby listening on %s, replicating %s (promote: POST /v1/replication/promote)",
+			ln.Addr(), *follow)
+	} else {
+		recoverStart := time.Now()
+		svc, err := gridsched.NewService(svcCfg)
+		if err != nil {
+			_ = srv.Close()
+			<-serveErr
+			return err
+		}
+		if *dataDir != "" {
+			log.Printf("gridschedd: recovered %s in %s (fsync=%s, snapshot every %d records)",
+				*dataDir, time.Since(recoverStart).Round(time.Millisecond), mode, *snapshot)
+		}
+		closer := func() { svc.Close() }
+		closeApp.Store(&closer)
+		wrapper.store(buildIngress(svc.Handler(), svc.TenantWeight))
+		log.Printf("gridschedd: listening on %s (%d sites x %d workers, capacity %d files, lease %s)",
+			ln.Addr(), *sites, *workers, *capacity, *lease)
+	}
 	if onReady != nil {
 		onReady(ln.Addr().String())
 	}
@@ -254,13 +298,14 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 		<-ctx.Done()
 		// Closing the service first fails parked long polls fast, so
 		// Shutdown does not wait out their poll budgets.
-		svc.Close()
+		(*closeApp.Load())()
 		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(sctx)
 	}()
 	err = <-serveErr
 	<-done
+	(*closeApp.Load())() // idempotent: Close and Follower.Close both tolerate a second call
 	if errors.Is(err, http.ErrServerClosed) {
 		return nil
 	}

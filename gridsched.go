@@ -196,6 +196,26 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 	return service.New(cfg)
 }
 
+// Replication aliases: the hot-standby follower behind gridschedd -follow
+// (docs/REPLICATION.md).
+type (
+	// Follower is a hot standby replicating a leader's journal; Promote
+	// turns it into a live Service via the recovery path.
+	Follower = service.Follower
+	// FollowerConfig parameterizes the replication client of a Follower.
+	FollowerConfig = service.FollowerConfig
+)
+
+// NewFollower builds a hot standby for the leader named in fcfg. cfg is
+// the service configuration the standby will run with once promoted; as
+// in NewService, a nil cfg.NewScheduler is filled with SchedulerFactory.
+func NewFollower(cfg ServiceConfig, fcfg FollowerConfig) (*Follower, error) {
+	if cfg.NewScheduler == nil {
+		cfg.NewScheduler = SchedulerFactory()
+	}
+	return service.NewFollower(cfg, fcfg)
+}
+
 // SchedulerFactory resolves the algorithm names of AlgorithmNames (plus the
 // "rest.N"/"combined.N"/"overlap.N" and "combined-literal" variants) into
 // schedulers for service jobs.

@@ -1,0 +1,97 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os/exec"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// lockedBuffer makes the stderr capture safe to read while the process
+// is still writing.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// Proc is a subprocess under kill -9 control. The failover gauntlet runs
+// each gridschedd under one of these and murders the leader mid-commit.
+type Proc struct {
+	cmd    *exec.Cmd
+	stderr lockedBuffer
+	waitCh chan error
+}
+
+// StartProc launches bin with args; stderr is captured for post-mortems.
+func StartProc(bin string, args ...string) (*Proc, error) {
+	p := &Proc{cmd: exec.Command(bin, args...), waitCh: make(chan error, 1)}
+	p.cmd.Stderr = &p.stderr
+	if err := p.cmd.Start(); err != nil {
+		return nil, err
+	}
+	go func() { p.waitCh <- p.cmd.Wait() }()
+	return p, nil
+}
+
+// Kill9 delivers SIGKILL — no shutdown hooks, no final fsync, the real
+// crash — and reaps the process. Errors if it already exited (a gauntlet
+// that kills a corpse is not testing what it thinks it is).
+func (p *Proc) Kill9() error {
+	select {
+	case err := <-p.waitCh:
+		return fmt.Errorf("faultinject: process already exited (%v); stderr:\n%s", err, p.stderr.String())
+	default:
+	}
+	if err := p.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	<-p.waitCh
+	return nil
+}
+
+// Stop asks politely (SIGTERM), escalating to SIGKILL after grace.
+func (p *Proc) Stop(grace time.Duration) error {
+	select {
+	case <-p.waitCh:
+		return nil
+	default:
+	}
+	_ = p.cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case <-p.waitCh:
+		return nil
+	case <-time.After(grace):
+		_ = p.cmd.Process.Kill()
+		<-p.waitCh
+		return errors.New("faultinject: process ignored SIGTERM, killed")
+	}
+}
+
+// Alive reports whether the process is still running.
+func (p *Proc) Alive() bool {
+	select {
+	case err := <-p.waitCh:
+		p.waitCh <- err
+		return false
+	default:
+		return true
+	}
+}
+
+// Stderr returns everything the process wrote to stderr so far.
+func (p *Proc) Stderr() string { return p.stderr.String() }

@@ -118,6 +118,19 @@ func frameCRC(lsn uint64, payload []byte) uint32 {
 // ErrClosed is returned by operations on a closed (or crashed) writer.
 var ErrClosed = errors.New("journal: writer closed")
 
+// File is the handle a Writer appends to. *os.File satisfies it; tests
+// substitute a fault-injecting implementation (internal/faultinject.File)
+// to prove that write and fsync failures poison the writer instead of
+// silently acknowledging records the log did not keep.
+type File interface {
+	io.Writer
+	io.Seeker
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Stat() (os.FileInfo, error)
+}
+
 // Metrics receives the writer's activity counters; a nil *Metrics disables
 // reporting. The fields alias the service's /metrics gauges.
 type Metrics struct {
@@ -133,7 +146,7 @@ type Writer struct {
 	met      *Metrics
 
 	mu       sync.Mutex // file writes, rotation
-	f        *os.File
+	f        File
 	scratch  []byte
 	appended atomic.Uint64 // last LSN written
 
@@ -141,6 +154,17 @@ type Writer struct {
 	syncCh  *sync.Cond
 	durable uint64 // last LSN covered by an fsync
 	err     error  // terminal write/sync failure, or ErrClosed
+	closed  bool   // shutdown ran; distinct from err, which poison also sets
+
+	// rotations counts Rotate calls. Tail-following readers (the
+	// replication streamer) snapshot it before scanning and restart when
+	// it moves: a rotation invalidates every byte offset they held.
+	rotations atomic.Uint64
+
+	// notify is closed and replaced after every successful append, so a
+	// tail-following reader can block for "new frames" without polling.
+	notifyMu sync.Mutex
+	notify   chan struct{}
 
 	wake chan struct{}
 	stop chan struct{}
@@ -156,12 +180,19 @@ type Writer struct {
 // must pass ReadLog's ValidSize, never a guess, or risk discarding a
 // healthy log. met may be nil.
 func OpenWriter(path string, mode Mode, interval time.Duration, lastLSN uint64, validSize int64, met *Metrics) (*Writer, error) {
-	if interval <= 0 {
-		interval = 25 * time.Millisecond
-	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
+	}
+	return OpenWriterFile(f, mode, interval, lastLSN, validSize, met)
+}
+
+// OpenWriterFile is OpenWriter over an already-open File — the seam that
+// lets fault-injection tests hand the writer a handle whose writes and
+// fsyncs fail on cue. On error the file is closed.
+func OpenWriterFile(f File, mode Mode, interval time.Duration, lastLSN uint64, validSize int64, met *Metrics) (*Writer, error) {
+	if interval <= 0 {
+		interval = 25 * time.Millisecond
 	}
 	st, err := f.Stat()
 	if err != nil {
@@ -200,6 +231,7 @@ func OpenWriter(path string, mode Mode, interval time.Duration, lastLSN uint64, 
 		interval: interval,
 		met:      met,
 		f:        f,
+		notify:   make(chan struct{}),
 		wake:     make(chan struct{}, 1),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
@@ -264,8 +296,32 @@ func (w *Writer) AppendBatch(payloads [][]byte) (uint64, error) {
 		w.met.Records.Add(int64(len(payloads)))
 		w.met.Bytes.Add(int64(need))
 	}
+	w.notifyAppend()
 	return first, nil
 }
+
+// notifyAppend wakes every AppendNotify waiter (close-and-replace, the
+// same lost-wakeup-free discipline as the service's long-poll hub).
+func (w *Writer) notifyAppend() {
+	w.notifyMu.Lock()
+	close(w.notify)
+	w.notify = make(chan struct{})
+	w.notifyMu.Unlock()
+}
+
+// AppendNotify returns a channel closed after the next append (or
+// rotation, or shutdown — any event that should make a tail follower
+// look again). Subscribe BEFORE checking for new frames, then wait.
+func (w *Writer) AppendNotify() <-chan struct{} {
+	w.notifyMu.Lock()
+	ch := w.notify
+	w.notifyMu.Unlock()
+	return ch
+}
+
+// Rotations counts Rotate calls; tail followers snapshot it to detect
+// that their byte offsets went stale.
+func (w *Writer) Rotations() uint64 { return w.rotations.Load() }
 
 // WaitDurable blocks until the record at lsn is fsync-covered (SyncAlways)
 // or returns immediately (SyncBatch, SyncNever). Callers must not hold
@@ -385,6 +441,8 @@ func (w *Writer) Rotate() error {
 	w.durable = w.appended.Load()
 	w.syncCh.Broadcast()
 	w.syncMu.Unlock()
+	w.rotations.Add(1)
+	w.notifyAppend()
 	return nil
 }
 
@@ -410,7 +468,8 @@ func (w *Writer) Abandon() {
 
 func (w *Writer) shutdown(reportCloseErr bool) error {
 	w.syncMu.Lock()
-	already := errors.Is(w.err, ErrClosed)
+	already := w.closed
+	w.closed = true
 	if w.err == nil {
 		w.err = ErrClosed
 	}
@@ -419,6 +478,7 @@ func (w *Writer) shutdown(reportCloseErr bool) error {
 	if already {
 		return nil
 	}
+	w.notifyAppend() // unblock tail followers so they observe the close
 	close(w.stop)
 	<-w.done
 	w.mu.Lock()
@@ -445,6 +505,7 @@ func (w *Writer) poison(err error) {
 	}
 	w.syncCh.Broadcast()
 	w.syncMu.Unlock()
+	w.notifyAppend() // tail followers must notice the failure, not hang
 }
 
 // LogInfo describes what ReadLog recovered.

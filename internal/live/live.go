@@ -235,7 +235,7 @@ func (c *Cluster) runWorker(ctx context.Context, cl *client.Client, site int, jo
 		OnIdle: func(_ context.Context, resp *api.PullResponse) (bool, error) {
 			return resp.OpenJobs == 0, nil
 		},
-		OnReport: func(_ context.Context, _ *api.Assignment, rep *api.ReportResponse) bool {
+		OnReport: func(_ context.Context, _ *api.Assignment, _ string, rep *api.ReportResponse) bool {
 			return rep.JobState == api.JobCompleted
 		},
 	})

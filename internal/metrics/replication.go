@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// ReplicationCounters are the WAL-replication metrics of one node, fed by
+// the leader's stream handler (internal/service) or the follower loop and
+// appended to /metrics next to the ServiceCounters.
+type ReplicationCounters struct {
+	// Leader side.
+	StreamsActive  atomic.Int64 // open follower stream connections (gauge)
+	FramesStreamed atomic.Int64 // frames sent to followers
+
+	// Follower side.
+	FramesApplied    atomic.Int64 // frames appended to the local journal
+	SnapshotsApplied atomic.Int64 // snapshot catch-ups installed
+	Reconnects       atomic.Int64 // stream reconnect attempts
+	Halted           atomic.Int64 // 1 after a terminal divergence/journal halt (gauge)
+
+	// Position gauges; lag = LeaderLSN - LocalLSN on a follower.
+	LocalLSN  atomic.Int64
+	LeaderLSN atomic.Int64
+}
+
+// roleGauge renders the conventional one-hot role gauge so dashboards can
+// group nodes by role with a label selector.
+var replicationRoles = []string{"leader", "follower", "recovering"}
+
+// WriteReplicationText renders the node's replication role and counters
+// in the Prometheus text exposition format. role must be one of the
+// api.Role* values; c may be nil (role-only output for nodes that do not
+// replicate).
+func WriteReplicationText(w io.Writer, role string, c *ReplicationCounters) error {
+	if _, err := fmt.Fprintf(w, "# TYPE gridsched_replication_role gauge\n"); err != nil {
+		return err
+	}
+	for _, r := range replicationRoles {
+		v := 0
+		if r == role {
+			v = 1
+		}
+		if _, err := fmt.Fprintf(w, "gridsched_replication_role{role=%q} %d\n", r, v); err != nil {
+			return err
+		}
+	}
+	if c == nil {
+		return nil
+	}
+	local, leader := c.LocalLSN.Load(), c.LeaderLSN.Load()
+	lag := leader - local
+	if lag < 0 {
+		lag = 0
+	}
+	for _, m := range []struct {
+		name, kind string
+		v          int64
+	}{
+		{"gridsched_replication_streams_active", "gauge", c.StreamsActive.Load()},
+		{"gridsched_replication_frames_streamed_total", "counter", c.FramesStreamed.Load()},
+		{"gridsched_replication_frames_applied_total", "counter", c.FramesApplied.Load()},
+		{"gridsched_replication_snapshots_applied_total", "counter", c.SnapshotsApplied.Load()},
+		{"gridsched_replication_reconnects_total", "counter", c.Reconnects.Load()},
+		{"gridsched_replication_halted", "gauge", c.Halted.Load()},
+		{"gridsched_replication_local_lsn", "gauge", local},
+		{"gridsched_replication_leader_lsn", "gauge", leader},
+		{"gridsched_replication_lag_lsn", "gauge", lag},
+	} {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", m.name, m.kind, m.name, m.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

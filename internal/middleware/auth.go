@@ -126,9 +126,13 @@ func parseTokens(data []byte) (map[string]Principal, error) {
 }
 
 // adminEndpoint reports whether the request mutates cross-tenant state
-// and therefore requires an admin token: today that is quota overrides
-// (PUT /v1/tenants/{tenant}).
+// and therefore requires an admin token: quota overrides (PUT
+// /v1/tenants/{tenant}) and the whole replication surface (streaming the
+// journal exposes every tenant's records; promotion changes who leads).
 func adminEndpoint(r *http.Request) bool {
+	if strings.HasPrefix(r.URL.Path, "/v1/replication/") {
+		return true
+	}
 	return r.Method == http.MethodPut && strings.HasPrefix(r.URL.Path, "/v1/tenants/")
 }
 

@@ -88,6 +88,19 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return w.ResponseWriter.Write(p)
 }
 
+// Flush forwards http.Flusher through the wrapper — embedding the
+// ResponseWriter interface promotes only its three methods, which would
+// otherwise strand streaming handlers (the replication stream) behind the
+// ingress chain.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // writeJSONError emits the protocol's standard error body
 // (api.ErrorResponse) — middleware rejections look exactly like service
 // rejections to clients.

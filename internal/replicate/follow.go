@@ -1,0 +1,101 @@
+package replicate
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Handler consumes one replication stream. Implementations persist what
+// they are given; Replay has already enforced ordering when a method is
+// called.
+type Handler interface {
+	// ApplySnapshot replaces the follower's state with a full snapshot
+	// covering everything up to and including lsn.
+	ApplySnapshot(lsn uint64, data []byte) error
+	// ApplyFrame appends one journal record payload; lsn is guaranteed to
+	// be exactly one past the last applied position.
+	ApplyFrame(lsn uint64, payload []byte) error
+	// Heartbeat reports the leader's last LSN (lag = leader - local).
+	Heartbeat(lastLSN uint64)
+}
+
+// Replay decodes a replication stream and applies it through h, starting
+// from last (the highest LSN the follower already holds). It is the
+// divergence firewall: frames must arrive exactly in sequence, snapshots
+// may never travel backwards, and a leader announcing less history than
+// the follower holds is split-brain — each violation halts the stream
+// with ErrDiverged before anything is applied out of order. Duplicate
+// frames at or below the applied position (redelivery after reconnect)
+// are skipped. A clean EOF returns nil.
+func Replay(r io.Reader, last uint64, h Handler) error {
+	dec := NewDecoder(r)
+	for {
+		msg, err := dec.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		switch msg.Type {
+		case TypeHeartbeat:
+			if msg.LSN < last {
+				return fmt.Errorf("%w: leader reports lsn %d behind follower %d", ErrDiverged, msg.LSN, last)
+			}
+			h.Heartbeat(msg.LSN)
+		case TypeSnapshot:
+			if msg.LSN < last {
+				return fmt.Errorf("%w: snapshot at lsn %d would rewind follower at %d", ErrDiverged, msg.LSN, last)
+			}
+			if err := h.ApplySnapshot(msg.LSN, msg.Payload); err != nil {
+				return err
+			}
+			last = msg.LSN
+		case TypeFrame:
+			if msg.LSN <= last {
+				continue // redelivery
+			}
+			if msg.LSN != last+1 {
+				return fmt.Errorf("%w: frame lsn %d after %d (gap)", ErrDiverged, msg.LSN, last)
+			}
+			if err := h.ApplyFrame(msg.LSN, msg.Payload); err != nil {
+				return err
+			}
+			last = msg.LSN
+		}
+	}
+}
+
+// StreamPath is the leader's replication endpoint.
+const StreamPath = "/v1/replication/stream"
+
+// Follow opens one streaming connection to the leader and replays it
+// through h until the connection ends. from is the last LSN the follower
+// holds; token, when non-empty, is sent as a bearer token (the endpoint
+// is admin-gated when the leader runs with -auth-tokens). hc must have
+// no client-level timeout — the stream is long-lived; cancel via ctx.
+// The caller owns the reconnect policy.
+func Follow(ctx context.Context, hc *http.Client, leaderURL, token string, from uint64, h Handler) error {
+	u := strings.TrimSuffix(leaderURL, "/") + StreamPath + "?from=" + strconv.FormatUint(from, 10)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("replicate: leader refused stream: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return Replay(resp.Body, from, h)
+}

@@ -14,10 +14,16 @@
 //	POST   /v1/workers/{id}/pull        PullRequest       -> PullResponse (long poll)
 //	POST   /v1/assignments/{id}/heartbeat HeartbeatRequest -> HeartbeatResponse
 //	POST   /v1/assignments/{id}/report  ReportRequest     -> ReportResponse
+//	GET    /v1/replication/stream?from=N                  -> chunked frame stream (internal/replicate)
+//	POST   /v1/replication/promote                        -> PromoteResponse (followers only)
 //	GET    /healthz                                       -> Health
+//	GET    /readyz                                        -> Readiness (role + replication lag)
 //	GET    /metrics                                       -> text (see internal/metrics)
 //
 // Errors are returned as an ErrorResponse body with a non-2xx status code.
+// A follower answers mutating requests with 421 Misdirected Request, an
+// ErrorResponse body, and the leader's base URL in the LeaderHeader — the
+// redirect hint the Go client's endpoint failover follows.
 // The full schema of every endpoint is documented in docs/PROTOCOL.md.
 package api
 
@@ -239,11 +245,50 @@ type Health struct {
 	Workers int    `json:"workers"`
 }
 
+// Replication roles, reported by GET /readyz so load balancers can route
+// writes to the leader only.
+const (
+	// RoleLeader serves reads and writes and streams its WAL to followers.
+	RoleLeader = "leader"
+	// RoleFollower replicates the leader's WAL, serves read-only status,
+	// and rejects mutations with 421 + a leader redirect hint.
+	RoleFollower = "follower"
+	// RoleRecovering is a daemon still replaying snapshot + journal (or a
+	// follower mid-promotion); not ready for traffic.
+	RoleRecovering = "recovering"
+)
+
+// LeaderHeader is the response header carrying the leader's base URL on a
+// follower's 421 rejection (and on its /readyz), so clients and load
+// balancers learn where writes go.
+const LeaderHeader = "X-Gridsched-Leader"
+
 // Readiness is the /readyz body. "ready" (200) once recovery completed
 // and the service answers traffic; "recovering" (503) while a daemon that
-// bound its listener early is still replaying snapshot + journal.
+// bound its listener early is still replaying snapshot + journal. A
+// follower reports "ready" with Role "follower": ready for read-only
+// traffic, never for writes — route on Role, not just status.
 type Readiness struct {
 	Status string `json:"status"` // "ready" | "recovering"
+	// Role distinguishes leaders from followers (RoleLeader, RoleFollower,
+	// RoleRecovering).
+	Role string `json:"role,omitempty"`
+	// LastLSN is the last journal LSN this node holds (0 without -data-dir).
+	LastLSN uint64 `json:"lastLsn,omitempty"`
+	// LeaderLSN (followers) is the leader's last announced LSN.
+	LeaderLSN uint64 `json:"leaderLsn,omitempty"`
+	// LagLSN (followers) is LeaderLSN - LastLSN: how far replication is
+	// behind, in journal records.
+	LagLSN uint64 `json:"lagLsn,omitempty"`
+	// Leader (followers) is the leader's base URL.
+	Leader string `json:"leader,omitempty"`
+}
+
+// PromoteResponse acknowledges POST /v1/replication/promote: the follower
+// finished recovery over its replicated state and now serves as leader.
+type PromoteResponse struct {
+	Role    string `json:"role"` // RoleLeader
+	LastLSN uint64 `json:"lastLsn"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.

@@ -1,0 +1,55 @@
+package client
+
+import (
+	"context"
+	"math/rand/v2"
+	"time"
+)
+
+// nextDelay is the one backoff rule every retry path in this package
+// shares: double the previous delay (starting at initial), raise it to
+// the server's Retry-After hint when that is larger, cap it, then jitter
+// down into [d/2, d) so a rejected client fleet re-offers load spread out
+// instead of as the synchronized stampede that got it rejected.
+func nextDelay(prev, hint, initial, cap time.Duration) time.Duration {
+	d := 2 * prev
+	if d < initial {
+		d = initial
+	}
+	if hint > d {
+		d = hint
+	}
+	if d > cap {
+		d = cap
+	}
+	return d/2 + rand.N(d/2)
+}
+
+// shedDelay is nextDelay with the 429 envelope: exponential from 500ms,
+// capped at 15s. Pinned by TestShedDelay.
+func shedDelay(prev, hint time.Duration) time.Duration {
+	return nextDelay(prev, hint, 500*time.Millisecond, 15*time.Second)
+}
+
+// submitDelay is nextDelay with the idempotent-resubmit envelope: quick
+// first retry (the common case is a server restarting right now), capped
+// at 2s so the ResubmitWindow buys several attempts.
+func submitDelay(prev, hint time.Duration) time.Duration {
+	return nextDelay(prev, hint, 50*time.Millisecond, 2*time.Second)
+}
+
+// sleepCtx waits for d, honoring cancellation and deadlines: it returns
+// ctx.Err() the moment ctx ends, nil after a full sleep.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -18,16 +18,26 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"gridsched/internal/service/api"
 	"gridsched/internal/workload"
 )
 
-// Client talks to one gridschedd server.
+// Client talks to a gridschedd deployment: one server, or (NewMulti) a
+// replicated pair/group of which one is leader at a time. With multiple
+// endpoints the client sticks to the one that answers and fails over on
+// transport errors; a 421 Misdirected Request from a follower carries the
+// leader's URL (api.LeaderHeader), which the client jumps to directly.
 type Client struct {
-	base string
 	http *http.Client
+
+	// mu guards endpoints/cur. endpoints never shrinks; cur indexes the
+	// endpoint requests currently go to.
+	mu        sync.Mutex
+	endpoints []string
+	cur       int
 
 	// ResubmitWindow bounds how long SubmitJob keeps resubmitting through
 	// transient failures (connection refused/reset, server restarting)
@@ -48,10 +58,66 @@ type Client struct {
 // A nil httpClient uses a dedicated default client. The client must not
 // set an overall timeout shorter than the long-poll waits in use.
 func New(base string, httpClient *http.Client) *Client {
+	return NewMulti([]string{base}, httpClient)
+}
+
+// NewMulti builds a client over a replicated deployment: every endpoint
+// is a base URL of one node (leader or follower, in any order). Requests
+// go to one endpoint at a time; a transport-level failure rotates to the
+// next, and a 421 reply follows the announced leader. Combined with the
+// retry loops (SubmitJobIdempotent, RunWorker's ReconnectWait), a leader
+// kill plus follower promotion is survived without operator involvement.
+func NewMulti(endpoints []string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = &http.Client{}
 	}
-	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
+	if len(endpoints) == 0 {
+		panic("client: NewMulti with no endpoints")
+	}
+	eps := make([]string, len(endpoints))
+	for i, e := range endpoints {
+		eps[i] = strings.TrimRight(e, "/")
+	}
+	return &Client{endpoints: eps, http: httpClient}
+}
+
+// Endpoint returns the endpoint requests currently go to.
+func (c *Client) Endpoint() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.endpoints[c.cur]
+}
+
+// failover rotates away from a failed endpoint. The from guard keeps
+// concurrent failures from skipping endpoints: only the first caller that
+// saw `from` fail moves the cursor.
+func (c *Client) failover(from string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.endpoints) > 1 && c.endpoints[c.cur] == from {
+		c.cur = (c.cur + 1) % len(c.endpoints)
+	}
+}
+
+// follow jumps to the leader a 421 reply announced. An unknown URL is
+// adopted as a new endpoint — the hint is authoritative; a node would not
+// name a leader it is not replicating from.
+func (c *Client) follow(from, leader string) {
+	leader = strings.TrimRight(leader, "/")
+	if leader == "" {
+		c.failover(from)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, e := range c.endpoints {
+		if e == leader {
+			c.cur = i
+			return
+		}
+	}
+	c.endpoints = append(c.endpoints, leader)
+	c.cur = len(c.endpoints) - 1
 }
 
 // APIError is a non-2xx server reply.
@@ -67,7 +133,12 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("gridschedd: %s (http %d)", e.Message, e.StatusCode)
 }
 
-// do runs one JSON round-trip. A nil out discards the response body.
+// do runs one JSON round-trip against the current endpoint. A nil out
+// discards the response body. Failover happens here — a transport error
+// rotates to the next endpoint, a 421 follows the announced leader — but
+// the failed attempt's error is still returned: retrying is the caller's
+// policy (SubmitJobIdempotent, RunWorker), and their next attempt lands
+// on the new endpoint.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
@@ -77,7 +148,8 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 		body = bytes.NewReader(b)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	base := c.Endpoint()
+	req, err := http.NewRequestWithContext(ctx, method, base+path, body)
 	if err != nil {
 		return err
 	}
@@ -91,6 +163,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
+		if ctx.Err() == nil {
+			c.failover(base)
+		}
 		return err
 	}
 	defer resp.Body.Close()
@@ -99,6 +174,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		msg := resp.Status
 		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
 			msg = e.Error
+		}
+		if resp.StatusCode == http.StatusMisdirectedRequest {
+			c.follow(base, resp.Header.Get(api.LeaderHeader))
 		}
 		ae := &APIError{StatusCode: resp.StatusCode, Message: msg}
 		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
@@ -149,45 +227,44 @@ func (c *Client) SubmitJobIdempotent(ctx context.Context, req api.SubmitJobReque
 		window = 15 * time.Second
 	}
 	deadline := time.Now().Add(window)
-	backoff := 50 * time.Millisecond
+	var backoff time.Duration
 	for {
 		var resp api.SubmitJobResponse
 		err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &resp)
 		if err == nil {
 			return resp.JobID, nil
 		}
+		// A 429 (rate-limited or load-shed) carries the server's own
+		// estimate of when capacity returns; waiting any less just burns
+		// the deadline on further rejections. nextDelay folds the hint in.
+		var hint time.Duration
+		var ae *APIError
+		if errors.As(err, &ae) {
+			hint = ae.RetryAfter
+		}
+		backoff = submitDelay(backoff, hint)
 		if req.SubmissionID == "" || !transientErr(err) || !time.Now().Add(backoff).Before(deadline) {
 			return "", err
 		}
-		// A 429 (rate-limited or load-shed) carries the server's own
-		// estimate of when capacity returns; waiting any less just burns
-		// the deadline on further rejections.
-		wait := backoff
-		var ae *APIError
-		if errors.As(err, &ae) && ae.RetryAfter > wait {
-			wait = ae.RetryAfter
-		}
-		select {
-		case <-ctx.Done():
-			return "", ctx.Err()
-		case <-time.After(wait):
-		}
-		if backoff < time.Second {
-			backoff *= 2
+		if err := sleepCtx(ctx, backoff); err != nil {
+			return "", err
 		}
 	}
 }
 
 // transientErr reports whether err is worth retrying: transport-level
 // failures, 503 (the server is up but, e.g., still syncing its journal),
-// and 429 (rate-limited or load-shed — capacity returns). Other 4xx/5xx
-// are real answers; notably 401/403 stay terminal, since retrying a
-// rejected credential can never succeed.
+// 429 (rate-limited or load-shed — capacity returns), and 421 (this node
+// is a follower — do() already moved the cursor to the announced leader,
+// so the retry lands there). Other 4xx/5xx are real answers; notably
+// 401/403 stay terminal, since retrying a rejected credential can never
+// succeed.
 func transientErr(err error) bool {
 	var ae *APIError
 	if errors.As(err, &ae) {
 		return ae.StatusCode == http.StatusServiceUnavailable ||
-			ae.StatusCode == http.StatusTooManyRequests
+			ae.StatusCode == http.StatusTooManyRequests ||
+			ae.StatusCode == http.StatusMisdirectedRequest
 	}
 	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
 }

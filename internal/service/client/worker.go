@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand/v2"
 	"net/http"
 	"time"
 
@@ -38,7 +37,10 @@ type WorkerConfig struct {
 	// returning stop ends the loop without another pull. A job-draining
 	// worker uses it to exit the moment its report completes the job
 	// (rep.JobState) instead of discovering it on the next empty poll.
-	OnReport func(ctx context.Context, a *api.Assignment, rep *api.ReportResponse) (stop bool)
+	// outcome is what this worker reported (api.OutcomeSuccess or
+	// api.OutcomeFailure) — an interrupted or failed execution reports
+	// failure, and a hook counting completions must filter on it.
+	OnReport func(ctx context.Context, a *api.Assignment, outcome string, rep *api.ReportResponse) (stop bool)
 	// ReconnectWait, when positive, makes the worker survive server
 	// outages: transport-level pull/register failures (connection refused
 	// while gridschedd restarts) are retried at this interval instead of
@@ -94,10 +96,8 @@ func (c *Client) RunWorker(ctx context.Context, cfg WorkerConfig) error {
 			default:
 				return reg, err
 			}
-			select {
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			case <-time.After(wait):
+			if err := sleepCtx(ctx, wait); err != nil {
+				return nil, err
 			}
 		}
 	}
@@ -135,10 +135,8 @@ func (c *Client) RunWorker(ctx context.Context, cfg WorkerConfig) error {
 				// back off (capped, jittered, honoring Retry-After) and
 				// pull again; re-registering would only add load.
 				shed = shedDelay(shed, ae.RetryAfter)
-				select {
-				case <-ctx.Done():
+				if sleepCtx(ctx, shed) != nil {
 					return nil
-				case <-time.After(shed):
 				}
 				continue
 			case errors.As(err, &ae) && ae.StatusCode == http.StatusNotFound:
@@ -153,10 +151,8 @@ func (c *Client) RunWorker(ctx context.Context, cfg WorkerConfig) error {
 				_ = c.Deregister(ctx, reg.WorkerID)
 			case cfg.ReconnectWait > 0 && transientErr(err):
 				// Server down (restarting?); wait and re-register.
-				select {
-				case <-ctx.Done():
+				if sleepCtx(ctx, cfg.ReconnectWait) != nil {
 					return nil
-				case <-time.After(cfg.ReconnectWait):
 				}
 			default:
 				return err
@@ -179,37 +175,19 @@ func (c *Client) RunWorker(ctx context.Context, cfg WorkerConfig) error {
 			}
 			continue
 		}
-		rep := c.runAssignment(ctx, reg, resp.Assignment, cfg)
-		if rep != nil && cfg.OnReport != nil && cfg.OnReport(ctx, resp.Assignment, rep) {
+		rep, outcome := c.runAssignment(ctx, reg, resp.Assignment, cfg)
+		if rep != nil && cfg.OnReport != nil && cfg.OnReport(ctx, resp.Assignment, outcome, rep) {
 			return nil
 		}
 	}
 	return nil
 }
 
-// shedDelay computes the next backoff after a 429: doubled from the
-// previous delay (starting at 500ms), raised to the server's Retry-After
-// hint when that is larger, capped at 15s, then jittered down into
-// [d/2, d) so a shed worker fleet re-offers load spread out instead of as
-// the synchronized stampede that triggered the shedding.
-func shedDelay(prev, hint time.Duration) time.Duration {
-	d := 2 * prev
-	if d < 500*time.Millisecond {
-		d = 500 * time.Millisecond
-	}
-	if hint > d {
-		d = hint
-	}
-	if d > 15*time.Second {
-		d = 15 * time.Second
-	}
-	return d/2 + rand.N(d/2)
-}
-
 // runAssignment executes one leased task: heartbeat in the background,
-// stage, execute, report. It returns the server's report response, or nil
-// when no report was made (lost lease) or the report did not go through.
-func (c *Client) runAssignment(ctx context.Context, reg *api.RegisterResponse, a *api.Assignment, cfg WorkerConfig) *api.ReportResponse {
+// stage, execute, report. It returns the server's report response plus
+// the outcome this worker reported, or a nil response when no report was
+// made (lost lease) or the report did not go through.
+func (c *Client) runAssignment(ctx context.Context, reg *api.RegisterResponse, a *api.Assignment, cfg WorkerConfig) (*api.ReportResponse, string) {
 	ref := core.WorkerRef{Site: reg.Site, Worker: reg.Worker}
 	var execCtx context.Context
 	var cancel context.CancelFunc
@@ -292,7 +270,7 @@ func (c *Client) runAssignment(ctx context.Context, reg *api.RegisterResponse, a
 
 	if leaseGone {
 		// The server already requeued the task; a report would be stale.
-		return nil
+		return nil, ""
 	}
 	outcome := api.OutcomeSuccess
 	if execErr != nil || abandoned {
@@ -305,7 +283,7 @@ func (c *Client) runAssignment(ctx context.Context, reg *api.RegisterResponse, a
 	defer rcancel()
 	rep, err := c.Report(rctx, a.ID, reg.WorkerID, outcome)
 	if err != nil {
-		return nil
+		return nil, ""
 	}
-	return rep
+	return rep, outcome
 }

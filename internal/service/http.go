@@ -31,6 +31,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/workers/{id}/pull", s.handlePull)
 	mux.HandleFunc("POST /v1/assignments/{id}/heartbeat", s.handleHeartbeat)
 	mux.HandleFunc("POST /v1/assignments/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /v1/replication/stream", s.handleReplicationStream)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -220,11 +221,12 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // before construction finishes — cmd/gridschedd serves its own
 // recovering-state /readyz until the service exists, then routes here.
 func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	if !s.Ready() {
-		writeJSON(w, http.StatusServiceUnavailable, api.Readiness{Status: "recovering"})
+	rd := s.readiness()
+	if rd.Status != "ready" {
+		writeJSON(w, http.StatusServiceUnavailable, rd)
 		return
 	}
-	writeJSON(w, http.StatusOK, api.Readiness{Status: "ready"})
+	writeJSON(w, http.StatusOK, rd)
 }
 
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -232,6 +234,10 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.refreshJournalMetrics()
 	if err := s.counters.WriteText(w); err != nil {
 		// Connection-level failure; nothing more to do.
+		return
+	}
+	s.repl.LocalLSN.Store(int64(s.ReplicationLastLSN()))
+	if err := metrics.WriteReplicationText(w, api.RoleLeader, s.repl); err != nil {
 		return
 	}
 	for _, st := range s.Jobs() {

@@ -1,0 +1,80 @@
+package service
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"gridsched/internal/middleware"
+	"gridsched/internal/replicate"
+	"gridsched/internal/service/api"
+)
+
+// Leader side of WAL replication: GET /v1/replication/stream hands the
+// connection to a replicate.Source that tail-follows the live journal.
+// The endpoint is admin-gated by the ingress chain (middleware.Auth
+// treats /v1/replication/ as an admin surface) and requires -data-dir —
+// an in-memory service has no log to stream.
+
+// ReplicationLastLSN reports the last journal LSN this service holds
+// (0 without journaling) — the leader's position for readiness and lag.
+func (s *Service) ReplicationLastLSN() uint64 {
+	if s.pst == nil {
+		return 0
+	}
+	return s.pst.w.LastLSN()
+}
+
+func (s *Service) handleReplicationStream(w http.ResponseWriter, r *http.Request) {
+	if s.pst == nil {
+		writeError(w, errf(http.StatusNotImplemented,
+			"service: replication requires -data-dir (no journal to stream)"))
+		return
+	}
+	from := uint64(0)
+	if q := r.URL.Query().Get("from"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			writeError(w, errf(http.StatusBadRequest, "service: bad from=%q: %v", q, err))
+			return
+		}
+		from = v
+	}
+	if _, ok := w.(http.Flusher); !ok {
+		writeError(w, errf(http.StatusInternalServerError, "service: transport cannot stream"))
+		return
+	}
+	src := &replicate.Source{
+		WALPath:      s.walPath(),
+		SnapshotPath: s.snapshotPath(),
+		LastLSN:      s.pst.w.LastLSN,
+		Notify:       s.pst.w.AppendNotify,
+		Rotations:    s.pst.w.Rotations,
+		Done:         s.sweepStop, // closed by Close/CrashForTest
+		OnFrame: func() {
+			s.repl.FramesStreamed.Add(1)
+		},
+	}
+	w.Header().Set("Content-Type", "application/x-gridsched-replication")
+	w.WriteHeader(http.StatusOK)
+	s.repl.StreamsActive.Add(1)
+	start := time.Now()
+	_ = src.Serve(r.Context(), w, from)
+	s.repl.StreamsActive.Add(-1)
+	// The stream's lifetime is deliberate parking, not request latency;
+	// without this a single follower connection would blow through any
+	// load-shedding p99 bound (same reasoning as long-poll pulls).
+	middleware.ObserveParked(r.Context(), time.Since(start))
+}
+
+// readiness assembles the leader's /readyz body.
+func (s *Service) readiness() api.Readiness {
+	if !s.Ready() {
+		return api.Readiness{Status: "recovering", Role: api.RoleRecovering}
+	}
+	return api.Readiness{
+		Status:  "ready",
+		Role:    api.RoleLeader,
+		LastLSN: s.ReplicationLastLSN(),
+	}
+}

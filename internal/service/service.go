@@ -371,6 +371,9 @@ func (h *hub) broadcast() {
 type Service struct {
 	cfg      Config
 	counters *metrics.ServiceCounters
+	// repl tracks WAL-replication activity (leader side: streams and
+	// frames served to followers).
+	repl *metrics.ReplicationCounters
 
 	// instance is a per-process nonce suffixed onto worker ids: worker
 	// registrations are not journaled, so after a recovery a fresh id
@@ -418,6 +421,7 @@ func New(cfg Config) (*Service, error) {
 	s := &Service{
 		cfg:       cfg,
 		counters:  metrics.NewServiceCounters(),
+		repl:      &metrics.ReplicationCounters{},
 		instance:  hex.EncodeToString(nonce[:]),
 		coord:     newCoordinator(),
 		reg:       newRegistry(cfg.Sites, cfg.WorkersPerSite),
