@@ -4,10 +4,10 @@
 //
 // Usage:
 //
-//	gridbench                  # run everything, write BENCH_PR5.json
+//	gridbench                  # run everything, write BENCH_PR8.json
 //	gridbench -bench Figure    # filter by regexp
 //	gridbench -out bench.json  # choose the output file
-//	gridbench -baseline BENCH_PR5.json -max-regress 0.25
+//	gridbench -baseline BENCH_PR8.json -max-regress 0.25
 //	                           # regression guard: exit nonzero if any
 //	                           # benchmark present in the baseline got
 //	                           # more than 25% slower (ns/op)
@@ -59,7 +59,7 @@ func main() {
 func run(args []string, stdout *os.File) error {
 	fs := flag.NewFlagSet("gridbench", flag.ContinueOnError)
 	var (
-		out      = fs.String("out", "BENCH_PR5.json", "output JSON file")
+		out      = fs.String("out", "BENCH_PR8.json", "output JSON file")
 		filter   = fs.String("bench", "", "regexp selecting benchmarks to run (default: all)")
 		baseline = fs.String("baseline", "", "baseline JSON to compare against (regression guard)")
 		maxReg   = fs.Float64("max-regress", 0.25, "with -baseline: fail when ns/op regresses by more than this fraction")
@@ -86,6 +86,8 @@ func run(args []string, stdout *os.File) error {
 		{"ServiceDispatchParallel/shards=8", benchsuite.ServiceDispatchParallel(8)},
 		{"ServiceDispatchJournaled/batch", benchsuite.ServiceDispatchJournaled(journal.SyncBatch)},
 		{"ServiceDispatchJournaled/always", benchsuite.ServiceDispatchJournaled(journal.SyncAlways)},
+		{"ServiceDispatchWire/jsonpoll", benchsuite.ServiceDispatchWireJSON},
+		{"ServiceDispatchWire/stream", benchsuite.ServiceDispatchWireStream},
 	}
 
 	var re *regexp.Regexp

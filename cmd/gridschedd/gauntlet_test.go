@@ -3,8 +3,10 @@ package main
 import (
 	"bytes"
 	"context"
+	"errors"
 	"math/rand"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -238,10 +240,24 @@ func TestRecoveryGauntletKill9(t *testing.T) {
 	}
 }
 
+// jobStatus reads one job's status, riding out the recovery-replay
+// window after a restart: /healthz answers while the WAL is still
+// replaying, so a read racing the replay legitimately gets a 503 until
+// /readyz flips.
 func jobStatus(cl *client.Client, jobID string) (*api.JobStatus, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
-	defer cancel()
-	return cl.Job(ctx, jobID)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		js, err := cl.Job(ctx, jobID)
+		cancel()
+		var ae *client.APIError
+		if err != nil && errors.As(err, &ae) &&
+			ae.StatusCode == http.StatusServiceUnavailable && time.Now().Before(deadline) {
+			time.Sleep(25 * time.Millisecond)
+			continue
+		}
+		return js, err
+	}
 }
 
 // TestDaemonPersistsAcrossCleanRestart covers the flag plumbing end to

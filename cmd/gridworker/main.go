@@ -60,6 +60,8 @@ func run(ctx context.Context, args []string) error {
 		reconn  = fs.Duration("reconnect", 0, "retry interval across server outages (0: fail fast)")
 		drain   = fs.Duration("drain", 30*time.Second, "on SIGINT/SIGTERM, let an in-flight task finish and report for up to this long (0: abort it immediately)")
 		token   = fs.String("auth-token", "", "bearer token for a gridschedd running with -auth-tokens")
+		codec   = fs.String("codec", "json", "wire codec: json, binary (strict, no silent fallback), or auto (negotiate)")
+		batch   = fs.Int("batch", 0, "streaming lease channel pipeline depth (0: classic long-poll pulls)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,9 +69,15 @@ func run(ctx context.Context, args []string) error {
 	if *n < 1 {
 		return fmt.Errorf("-n = %d", *n)
 	}
+	if *batch < 0 {
+		return fmt.Errorf("-batch = %d", *batch)
+	}
 
 	cl := client.New(*server, nil)
 	cl.AuthToken = *token
+	if err := cl.SetCodec(*codec); err != nil {
+		return err
+	}
 	var wg sync.WaitGroup
 	errs := make(chan error, *n)
 	for i := 0; i < *n; i++ {
@@ -78,6 +86,7 @@ func run(ctx context.Context, args []string) error {
 			defer wg.Done()
 			cfg := client.WorkerConfig{
 				PollWait:      *poll,
+				StreamBatch:   *batch,
 				ReconnectWait: *reconn,
 				DrainGrace:    *drain,
 				Execute: func(execCtx context.Context, ref core.WorkerRef, a *api.Assignment) error {

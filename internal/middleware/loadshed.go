@@ -202,11 +202,16 @@ func parkedCounter(r *http.Request) (*atomic.Int64, *http.Request) {
 // always pass: they RETIRE in-flight work, and shedding them would deepen
 // the very overload being shed.
 func sheddable(r *http.Request) bool {
-	if r.Method != http.MethodPost {
-		return false
+	switch r.Method {
+	case http.MethodPost:
+		return r.URL.Path == "/v1/jobs" ||
+			(strings.HasPrefix(r.URL.Path, "/v1/workers/") && strings.HasSuffix(r.URL.Path, "/pull"))
+	case http.MethodGet:
+		// Opening a lease stream admits new work exactly like a pull;
+		// batched reports (POST .../reports) retire work and always pass.
+		return strings.HasPrefix(r.URL.Path, "/v1/workers/") && strings.HasSuffix(r.URL.Path, "/stream")
 	}
-	return r.URL.Path == "/v1/jobs" ||
-		(strings.HasPrefix(r.URL.Path, "/v1/workers/") && strings.HasSuffix(r.URL.Path, "/pull"))
+	return false
 }
 
 // LoadShed is the admission-control middleware: it samples every

@@ -84,8 +84,9 @@ type reqState struct {
 	start time.Time
 	sw    statusWriter
 
-	mu    sync.Mutex
-	lines []string
+	mu      sync.Mutex
+	lines   []string
+	dropped int
 
 	principal    Principal
 	hasPrincipal bool
@@ -151,7 +152,7 @@ func flushWorthy(status int) bool {
 // Write, so concurrent flushes do not interleave mid-request.
 func (st *reqState) flush(out io.Writer, r *http.Request, status int, d time.Duration) {
 	st.mu.Lock()
-	lines := st.lines
+	lines, dropped := st.lines, st.dropped
 	st.mu.Unlock()
 	buf := make([]byte, 0, 160+64*len(lines))
 	buf = fmt.Appendf(buf, "ingress time=%s trace=%s method=%s path=%s status=%d dur=%s remote=%s\n",
@@ -160,12 +161,23 @@ func (st *reqState) flush(out io.Writer, r *http.Request, status int, d time.Dur
 	for _, l := range lines {
 		buf = fmt.Appendf(buf, "ingress trace=%s %s\n", st.trace, l)
 	}
+	if dropped > 0 {
+		buf = fmt.Appendf(buf, "ingress trace=%s log-lines-dropped=%d (cap %d)\n", st.trace, dropped, maxBufferedLines)
+	}
 	_, _ = out.Write(buf)
 }
 
-// Logf appends one line to the request's buffered log. Outside a Logging
-// request (no state in ctx) it is a no-op, so library code can call it
-// unconditionally.
+// maxBufferedLines caps one request's buffered log. Classic requests log a
+// line or two, but a streaming request (the lease channel stays open for a
+// worker's whole tenure) funnels every Logf of its lifetime through one
+// reqState — without a cap, a chatty hours-long stream would grow the
+// buffer without bound. Past the cap lines are counted, not stored, and
+// the flush reports how many were dropped.
+const maxBufferedLines = 64
+
+// Logf appends one line to the request's buffered log (capped at
+// maxBufferedLines; see above). Outside a Logging request (no state in
+// ctx) it is a no-op, so library code can call it unconditionally.
 func Logf(ctx context.Context, format string, args ...any) {
 	st, _ := ctx.Value(reqStateKey).(*reqState)
 	if st == nil {
@@ -173,7 +185,11 @@ func Logf(ctx context.Context, format string, args ...any) {
 	}
 	line := fmt.Sprintf(format, args...)
 	st.mu.Lock()
-	st.lines = append(st.lines, line)
+	if len(st.lines) < maxBufferedLines {
+		st.lines = append(st.lines, line)
+	} else {
+		st.dropped++
+	}
 	st.mu.Unlock()
 }
 

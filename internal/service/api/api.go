@@ -12,6 +12,8 @@
 //	POST   /v1/workers                  RegisterRequest   -> RegisterResponse
 //	DELETE /v1/workers/{id}                               -> {}
 //	POST   /v1/workers/{id}/pull        PullRequest       -> PullResponse (long poll)
+//	GET    /v1/workers/{id}/stream?batch=k                -> chunked LeaseBatch frame stream
+//	POST   /v1/workers/{id}/reports     ReportBatchRequest -> ReportBatchResponse
 //	POST   /v1/assignments/{id}/heartbeat HeartbeatRequest -> HeartbeatResponse
 //	POST   /v1/assignments/{id}/report  ReportRequest     -> ReportResponse
 //	GET    /v1/replication/stream?from=N                  -> chunked frame stream (internal/replicate)
@@ -19,6 +21,11 @@
 //	GET    /healthz                                       -> Health
 //	GET    /readyz                                        -> Readiness (role + replication lag)
 //	GET    /metrics                                       -> text (see internal/metrics)
+//
+// Request and response bodies default to JSON; the hot-path payloads also
+// speak the compact binary codec in codec.go, negotiated per request via
+// Content-Type/Accept (ContentTypeBinary). The lease stream frames
+// LeaseBatch messages with AppendFrame/ReadFrame.
 //
 // Errors are returned as an ErrorResponse body with a non-2xx status code.
 // A follower answers mutating requests with 421 Misdirected Request, an
@@ -196,6 +203,44 @@ type ReportResponse struct {
 	Stale     bool   `json:"stale,omitempty"`
 	Cancelled bool   `json:"cancelled,omitempty"`
 	JobState  string `json:"jobState,omitempty"`
+}
+
+// LeaseBatch is one frame of the streaming lease channel
+// (GET /v1/workers/{id}/stream). The server pushes a frame whenever the
+// arbiter grants this worker leases (up to the stream's batch size k per
+// frame), when held executions are cancelled, or as a periodic keepalive.
+// A frame with no assignments and no cancellations is that keepalive; it
+// still carries a fresh OpenJobs, which is how a drain-watching worker
+// learns the service emptied without polling.
+type LeaseBatch struct {
+	Assignments []Assignment `json:"assignments,omitempty"`
+	// Cancelled names held assignments whose executions the server no
+	// longer wants (a replica completed elsewhere, or the job was
+	// cancelled). The worker should abandon them and report failure; the
+	// server counts such reports as cancellations, exactly like the
+	// long-poll heartbeat-cancelled path.
+	Cancelled []string `json:"cancelled,omitempty"`
+	// OpenJobs mirrors PullResponse.OpenJobs.
+	OpenJobs int `json:"openJobs"`
+}
+
+// ReportItem is one outcome in a batched report.
+type ReportItem struct {
+	AssignmentID string `json:"assignmentId"`
+	Outcome      string `json:"outcome"` // OutcomeSuccess | OutcomeFailure
+}
+
+// ReportBatchRequest (POST /v1/workers/{id}/reports) ends up to k
+// assignments in one request; the server journals the whole batch through
+// a single WAL append (one fsync amortized across it).
+type ReportBatchRequest struct {
+	Reports []ReportItem `json:"reports"`
+}
+
+// ReportBatchResponse carries one ReportResponse per submitted item, in
+// order. Individual stale or cancelled outcomes do not fail the batch.
+type ReportBatchResponse struct {
+	Results []ReportResponse `json:"results"`
 }
 
 // TenantStatus is the fair-share arbiter's view of one tenant, returned by

@@ -2,12 +2,10 @@ package service_test
 
 import (
 	"fmt"
-	"net/http/httptest"
 	"testing"
 
 	"gridsched/internal/benchsuite"
 	"gridsched/internal/journal"
-	"gridsched/internal/service/client"
 )
 
 // The benchmark bodies live in internal/benchsuite, shared with
@@ -49,11 +47,17 @@ func BenchmarkServiceDispatchParallel(b *testing.B) {
 
 // BenchmarkDispatchRoundTripTCP: the same path over loopback HTTP.
 func BenchmarkDispatchRoundTripTCP(b *testing.B) {
-	svc := benchsuite.NewDispatchService()
-	b.Cleanup(svc.Close)
-	ts := httptest.NewServer(benchsuite.Handler(svc))
-	b.Cleanup(ts.Close)
-	benchsuite.DispatchRoundTrip(b, client.New(ts.URL, nil))
+	benchsuite.ServiceDispatchWireJSON(b)
+}
+
+// BenchmarkServiceDispatchWire: the ISSUE-8 wire-speed comparison over
+// real TCP — classic JSON long-poll (two HTTP round trips per task)
+// against the streaming lease channel with batched binary reports. The
+// acceptance bar reads stream at ≥3× the jsonpoll throughput with ≥5×
+// fewer allocs/op; BENCH_PR8.json records both.
+func BenchmarkServiceDispatchWire(b *testing.B) {
+	b.Run("jsonpoll", benchsuite.ServiceDispatchWireJSON)
+	b.Run("stream", benchsuite.ServiceDispatchWireStream)
 }
 
 // BenchmarkDispatchRoundTripJournaledBatch: in-process dispatch with the

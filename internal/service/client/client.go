@@ -16,9 +16,11 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gridsched/internal/service/api"
@@ -52,6 +54,58 @@ type Client struct {
 	// "Authorization: Bearer <token>" — the credential a gridschedd
 	// started with -auth-tokens requires. Set it before the first call.
 	AuthToken string
+
+	// codec is the negotiation mode (codecJSON/codecAuto/codecBinary);
+	// negotiated flips in auto mode once the server answers binary.
+	codec      atomic.Int32
+	negotiated atomic.Bool
+	// binReplies/jsonReplies count 2xx replies to binary-capable calls by
+	// the codec the server actually used — the observable a conformance
+	// test needs to prove binary was really on the wire.
+	binReplies  atomic.Int64
+	jsonReplies atomic.Int64
+}
+
+// Codec negotiation modes, set via SetCodec (or the GRIDSCHED_TEST_CODEC
+// environment variable, read at construction — the hook the CI codec
+// matrix uses to run the whole e2e suite over each wire format).
+const (
+	codecJSON int32 = iota
+	codecAuto
+	codecBinary
+)
+
+// SetCodec selects the wire format for the hot-path payloads:
+//
+//   - "json" (default): JSON bodies, JSON replies — debuggable with curl.
+//   - "binary": compact binary bodies and an Accept header demanding
+//     binary replies. STRICT: a 2xx reply that comes back JSON anyway is
+//     an error, never a silent fallback — this is the codec-conformance
+//     guarantee, so a misconfigured or downlevel server cannot quietly
+//     eat the wire-speed win.
+//   - "auto": start JSON but advertise binary in Accept; the first binary
+//     reply locks the negotiation in and subsequent request bodies go
+//     binary too. Safe against servers that predate the codec.
+//
+// Cold endpoints (job status, tenants, health) stay JSON in every mode.
+func (c *Client) SetCodec(mode string) error {
+	switch mode {
+	case "", "json":
+		c.codec.Store(codecJSON)
+	case "auto":
+		c.codec.Store(codecAuto)
+	case "binary":
+		c.codec.Store(codecBinary)
+	default:
+		return fmt.Errorf("client: unknown codec %q (want json, binary, or auto)", mode)
+	}
+	return nil
+}
+
+// CodecCounts returns how many 2xx replies to binary-capable calls
+// arrived in each codec.
+func (c *Client) CodecCounts() (binary, jsonCount int64) {
+	return c.binReplies.Load(), c.jsonReplies.Load()
 }
 
 // New builds a client for the server at base (e.g. "http://host:8080").
@@ -78,7 +132,18 @@ func NewMulti(endpoints []string, httpClient *http.Client) *Client {
 	for i, e := range endpoints {
 		eps[i] = strings.TrimRight(e, "/")
 	}
-	return &Client{endpoints: eps, http: httpClient}
+	c := &Client{endpoints: eps, http: httpClient}
+	// GRIDSCHED_TEST_CODEC forces every client built in this process onto
+	// one wire format — the CI conformance matrix sets it to run the e2e
+	// suites under each codec. A bad value fails loudly: a typo silently
+	// testing JSON twice is exactly the failure mode the matrix exists to
+	// prevent.
+	if mode := os.Getenv("GRIDSCHED_TEST_CODEC"); mode != "" {
+		if err := c.SetCodec(mode); err != nil {
+			panic(fmt.Sprintf("client: GRIDSCHED_TEST_CODEC: %v", err))
+		}
+	}
+	return c
 }
 
 // Endpoint returns the endpoint requests currently go to.
@@ -133,16 +198,28 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("gridschedd: %s (http %d)", e.Message, e.StatusCode)
 }
 
-// do runs one JSON round-trip against the current endpoint. A nil out
-// discards the response body. Failover happens here — a transport error
-// rotates to the next endpoint, a 421 follows the announced leader — but
-// the failed attempt's error is still returned: retrying is the caller's
-// policy (SubmitJobIdempotent, RunWorker), and their next attempt lands
-// on the new endpoint.
+// do runs one round-trip against the current endpoint. A nil out discards
+// the response body. The wire format follows SetCodec: binary-capable
+// payloads go out in the active codec with an Accept header advertising
+// binary, and the reply is decoded by its Content-Type (errors are always
+// JSON). Failover happens here — a transport error rotates to the next
+// endpoint, a 421 follows the announced leader — but the failed attempt's
+// error is still returned: retrying is the caller's policy
+// (SubmitJobIdempotent, RunWorker), and their next attempt lands on the
+// new endpoint.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	useBin := c.binaryWire()
 	var body io.Reader
+	inBin := false
 	if in != nil {
-		b, err := json.Marshal(in)
+		var b []byte
+		var err error
+		if useBin && api.Binary.Supports(in) {
+			b, err = api.Binary.Marshal(in)
+			inBin = true
+		} else {
+			b, err = json.Marshal(in)
+		}
 		if err != nil {
 			return err
 		}
@@ -154,7 +231,18 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		return err
 	}
 	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
+		if inBin {
+			req.Header.Set("Content-Type", api.ContentTypeBinary)
+		} else {
+			req.Header.Set("Content-Type", "application/json")
+		}
+	}
+	// Advertise binary whenever the mode allows it and the expected reply
+	// has a binary encoding; the server answers in kind and the reply's
+	// Content-Type below tells us which codec actually came back.
+	wantBin := c.codec.Load() != codecJSON && out != nil && api.Binary.Supports(out)
+	if wantBin {
+		req.Header.Set("Accept", api.ContentTypeBinary)
 	}
 	if c.AuthToken != "" {
 		// Canonical key, assigned directly: skips Set's canonicalization
@@ -170,25 +258,71 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		var e api.ErrorResponse
-		msg := resp.Status
-		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			msg = e.Error
-		}
-		if resp.StatusCode == http.StatusMisdirectedRequest {
-			c.follow(base, resp.Header.Get(api.LeaderHeader))
-		}
-		ae := &APIError{StatusCode: resp.StatusCode, Message: msg}
-		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-			ae.RetryAfter = time.Duration(secs) * time.Second
-		}
-		return ae
+		return c.responseError(base, resp)
 	}
 	if out == nil {
 		_, err := io.Copy(io.Discard, resp.Body)
 		return err
 	}
+	if api.IsBinary(resp.Header.Get("Content-Type")) {
+		c.sawBinaryReply()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		return api.Binary.Unmarshal(data, out)
+	}
+	if wantBin {
+		c.jsonReplies.Add(1)
+		if c.codec.Load() == codecBinary {
+			// Strict mode: the server ignored our Accept and fell back to
+			// JSON. Decoding it would work — which is exactly why this must
+			// be an error: a silent fallback would let the conformance
+			// matrix "pass" without binary ever touching the wire.
+			return fmt.Errorf("client: server answered %s %s in JSON despite binary codec (silent fallback refused)", method, path)
+		}
+	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// binaryWire reports whether request bodies should use the binary codec
+// right now: always in binary mode, and in auto mode once a binary reply
+// proved the server speaks it.
+func (c *Client) binaryWire() bool {
+	switch c.codec.Load() {
+	case codecBinary:
+		return true
+	case codecAuto:
+		return c.negotiated.Load()
+	}
+	return false
+}
+
+// sawBinaryReply records a binary-codec reply and, in auto mode, locks
+// the negotiation in.
+func (c *Client) sawBinaryReply() {
+	c.binReplies.Add(1)
+	if c.codec.Load() == codecAuto {
+		c.negotiated.Store(true)
+	}
+}
+
+// responseError turns a non-2xx reply into an *APIError, following a 421's
+// announced leader. Error bodies are always JSON regardless of codec.
+func (c *Client) responseError(base string, resp *http.Response) error {
+	var e api.ErrorResponse
+	msg := resp.Status
+	if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+		msg = e.Error
+	}
+	if resp.StatusCode == http.StatusMisdirectedRequest {
+		c.follow(base, resp.Header.Get(api.LeaderHeader))
+	}
+	ae := &APIError{StatusCode: resp.StatusCode, Message: msg}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		ae.RetryAfter = time.Duration(secs) * time.Second
+	}
+	return ae
 }
 
 // SubmitJob submits a workload under the given algorithm name and returns

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	"gridsched/internal/core"
@@ -41,6 +42,14 @@ type WorkerConfig struct {
 	// api.OutcomeFailure) — an interrupted or failed execution reports
 	// failure, and a hook counting completions must filter on it.
 	OnReport func(ctx context.Context, a *api.Assignment, outcome string, rep *api.ReportResponse) (stop bool)
+	// StreamBatch, when positive, switches the worker onto the streaming
+	// lease protocol: one GET /v1/workers/{id}/stream connection replaces
+	// per-task long-poll pulls, the server keeps up to StreamBatch
+	// assignments prefetched in the worker's pipeline, lease renewal rides
+	// the stream (no per-assignment heartbeats), and completions are
+	// reported in batches. Zero keeps the classic pull/heartbeat/report
+	// loop. See docs/PROTOCOL.md.
+	StreamBatch int
 	// ReconnectWait, when positive, makes the worker survive server
 	// outages: transport-level pull/register failures (connection refused
 	// while gridschedd restarts) are retried at this interval instead of
@@ -117,6 +126,10 @@ func (c *Client) RunWorker(ctx context.Context, cfg WorkerConfig) error {
 		_ = c.Deregister(dctx, reg.WorkerID)
 	}()
 
+	if cfg.StreamBatch > 0 {
+		return c.runStreamWorker(ctx, cfg, &reg, register)
+	}
+
 	var shed time.Duration
 	for ctx.Err() == nil {
 		resp, err := c.Pull(ctx, reg.WorkerID, cfg.PollWait)
@@ -189,33 +202,8 @@ func (c *Client) RunWorker(ctx context.Context, cfg WorkerConfig) error {
 // made (lost lease) or the report did not go through.
 func (c *Client) runAssignment(ctx context.Context, reg *api.RegisterResponse, a *api.Assignment, cfg WorkerConfig) (*api.ReportResponse, string) {
 	ref := core.WorkerRef{Site: reg.Site, Worker: reg.Worker}
-	var execCtx context.Context
-	var cancel context.CancelFunc
-	if cfg.DrainGrace > 0 {
-		// Graceful drain: the execution context outlives ctx by up to
-		// DrainGrace, so a shutdown signal lets the in-flight task finish
-		// and report instead of abandoning the lease. Heartbeat
-		// cancellation (replica obsoleted, lease gone) still aborts it
-		// immediately via cancel below.
-		execCtx, cancel = context.WithCancel(context.WithoutCancel(ctx))
-		watchDone := make(chan struct{})
-		defer close(watchDone)
-		go func() {
-			select {
-			case <-watchDone:
-			case <-ctx.Done():
-				t := time.NewTimer(cfg.DrainGrace)
-				defer t.Stop()
-				select {
-				case <-watchDone:
-				case <-t.C:
-					cancel()
-				}
-			}
-		}()
-	} else {
-		execCtx, cancel = context.WithCancel(ctx)
-	}
+	execCtx, cancel, release := drainContext(ctx, cfg.DrainGrace)
+	defer release()
 	defer cancel()
 
 	// Heartbeat at a third of the lease TTL until the execution ends; a
@@ -252,6 +240,58 @@ func (c *Client) runAssignment(ctx context.Context, reg *api.RegisterResponse, a
 		}
 	}()
 
+	outcome := c.executeOne(execCtx, ref, a, cfg)
+	cancel()
+	<-hbDone
+
+	if leaseGone {
+		// The server already requeued the task; a report would be stale.
+		return nil, ""
+	}
+	rctx, rcancel := context.WithTimeout(context.WithoutCancel(ctx), 2*time.Second)
+	defer rcancel()
+	rep, err := c.Report(rctx, a.ID, reg.WorkerID, outcome)
+	if err != nil {
+		return nil, ""
+	}
+	return rep, outcome
+}
+
+// drainContext builds the execution context for one assignment. With a
+// positive grace the context outlives ctx by up to grace — a shutdown
+// signal lets the in-flight task finish and report instead of abandoning
+// its lease — while the returned cancel still aborts it immediately
+// (cancelled execution, lost lease). release must be called once the
+// execution ends; it stops the grace watcher.
+func drainContext(ctx context.Context, grace time.Duration) (context.Context, context.CancelFunc, func()) {
+	if grace <= 0 {
+		execCtx, cancel := context.WithCancel(ctx)
+		return execCtx, cancel, func() {}
+	}
+	execCtx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-watchDone:
+		case <-ctx.Done():
+			t := time.NewTimer(grace)
+			defer t.Stop()
+			select {
+			case <-watchDone:
+			case <-t.C:
+				cancel()
+			}
+		}
+	}()
+	var once sync.Once
+	return execCtx, cancel, func() { once.Do(func() { close(watchDone) }) }
+}
+
+// executeOne stages and executes one assignment under execCtx and returns
+// the outcome to report: failure when the execution errored or was
+// interrupted mid-flight (never claim success for an abandoned task — the
+// server counts it as cancelled if it obsoleted the execution itself).
+func (c *Client) executeOne(execCtx context.Context, ref core.WorkerRef, a *api.Assignment, cfg WorkerConfig) string {
 	var execErr error
 	if cfg.StageDelay != nil && a.Staged > 0 {
 		if d := cfg.StageDelay(a.Staged); d > 0 {
@@ -264,26 +304,8 @@ func (c *Client) runAssignment(ctx context.Context, reg *api.RegisterResponse, a
 	if execCtx.Err() == nil && cfg.Execute != nil {
 		execErr = cfg.Execute(execCtx, ref, a)
 	}
-	abandoned := execCtx.Err() != nil // before cancel(): was the execution interrupted?
-	cancel()
-	<-hbDone
-
-	if leaseGone {
-		// The server already requeued the task; a report would be stale.
-		return nil, ""
+	if execErr != nil || execCtx.Err() != nil {
+		return api.OutcomeFailure
 	}
-	outcome := api.OutcomeSuccess
-	if execErr != nil || abandoned {
-		// Either the execution failed or it was abandoned mid-flight
-		// (cancellation, shutdown); never claim success for it. The server
-		// counts it as cancelled if it obsoleted the execution itself.
-		outcome = api.OutcomeFailure
-	}
-	rctx, rcancel := context.WithTimeout(context.WithoutCancel(ctx), 2*time.Second)
-	defer rcancel()
-	rep, err := c.Report(rctx, a.ID, reg.WorkerID, outcome)
-	if err != nil {
-		return nil, ""
-	}
-	return rep, outcome
+	return api.OutcomeSuccess
 }

@@ -1,0 +1,269 @@
+// RunWorker's streaming mode (WorkerConfig.StreamBatch > 0): one lease
+// stream replaces the pull loop, executions run off a prefetched queue,
+// and completions flow back through batched reports. Liveness inverts
+// versus the classic loop — the server renews registration and every held
+// lease while the stream is open, so there are no client heartbeats; a
+// dropped stream lets everything expire and requeue within one TTL,
+// exactly like a crashed worker.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"gridsched/internal/core"
+	"gridsched/internal/service/api"
+)
+
+// errReconnect is consumeStream's non-terminal exit: the stream (or a
+// report batch) died mid-flight and the loop should reopen it.
+var errReconnect = errors.New("client: lease stream dropped")
+
+// reportEntry is one finished assignment awaiting a batched report.
+type reportEntry struct {
+	a       *api.Assignment
+	outcome string
+}
+
+// runStreamWorker opens (and reopens) the lease stream until ctx is
+// cancelled, a hook stops the loop, or a terminal error occurs. Its error
+// handling mirrors the classic pull loop: 429 backs off, 404 re-registers,
+// 409 deregisters and starts over, transport failures retry under
+// ReconnectWait. regp keeps RunWorker's deferred deregister pointed at the
+// current registration across mid-loop re-registrations.
+func (c *Client) runStreamWorker(ctx context.Context, cfg WorkerConfig, regp **api.RegisterResponse, register func() (*api.RegisterResponse, error)) error {
+	var shed time.Duration
+	// pending survives reconnects: reports for work already finished are
+	// retried on the next connection. If an earlier attempt landed (or the
+	// lease expired while disconnected) the retry comes back stale — the
+	// server never double-counts, so retrying is always safe.
+	var pending []reportEntry
+	for ctx.Err() == nil {
+		reg := *regp
+		ls, err := c.StreamLeases(ctx, reg.WorkerID, cfg.StreamBatch)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			var ae *APIError
+			switch {
+			case authErr(err):
+				return fmt.Errorf("client: worker credentials rejected: %w", err)
+			case errors.As(err, &ae) && ae.StatusCode == http.StatusTooManyRequests:
+				// Load-shed: registration is intact, back off and retry.
+				shed = shedDelay(shed, ae.RetryAfter)
+				if sleepCtx(ctx, shed) != nil {
+					return nil
+				}
+				continue
+			case errors.As(err, &ae) && ae.StatusCode == http.StatusNotFound:
+				// Registration lapsed, or the server restarted (worker
+				// registrations are not journaled); start over.
+			case errors.As(err, &ae) && ae.StatusCode == http.StatusConflict:
+				// The server still sees a previous stream (a dropped
+				// connection it has not noticed yet) or an in-flight pull.
+				// Deregistering clears both and requeues anything held.
+				_ = c.Deregister(ctx, reg.WorkerID)
+			case cfg.ReconnectWait > 0 && transientErr(err):
+				// Server down (restarting?); wait and re-register.
+				if sleepCtx(ctx, cfg.ReconnectWait) != nil {
+					return nil
+				}
+			default:
+				return err
+			}
+			nr, rerr := register()
+			*regp = nr
+			if rerr != nil {
+				if authErr(rerr) {
+					return fmt.Errorf("client: worker credentials rejected: %w", rerr)
+				}
+				return rerr
+			}
+			continue
+		}
+		shed = 0
+		stop, err := c.consumeStream(ctx, cfg, *regp, ls, &pending)
+		ls.Close()
+		if errors.Is(err, errReconnect) {
+			continue
+		}
+		if err != nil || stop {
+			return err
+		}
+		return nil
+	}
+	return nil
+}
+
+// consumeStream drives one open lease stream: a reader goroutine feeds
+// frames, the main loop executes assignments one at a time off the
+// prefetched queue and batches completions for ReportBatch. Returns
+// stop=true on a clean exit (hook stop, ctx cancelled — after draining)
+// and errReconnect when the stream or a report batch died mid-flight.
+func (c *Client) consumeStream(ctx context.Context, cfg WorkerConfig, reg *api.RegisterResponse, ls *LeaseStream, pending *[]reportEntry) (bool, error) {
+	ref := core.WorkerRef{Site: reg.Site, Worker: reg.Worker}
+	// Flush at half the pipeline depth: unreported completions occupy
+	// pipeline slots server-side, so waiting for a full batch would stall
+	// the grant flow exactly when it is busiest.
+	flushAt := max(1, cfg.StreamBatch/2)
+
+	frames := make(chan *api.LeaseBatch, 16)
+	readErr := make(chan error, 1)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		for {
+			lb, err := ls.Next()
+			if err != nil {
+				readErr <- err
+				return
+			}
+			select {
+			case frames <- lb:
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	var (
+		queue    []*api.Assignment
+		marks    = make(map[string]bool) // cancellation notices not yet resolved
+		inflight *api.Assignment
+		resCh    chan string
+		cancelEx context.CancelFunc
+		release  func()
+	)
+	startExec := func(a *api.Assignment) {
+		execCtx, cancel, rel := drainContext(ctx, cfg.DrainGrace)
+		inflight, cancelEx, release, resCh = a, cancel, rel, make(chan string, 1)
+		go func(ch chan<- string) { ch <- c.executeOne(execCtx, ref, a, cfg) }(resCh)
+	}
+	finishExec := func(outcome string) {
+		cancelEx()
+		release()
+		delete(marks, inflight.ID)
+		*pending = append(*pending, reportEntry{inflight, outcome})
+		inflight = nil
+	}
+	abortExec := func() {
+		if inflight != nil {
+			cancelEx()
+			finishExec(<-resCh)
+		}
+	}
+	// abandonQueue converts every prefetched-but-unexecuted assignment into
+	// a failure report, so the server hears about abandoned work as soon as
+	// the next connection is up instead of waiting out a lease TTL. The
+	// server holds the matching guarantee from the other side: re-opening a
+	// stream expires and requeues whatever the worker still held, so these
+	// reports land Stale at worst — never double-counted.
+	abandonQueue := func() {
+		for _, a := range queue {
+			delete(marks, a.ID)
+			*pending = append(*pending, reportEntry{a, api.OutcomeFailure})
+		}
+		queue = nil
+	}
+	flush := func() (bool, error) {
+		if len(*pending) == 0 {
+			return false, nil
+		}
+		items := make([]api.ReportItem, len(*pending))
+		for i, p := range *pending {
+			items[i] = api.ReportItem{AssignmentID: p.a.ID, Outcome: p.outcome}
+		}
+		// Reports must not die with ctx: like the classic loop's report, a
+		// short detached context lets a draining worker land its outcomes.
+		rctx, rcancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
+		results, err := c.ReportBatch(rctx, reg.WorkerID, items)
+		rcancel()
+		if err != nil {
+			if authErr(err) {
+				return false, fmt.Errorf("client: worker credentials rejected: %w", err)
+			}
+			// Transient (connection cut, shed, leader change): keep pending
+			// for the next connection; the retry is stale at worst.
+			return false, errReconnect
+		}
+		finished := *pending
+		*pending = nil
+		stop := false
+		for i := range finished {
+			if cfg.OnReport != nil && cfg.OnReport(ctx, finished[i].a, finished[i].outcome, &results[i]) {
+				stop = true
+			}
+		}
+		return stop, nil
+	}
+
+	for {
+		for inflight == nil && len(queue) > 0 {
+			a := queue[0]
+			queue = queue[1:]
+			if marks[a.ID] {
+				// Cancelled before it ever ran (a replica finished
+				// elsewhere): report failure without executing; the server
+				// accounts it as a cancellation.
+				delete(marks, a.ID)
+				*pending = append(*pending, reportEntry{a, api.OutcomeFailure})
+				continue
+			}
+			startExec(a)
+		}
+		if len(*pending) > 0 && (inflight == nil || len(*pending) >= flushAt) {
+			stop, err := flush()
+			if stop || err != nil {
+				abortExec()
+				abandonQueue()
+				return stop, err
+			}
+		}
+		var rc chan string
+		if inflight != nil {
+			rc = resCh
+		}
+		select {
+		case <-ctx.Done():
+			// Drain: the in-flight task gets its DrainGrace, the queued
+			// leases are abandoned (they expire and requeue server-side),
+			// and whatever finished is reported.
+			if inflight != nil {
+				finishExec(<-resCh)
+			}
+			if _, err := flush(); err != nil && !errors.Is(err, errReconnect) {
+				return true, err
+			}
+			return true, nil
+		case <-readErr:
+			// Stream dropped. Abort the in-flight execution and abandon the
+			// queue; the next stream open (or the TTL sweep, if we never
+			// reconnect) requeues everything this worker held.
+			abortExec()
+			abandonQueue()
+			return false, errReconnect
+		case lb := <-frames:
+			for i := range lb.Assignments {
+				queue = append(queue, &lb.Assignments[i])
+			}
+			for _, id := range lb.Cancelled {
+				if inflight != nil && inflight.ID == id {
+					cancelEx()
+				}
+				marks[id] = true
+			}
+			if lb.OpenJobs == 0 && inflight == nil && len(queue) == 0 && len(*pending) == 0 && cfg.OnIdle != nil {
+				stop, err := cfg.OnIdle(ctx, &api.PullResponse{Status: api.StatusEmpty, OpenJobs: lb.OpenJobs})
+				if err != nil || stop {
+					return true, err
+				}
+			}
+		case outcome := <-rc:
+			finishExec(outcome)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package service_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gridsched"
+	"gridsched/internal/core"
+	"gridsched/internal/service"
+	"gridsched/internal/service/api"
+	"gridsched/internal/service/client"
+)
+
+// TestBinaryCodecConformance runs the whole dispatch protocol — submit,
+// register, stream, batched report, pull, heartbeat, single report — under
+// the strict binary codec and then checks the client's reply counters:
+// every binary-capable call must have been answered in binary, none in
+// JSON. This is the observable the CI codec matrix gates on; a server that
+// quietly fell back to JSON would fail here, not pass by accident.
+func TestBinaryCodecConformance(t *testing.T) {
+	const tasks = 24
+	s := newService(t, service.Config{NewScheduler: gridsched.SchedulerFactory()})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	cl := client.New(ts.URL, nil)
+	if err := cl.SetCodec("binary"); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	w := syntheticWorkload(tasks, 2)
+	jobID, err := cl.SubmitJob(ctx, "bin", "workqueue", 1, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Streaming leg.
+	err = cl.RunWorker(ctx, client.WorkerConfig{
+		StreamBatch: 4,
+		Execute:     func(context.Context, core.WorkerRef, *api.Assignment) error { return nil },
+		OnIdle: func(_ context.Context, resp *api.PullResponse) (bool, error) {
+			return resp.OpenJobs == 0, nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("streaming worker under binary codec: %v", err)
+	}
+	st, err := cl.Job(ctx, jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != api.JobCompleted || st.Completed != tasks {
+		t.Fatalf("job under binary codec: %+v", st)
+	}
+
+	// Classic leg: pull, heartbeat, report — the remaining binary-capable
+	// endpoints.
+	if _, err := cl.SubmitJob(ctx, "bin2", "workqueue", 1, syntheticWorkload(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := cl.Register(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cl.Pull(ctx, reg.WorkerID, time.Second)
+	if err != nil || resp.Status != api.StatusAssigned {
+		t.Fatalf("pull: %+v, %v", resp, err)
+	}
+	if _, err := cl.Heartbeat(ctx, resp.Assignment.ID, reg.WorkerID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Report(ctx, resp.Assignment.ID, reg.WorkerID, api.OutcomeSuccess); err != nil {
+		t.Fatal(err)
+	}
+
+	bin, jsonReplies := cl.CodecCounts()
+	if bin == 0 {
+		t.Fatal("no binary replies observed — binary never reached the wire")
+	}
+	if jsonReplies != 0 {
+		t.Fatalf("%d binary-capable calls answered in JSON under strict binary codec", jsonReplies)
+	}
+}
+
+// stripAccept simulates a downlevel server that does not speak the binary
+// codec: it drops the Accept header, so every reply comes back JSON.
+func stripAccept(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r.Header.Del("Accept")
+		next.ServeHTTP(w, r)
+	})
+}
+
+// TestBinaryCodecRefusesSilentFallback: in strict binary mode a 2xx JSON
+// reply to a binary-capable call is an error, never silently decoded —
+// otherwise the conformance matrix could "pass" with JSON on the wire.
+func TestBinaryCodecRefusesSilentFallback(t *testing.T) {
+	s := newService(t, service.Config{})
+	ts := httptest.NewServer(stripAccept(s.Handler()))
+	t.Cleanup(ts.Close)
+	cl := client.New(ts.URL, nil)
+	if err := cl.SetCodec("binary"); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	_, err := cl.Register(ctx, nil)
+	if err == nil || !strings.Contains(err.Error(), "silent") {
+		t.Fatalf("register against JSON-only server: %v, want silent-fallback refusal", err)
+	}
+
+	// The stream negotiates per-connection and must refuse the same way.
+	// Register through a JSON client (pinned, so the conformance matrix's
+	// env override cannot flip it) so a worker exists to stream for.
+	jcl := client.New(ts.URL, nil)
+	if err := jcl.SetCodec("json"); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := jcl.Register(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.StreamLeases(ctx, reg.WorkerID, 2); err == nil || !strings.Contains(err.Error(), "silent") {
+		t.Fatalf("stream against JSON-only server: %v, want silent-fallback refusal", err)
+	}
+}
+
+// TestAutoCodecNegotiates: auto mode upgrades to binary against a capable
+// server and degrades to JSON — without erroring — against one that is not.
+func TestAutoCodecNegotiates(t *testing.T) {
+	s := newService(t, service.Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	ctx := context.Background()
+
+	up := client.New(ts.URL, nil)
+	if err := up.SetCodec("auto"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := up.Register(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	if bin, _ := up.CodecCounts(); bin == 0 {
+		t.Fatal("auto mode did not negotiate binary against a capable server")
+	}
+
+	legacy := httptest.NewServer(stripAccept(s.Handler()))
+	t.Cleanup(legacy.Close)
+	down := client.New(legacy.URL, nil)
+	if err := down.SetCodec("auto"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := down.Register(ctx, nil); err != nil {
+		t.Fatalf("auto mode against JSON-only server: %v", err)
+	}
+	bin, jsonReplies := down.CodecCounts()
+	if bin != 0 || jsonReplies == 0 {
+		t.Fatalf("auto against JSON-only server: bin=%d json=%d", bin, jsonReplies)
+	}
+}

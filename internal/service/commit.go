@@ -50,9 +50,30 @@ func newCommitStage(w *journal.Writer) *commitStage {
 // callers fix a record's WAL position by enqueueing inside the relevant
 // critical section.
 func (c *commitStage) append(payload []byte) (uint64, error) {
-	req := &commitReq{payload: payload}
+	return c.appendAll(payload)
+}
+
+// appendAll enqueues a group of payloads atomically and blocks until the
+// whole group is in the log, returning the FIRST payload's LSN. Because
+// the group enters the queue under one lock hold and every writer drains
+// the entire queue into a single AppendBatch, the group's LSNs are
+// guaranteed consecutive (first, first+1, …) and land in the log with one
+// write(2) — this is what lets a batched report amortize one WAL append
+// (and one fsync, via a single WaitDurable on the last LSN) across k
+// outcomes while each record still gets its own totally-ordered LSN.
+func (c *commitStage) appendAll(payloads ...[]byte) (uint64, error) {
+	if len(payloads) == 0 {
+		return 0, nil
+	}
+	reqs := make([]*commitReq, len(payloads))
+	for i, p := range payloads {
+		reqs[i] = &commitReq{payload: p}
+	}
 	c.mu.Lock()
-	c.queue = append(c.queue, req)
+	c.queue = append(c.queue, reqs...)
+	// Waiting on the last request suffices for the whole group: any batch
+	// that drains it necessarily drained everything enqueued before it.
+	req := reqs[len(reqs)-1]
 	for !req.done {
 		if c.writing {
 			c.cond.Wait()
@@ -81,7 +102,7 @@ func (c *commitStage) append(payload []byte) (uint64, error) {
 		c.writing = false
 		c.cond.Broadcast()
 	}
-	lsn, err := req.lsn, req.err
+	lsn, err := reqs[0].lsn, reqs[0].err
 	c.mu.Unlock()
 	return lsn, err
 }

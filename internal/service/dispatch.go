@@ -179,8 +179,15 @@ func (s *Service) pull(done <-chan struct{}, workerID string, wait time.Duration
 			return nil, parked, errf(404, "service: unknown worker %q (lease expired? re-register)", workerID)
 		}
 		w.expires = now.Add(s.cfg.LeaseTTL)
-		if w.assignment != nil {
-			id := w.assignment.id
+		if w.streaming {
+			s.reg.mu.Unlock()
+			return nil, parked, errf(409, "service: worker %q has a lease stream open", workerID)
+		}
+		if len(w.assignments) > 0 {
+			var id string
+			for id = range w.assignments {
+				break
+			}
 			s.reg.mu.Unlock()
 			return nil, parked, errf(409, "service: worker %q already holds assignment %q", workerID, id)
 		}
@@ -204,7 +211,7 @@ func (s *Service) pull(done <-chan struct{}, workerID string, wait time.Duration
 		orphaned := false
 		if a != nil {
 			if s.reg.workers[workerID] == w {
-				w.assignment = a
+				w.assignments[a.id] = a
 			} else {
 				orphaned = true // deregistered mid-dispatch
 			}
@@ -213,13 +220,7 @@ func (s *Service) pull(done <-chan struct{}, workerID string, wait time.Duration
 		if orphaned {
 			// The worker vanished between the grant and the attach; requeue
 			// the task as if the lease expired instantly.
-			sh := s.shardOf(a.job.id)
-			sh.mu.Lock()
-			if sh.assignments[a.id] == a {
-				s.expireAssignmentLocked(sh, a, time.Now())
-			}
-			sh.mu.Unlock()
-			s.hub.broadcast()
+			s.requeueOrphan(a)
 			return nil, parked, errf(404, "service: unknown worker %q (lease expired? re-register)", workerID)
 		}
 		if a != nil {
@@ -272,6 +273,19 @@ func (s *Service) pull(done <-chan struct{}, workerID string, wait time.Duration
 			return nil, parked, errf(499, "service: pull abandoned by client")
 		}
 	}
+}
+
+// requeueOrphan expires a just-granted assignment whose worker vanished
+// between the grant and the attach (deregistered or swept mid-dispatch),
+// returning the task to the queue as if the lease expired instantly.
+func (s *Service) requeueOrphan(a *assignment) {
+	sh := s.shardOf(a.job.id)
+	sh.mu.Lock()
+	if sh.assignments[a.id] == a {
+		s.expireAssignmentLocked(sh, a, time.Now())
+	}
+	sh.mu.Unlock()
+	s.hub.broadcast()
 }
 
 // dispatchOnce offers the worker to runnable jobs in fair-share order —

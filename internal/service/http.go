@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
@@ -29,6 +30,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/workers", s.handleRegister)
 	mux.HandleFunc("DELETE /v1/workers/{id}", s.handleDeregister)
 	mux.HandleFunc("POST /v1/workers/{id}/pull", s.handlePull)
+	mux.HandleFunc("GET /v1/workers/{id}/stream", s.handleStream)
+	mux.HandleFunc("POST /v1/workers/{id}/reports", s.handleReportBatch)
 	mux.HandleFunc("POST /v1/assignments/{id}/heartbeat", s.handleHeartbeat)
 	mux.HandleFunc("POST /v1/assignments/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /v1/replication/stream", s.handleReplicationStream)
@@ -62,9 +65,44 @@ func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
+// readBody decodes the request body with whichever codec its Content-Type
+// names: the compact binary codec under api.ContentTypeBinary, JSON for
+// everything else (including an absent header). The hot-path handlers use
+// this; cold endpoints stay readJSON-only.
+func readBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if !api.IsBinary(r.Header.Get("Content-Type")) {
+		return readJSON(w, r, v)
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err == nil {
+		err = api.Binary.Unmarshal(data, v)
+	}
+	if err != nil {
+		writeError(w, errf(http.StatusBadRequest, "bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+// writeReply answers with the binary codec when the request's Accept
+// header asked for it and the payload has a binary encoding; JSON
+// otherwise. Errors never go through here — writeError keeps them JSON so
+// a failure is always human-readable.
+func writeReply(w http.ResponseWriter, r *http.Request, code int, v any) {
+	if api.AcceptsBinary(r.Header.Get("Accept")) && api.Binary.Supports(v) {
+		if b, err := api.Binary.Marshal(v); err == nil {
+			w.Header().Set("Content-Type", api.ContentTypeBinary)
+			w.WriteHeader(code)
+			_, _ = w.Write(b)
+			return
+		}
+	}
+	writeJSON(w, code, v)
+}
+
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req api.SubmitJobRequest
-	if !readJSON(w, r, &req) {
+	if !readBody(w, r, &req) {
 		return
 	}
 	// When the ingress chain authenticated the caller, the submission is
@@ -85,7 +123,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, api.SubmitJobResponse{JobID: id})
+	writeReply(w, r, http.StatusCreated, api.SubmitJobResponse{JobID: id})
 }
 
 func (s *Service) handleTenants(w http.ResponseWriter, r *http.Request) {
@@ -145,7 +183,7 @@ func (s *Service) handleDeleteJob(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req api.RegisterRequest
-	if !readJSON(w, r, &req) {
+	if !readBody(w, r, &req) {
 		return
 	}
 	site := -1
@@ -157,7 +195,7 @@ func (s *Service) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, resp)
+	writeReply(w, r, http.StatusCreated, resp)
 }
 
 func (s *Service) handleDeregister(w http.ResponseWriter, r *http.Request) {
@@ -170,7 +208,7 @@ func (s *Service) handleDeregister(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handlePull(w http.ResponseWriter, r *http.Request) {
 	var req api.PullRequest
-	if !readJSON(w, r, &req) {
+	if !readBody(w, r, &req) {
 		return
 	}
 	resp, parked, err := s.pull(r.Context().Done(), r.PathValue("id"), time.Duration(req.WaitMillis)*time.Millisecond)
@@ -182,12 +220,12 @@ func (s *Service) handlePull(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeReply(w, r, http.StatusOK, resp)
 }
 
 func (s *Service) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	var req api.HeartbeatRequest
-	if !readJSON(w, r, &req) {
+	if !readBody(w, r, &req) {
 		return
 	}
 	resp, err := s.Heartbeat(r.PathValue("id"), req.WorkerID)
@@ -195,12 +233,12 @@ func (s *Service) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeReply(w, r, http.StatusOK, resp)
 }
 
 func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 	var req api.ReportRequest
-	if !readJSON(w, r, &req) {
+	if !readBody(w, r, &req) {
 		return
 	}
 	resp, err := s.Report(r.PathValue("id"), req.WorkerID, req.Outcome)
@@ -208,7 +246,20 @@ func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeReply(w, r, http.StatusOK, resp)
+}
+
+func (s *Service) handleReportBatch(w http.ResponseWriter, r *http.Request) {
+	var req api.ReportBatchRequest
+	if !readBody(w, r, &req) {
+		return
+	}
+	resp, err := s.ReportBatch(r.PathValue("id"), req.Reports)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeReply(w, r, http.StatusOK, resp)
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {

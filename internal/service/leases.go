@@ -1,7 +1,7 @@
 // The worker registry and the lease protocol surface (register,
-// deregister, heartbeat, report). The registry is a leaf lock guarding
-// worker registrations, (site, worker) slots, and each worker's
-// current-assignment pointer; everything lease-state-ful about an
+// deregister, heartbeat, report — single and batched). The registry is a
+// leaf lock guarding worker registrations, (site, worker) slots, and each
+// worker's outstanding-lease set; everything lease-state-ful about an
 // assignment itself (deadline, cancellation, the live lease table) lives
 // on the owning job's shard. A report or heartbeat therefore touches two
 // locks back to back — registry to resolve the assignment, shard to act
@@ -90,9 +90,10 @@ func (s *Service) Register(site int) (*api.RegisterResponse, error) {
 	// journaled, so a recovered process would otherwise re-mint ids that
 	// pre-crash workers still present.
 	w := &worker{
-		id:      fmt.Sprintf("w%d-%s", s.seq.Add(1), s.instance),
-		ref:     core.WorkerRef{Site: target, Worker: slot},
-		expires: now.Add(s.cfg.LeaseTTL),
+		id:          fmt.Sprintf("w%d-%s", s.seq.Add(1), s.instance),
+		ref:         core.WorkerRef{Site: target, Worker: slot},
+		expires:     now.Add(s.cfg.LeaseTTL),
+		assignments: make(map[string]*assignment),
 	}
 	r.slots[target][slot] = w.id
 	r.workers[w.id] = w
@@ -116,15 +117,19 @@ func (s *Service) Deregister(workerID string) error {
 		r.mu.Unlock()
 		return errf(http.StatusNotFound, "service: unknown worker %q", workerID)
 	}
-	a := w.assignment
+	orphans := make([]*assignment, 0, len(w.assignments))
+	for _, a := range w.assignments {
+		orphans = append(orphans, a)
+	}
 	r.removeLocked(w)
 	s.counters.ActiveWorkers.Add(-1)
 	r.mu.Unlock()
-	if a != nil {
+	now := time.Now()
+	for _, a := range orphans {
 		sh := s.shardOf(a.job.id)
 		sh.mu.Lock()
 		if sh.assignments[a.id] == a {
-			s.expireAssignmentLocked(sh, a, time.Now())
+			s.expireAssignmentLocked(sh, a, now)
 		}
 		sh.mu.Unlock()
 	}
@@ -141,11 +146,15 @@ func (s *Service) lookupLease(assignmentID, workerID string, now time.Time) *ass
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	w := r.workers[workerID]
-	if w == nil || w.assignment == nil || w.assignment.id != assignmentID {
+	if w == nil {
+		return nil
+	}
+	a := w.assignments[assignmentID]
+	if a == nil {
 		return nil
 	}
 	w.expires = now.Add(s.cfg.LeaseTTL)
-	return w.assignment
+	return a
 }
 
 // Heartbeat renews an assignment's lease and reports whether the execution
@@ -191,39 +200,66 @@ func (s *Service) Report(assignmentID, workerID, outcome string) (*api.ReportRes
 		s.counters.StaleReports.Add(1)
 		return &api.ReportResponse{Accepted: false, Stale: true}, nil
 	}
-	j := a.job
+	// Journal before applying: if the append fails the report is refused
+	// with the assignment intact, and the worker's retry (or eventual
+	// lease expiry) keeps state and log agreeing.
 	var lsn uint64
-	// Journal only while the job record is resident: a cancelled replica's
-	// lease can outlive its completed-then-DELETEd job, and a record
-	// naming a dropped job id would be unreplayable after the next
-	// snapshot no longer carries the job (recovery would refuse the data
-	// dir). The report still counts below; it just isn't history anyone
-	// can replay.
-	if s.pst != nil && sh.jobs[j.id] == j {
-		// Journal before applying: if the append fails the report is
-		// refused with the assignment intact, and the worker's retry (or
-		// eventual lease expiry) keeps state and log agreeing.
+	if rec := s.reportRecord(sh, a, outcome, now); rec != nil {
 		var err error
-		lsn, err = s.appendRecord(&record{
-			Op: opReport, Ts: now.UnixMilli(), Job: j.id,
-			Task: a.task.ID, Site: a.ref.Site, Worker: a.ref.Worker,
-			Outcome: outcome,
-		})
-		if err != nil {
+		if lsn, err = s.appendRecord(rec); err != nil {
 			sh.mu.Unlock()
 			return nil, err
 		}
+	}
+	resp, wake := s.applyReportLocked(sh, a, outcome, now)
+	sh.mu.Unlock()
+	s.finishLease(a)
+	if wake {
+		s.hub.broadcast()
+	}
+	s.snapshotIfDue()
+	if err := s.waitDurable(lsn); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// reportRecord builds the WAL record for a report, or nil when the report
+// must not be journaled. Journal only while the job record is resident: a
+// cancelled replica's lease can outlive its completed-then-DELETEd job,
+// and a record naming a dropped job id would be unreplayable after the
+// next snapshot no longer carries the job (recovery would refuse the data
+// dir). The report still counts in memory; it just isn't history anyone
+// can replay. Callers hold sh.mu.
+func (s *Service) reportRecord(sh *shard, a *assignment, outcome string, now time.Time) *record {
+	if s.pst == nil || sh.jobs[a.job.id] != a.job {
+		return nil
+	}
+	return &record{
+		Op: opReport, Ts: now.UnixMilli(), Job: a.job.id,
+		Task: a.task.ID, Site: a.ref.Site, Worker: a.ref.Worker,
+		Outcome: outcome,
+	}
+}
+
+// applyReportLocked applies one validated, already-journaled (when due)
+// report to its job: ledger, scheduler callbacks, counters, job
+// completion. Callers hold sh.mu, have verified the lease is live
+// (sh.assignments[a.id] == a), and must finishLease(a) after unlocking.
+// wake asks for a hub broadcast — see the comment inside for why most
+// reports do not wake anyone.
+func (s *Service) applyReportLocked(sh *shard, a *assignment, outcome string, now time.Time) (*api.ReportResponse, bool) {
+	j := a.job
+	if s.pst != nil && sh.jobs[j.id] == j && j.state == api.JobRunning {
 		op := ledgerFailure
 		if outcome == api.OutcomeSuccess {
 			op = ledgerSuccess
 		}
-		if j.state == api.JobRunning {
-			j.ledger = append(j.ledger, ledgerRec{
-				Op: op, Task: a.task.ID,
-				Site: int32(a.ref.Site), Worker: int32(a.ref.Worker),
-				Ts: now.UnixMilli(),
-			})
-		}
+		j.ledger = append(j.ledger, ledgerRec{
+			Op: op, Task: a.task.ID,
+			Site: int32(a.ref.Site), Worker: int32(a.ref.Worker),
+			Ts: now.UnixMilli(),
+		})
 	}
 	delete(sh.assignments, a.id)
 	resp := &api.ReportResponse{Accepted: true}
@@ -264,14 +300,103 @@ func (s *Service) Report(assignmentID, workerID, outcome string) (*api.ReportRes
 		}
 	}
 	resp.JobState = j.state
-	sh.mu.Unlock()
-	s.finishLease(a)
+	return resp, wake
+}
+
+// ReportBatch ends up to a stream's worth of assignments in one call. Per
+// item the semantics are exactly Report's — stale rejection, cancelled
+// accounting, first-completion-wins — which is what keeps exactly-once
+// accounting intact when a worker retries a whole batch after a dropped
+// connection: items that landed the first time come back stale, never
+// double-counted. The batch's WAL records go through ONE contiguous
+// commit-stage append per shard group (consecutive LSNs, one write(2))
+// and one durability wait covers them all, amortizing the fsync that
+// dominates a journaled report's cost.
+func (s *Service) ReportBatch(workerID string, items []api.ReportItem) (*api.ReportBatchResponse, error) {
+	for i := range items {
+		if o := items[i].Outcome; o != api.OutcomeSuccess && o != api.OutcomeFailure {
+			return nil, errf(http.StatusBadRequest, "service: unknown outcome %q (report %d)", o, i)
+		}
+	}
+	now := time.Now()
+	results := make([]api.ReportResponse, len(items))
+	as := make([]*assignment, len(items))
+
+	// Resolve every lease in one registry pass (one registration renewal).
+	// An unknown worker makes every item stale — same contract as Report.
+	r := s.reg
+	r.mu.Lock()
+	if w := r.workers[workerID]; w != nil {
+		w.expires = now.Add(s.cfg.LeaseTTL)
+		for i := range items {
+			as[i] = w.assignments[items[i].AssignmentID]
+		}
+	}
+	r.mu.Unlock()
+
+	// Group live leases by owning shard, preserving item order within each
+	// group (ledger and WAL order inside a shard match the batch's order).
+	groups := make(map[*shard][]int)
+	for i, a := range as {
+		if a == nil {
+			s.counters.StaleReports.Add(1)
+			results[i] = api.ReportResponse{Stale: true}
+			continue
+		}
+		groups[s.shardOf(a.job.id)] = append(groups[s.shardOf(a.job.id)], i)
+	}
+
+	var maxLSN uint64
+	wake := false
+	var finished []*assignment
+	for sh, idxs := range groups {
+		sh.mu.Lock()
+		// Re-validate under the shard lock and journal the whole group
+		// with one contiguous append BEFORE applying anything (the same
+		// journal-before-apply rule as Report, batch-wide: an append
+		// failure refuses the group with every lease intact).
+		live := make([]int, 0, len(idxs))
+		var recs []*record
+		for _, i := range idxs {
+			a := as[i]
+			if sh.assignments[a.id] != a {
+				s.counters.StaleReports.Add(1)
+				results[i] = api.ReportResponse{Stale: true}
+				continue
+			}
+			if rec := s.reportRecord(sh, a, items[i].Outcome, now); rec != nil {
+				recs = append(recs, rec)
+			}
+			live = append(live, i)
+		}
+		if len(recs) > 0 {
+			first, err := s.appendRecords(recs)
+			if err != nil {
+				sh.mu.Unlock()
+				return nil, err
+			}
+			if last := first + uint64(len(recs)) - 1; last > maxLSN {
+				maxLSN = last
+			}
+		}
+		for _, i := range live {
+			a := as[i]
+			resp, w := s.applyReportLocked(sh, a, items[i].Outcome, now)
+			results[i] = *resp
+			wake = wake || w
+			finished = append(finished, a)
+		}
+		sh.mu.Unlock()
+	}
+	for _, a := range finished {
+		s.finishLease(a)
+	}
 	if wake {
 		s.hub.broadcast()
 	}
 	s.snapshotIfDue()
-	if err := s.waitDurable(lsn); err != nil {
+	if err := s.waitDurable(maxLSN); err != nil {
 		return nil, err
 	}
-	return resp, nil
+	return &api.ReportBatchResponse{Results: results}, nil
 }

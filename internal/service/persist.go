@@ -212,6 +212,28 @@ func (s *Service) appendRecord(rec *record) (uint64, error) {
 	return lsn, nil
 }
 
+// appendRecords journals a group of records as one contiguous WAL append
+// (consecutive LSNs, one write(2) — see commitStage.appendAll), returning
+// the first LSN. All-or-nothing: on error nothing was appended, so the
+// caller may abort without applying any of the group. Like appendRecord,
+// call while holding the lock that owns the records' WAL order.
+func (s *Service) appendRecords(recs []*record) (uint64, error) {
+	payloads := make([][]byte, len(recs))
+	for i, rec := range recs {
+		p, err := json.Marshal(rec)
+		if err != nil {
+			return 0, errf(500, "service: journal encode: %v", err)
+		}
+		payloads[i] = p
+	}
+	first, err := s.pst.stage.appendAll(payloads...)
+	if err != nil {
+		return 0, errf(503, "service: journal append: %v", err)
+	}
+	s.pst.sinceSnapshot.Add(int64(len(recs)))
+	return first, nil
+}
+
 // mustAppend journals rec on a path that cannot abort (the state change
 // already happened, or must happen — dispatch after NextFor, lease expiry
 // past its deadline). A journal failure there is fail-stop: better to

@@ -319,11 +319,22 @@ type job struct {
 // worker is one registered remote worker holding a (site, worker) slot.
 // Guarded by the registry mutex.
 type worker struct {
-	id         string
-	ref        core.WorkerRef
-	expires    time.Time
-	assignment *assignment // nil when idle; at most one at a time
-	pulling    bool        // a Pull is mid-dispatch for this worker
+	id      string
+	ref     core.WorkerRef
+	expires time.Time
+	// assignments are the worker's outstanding leases by assignment id. A
+	// long-poll worker holds at most one; a streaming worker pipelines up
+	// to its stream's batch size.
+	assignments map[string]*assignment
+	pulling     bool // a Pull is mid-dispatch for this worker
+	// streaming marks an open lease stream (at most one per worker; a
+	// concurrent Pull is rejected while it is set).
+	streaming bool
+	// wake, once a stream opened, is the worker-targeted nudge channel: a
+	// finished lease frees pipeline capacity for THIS worker only, which
+	// must not broadcast-wake every parked poller. Buffered(1), never
+	// closed; it outlives individual streams across reconnects.
+	wake chan struct{}
 }
 
 // assignment is one leased task execution. id, job, task, workerID, ref,

@@ -179,8 +179,16 @@ func (s *Service) finishLease(a *assignment) {
 		s.hub.broadcast()
 	}
 	s.reg.mu.Lock()
-	if w := s.reg.workers[a.workerID]; w != nil && w.assignment == a {
-		w.assignment = nil
+	if w := s.reg.workers[a.workerID]; w != nil && w.assignments[a.id] == a {
+		delete(w.assignments, a.id)
+		if w.wake != nil {
+			// A streaming worker's pipeline just gained capacity; nudge its
+			// stream loop (targeted — no herd broadcast for this).
+			select {
+			case w.wake <- struct{}{}:
+			default:
+			}
+		}
 	}
 	s.reg.mu.Unlock()
 	s.counters.ActiveLeases.Add(-1)
@@ -260,8 +268,8 @@ func (s *Service) sweep(now time.Time) {
 			lower(w.expires)
 			continue
 		}
-		if w.assignment != nil {
-			orphans = append(orphans, w.assignment)
+		for _, a := range w.assignments {
+			orphans = append(orphans, a)
 		}
 		s.reg.removeLocked(w)
 		s.counters.ActiveWorkers.Add(-1)

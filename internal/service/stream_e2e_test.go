@@ -1,0 +1,195 @@
+package service_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gridsched/internal/core"
+	"gridsched/internal/service"
+	"gridsched/internal/service/api"
+	"gridsched/internal/service/client"
+)
+
+// startHTTP serves s over a real listener and returns a client pointed at
+// it. The client honors GRIDSCHED_TEST_CODEC, so these tests run under the
+// CI codec-conformance matrix unchanged.
+func startHTTP(t *testing.T, s *service.Service) *client.Client {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return client.New(ts.URL, nil)
+}
+
+// TestStreamWorkerDrivesJobToCompletion is the tentpole's end-to-end
+// check over a real TCP connection: a streaming worker (one lease channel,
+// batched reports, no heartbeats) drains a job and every completion is
+// counted exactly once.
+func TestStreamWorkerDrivesJobToCompletion(t *testing.T) {
+	const tasks = 60
+	s := newService(t, service.Config{})
+	cl := startHTTP(t, s)
+	w := syntheticWorkload(tasks, 3)
+	jobID := submitWorkqueue(t, s, w)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	executed := 0
+	err := cl.RunWorker(ctx, client.WorkerConfig{
+		StreamBatch: 8,
+		Execute: func(context.Context, core.WorkerRef, *api.Assignment) error {
+			executed++
+			return nil
+		},
+		OnIdle: func(_ context.Context, resp *api.PullResponse) (bool, error) {
+			return resp.OpenJobs == 0, nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("streaming worker: %v", err)
+	}
+	if executed != tasks {
+		t.Fatalf("executed %d tasks, want %d", executed, tasks)
+	}
+	st, err := s.JobStatus(jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != api.JobCompleted || st.Completed != tasks || st.Remaining != 0 {
+		t.Fatalf("job after streaming drain: %+v", st)
+	}
+	if got := s.Counters().Completions.Load(); got != tasks {
+		t.Fatalf("completions counter = %d, want %d (exactly once)", got, tasks)
+	}
+	if got := s.Counters().ActiveLeases.Load(); got != 0 {
+		t.Fatalf("active leases after drain = %d", got)
+	}
+}
+
+// TestStreamMutualExclusion pins the one-protocol-per-worker rule: a
+// second stream, or a classic pull, while a stream is open is a 409 — the
+// two protocols disagree about how many leases a worker may hold.
+func TestStreamMutualExclusion(t *testing.T) {
+	s := newService(t, service.Config{})
+	cl := startHTTP(t, s)
+	ctx := context.Background()
+	reg, err := cl.Register(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ls, err := cl.StreamLeases(ctx, reg.WorkerID, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ae *client.APIError
+	if _, err := cl.StreamLeases(ctx, reg.WorkerID, 4); !errors.As(err, &ae) || ae.StatusCode != http.StatusConflict {
+		t.Fatalf("second stream: %v, want 409", err)
+	}
+	if _, err := cl.Pull(ctx, reg.WorkerID, 0); !errors.As(err, &ae) || ae.StatusCode != http.StatusConflict {
+		t.Fatalf("pull during stream: %v, want 409", err)
+	}
+	ls.Close()
+
+	// The server releases the stream claim when it notices the disconnect;
+	// poll until a classic pull is admitted again.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := cl.Pull(ctx, reg.WorkerID, 0)
+		if err == nil {
+			break
+		}
+		if !errors.As(err, &ae) || ae.StatusCode != http.StatusConflict || time.Now().After(deadline) {
+			t.Fatalf("pull after stream close: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestReportBatchRetryIsStale is the exactly-once contract for batched
+// reports: a client that retries a whole batch after a lost reply (the
+// stream-drop case) gets every already-landed item back Stale, and the
+// completion counters move only once.
+func TestReportBatchRetryIsStale(t *testing.T) {
+	const tasks = 4
+	s := newService(t, service.Config{})
+	cl := startHTTP(t, s)
+	submitWorkqueue(t, s, syntheticWorkload(tasks, 2))
+	ctx := context.Background()
+	reg, err := cl.Register(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := cl.StreamLeases(ctx, reg.WorkerID, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ls.Close()
+
+	var items []api.ReportItem
+	for len(items) < tasks {
+		lb, err := ls.Next()
+		if err != nil {
+			t.Fatalf("stream: %v", err)
+		}
+		for _, a := range lb.Assignments {
+			items = append(items, api.ReportItem{AssignmentID: a.ID, Outcome: api.OutcomeSuccess})
+		}
+	}
+
+	first, err := cl.ReportBatch(ctx, reg.WorkerID, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range first {
+		if !r.Accepted || r.Stale {
+			t.Fatalf("first batch item %d: %+v", i, r)
+		}
+	}
+	retry, err := cl.ReportBatch(ctx, reg.WorkerID, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range retry {
+		if r.Accepted || !r.Stale {
+			t.Fatalf("retried batch item %d: %+v, want stale", i, r)
+		}
+	}
+	if got := s.Counters().Completions.Load(); got != tasks {
+		t.Fatalf("completions = %d after retried batch, want %d", got, tasks)
+	}
+	if got := s.Counters().StaleReports.Load(); got != tasks {
+		t.Fatalf("stale reports = %d, want %d", got, tasks)
+	}
+}
+
+// TestReportBatchValidatesOutcomes: a malformed item rejects the whole
+// batch before anything is journaled. Under JSON the server answers 400
+// naming the index; under the binary codec the strict encoder refuses the
+// out-of-vocabulary outcome client-side and the request never leaves.
+func TestReportBatchValidatesOutcomes(t *testing.T) {
+	s := newService(t, service.Config{})
+	cl := startHTTP(t, s)
+	ctx := context.Background()
+	reg, err := cl.Register(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl.ReportBatch(ctx, reg.WorkerID, []api.ReportItem{
+		{AssignmentID: "a", Outcome: api.OutcomeSuccess},
+		{AssignmentID: "b", Outcome: "shrug"},
+	})
+	var ae *client.APIError
+	switch {
+	case errors.As(err, &ae):
+		if ae.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad outcome in batch: %v, want 400", err)
+		}
+	case err == nil || !strings.Contains(err.Error(), "unknown outcome"):
+		t.Fatalf("bad outcome in batch: %v, want a 400 or an encode refusal", err)
+	}
+}
