@@ -303,17 +303,28 @@ func (s *Service) applyReportLocked(sh *shard, a *assignment, outcome string, no
 	return resp, wake
 }
 
-// ReportBatch ends up to a stream's worth of assignments in one call. Per
-// item the semantics are exactly Report's — stale rejection, cancelled
-// accounting, first-completion-wins — which is what keeps exactly-once
-// accounting intact when a worker retries a whole batch after a dropped
-// connection: items that landed the first time come back stale, never
-// double-counted. The batch's WAL records go through ONE contiguous
+// ReportBatch ends up to a stream's worth of assignments (at most
+// maxStreamBatch, enforced) in one call. Per item the semantics are
+// exactly Report's — stale rejection, cancelled accounting,
+// first-completion-wins, and a duplicate assignment id within the batch
+// is stale just as a second Report call would be — which is what keeps
+// exactly-once accounting intact when a worker retries a whole batch
+// after a dropped connection: items that landed the first time come back
+// stale, never double-counted. The batch's WAL records go through ONE contiguous
 // commit-stage append per shard group (consecutive LSNs, one write(2))
 // and one durability wait covers them all, amortizing the fsync that
 // dominates a journaled report's cost.
 func (s *Service) ReportBatch(workerID string, items []api.ReportItem) (*api.ReportBatchResponse, error) {
+	// A worker's outstanding leases are capped at maxStreamBatch, so no
+	// honest batch is bigger; an unbounded one would hold sh.mu across an
+	// arbitrarily large journal append.
+	if len(items) > maxStreamBatch {
+		return nil, errf(http.StatusBadRequest, "service: batch of %d reports exceeds the %d-item cap", len(items), maxStreamBatch)
+	}
 	for i := range items {
+		if items[i].AssignmentID == "" {
+			return nil, errf(http.StatusBadRequest, "service: empty assignment id (report %d)", i)
+		}
 		if o := items[i].Outcome; o != api.OutcomeSuccess && o != api.OutcomeFailure {
 			return nil, errf(http.StatusBadRequest, "service: unknown outcome %q (report %d)", o, i)
 		}
@@ -324,12 +335,24 @@ func (s *Service) ReportBatch(workerID string, items []api.ReportItem) (*api.Rep
 
 	// Resolve every lease in one registry pass (one registration renewal).
 	// An unknown worker makes every item stale — same contract as Report.
+	// Duplicate assignment ids inside one batch resolve for the FIRST
+	// occurrence only: a later duplicate is what a second Report call would
+	// be — the lease is gone by then — so it must come back Stale, not be
+	// applied twice (twice through applyReportLocked would double-journal
+	// and double-count, and if the first apply completed the job the second
+	// would find j.sched nil).
 	r := s.reg
 	r.mu.Lock()
 	if w := r.workers[workerID]; w != nil {
 		w.expires = now.Add(s.cfg.LeaseTTL)
+		seen := make(map[string]struct{}, len(items))
 		for i := range items {
-			as[i] = w.assignments[items[i].AssignmentID]
+			id := items[i].AssignmentID
+			if _, dup := seen[id]; dup {
+				continue // as[i] stays nil → Stale below
+			}
+			seen[id] = struct{}{}
+			as[i] = w.assignments[id]
 		}
 	}
 	r.mu.Unlock()

@@ -3,6 +3,7 @@ package service_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -191,5 +192,74 @@ func TestReportBatchValidatesOutcomes(t *testing.T) {
 		}
 	case err == nil || !strings.Contains(err.Error(), "unknown outcome"):
 		t.Fatalf("bad outcome in batch: %v, want a 400 or an encode refusal", err)
+	}
+}
+
+// TestReportBatchDuplicateAssignment: the same assignment id twice in one
+// batch applies once; the duplicate is stale, exactly as a second single
+// report would be. The nastiest instance is a duplicated final task of a
+// job — the first apply completes the job and releases its scheduler, so
+// a double apply would hit a nil scheduler while holding the shard lock
+// and wedge the shard.
+func TestReportBatchDuplicateAssignment(t *testing.T) {
+	s := newService(t, service.Config{})
+	cl := startHTTP(t, s)
+	submitWorkqueue(t, s, syntheticWorkload(1, 2))
+	ctx := context.Background()
+	reg, err := cl.Register(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := cl.Pull(ctx, reg.WorkerID, 5*time.Second)
+	if err != nil || pr.Assignment == nil {
+		t.Fatalf("pull: %v, %+v", err, pr)
+	}
+	dup := api.ReportItem{AssignmentID: pr.Assignment.ID, Outcome: api.OutcomeSuccess}
+	results, err := cl.ReportBatch(ctx, reg.WorkerID, []api.ReportItem{dup, dup})
+	if err != nil {
+		t.Fatalf("batch with duplicate: %v", err)
+	}
+	if !results[0].Accepted || results[0].Stale {
+		t.Fatalf("first occurrence: %+v, want accepted", results[0])
+	}
+	if results[1].Accepted || !results[1].Stale {
+		t.Fatalf("duplicate occurrence: %+v, want stale", results[1])
+	}
+	if got := s.Counters().Completions.Load(); got != 1 {
+		t.Fatalf("completions = %d, want 1 (exactly once)", got)
+	}
+	if got := s.Counters().ActiveLeases.Load(); got != 0 {
+		t.Fatalf("active leases = %d, want 0 (no double decrement)", got)
+	}
+	// The shard must still be usable: a fresh job on the same service
+	// dispatches and reports normally.
+	submitWorkqueue(t, s, syntheticWorkload(1, 2))
+	pr, err = cl.Pull(ctx, reg.WorkerID, 5*time.Second)
+	if err != nil || pr.Assignment == nil {
+		t.Fatalf("pull after duplicate batch: %v, %+v", err, pr)
+	}
+	if _, err := cl.Report(ctx, pr.Assignment.ID, reg.WorkerID, api.OutcomeSuccess); err != nil {
+		t.Fatalf("report after duplicate batch: %v", err)
+	}
+}
+
+// TestReportBatchCapEnforced: the documented 256-item cap on the batch
+// report endpoint is a 400, not an invitation to hold the shard lock
+// across an arbitrarily large journal append.
+func TestReportBatchCapEnforced(t *testing.T) {
+	s := newService(t, service.Config{})
+	cl := startHTTP(t, s)
+	ctx := context.Background()
+	reg, err := cl.Register(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := make([]api.ReportItem, 257)
+	for i := range items {
+		items[i] = api.ReportItem{AssignmentID: fmt.Sprintf("a%d", i), Outcome: api.OutcomeSuccess}
+	}
+	var ae *client.APIError
+	if _, err := cl.ReportBatch(ctx, reg.WorkerID, items); !errors.As(err, &ae) || ae.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch: %v, want 400", err)
 	}
 }
