@@ -82,6 +82,7 @@ func run(args []string, stdout *os.File) error {
 		{"ServiceDispatchInProcess", benchsuite.ServiceDispatchInProcess},
 		{"ServiceDispatchIngress", benchsuite.ServiceDispatchIngress},
 		{"ServiceDispatchContended", benchsuite.ServiceDispatchContended},
+		{"ServiceDispatchSpeculative", benchsuite.ServiceDispatchSpeculative},
 		{"ServiceDispatchParallel/shards=1", benchsuite.ServiceDispatchParallel(1)},
 		{"ServiceDispatchParallel/shards=8", benchsuite.ServiceDispatchParallel(8)},
 		{"ServiceDispatchJournaled/batch", benchsuite.ServiceDispatchJournaled(journal.SyncBatch)},

@@ -150,6 +150,8 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 		fsync    = fs.String("fsync", "batch", "journal fsync mode: always, batch or never")
 		fsyncInt = fs.Duration("fsync-interval", 25*time.Millisecond, "batch-mode fsync cadence")
 		snapshot = fs.Int("snapshot-every", 4096, "journal records between compacting snapshots")
+		spec     = fs.Bool("speculate", false, "re-execute straggler leases speculatively (first report wins; see docs/SCHEDULING.md)")
+		specPct  = fs.Float64("speculate-percentile", 0.95, "duration percentile a lease must exceed (times the factor) to count as a straggler")
 		follow   = fs.String("follow", "", "run as a hot standby replicating the leader at this base URL (requires -data-dir); read-only until promoted")
 		replTok  = fs.String("replication-token", "", "bearer token presented to the leader's replication stream (an admin token when the leader runs -auth-tokens)")
 		autoProm = fs.Duration("auto-promote", 0, "standby only: promote automatically after this long without leader contact (0: manual promotion via POST /v1/replication/promote)")
@@ -203,7 +205,9 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 		Fsync:             mode,
 		FsyncInterval:     *fsyncInt,
 		SnapshotEvery:     *snapshot,
+		Speculation:       *spec,
 	}
+	svcCfg.SpeculationPercentile = *specPct
 
 	var store *middleware.TokenStore
 	if *tokens != "" {

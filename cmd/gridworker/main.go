@@ -24,6 +24,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -62,6 +63,7 @@ func run(ctx context.Context, args []string) error {
 		token   = fs.String("auth-token", "", "bearer token for a gridschedd running with -auth-tokens")
 		codec   = fs.String("codec", "json", "wire codec: json, binary (strict, no silent fallback), or auto (negotiate)")
 		batch   = fs.Int("batch", 0, "streaming lease channel pipeline depth (0: classic long-poll pulls)")
+		tags    = fs.String("tags", "", "comma-separated capability tags to advertise (e.g. gpu,avx512)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,6 +88,7 @@ func run(ctx context.Context, args []string) error {
 			defer wg.Done()
 			cfg := client.WorkerConfig{
 				PollWait:      *poll,
+				Tags:          splitTags(*tags),
 				StreamBatch:   *batch,
 				ReconnectWait: *reconn,
 				DrainGrace:    *drain,
@@ -123,4 +126,16 @@ func run(ctx context.Context, args []string) error {
 	wg.Wait()
 	close(errs)
 	return <-errs
+}
+
+// splitTags parses the -tags flag, dropping empty elements so a trailing
+// comma is harmless.
+func splitTags(s string) []string {
+	var tags []string
+	for _, t := range strings.Split(s, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			tags = append(tags, t)
+		}
+	}
+	return tags
 }

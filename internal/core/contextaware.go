@@ -1,0 +1,154 @@
+// Context-aware scheduling: a Scheduler wrapper that consults observed
+// worker context — capability tags and EWMAs of task duration and failure
+// rate — before letting the wrapped strategy assign work. The wrapper sits
+// strictly ABOVE the inner scheduler: when the context gate rejects a
+// worker it returns Wait without touching the inner scheduler at all, so
+// the inner strategy's state (including its RNG stream) advances exactly
+// as if the worker had never asked. That property is what keeps recovery
+// replay exact: the journal records only the assignments that happened,
+// and ReplayAssign bypasses the gate entirely, so a recovered scheduler
+// cannot diverge from the live one however the gate decided.
+package core
+
+import (
+	"fmt"
+
+	"gridsched/internal/workload"
+)
+
+// WorkerContext is the observed runtime context of one worker slot, as
+// accumulated by the embedding engine (the gridschedd service folds it
+// from report traffic; see internal/service).
+type WorkerContext struct {
+	// Tags are the capability tags the worker registered with.
+	Tags []string
+	// MeanTaskMillis is an EWMA of observed task durations in
+	// milliseconds; 0 until the first completed task.
+	MeanTaskMillis float64
+	// FailureRate is an EWMA of the failure indicator in [0, 1].
+	FailureRate float64
+	// Samples counts completed-task duration observations.
+	Samples int64
+	// Events counts all outcome observations (successes and failures).
+	Events int64
+}
+
+// ContextSource resolves a worker slot to its observed context. The second
+// result is false when nothing has been observed for the slot yet — the
+// gate must treat such workers as eligible (cold start never blocks).
+type ContextSource interface {
+	WorkerContext(at WorkerRef) (WorkerContext, bool)
+}
+
+// ContextPolicy parameterizes the gate of a ContextAware scheduler.
+type ContextPolicy struct {
+	// RequiredTags must all be present on a worker for it to receive
+	// assignments. Empty means any worker qualifies.
+	RequiredTags []string
+	// MaxFailureRate rejects workers whose observed failure-rate EWMA
+	// meets or exceeds it, once MinEvents outcomes have been observed.
+	// 0 applies the default of 0.5.
+	MaxFailureRate float64
+	// MinEvents is the observation floor below which the failure gate
+	// stays open (cold start). 0 applies the default of 4.
+	MinEvents int64
+}
+
+const (
+	defaultMaxFailureRate = 0.5
+	defaultMinEvents      = 4
+)
+
+// ContextAware is the wrapper; construct with NewContextAware.
+type ContextAware struct {
+	inner  Scheduler
+	src    ContextSource
+	policy ContextPolicy
+}
+
+// NewContextAware wraps inner with a context gate fed by src. A nil src
+// disables the gate (the wrapper becomes a transparent proxy).
+func NewContextAware(inner Scheduler, src ContextSource, policy ContextPolicy) *ContextAware {
+	if policy.MaxFailureRate <= 0 {
+		policy.MaxFailureRate = defaultMaxFailureRate
+	}
+	if policy.MinEvents <= 0 {
+		policy.MinEvents = defaultMinEvents
+	}
+	return &ContextAware{inner: inner, src: src, policy: policy}
+}
+
+func (c *ContextAware) Name() string { return "context:" + c.inner.Name() }
+
+func (c *ContextAware) AttachSite(site int) { c.inner.AttachSite(site) }
+
+func (c *ContextAware) NoteBatch(site int, batch, fetched, evicted []workload.FileID) {
+	c.inner.NoteBatch(site, batch, fetched, evicted)
+}
+
+// admits is the context gate. It must be a pure function of the source's
+// current observation for the slot: no scheduler state may change on a
+// rejection.
+func (c *ContextAware) admits(at WorkerRef) bool {
+	if c.src == nil {
+		return false // no source: gate disabled
+	}
+	ctx, ok := c.src.WorkerContext(at)
+	if !ok {
+		return true // never observed: cold start admits
+	}
+	for _, want := range c.policy.RequiredTags {
+		found := false
+		for _, have := range ctx.Tags {
+			if have == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	if ctx.Events >= c.policy.MinEvents && ctx.FailureRate >= c.policy.MaxFailureRate {
+		return false
+	}
+	return true
+}
+
+func (c *ContextAware) NextFor(at WorkerRef) (workload.Task, Status) {
+	if c.src != nil && !c.admits(at) {
+		// Rejected by context: the inner scheduler never sees the ask, so
+		// its state (and RNG) is exactly as if the worker stayed silent.
+		return workload.Task{}, Wait
+	}
+	return c.inner.NextFor(at)
+}
+
+func (c *ContextAware) OnTaskComplete(id workload.TaskID, at WorkerRef) []WorkerRef {
+	return c.inner.OnTaskComplete(id, at)
+}
+
+func (c *ContextAware) OnExecutionFailed(id workload.TaskID, at WorkerRef) {
+	c.inner.OnExecutionFailed(id, at)
+}
+
+func (c *ContextAware) Remaining() int { return c.inner.Remaining() }
+
+// ReplayAssign bypasses the context gate: recovery re-applies recorded
+// assignments, and the gate's verdict at record time is already baked into
+// which records exist. Inner schedulers that implement Replayer are
+// forwarded to; the rest are replayed by re-asking and verifying, exactly
+// as the service does for unwrapped schedulers.
+func (c *ContextAware) ReplayAssign(id workload.TaskID, at WorkerRef) error {
+	if r, ok := c.inner.(Replayer); ok {
+		return r.ReplayAssign(id, at)
+	}
+	task, status := c.inner.NextFor(at)
+	if status != Assigned {
+		return fmt.Errorf("core: context replay: scheduler returned status %d for task %d at %+v", status, id, at)
+	}
+	if task.ID != id {
+		return fmt.Errorf("core: context replay: scheduler assigned task %d, journal says %d", task.ID, id)
+	}
+	return nil
+}

@@ -24,6 +24,13 @@ type ServiceCounters struct {
 	Heartbeats     atomic.Int64
 	StaleReports   atomic.Int64
 
+	// Straggler speculation. SpeculativeDispatches is durable (restored
+	// from carry + resident jobs at recovery); wins/losses are
+	// process-local observations about which replica reported first.
+	SpeculativeDispatches atomic.Int64
+	SpeculationWins       atomic.Int64
+	SpeculationLosses     atomic.Int64
+
 	ActiveWorkers atomic.Int64
 	ActiveLeases  atomic.Int64
 	OpenJobs      atomic.Int64
@@ -83,6 +90,9 @@ func (c *ServiceCounters) WriteText(w io.Writer) error {
 		{"gridsched_workers_expired_total", "counter", c.WorkersExpired.Load()},
 		{"gridsched_heartbeats_total", "counter", c.Heartbeats.Load()},
 		{"gridsched_stale_reports_total", "counter", c.StaleReports.Load()},
+		{"gridsched_speculative_dispatches_total", "counter", c.SpeculativeDispatches.Load()},
+		{"gridsched_speculation_wins_total", "counter", c.SpeculationWins.Load()},
+		{"gridsched_speculation_losses_total", "counter", c.SpeculationLosses.Load()},
 		{"gridsched_active_workers", "gauge", c.ActiveWorkers.Load()},
 		{"gridsched_active_leases", "gauge", c.ActiveLeases.Load()},
 		{"gridsched_open_jobs", "gauge", c.OpenJobs.Load()},

@@ -10,6 +10,7 @@
 //	GET    /v1/tenants                                    -> []TenantStatus
 //	PUT    /v1/tenants/{tenant}         TenantQuotaRequest -> TenantStatus
 //	POST   /v1/workers                  RegisterRequest   -> RegisterResponse
+//	GET    /v1/workers                                    -> []WorkerStatus
 //	DELETE /v1/workers/{id}                               -> {}
 //	POST   /v1/workers/{id}/pull        PullRequest       -> PullResponse (long poll)
 //	GET    /v1/workers/{id}/stream?batch=k                -> chunked LeaseBatch frame stream
@@ -99,6 +100,15 @@ type SubmitJobRequest struct {
 	// weights. Zero (or absent) means the server's default weight; the
 	// server rejects negative or absurdly large values.
 	Weight int `json:"weight,omitempty"`
+	// Requires restricts dispatch to workers that registered with every
+	// listed capability tag (same charset as tags; see RegisterRequest).
+	// Enforced at lease grant, before the scheduler is consulted, so it
+	// never perturbs scheduler state or RNG draws.
+	Requires []string `json:"requires,omitempty"`
+	// DeadlineMillis is an optional soft deadline (Unix milliseconds).
+	// A job predicted to miss it is boosted ahead of fair-share order at
+	// dispatch; the deadline never kills the job (docs/SCHEDULING.md).
+	DeadlineMillis int64 `json:"deadlineMillis,omitempty"`
 }
 
 // SubmitJobResponse acknowledges a submission.
@@ -127,15 +137,25 @@ type JobStatus struct {
 	// Expired counts leases that timed out and requeued their task.
 	Expired int `json:"expired"`
 	// Transfers counts files fetched into site stores for this job.
-	Transfers       int64 `json:"transfers"`
-	SubmittedAtUnix int64 `json:"submittedAtUnix"`
-	FinishedAtUnix  int64 `json:"finishedAtUnix,omitempty"`
+	Transfers int64 `json:"transfers"`
+	// Speculated counts speculative (straggler-mitigation) re-dispatches,
+	// a subset of Dispatched.
+	Speculated int `json:"speculated,omitempty"`
+	// Requires and DeadlineMillis echo the submit-time constraints.
+	Requires        []string `json:"requires,omitempty"`
+	DeadlineMillis  int64    `json:"deadlineMillis,omitempty"`
+	SubmittedAtUnix int64    `json:"submittedAtUnix"`
+	FinishedAtUnix  int64    `json:"finishedAtUnix,omitempty"`
 }
 
 // RegisterRequest enrolls a worker. A nil Site lets the service pick the
 // least-loaded site; otherwise the worker is pinned to *Site.
 type RegisterRequest struct {
 	Site *int `json:"site,omitempty"`
+	// Tags are the worker's capability tags (up to 16 of [A-Za-z0-9._-],
+	// 64 chars each): jobs submitted with Requires only dispatch to
+	// workers carrying every required tag.
+	Tags []string `json:"tags,omitempty"`
 }
 
 // RegisterResponse assigns the worker its identity: a service-unique ID and
@@ -241,6 +261,30 @@ type ReportBatchRequest struct {
 // order. Individual stale or cancelled outcomes do not fail the batch.
 type ReportBatchResponse struct {
 	Results []ReportResponse `json:"results"`
+}
+
+// WorkerStatus is one registered worker's observable context, returned by
+// GET /v1/workers: its slot, tags, held leases, and the telemetry EWMAs
+// the context-aware policies score with (docs/SCHEDULING.md).
+type WorkerStatus struct {
+	WorkerID string   `json:"workerId"`
+	Site     int      `json:"site"`
+	Worker   int      `json:"worker"`
+	Tags     []string `json:"tags,omitempty"`
+	// Assignments is the number of leases the worker currently holds.
+	Assignments int `json:"assignments"`
+	// MeanTaskMillis is the slot's task-duration EWMA (0 until the first
+	// completed task).
+	MeanTaskMillis float64 `json:"meanTaskMillis"`
+	// FailureRate is the slot's failure-indicator EWMA in [0, 1].
+	FailureRate float64 `json:"failureRate"`
+	// Samples counts completed-task duration observations for the slot;
+	// Events counts all outcome observations (successes + failures).
+	Samples int64 `json:"samples"`
+	Events  int64 `json:"events"`
+	// ExpiresAtUnix is when the worker's registration lease lapses unless
+	// renewed.
+	ExpiresAtUnix int64 `json:"expiresAtUnix"`
 }
 
 // TenantStatus is the fair-share arbiter's view of one tenant, returned by

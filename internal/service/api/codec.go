@@ -60,8 +60,12 @@ var (
 )
 
 const (
-	binMagic   = 'G'
-	binVersion = 1
+	binMagic = 'G'
+	// binVersion 2 appended the context-aware scheduling fields:
+	// SubmitJobRequest gained Requires + DeadlineMillis, RegisterRequest
+	// gained Tags. The decoder is strict, so version 1 captures are
+	// rejected rather than misparsed.
+	binVersion = 2
 )
 
 // Binary message type bytes. The codec rejects any other value, so adding
@@ -340,6 +344,13 @@ func (w *binWriter) bool(v bool) {
 	w.b = append(w.b, b)
 }
 
+func (w *binWriter) strs(ss []string) {
+	w.u64(uint64(len(ss)))
+	for _, s := range ss {
+		w.str(s)
+	}
+}
+
 func (w *binWriter) submitJobRequest(m *SubmitJobRequest) {
 	w.byte(msgSubmitJobRequest)
 	w.str(m.Name)
@@ -357,6 +368,8 @@ func (w *binWriter) submitJobRequest(m *SubmitJobRequest) {
 	w.str(m.SubmissionID)
 	w.str(m.Tenant)
 	w.i64(int64(m.Weight))
+	w.strs(m.Requires)
+	w.i64(m.DeadlineMillis)
 }
 
 func (w *binWriter) task(t workload.Task) {
@@ -378,6 +391,7 @@ func (w *binWriter) registerRequest(m *RegisterRequest) {
 	if m.Site != nil {
 		w.i64(int64(*m.Site))
 	}
+	w.strs(m.Tags)
 }
 
 func (w *binWriter) registerResponse(m *RegisterResponse) {
@@ -608,6 +622,20 @@ func (r *binReader) str() string {
 	return s
 }
 
+// strs reads a string collection (nil when empty, mirroring omitempty
+// JSON so a binary round trip compares equal to a JSON one).
+func (r *binReader) strs() []string {
+	n := r.count()
+	if n == 0 {
+		return nil
+	}
+	ss := make([]string, n)
+	for i := range ss {
+		ss[i] = r.str()
+	}
+	return ss
+}
+
 // count reads a collection length and bounds it by the remaining bytes
 // (every element costs at least one byte on the wire).
 func (r *binReader) count() int {
@@ -641,6 +669,8 @@ func (r *binReader) submitJobRequest(m *SubmitJobRequest) {
 	m.SubmissionID = r.str()
 	m.Tenant = r.str()
 	m.Weight = int(r.i64())
+	m.Requires = r.strs()
+	m.DeadlineMillis = r.i64()
 }
 
 func (r *binReader) task(t *workload.Task) {
@@ -658,6 +688,7 @@ func (r *binReader) registerRequest(m *RegisterRequest) {
 		site := int(r.i64())
 		m.Site = &site
 	}
+	m.Tags = r.strs()
 }
 
 func (r *binReader) pullResponse(m *PullResponse) {

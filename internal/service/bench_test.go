@@ -34,6 +34,14 @@ func BenchmarkDispatchRoundTripContended(b *testing.B) {
 	benchsuite.ServiceDispatchContended(b)
 }
 
+// BenchmarkDispatchSpeculative: one full straggler-mitigation cycle per
+// iteration — sweep staging, speculative twin grant, winning report,
+// cancelled-primary report — against the Service API directly (no
+// transport codec), isolating the speculation machinery's cost.
+func BenchmarkDispatchSpeculative(b *testing.B) {
+	benchsuite.ServiceDispatchSpeculative(b)
+}
+
 // BenchmarkServiceDispatchParallel: 8 concurrent workers × 8 resident
 // jobs against the Service API, at stripe counts bracketing the
 // single-lock baseline (shards=1) and the sharded core (shards=8). The

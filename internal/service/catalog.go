@@ -42,11 +42,14 @@ type catJob struct {
 	tasks      int
 	submitMs   int64
 	finishMs   int64
+	requires   []string
+	deadlineMs int64
 	dispatched int
 	completed  int
 	failed     int
 	cancelled  int
 	expired    int
+	speculated int
 	transfers  int64
 
 	// done holds the distinct tasks that completed successfully; the job
@@ -90,19 +93,22 @@ func (c *catalog) loadSnapshot(snap *snapshot) {
 	for i := range snap.Jobs {
 		sj := &snap.Jobs[i]
 		j := &catJob{
-			id:        sj.ID,
-			name:      sj.Name,
-			algorithm: sj.Algorithm,
-			state:     sj.State,
-			tenant:    sj.Tenant,
-			weight:    normalizeWeight(sj.Weight, c.defaultWeight),
-			tasks:     sj.Tasks,
-			submitMs:  sj.Submitted,
-			finishMs:  sj.Finished,
+			id:         sj.ID,
+			name:       sj.Name,
+			algorithm:  sj.Algorithm,
+			state:      sj.State,
+			tenant:     sj.Tenant,
+			weight:     normalizeWeight(sj.Weight, c.defaultWeight),
+			tasks:      sj.Tasks,
+			submitMs:   sj.Submitted,
+			finishMs:   sj.Finished,
+			requires:   sj.Requires,
+			deadlineMs: sj.Deadline,
 		}
 		if sj.State == api.JobCompleted {
 			j.dispatched, j.completed, j.failed = sj.Dispatched, sj.Completed, sj.Failed
 			j.cancelled, j.expired, j.transfers = sj.Cancelled, sj.Expired, sj.Transfers
+			j.speculated = sj.Speculated
 		} else {
 			j.done = make(map[workload.TaskID]struct{})
 			for _, e := range sj.Ledger {
@@ -122,15 +128,17 @@ func (c *catalog) applyRecord(rec *record) {
 			return // recovery would reject this; the catalog just skips it
 		}
 		j := &catJob{
-			id:        rec.Job,
-			name:      rec.Name,
-			algorithm: rec.Algorithm,
-			state:     api.JobRunning,
-			tenant:    rec.Tenant,
-			weight:    normalizeWeight(rec.Weight, c.defaultWeight),
-			tasks:     len(rec.Workload.Tasks),
-			submitMs:  rec.Ts,
-			done:      make(map[workload.TaskID]struct{}),
+			id:         rec.Job,
+			name:       rec.Name,
+			algorithm:  rec.Algorithm,
+			state:      api.JobRunning,
+			tenant:     rec.Tenant,
+			weight:     normalizeWeight(rec.Weight, c.defaultWeight),
+			tasks:      len(rec.Workload.Tasks),
+			submitMs:   rec.Ts,
+			requires:   rec.Requires,
+			deadlineMs: rec.Deadline,
+			done:       make(map[workload.TaskID]struct{}),
 		}
 		if j.tasks == 0 {
 			// Empty workloads complete at submission, as on the leader.
@@ -147,7 +155,11 @@ func (c *catalog) applyRecord(rec *record) {
 			return
 		}
 		c.tenant(j.tenant).dispatches++
-		c.foldEvent(j, ledgerDispatch, rec.Task, rec.Ts)
+		op := uint8(ledgerDispatch)
+		if rec.Spec {
+			op = ledgerSpecDispatch
+		}
+		c.foldEvent(j, op, rec.Task, rec.Ts)
 	case opReport:
 		op := ledgerFailure
 		if rec.Outcome == api.OutcomeSuccess {
@@ -167,9 +179,12 @@ func (c *catalog) applyRecord(rec *record) {
 // Tenant dispatch totals are the caller's concern: journal records add to
 // them, a snapshot job's ledger does not (see loadSnapshot).
 func (c *catalog) foldEvent(j *catJob, op uint8, task workload.TaskID, tsMs int64) {
-	if op == ledgerDispatch {
+	if op == ledgerDispatch || op == ledgerSpecDispatch {
 		if j.state == api.JobRunning {
 			j.dispatched++
+			if op == ledgerSpecDispatch {
+				j.speculated++
+			}
 		}
 		return
 	}
@@ -217,7 +232,10 @@ func (j *catJob) status() api.JobStatus {
 		Failed:          j.failed,
 		Cancelled:       j.cancelled,
 		Expired:         j.expired,
+		Speculated:      j.speculated,
 		Transfers:       j.transfers,
+		Requires:        j.requires,
+		DeadlineMillis:  j.deadlineMs,
 		SubmittedAtUnix: time.UnixMilli(j.submitMs).Unix(),
 	}
 	if j.finishMs != 0 {

@@ -467,11 +467,25 @@ func (c *Client) SetTenantQuota(ctx context.Context, tenant string, maxInFlight 
 // Register enrolls a worker. site pins it to a site; nil lets the server
 // pick.
 func (c *Client) Register(ctx context.Context, site *int) (*api.RegisterResponse, error) {
+	return c.RegisterWorker(ctx, site, nil)
+}
+
+// RegisterWorker enrolls a worker advertising capability tags; jobs
+// submitted with Requires only dispatch to workers whose tags cover them.
+func (c *Client) RegisterWorker(ctx context.Context, site *int, tags []string) (*api.RegisterResponse, error) {
 	var resp api.RegisterResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/workers", api.RegisterRequest{Site: site}, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/workers", api.RegisterRequest{Site: site, Tags: tags}, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// Workers lists the registered workers with their accumulated context —
+// capability tags, task-throughput and failure-rate estimates.
+func (c *Client) Workers(ctx context.Context) ([]api.WorkerStatus, error) {
+	var out []api.WorkerStatus
+	err := c.do(ctx, http.MethodGet, "/v1/workers", nil, &out)
+	return out, err
 }
 
 // Deregister removes a worker; its outstanding assignment, if any, is

@@ -16,6 +16,10 @@ import (
 type WorkerConfig struct {
 	// Site pins the worker to a site; nil lets the server balance.
 	Site *int
+	// Tags are capability labels the worker advertises at registration;
+	// jobs submitted with Requires only dispatch to workers whose tags
+	// cover every required one.
+	Tags []string
 	// PollWait is the server-side long-poll budget per pull request.
 	// Defaults to 2s; the worker simply pulls again on an empty poll, so
 	// this bounds reaction time to shutdown, not to new work (new work
@@ -90,7 +94,7 @@ func (c *Client) RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	register := func() (*api.RegisterResponse, error) {
 		var shed time.Duration
 		for {
-			reg, err := c.Register(ctx, cfg.Site)
+			reg, err := c.RegisterWorker(ctx, cfg.Site, cfg.Tags)
 			if err == nil || ctx.Err() != nil || authErr(err) {
 				return reg, err
 			}

@@ -1,0 +1,255 @@
+package service
+
+import (
+	"math"
+	"testing"
+
+	"gridsched/internal/core"
+)
+
+// TestEwmaFold pins the fixed-point fold: first-sample seeding, the
+// alpha=1/8 step, and convergence direction for both signs of delta.
+func TestEwmaFold(t *testing.T) {
+	tests := []struct {
+		name   string
+		acc    int64
+		sample int64
+		first  bool
+		want   int64
+	}{
+		{"first sample seeds", 0, 800 << ewmaShift, true, 800 << ewmaShift},
+		{"first sample seeds over garbage", 123456, 800 << ewmaShift, true, 800 << ewmaShift},
+		{"no movement on equal sample", 800 << ewmaShift, 800 << ewmaShift, false, 800 << ewmaShift},
+		{"one eighth toward larger", 0, 800 << ewmaShift, false, 100 << ewmaShift},
+		{"one eighth toward zero", 800 << ewmaShift, 0, false, 700 << ewmaShift},
+		{"zero stays zero", 0, 0, false, 0},
+	}
+	for _, tc := range tests {
+		if got := ewmaFold(tc.acc, tc.sample, tc.first); got != tc.want {
+			t.Errorf("%s: ewmaFold(%d, %d, %v) = %d, want %d",
+				tc.name, tc.acc, tc.sample, tc.first, got, tc.want)
+		}
+	}
+}
+
+// TestTelemetryAccumulators drives the slot store through a scripted
+// outcome sequence and checks the float view, including the cold-start
+// miss and out-of-range refs.
+func TestTelemetryAccumulators(t *testing.T) {
+	tel := newTelemetry(Topology{Sites: 2, WorkersPerSite: 2})
+	ref := core.WorkerRef{Site: 0, Worker: 1}
+
+	if _, ok := tel.WorkerContext(ref); ok {
+		t.Fatal("cold slot reported a context")
+	}
+	// Out-of-range refs must be inert, not panic.
+	tel.observeSuccess(core.WorkerRef{Site: 9, Worker: 0}, 100, true)
+	tel.observeFailure(core.WorkerRef{Site: 0, Worker: 9})
+	tel.setTags(core.WorkerRef{Site: -1, Worker: 0}, []string{"x"})
+
+	tel.observeSuccess(ref, 1000, true)
+	wc, ok := tel.WorkerContext(ref)
+	if !ok || wc.MeanTaskMillis != 1000 || wc.FailureRate != 0 || wc.Samples != 1 || wc.Events != 1 {
+		t.Fatalf("after one success: %+v ok=%v", wc, ok)
+	}
+	// A success without a usable duration moves events, not samples.
+	tel.observeSuccess(ref, -5, false)
+	wc, _ = tel.WorkerContext(ref)
+	if wc.Samples != 1 || wc.Events != 2 {
+		t.Fatalf("durationless success folded a sample: %+v", wc)
+	}
+	// A negative duration (clock skew guard) clamps to zero.
+	tel.observeSuccess(ref, -100, true)
+	wc, _ = tel.WorkerContext(ref)
+	if wc.Samples != 2 || wc.MeanTaskMillis != 875 { // 1000 + (0-1000)/8
+		t.Fatalf("negative duration fold: %+v", wc)
+	}
+	tel.observeFailure(ref)
+	wc, _ = tel.WorkerContext(ref)
+	if wc.FailureRate != 0.125 || wc.Events != 4 {
+		t.Fatalf("after one failure in four events: %+v", wc)
+	}
+
+	tel.setTags(ref, []string{"gpu"})
+	wc, _ = tel.WorkerContext(ref)
+	if len(wc.Tags) != 1 || wc.Tags[0] != "gpu" {
+		t.Fatalf("tags: %+v", wc.Tags)
+	}
+}
+
+// TestTelemetrySnapshotRoundTrip checks the accumulators restore
+// bit-exact through the snapshot encoding, and that slots outside a
+// smaller topology drop instead of corrupting memory.
+func TestTelemetrySnapshotRoundTrip(t *testing.T) {
+	tel := newTelemetry(Topology{Sites: 2, WorkersPerSite: 1})
+	tel.observeSuccess(core.WorkerRef{Site: 0, Worker: 0}, 333, true)
+	tel.observeFailure(core.WorkerRef{Site: 1, Worker: 0})
+	tel.observeSuccess(core.WorkerRef{Site: 1, Worker: 0}, 77, true)
+
+	snap := tel.snapshotWorkers()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d slots, want 2", len(snap))
+	}
+
+	tel2 := newTelemetry(Topology{Sites: 2, WorkersPerSite: 1})
+	tel2.restoreWorkers(snap)
+	if got := tel2.snapshotWorkers(); len(got) != 2 {
+		t.Fatalf("restored snapshot has %d slots", len(got))
+	} else {
+		for i := range got {
+			if got[i] != snap[i] {
+				t.Fatalf("slot %d not bit-exact: %+v vs %+v", i, got[i], snap[i])
+			}
+		}
+	}
+
+	// A snapshot from a larger topology must not panic a smaller one.
+	small := newTelemetry(Topology{Sites: 1, WorkersPerSite: 1})
+	small.restoreWorkers(snap)
+	if got := small.snapshotWorkers(); len(got) != 1 {
+		t.Fatalf("small topology kept %d slots, want 1", len(got))
+	}
+}
+
+// TestDurRingPercentile tables the nearest-rank percentile, including the
+// NaN/out-of-range clamps and the ring's eviction behavior.
+func TestDurRingPercentile(t *testing.T) {
+	fill := func(ds ...int64) *durRing {
+		r := &durRing{}
+		for _, d := range ds {
+			r.add(d)
+		}
+		return r
+	}
+	tests := []struct {
+		name string
+		ring *durRing
+		p    float64
+		want int64
+		ok   bool
+	}{
+		{"empty ring", &durRing{}, 0.95, 0, false},
+		{"single sample", fill(100), 0.95, 100, true},
+		{"median of four", fill(10, 20, 30, 40), 0.5, 20, true},
+		{"p95 of uniform", fill(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 0.95, 10, true},
+		{"max at p=1", fill(5, 500, 50), 1, 500, true},
+		{"NaN clamps to max", fill(5, 500, 50), math.NaN(), 500, true},
+		{"zero clamps to max", fill(5, 500, 50), 0, 500, true},
+		{"negative clamps to max", fill(5, 500, 50), -3, 500, true},
+		{"above one clamps to max", fill(5, 500, 50), 7, 500, true},
+		{"negative durations clamp to zero", fill(-7, -7, -7), 0.5, 0, true},
+	}
+	for _, tc := range tests {
+		got, ok := tc.ring.percentile(tc.p)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("%s: percentile(%v) = (%d, %v), want (%d, %v)",
+				tc.name, tc.p, got, ok, tc.want, tc.ok)
+		}
+	}
+
+	// Eviction: once past capacity the ring holds the most recent
+	// durRingCap samples, so an early outlier ages out of the percentile.
+	r := &durRing{}
+	r.add(1_000_000)
+	for i := 0; i < durRingCap; i++ {
+		r.add(10)
+	}
+	if got, _ := r.percentile(1); got != 10 {
+		t.Fatalf("outlier survived eviction: max = %d", got)
+	}
+	if r.n != durRingCap+1 {
+		t.Fatalf("total count %d, want %d", r.n, durRingCap+1)
+	}
+}
+
+// TestDurRingMean covers the mean helper the deadline-urgency estimate
+// uses.
+func TestDurRingMean(t *testing.T) {
+	r := &durRing{}
+	if _, ok := r.mean(); ok {
+		t.Fatal("empty ring reported a mean")
+	}
+	for _, d := range []int64{10, 20, 30} {
+		r.add(d)
+	}
+	if m, ok := r.mean(); !ok || m != 20 {
+		t.Fatalf("mean = (%d, %v), want (20, true)", m, ok)
+	}
+}
+
+// TestShouldSpeculate tables the straggler predicate: the absolute
+// cold-start rule, the zero-duration floor, and the NaN/sub-one factor
+// guards.
+func TestShouldSpeculate(t *testing.T) {
+	ring := func(ds ...int64) *durRing {
+		r := &durRing{}
+		for _, d := range ds {
+			r.add(d)
+		}
+		return r
+	}
+	tests := []struct {
+		name       string
+		age        int64
+		ring       *durRing
+		pct        float64
+		factor     float64
+		minSamples int
+		want       bool
+	}{
+		{"nil ring never speculates", 1 << 40, nil, 0.95, 2, 3, false},
+		{"no samples never speculates", 1 << 40, ring(), 0.95, 2, 3, false},
+		{"below minSamples never speculates", 1 << 40, ring(100, 100), 0.95, 2, 3, false},
+		{"at minSamples, young lease", 150, ring(100, 100, 100), 0.95, 2, 3, false},
+		{"at minSamples, at threshold", 200, ring(100, 100, 100), 0.95, 2, 3, false},
+		{"at minSamples, over threshold", 201, ring(100, 100, 100), 0.95, 2, 3, true},
+		{"zero durations floor at 1ms", 1, ring(0, 0, 0), 0.95, 2, 3, false},
+		{"zero durations: 2ms is a straggler", 2, ring(0, 0, 0), 0.95, 2, 3, true},
+		{"NaN factor behaves as 1", 101, ring(100, 100, 100), 0.95, math.NaN(), 3, true},
+		{"sub-one factor clamps to 1", 101, ring(100, 100, 100), 0.95, 0.001, 3, true},
+		{"sub-one factor: at percentile is fine", 100, ring(100, 100, 100), 0.95, 0.001, 3, false},
+		{"NaN percentile takes the max", 600, ring(100, 100, 300), math.NaN(), 2, 3, false},
+		{"NaN percentile: above 2x max", 601, ring(100, 100, 300), math.NaN(), 2, 3, true},
+	}
+	for _, tc := range tests {
+		if got := shouldSpeculate(tc.age, tc.ring, tc.pct, tc.factor, tc.minSamples); got != tc.want {
+			t.Errorf("%s: shouldSpeculate(%d, ..., %v, %v, %d) = %v, want %v",
+				tc.name, tc.age, tc.pct, tc.factor, tc.minSamples, got, tc.want)
+		}
+	}
+}
+
+// TestTagsValidation tables tag hygiene for both worker tags and job
+// requires lists.
+func TestTagsValidation(t *testing.T) {
+	if err := validateTags("tag", []string{"gpu", "avx-512", "rack.3", "a_b"}); err != nil {
+		t.Fatalf("valid tags rejected: %v", err)
+	}
+	long := make([]byte, maxTagLen+1)
+	for i := range long {
+		long[i] = 'a'
+	}
+	bad := [][]string{
+		{""},
+		{"has space"},
+		{"semi;colon"},
+		{string(long)},
+		make([]string, maxTags+1),
+	}
+	for i, tags := range bad {
+		if i == len(bad)-1 {
+			for j := range tags {
+				tags[j] = "ok"
+			}
+		}
+		if err := validateTags("tag", tags); err == nil {
+			t.Errorf("bad tag set %d accepted: %q", i, tags)
+		}
+	}
+	if !tagsSatisfy(nil, nil) || !tagsSatisfy([]string{"a"}, []string{"b", "a"}) {
+		t.Fatal("tagsSatisfy false negatives")
+	}
+	if tagsSatisfy([]string{"a", "c"}, []string{"a", "b"}) {
+		t.Fatal("tagsSatisfy accepted a missing tag")
+	}
+}

@@ -77,9 +77,10 @@ func (c *coordinator) prune(name string) {
 // coordinator lock, so the out-of-lock ordering reads a consistent
 // snapshot.
 type candidate struct {
-	j    *job
-	fair uint64
-	seq  int64
+	j      *job
+	fair   uint64
+	seq    int64
+	urgent bool
 }
 
 // candScratch is the per-pull candidate workspace, pooled so the hot
@@ -91,9 +92,17 @@ type candScratch struct {
 
 var candPool = sync.Pool{New: func() any { return &candScratch{} }}
 
-// candLess orders candidates most-underserved first, submission order on
-// ties — the same total order as the coordinator heap.
+// candLess orders candidates deadline-urgent jobs first, then
+// most-underserved, submission order on ties — the heap's (fair, seq)
+// total order with an urgency boost layered on top. Urgency reorders
+// only the offer sequence, never the fair accounting: an urgent job
+// still pays full fair charge for every dispatch, so the boost is a
+// soft priority that starves no one (the boosted job's fair tag races
+// ahead and the others win the next tie).
 func candLess(a, b candidate) bool {
+	if a.urgent != b.urgent {
+		return a.urgent
+	}
 	if a.fair != b.fair {
 		return a.fair < b.fair
 	}
@@ -169,7 +178,7 @@ func (s *Service) pull(done <-chan struct{}, workerID string, wait time.Duration
 		if s.closed.Load() {
 			return nil, parked, errf(503, "service: closed")
 		}
-		now := time.Now()
+		now := s.now()
 		s.maybeSweep(now)
 
 		s.reg.mu.Lock()
@@ -196,7 +205,7 @@ func (s *Service) pull(done <-chan struct{}, workerID string, wait time.Duration
 			return nil, parked, errf(409, "service: worker %q has another pull in flight", workerID)
 		}
 		w.pulling = true
-		ref := w.ref
+		ref, tags := w.ref, w.tags
 		s.reg.mu.Unlock()
 
 		// Subscribe BEFORE scanning: any state change after this point
@@ -204,7 +213,7 @@ func (s *Service) pull(done <-chan struct{}, workerID string, wait time.Duration
 		// never lost.
 		ch := s.hub.wait()
 		dispatchStart := time.Now()
-		a, resp, lsn := s.dispatchOnce(w.id, ref, now)
+		a, resp, lsn := s.dispatchOnce(w.id, ref, tags, now)
 
 		s.reg.mu.Lock()
 		w.pulling = false
@@ -282,7 +291,7 @@ func (s *Service) requeueOrphan(a *assignment) {
 	sh := s.shardOf(a.job.id)
 	sh.mu.Lock()
 	if sh.assignments[a.id] == a {
-		s.expireAssignmentLocked(sh, a, time.Now())
+		s.expireAssignmentLocked(sh, a, s.now())
 	}
 	sh.mu.Unlock()
 	s.hub.broadcast()
@@ -293,7 +302,7 @@ func (s *Service) requeueOrphan(a *assignment) {
 // task any scheduler grants it. Returns the granted assignment (nil when
 // nothing was dispatchable), the wire response, and the dispatch record's
 // LSN for the caller's durability wait.
-func (s *Service) dispatchOnce(workerID string, ref core.WorkerRef, now time.Time) (*assignment, *api.PullResponse, uint64) {
+func (s *Service) dispatchOnce(workerID string, ref core.WorkerRef, tags []string, now time.Time) (*assignment, *api.PullResponse, uint64) {
 	c := s.coord
 	scratch := candPool.Get().(*candScratch)
 	defer func() {
@@ -303,7 +312,7 @@ func (s *Service) dispatchOnce(workerID string, ref core.WorkerRef, now time.Tim
 	c.mu.Lock()
 	cands := scratch.cands[:0]
 	for _, j := range c.heap {
-		cands = append(cands, candidate{j: j, fair: j.fair, seq: j.seq})
+		cands = append(cands, candidate{j: j, fair: j.fair, seq: j.seq, urgent: j.urgent.Load()})
 	}
 	c.mu.Unlock()
 	scratch.cands = cands
@@ -337,7 +346,7 @@ func (s *Service) dispatchOnce(workerID string, ref core.WorkerRef, now time.Tim
 			} else {
 				sh.mu.Lock()
 			}
-			a, resp, lsn, granted := s.tryJobLocked(sh, cd.j, workerID, ref, now)
+			a, resp, lsn, granted := s.tryJobLocked(sh, cd.j, workerID, ref, tags, now)
 			sh.mu.Unlock()
 			if granted {
 				scratch.retry = retry
@@ -360,9 +369,18 @@ func (s *Service) dispatchOnce(workerID string, ref core.WorkerRef, now time.Tim
 // and converted to an in-flight charge or released afterwards. The
 // reservation keeps concurrent pulls from overshooting a cap that a
 // pre-check alone would allow.
-func (s *Service) tryJobLocked(sh *shard, j *job, workerID string, ref core.WorkerRef, now time.Time) (*assignment, *api.PullResponse, uint64, bool) {
+func (s *Service) tryJobLocked(sh *shard, j *job, workerID string, ref core.WorkerRef, tags []string, now time.Time) (*assignment, *api.PullResponse, uint64, bool) {
 	if sh.jobs[j.id] != j || j.state != api.JobRunning || j.sched == nil {
 		return nil, nil, 0, false
+	}
+	if !tagsSatisfy(j.requires, tags) {
+		// Capability constraint: enforced here, before the scheduler is
+		// consulted, so an ineligible worker leaves no trace in scheduler
+		// state (or its RNG stream) and recovery replay stays exact.
+		return nil, nil, 0, false
+	}
+	if a, resp, lsn, ok := s.trySpeculateLocked(sh, j, workerID, ref, now); ok {
+		return a, resp, lsn, true
 	}
 	c := s.coord
 	c.mu.Lock()
@@ -413,6 +431,8 @@ func (s *Service) tryJobLocked(sh *shard, j *job, workerID string, ref core.Work
 		ref:      ref,
 		deadline: now.Add(s.cfg.LeaseTTL),
 		staged:   len(fetched),
+		granted:  now.UnixMilli(),
+		schedRef: ref, // primary: the scheduler saw this very ref
 	}
 
 	var lsn uint64
@@ -460,4 +480,137 @@ func (s *Service) tryJobLocked(sh *shard, j *job, workerID string, ref core.Work
 		OpenJobs: int(s.counters.OpenJobs.Load()),
 	}
 	return a, resp, lsn, true
+}
+
+// trySpeculateLocked grants the worker a speculative twin of a straggling
+// lease, if the sweeper queued one this worker can safely duplicate. The
+// twin rides entirely above the scheduler: NextFor never runs — the
+// primary's task is re-staged directly and the scheduler only observes
+// the storage change through NoteBatch — and the twin's schedRef is the
+// PRIMARY's ref, so every later scheduler callback resolves to the one
+// execution the scheduler knows about. First report wins; the loser hits
+// the existing stale/cancelled rejection. Callers hold sh.mu.
+func (s *Service) trySpeculateLocked(sh *shard, j *job, workerID string, ref core.WorkerRef, now time.Time) (*assignment, *api.PullResponse, uint64, bool) {
+	if !s.cfg.Speculation || len(j.specPending) == 0 {
+		return nil, nil, 0, false
+	}
+	// Scan the queue (sweep-sorted by task id) for the first entry whose
+	// primary is still live and whose replicas all run on OTHER workers —
+	// a worker must never race itself. Entries whose primary is gone
+	// (reported or expired since the sweep) are dropped and unmarked so
+	// the sweeper may re-queue the task if a later lease straggles too.
+	for qi := 0; qi < len(j.specPending); {
+		taskID := j.specPending[qi]
+		var primary *assignment
+		conflict := false
+		for _, a := range sh.assignments {
+			if a.job != j || a.task.ID != taskID {
+				continue
+			}
+			if a.ref == ref {
+				conflict = true
+				break
+			}
+			if a.cancelled || a.speculative {
+				continue
+			}
+			// Deterministic pick among scheduler-created replicas: lowest
+			// (site, worker). Replay derives the same schedRef by the same
+			// rule from its open-execution map (recovery.go).
+			if primary == nil || a.ref.Site < primary.ref.Site ||
+				(a.ref.Site == primary.ref.Site && a.ref.Worker < primary.ref.Worker) {
+				primary = a
+			}
+		}
+		if conflict {
+			qi++ // eligible for another worker; keep queued
+			continue
+		}
+		if primary == nil {
+			delete(j.specMarked, taskID)
+			j.specPending = append(j.specPending[:qi], j.specPending[qi+1:]...)
+			continue
+		}
+
+		// Quota by reservation, exactly like the primary path: the slot is
+		// held before any irreversible mutation (staging moves store and
+		// scheduler-locality state).
+		c := s.coord
+		c.mu.Lock()
+		t := c.tenant(j.tenant)
+		if q := c.quotaFor(t, s.cfg.TenantMaxInFlight); q > 0 && t.inFlight+t.reserved >= q {
+			t.throttles++
+			c.mu.Unlock()
+			return nil, nil, 0, false
+		}
+		t.reserved++
+		c.mu.Unlock()
+
+		task := primary.task
+		j.specPending = append(j.specPending[:qi], j.specPending[qi+1:]...)
+		fetched, evicted, err := j.stores[ref.Site].CommitBatchInto(task.Files, sh.fetchBuf[:0], sh.evictBuf[:0])
+		if err != nil {
+			panicf("service: stage speculative job %s task %d at site %d: %v", j.id, task.ID, ref.Site, err)
+		}
+		sh.fetchBuf, sh.evictBuf = fetched[:0], evicted[:0]
+		j.sched.NoteBatch(ref.Site, task.Files, fetched, evicted)
+		j.transfers += int64(len(fetched))
+		j.dispatched++
+		j.speculated++
+		a := &assignment{
+			id:          s.nextID("a"),
+			job:         j,
+			task:        task,
+			workerID:    workerID,
+			ref:         ref,
+			deadline:    now.Add(s.cfg.LeaseTTL),
+			staged:      len(fetched),
+			granted:     now.UnixMilli(),
+			speculative: true,
+			schedRef:    primary.schedRef,
+		}
+
+		var lsn uint64
+		c.mu.Lock()
+		t.reserved--
+		t.inFlight++
+		t.dispatches++
+		// No fair charge and no heap re-sift: the twin redoes work the job
+		// was already charged for at the primary's grant; billing it again
+		// would penalize a job for its straggler.
+		c.window.Observe(j.tenant)
+		if s.pst != nil {
+			lsn = s.mustAppend(&record{
+				Op: opDispatch, Ts: now.UnixMilli(), Job: j.id,
+				Task: task.ID, Site: ref.Site, Worker: ref.Worker,
+				Assignment: a.id, Spec: true,
+			})
+		}
+		c.mu.Unlock()
+		if s.pst != nil {
+			j.ledger = append(j.ledger, ledgerRec{
+				Op: ledgerSpecDispatch, Task: task.ID,
+				Site: int32(ref.Site), Worker: int32(ref.Worker),
+				Ts: now.UnixMilli(),
+			})
+		}
+		sh.assignments[a.id] = a
+		s.noteDeadline(a.deadline)
+		s.counters.Assignments.Add(1)
+		s.counters.ActiveLeases.Add(1)
+		s.counters.SpeculativeDispatches.Add(1)
+		resp := &api.PullResponse{
+			Status: api.StatusAssigned,
+			Assignment: &api.Assignment{
+				ID:             a.id,
+				JobID:          j.id,
+				Task:           task,
+				Staged:         a.staged,
+				LeaseTTLMillis: s.cfg.LeaseTTL.Milliseconds(),
+			},
+			OpenJobs: int(s.counters.OpenJobs.Load()),
+		}
+		return a, resp, lsn, true
+	}
+	return nil, nil, 0, false
 }

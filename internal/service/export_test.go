@@ -25,3 +25,11 @@ func (s *Service) SnapshotForTest() error {
 	defer s.snapMu.Unlock()
 	return s.snapshot()
 }
+
+// SweepForTest runs one sweep at the service's current clock. The policy
+// harness drives a fake clock and calls this instead of waiting out the
+// wall-clock sweep cadence, which keeps straggler detection and deadline
+// urgency deterministic.
+func (s *Service) SweepForTest() {
+	s.sweep(s.now())
+}

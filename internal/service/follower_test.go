@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"testing"
 	"time"
 
@@ -128,7 +129,7 @@ func TestFollowerMirrorsLeader(t *testing.T) {
 		t.Fatalf("follower sees %d jobs, leader %d", len(gotJobs), len(wantJobs))
 	}
 	for i := range wantJobs {
-		if gotJobs[i] != wantJobs[i] {
+		if !reflect.DeepEqual(gotJobs[i], wantJobs[i]) {
 			t.Errorf("job %d:\nfollower %+v\nleader   %+v", i, gotJobs[i], wantJobs[i])
 		}
 	}
@@ -225,7 +226,7 @@ func TestFollowerSnapshotCatchUp(t *testing.T) {
 	getJSON(t, fl.Handler(), "/v1/jobs", &gotJobs)
 	wantJobs := normalizeForFollower(s.Jobs())
 	gotJobs = normalizeForFollower(gotJobs)
-	if len(gotJobs) != 1 || gotJobs[0] != wantJobs[0] {
+	if len(gotJobs) != 1 || !reflect.DeepEqual(gotJobs[0], wantJobs[0]) {
 		t.Fatalf("after snapshot catch-up:\nfollower %+v\nleader   %+v", gotJobs, wantJobs)
 	}
 }

@@ -28,6 +28,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/tenants", s.handleTenants)
 	mux.HandleFunc("PUT /v1/tenants/{tenant}", s.handleTenantQuota)
 	mux.HandleFunc("POST /v1/workers", s.handleRegister)
+	mux.HandleFunc("GET /v1/workers", s.handleWorkers)
 	mux.HandleFunc("DELETE /v1/workers/{id}", s.handleDeregister)
 	mux.HandleFunc("POST /v1/workers/{id}/pull", s.handlePull)
 	mux.HandleFunc("GET /v1/workers/{id}/stream", s.handleStream)
@@ -190,12 +191,16 @@ func (s *Service) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if req.Site != nil {
 		site = *req.Site
 	}
-	resp, err := s.Register(site)
+	resp, err := s.RegisterWorker(site, req.Tags)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 	writeReply(w, r, http.StatusCreated, resp)
+}
+
+func (s *Service) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Workers())
 }
 
 func (s *Service) handleDeregister(w http.ResponseWriter, r *http.Request) {
@@ -290,6 +295,11 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.repl.LocalLSN.Store(int64(s.ReplicationLastLSN()))
 	if err := metrics.WriteReplicationText(w, api.RoleLeader, s.repl); err != nil {
 		return
+	}
+	if b := s.tel.writeMetrics(nil); len(b) > 0 {
+		if _, err := w.Write(b); err != nil {
+			return
+		}
 	}
 	for _, st := range s.Jobs() {
 		fmt.Fprintf(w, "gridsched_job_remaining{job=%q,algorithm=%q} %d\n", st.ID, st.Algorithm, st.Remaining)

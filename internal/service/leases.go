@@ -11,6 +11,7 @@ package service
 import (
 	"fmt"
 	"net/http"
+	"slices"
 	"sync"
 	"time"
 
@@ -42,13 +43,23 @@ func (r *registry) removeLocked(w *worker) {
 	delete(r.workers, w.id)
 }
 
-// Register enrolls a worker into a free (site, worker) slot. site < 0 picks
-// the site with the most free slots.
+// Register enrolls a worker with no capability tags. See RegisterWorker.
 func (s *Service) Register(site int) (*api.RegisterResponse, error) {
+	return s.RegisterWorker(site, nil)
+}
+
+// RegisterWorker enrolls a worker into a free (site, worker) slot. site <
+// 0 picks the site with the most free slots. tags are the worker's
+// capability tags: a job submitted with a requires list dispatches only
+// to workers carrying every required tag.
+func (s *Service) RegisterWorker(site int, tags []string) (*api.RegisterResponse, error) {
 	if s.closed.Load() {
 		return nil, errf(http.StatusServiceUnavailable, "service: closed")
 	}
-	now := time.Now()
+	if err := validateTags("tag", tags); err != nil {
+		return nil, err
+	}
+	now := s.now()
 	s.maybeSweep(now)
 	r := s.reg
 	r.mu.Lock()
@@ -93,10 +104,12 @@ func (s *Service) Register(site int) (*api.RegisterResponse, error) {
 		id:          fmt.Sprintf("w%d-%s", s.seq.Add(1), s.instance),
 		ref:         core.WorkerRef{Site: target, Worker: slot},
 		expires:     now.Add(s.cfg.LeaseTTL),
+		tags:        slices.Clone(tags),
 		assignments: make(map[string]*assignment),
 	}
 	r.slots[target][slot] = w.id
 	r.workers[w.id] = w
+	s.tel.setTags(w.ref, tags) // telemetry is a leaf lock; safe under r.mu
 	s.noteDeadline(w.expires)
 	s.counters.ActiveWorkers.Add(1)
 	return &api.RegisterResponse{
@@ -124,7 +137,7 @@ func (s *Service) Deregister(workerID string) error {
 	r.removeLocked(w)
 	s.counters.ActiveWorkers.Add(-1)
 	r.mu.Unlock()
-	now := time.Now()
+	now := s.now()
 	for _, a := range orphans {
 		sh := s.shardOf(a.job.id)
 		sh.mu.Lock()
@@ -161,7 +174,7 @@ func (s *Service) lookupLease(assignmentID, workerID string, now time.Time) *ass
 // is still wanted.
 func (s *Service) Heartbeat(assignmentID, workerID string) (*api.HeartbeatResponse, error) {
 	s.counters.Heartbeats.Add(1)
-	now := time.Now()
+	now := s.now()
 	a := s.lookupLease(assignmentID, workerID, now)
 	if a == nil {
 		return &api.HeartbeatResponse{State: api.HeartbeatGone}, nil
@@ -187,7 +200,7 @@ func (s *Service) Report(assignmentID, workerID, outcome string) (*api.ReportRes
 	if outcome != api.OutcomeSuccess && outcome != api.OutcomeFailure {
 		return nil, errf(http.StatusBadRequest, "service: unknown outcome %q", outcome)
 	}
-	now := time.Now()
+	now := s.now()
 	a := s.lookupLease(assignmentID, workerID, now)
 	if a == nil {
 		s.counters.StaleReports.Add(1)
@@ -250,7 +263,13 @@ func (s *Service) reportRecord(sh *shard, a *assignment, outcome string, now tim
 // reports do not wake anyone.
 func (s *Service) applyReportLocked(sh *shard, a *assignment, outcome string, now time.Time) (*api.ReportResponse, bool) {
 	j := a.job
-	if s.pst != nil && sh.jobs[j.id] == j && j.state == api.JobRunning {
+	// recorded mirrors reportRecord's journaling condition: with
+	// journaling on, telemetry folds exactly when a WAL record was
+	// written, which is what keeps the EWMAs a pure function of the
+	// record stream (recovery folds the same records back). Without
+	// journaling it degrades to "job resident".
+	recorded := sh.jobs[j.id] == j
+	if s.pst != nil && recorded && j.state == api.JobRunning {
 		op := ledgerFailure
 		if outcome == api.OutcomeSuccess {
 			op = ledgerSuccess
@@ -262,6 +281,20 @@ func (s *Service) applyReportLocked(sh *shard, a *assignment, outcome string, no
 		})
 	}
 	delete(sh.assignments, a.id)
+	if a.speculative {
+		// The twin ended (whichever way): the task may be speculated again
+		// if a remaining lease straggles too.
+		delete(j.specMarked, a.task.ID)
+	}
+	if recorded {
+		// Telemetry folds by outcome alone, cancelled or not — the journal
+		// record carries only the outcome, and live must match replay.
+		if outcome == api.OutcomeSuccess {
+			s.tel.observeSuccess(a.ref, now.UnixMilli()-a.granted, a.granted > 0)
+		} else {
+			s.tel.observeFailure(a.ref)
+		}
+	}
 	resp := &api.ReportResponse{Accepted: true}
 	// Long-poll wakeups are targeted: parked pulls only care about events
 	// that can make new work dispatchable (a failure requeues the task, a
@@ -280,27 +313,68 @@ func (s *Service) applyReportLocked(sh *shard, a *assignment, outcome string, no
 		// another worker already finished.
 		j.cancelled++
 		s.counters.Cancellations.Add(1)
+		if a.speculative {
+			s.counters.SpeculationLosses.Add(1)
+		}
 		resp.Cancelled = true
 	case outcome == api.OutcomeFailure:
 		j.failed++
 		s.counters.Failures.Add(1)
-		if j.sched != nil { // defensive: unreachable once completed (cancel-marked above)
-			j.sched.OnExecutionFailed(a.task.ID, a.ref)
+		if a.speculative {
+			s.counters.SpeculationLosses.Add(1)
+		}
+		// Sibling rule: when the scheduler's view of this execution
+		// survives in a live primary/twin sibling (same schedRef), the
+		// failure must not requeue the task — the scheduler still sees one
+		// running execution, and it is still running.
+		if j.sched != nil && !liveSiblingLocked(sh, a) {
+			j.sched.OnExecutionFailed(a.task.ID, a.schedRef)
 		}
 		wake = true
 	default:
-		victims := j.sched.OnTaskComplete(a.task.ID, a.ref)
+		if a.granted > 0 {
+			j.durs.add(now.UnixMilli() - a.granted)
+		}
+		if a.speculative {
+			s.counters.SpeculationWins.Add(1)
+		}
+		victims := j.sched.OnTaskComplete(a.task.ID, a.schedRef)
 		j.completed++
 		s.counters.Completions.Add(1)
 		for _, v := range victims {
 			s.cancelExecutionLocked(sh, j, a.task.ID, v)
 		}
+		// First report wins: cancel-mark every OTHER live execution of the
+		// task. The victims loop above covers replicas the scheduler knows
+		// about; this covers the ones it does not — a speculative twin, or
+		// the straggling primary a winning twin just beat. Their eventual
+		// reports come back cancelled, never as a second completion.
+		for _, other := range sh.assignments {
+			if other.job == j && other.task.ID == a.task.ID && !other.cancelled {
+				other.cancelled = true
+			}
+		}
+		delete(j.specMarked, a.task.ID)
 		if j.sched.Remaining() == 0 {
 			s.completeJobLocked(sh, j, now) // broadcasts
 		}
 	}
 	resp.JobState = j.state
 	return resp, wake
+}
+
+// liveSiblingLocked reports whether another live, non-cancelled execution
+// of a's task shares a's schedRef — i.e. a is one half of a primary/twin
+// pair whose other half still runs. Scheduler-created replicas carry
+// their own refs and are never siblings. Callers hold sh.mu.
+func liveSiblingLocked(sh *shard, a *assignment) bool {
+	for _, other := range sh.assignments {
+		if other != a && other.job == a.job && other.task.ID == a.task.ID &&
+			!other.cancelled && other.schedRef == a.schedRef {
+			return true
+		}
+	}
+	return false
 }
 
 // ReportBatch ends up to a stream's worth of assignments (at most
@@ -329,7 +403,7 @@ func (s *Service) ReportBatch(workerID string, items []api.ReportItem) (*api.Rep
 			return nil, errf(http.StatusBadRequest, "service: unknown outcome %q (report %d)", o, i)
 		}
 	}
-	now := time.Now()
+	now := s.now()
 	results := make([]api.ReportResponse, len(items))
 	as := make([]*assignment, len(items))
 

@@ -60,12 +60,22 @@ type record struct {
 	Weight int    `json:"weight,omitempty"`
 	Quota  int    `json:"quota,omitempty"`
 
+	// Context-aware scheduling (opSubmit): required worker tags and the
+	// soft deadline (unix millis, 0 = none). Journaled with the submit so
+	// a recovered job enforces the same constraints.
+	Requires []string `json:"requires,omitempty"`
+	Deadline int64    `json:"deadline,omitempty"`
+
 	// opDispatch / opReport / opExpire
 	Task       workload.TaskID `json:"task,omitempty"`
 	Site       int             `json:"site,omitempty"`
 	Worker     int             `json:"worker,omitempty"`
 	Assignment string          `json:"assignment,omitempty"` // opDispatch: minted id, for seq recovery and debugging
 	Outcome    string          `json:"outcome,omitempty"`    // opReport
+	// Spec marks an opDispatch as a speculative twin grant: replayed
+	// without a scheduler NextFor and without a fair charge, exactly as
+	// it was granted (see trySpeculateLocked / replayEvent).
+	Spec bool `json:"spec,omitempty"`
 }
 
 // Ledger ops: the per-job replay history, a compact projection of the
@@ -76,6 +86,11 @@ const (
 	ledgerSuccess
 	ledgerFailure
 	ledgerExpire
+	// ledgerSpecDispatch is a speculative twin grant: the task was
+	// re-leased alongside a live primary without consulting the
+	// scheduler. Replay restages the batch and NoteBatches it, but issues
+	// no ReplayAssign.
+	ledgerSpecDispatch
 )
 
 // ledgerRec is one replayable scheduler-affecting event.
@@ -97,6 +112,7 @@ type carryCounters struct {
 	Failures      int64 `json:"failures"`
 	Cancellations int64 `json:"cancellations"`
 	Expired       int64 `json:"expired"`
+	Speculated    int64 `json:"speculated,omitempty"`
 }
 
 // snapshot is the atomically-replaced checkpoint: everything the service
@@ -119,6 +135,21 @@ type snapshot struct {
 	VTime   uint64       `json:"vtime,omitempty"`
 	Tenants []snapTenant `json:"tenants,omitempty"` // sorted by name
 	Jobs    []snapJob    `json:"jobs"`              // submission order
+	// Workers is the per-slot telemetry (duration/failure EWMAs); journal
+	// tail records fold on top in LSN order. Sorted by (site, worker).
+	// Absent in pre-context snapshots, which recover with cold telemetry.
+	Workers []snapWorker `json:"workers,omitempty"`
+}
+
+// snapWorker is one worker slot's accumulated telemetry in a snapshot.
+// Fixed-point accumulators are serialized raw so restore is bit-exact.
+type snapWorker struct {
+	Site     int   `json:"site"`
+	Worker   int   `json:"worker"`
+	DurEwma  int64 `json:"durEwma,omitempty"`
+	FailEwma int64 `json:"failEwma,omitempty"`
+	Samples  int64 `json:"samples,omitempty"`
+	Events   int64 `json:"events"`
 }
 
 // snapTenant is one tenant's durable state in a snapshot: its quota
@@ -150,6 +181,11 @@ type snapJob struct {
 	Weight int    `json:"weight,omitempty"`
 	Fair   uint64 `json:"fair,omitempty"`
 
+	// Context-aware scheduling: the job's required worker tags and soft
+	// deadline (unix millis, 0 = none), restored verbatim.
+	Requires []string `json:"requires,omitempty"`
+	Deadline int64    `json:"deadline,omitempty"`
+
 	// Running jobs: replay inputs.
 	Workload *workload.Workload `json:"workload,omitempty"`
 	Ledger   []ledgerRec        `json:"ledger,omitempty"`
@@ -160,6 +196,7 @@ type snapJob struct {
 	Failed     int   `json:"failed,omitempty"`
 	Cancelled  int   `json:"cancelled,omitempty"`
 	Expired    int   `json:"expired,omitempty"`
+	Speculated int   `json:"speculated,omitempty"`
 	Transfers  int64 `json:"transfers,omitempty"`
 }
 
@@ -331,6 +368,8 @@ func (s *Service) snapshot() error {
 			Submitted:  j.submitted.UnixMilli(),
 			Tenant:     j.tenant,
 			Weight:     j.weight,
+			Requires:   j.requires,
+			Deadline:   j.deadlineMs,
 		}
 		if !j.finished.IsZero() {
 			sj.Finished = j.finished.UnixMilli()
@@ -338,13 +377,17 @@ func (s *Service) snapshot() error {
 		if j.state == api.JobCompleted {
 			sj.Dispatched, sj.Completed, sj.Failed = j.dispatched, j.completed, j.failed
 			sj.Cancelled, sj.Expired, sj.Transfers = j.cancelled, j.expired, j.transfers
+			sj.Speculated = j.speculated
 		} else {
+			// Running jobs re-derive speculated (and the rest of the
+			// counters' replayable parts) from the ledger.
 			sj.Workload = j.w
 			sj.Ledger = j.ledger
 			sj.Fair = j.fair
 		}
 		snap.Jobs = append(snap.Jobs, sj)
 	}
+	snap.Workers = s.tel.snapshotWorkers()
 	// The locks stay held through the file replacement AND the rotation:
 	// Rotate truncates the whole log, so an append landing between the
 	// LastLSN capture and the truncation would be destroyed without being

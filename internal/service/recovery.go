@@ -52,16 +52,32 @@ type openKey struct {
 	worker int32
 }
 
-// openExec mirrors assignment.cancelled for replay.
+// openExec mirrors an assignment's replay-relevant state: cancelled, the
+// speculative-twin flag, and schedRef — the worker ref the scheduler
+// associates with the execution (the primary's ref for a twin).
 type openExec struct {
 	cancelled bool
+	spec      bool
+	schedRef  core.WorkerRef
+}
+
+// grantKey identifies one granted lease across the whole log for the
+// telemetry fold: the success-report duration sample is report Ts minus
+// grant Ts, and the grant may live in the snapshot's ledgers or the tail.
+type grantKey struct {
+	job    string
+	task   int32
+	site   int32
+	worker int32
 }
 
 // recoveryState carries the submission-ordered job list recovery builds
-// up from the snapshot and the log tail.
+// up from the snapshot and the log tail, plus the open-grant timestamps
+// feeding the telemetry fold.
 type recoveryState struct {
 	order   []*job
 	deletes []string
+	grants  map[grantKey]int64 // grant Ts (unix millis) of still-open leases
 }
 
 // recover loads DataDir and rebuilds state. Called from New, before the
@@ -79,7 +95,7 @@ func (s *Service) recover() error {
 			_ = os.Remove(p)
 		}
 	}
-	rs := &recoveryState{}
+	rs := &recoveryState{grants: make(map[grantKey]int64)}
 
 	// 1. Snapshot.
 	var snap snapshot
@@ -107,6 +123,10 @@ func (s *Service) recover() error {
 		t := s.coord.tenant(st.Name)
 		t.quota, t.dispatches = st.Quota, st.Dispatches
 	}
+	// Worker telemetry: the snapshot's fixed-point accumulators restore
+	// bit-exact; tail records fold on top in LSN order (applyLogRecord),
+	// reproducing the crashed process's EWMAs exactly.
+	s.tel.restoreWorkers(snap.Workers)
 	for i := range snap.Jobs {
 		if err := s.restoreSnapJob(rs, &snap.Jobs[i]); err != nil {
 			return err
@@ -227,6 +247,8 @@ func (s *Service) restoreSnapJob(rs *recoveryState, sj *snapJob) error {
 		heapIdx:      -1,
 		tasks:        sj.Tasks,
 		state:        sj.State,
+		requires:     sj.Requires,
+		deadlineMs:   sj.Deadline,
 		submitted:    time.UnixMilli(sj.Submitted),
 	}
 	if sj.Finished != 0 {
@@ -235,12 +257,28 @@ func (s *Service) restoreSnapJob(rs *recoveryState, sj *snapJob) error {
 	if sj.State == api.JobCompleted {
 		j.dispatched, j.completed, j.failed = sj.Dispatched, sj.Completed, sj.Failed
 		j.cancelled, j.expired, j.transfers = sj.Cancelled, sj.Expired, sj.Transfers
+		j.speculated = sj.Speculated
 	} else {
 		if sj.Workload == nil {
 			return fmt.Errorf("service: snapshot job %s running but has no workload", sj.ID)
 		}
 		j.w = sj.Workload
 		j.ledger = sj.Ledger
+		// Seed the open-grant timestamps from the snapshot ledger: a tail
+		// success report's duration sample is measured from a grant the
+		// snapshot may already carry. (Closed leases of completed snapshot
+		// jobs lost their ledgers; a tail report on one folds without a
+		// duration sample — the one corner where a recovered EWMA can lag
+		// the uninterrupted one by a sample.)
+		for _, e := range sj.Ledger {
+			k := grantKey{job: sj.ID, task: int32(e.Task), site: e.Site, worker: e.Worker}
+			switch e.Op {
+			case ledgerDispatch, ledgerSpecDispatch:
+				rs.grants[k] = e.Ts
+			default:
+				delete(rs.grants, k)
+			}
+		}
 	}
 	s.addRecoveredJob(rs, j)
 	return nil
@@ -270,12 +308,30 @@ func (s *Service) applyLogRecord(rs *recoveryState, rec *record) error {
 			tasks:        len(rec.Workload.Tasks),
 			w:            rec.Workload,
 			state:        api.JobRunning,
+			requires:     rec.Requires,
+			deadlineMs:   rec.Deadline,
 			submitted:    time.UnixMilli(rec.Ts),
 		}
 		s.addRecoveredJob(rs, j)
 	case opQuota:
 		s.coord.tenant(rec.Tenant).quota = rec.Quota
 	case opDispatch, opReport, opExpire:
+		// Fold worker telemetry FIRST, before any early return: the record
+		// exists, so the live process folded the observation when it wrote
+		// it — even when the job is unknown or already completed here.
+		ref := core.WorkerRef{Site: rec.Site, Worker: rec.Worker}
+		gk := grantKey{job: rec.Job, task: int32(rec.Task), site: int32(rec.Site), worker: int32(rec.Worker)}
+		switch {
+		case rec.Op == opDispatch:
+			rs.grants[gk] = rec.Ts
+		case rec.Op == opReport && rec.Outcome == api.OutcomeSuccess:
+			g, hasGrant := rs.grants[gk]
+			delete(rs.grants, gk)
+			s.tel.observeSuccess(ref, rec.Ts-g, hasGrant)
+		default: // failure report or expiry
+			delete(rs.grants, gk)
+			s.tel.observeFailure(ref)
+		}
 		j := s.shardOf(rec.Job).jobs[rec.Job]
 		if j == nil {
 			// A report/expiry naming a job neither the snapshot nor the
@@ -293,6 +349,13 @@ func (s *Service) applyLogRecord(rs *recoveryState, rec *record) error {
 		case rec.Op == opDispatch:
 			op = ledgerDispatch
 			s.bumpSeqFromID(rec.Assignment)
+			if rec.Spec {
+				// A speculative twin never charged the arbiter live; replay
+				// must not either. The tenant's dispatch total did move.
+				op = ledgerSpecDispatch
+				s.coord.tenant(j.tenant).dispatches++
+				break
+			}
 			// Re-apply the fair-share charge in log order: tags and the
 			// virtual time floor end up bit-identical to the crashed
 			// process (the live path appends dispatch records in charge
@@ -308,7 +371,7 @@ func (s *Service) applyLogRecord(rs *recoveryState, rec *record) error {
 		// Records for jobs the snapshot already saw completed are leftover
 		// reports/expiries of cancelled replicas; only the counter survives.
 		if j.state == api.JobCompleted {
-			if op == ledgerDispatch {
+			if op == ledgerDispatch || op == ledgerSpecDispatch {
 				return fmt.Errorf("service: journal dispatches into completed job %s", j.id)
 			}
 			j.cancelled++
@@ -336,7 +399,7 @@ func (s *Service) replayJob(j *job) (int, error) {
 	if err := s.cfg.CheckWorkload(j.w); err != nil {
 		return 0, err
 	}
-	sched, err := s.cfg.NewScheduler(j.algorithm, j.w, s.cfg.Topology, j.seed)
+	sched, err := s.buildScheduler(j.algorithm, j.w, j.seed)
 	if err != nil {
 		return 0, err
 	}
@@ -367,7 +430,7 @@ func (s *Service) replayJob(j *job) (int, error) {
 	// predate the restart. Journaled like a live expiry so a second crash
 	// replays the same way.
 	if len(open) > 0 && j.state == api.JobRunning {
-		now := time.Now().UnixMilli()
+		now := s.now().UnixMilli()
 		keys := make([]openKey, 0, len(open))
 		for k := range open {
 			keys = append(keys, k)
@@ -389,6 +452,9 @@ func (s *Service) replayJob(j *job) (int, error) {
 				Task: e.Task, Site: int(k.site), Worker: int(k.worker),
 			})
 			j.ledger = append(j.ledger, e)
+			// These are fresh journal records, so fold them into telemetry
+			// like any live expiry — the post-recovery snapshot covers them.
+			s.tel.observeFailure(core.WorkerRef{Site: int(k.site), Worker: int(k.worker)})
 			if err := s.replayEvent(j, e, open); err != nil {
 				return len(j.ledger), err
 			}
@@ -404,7 +470,7 @@ func (s *Service) replayEvent(j *job, e ledgerRec, open map[openKey]*openExec) e
 	key := openKey{task: int32(e.Task), site: e.Site, worker: e.Worker}
 	ref := core.WorkerRef{Site: int(e.Site), Worker: int(e.Worker)}
 	switch e.Op {
-	case ledgerDispatch:
+	case ledgerDispatch, ledgerSpecDispatch:
 		if j.state != api.JobRunning || j.sched == nil {
 			return fmt.Errorf("dispatch of task %d into %s job", e.Task, j.state)
 		}
@@ -417,7 +483,27 @@ func (s *Service) replayEvent(j *job, e ledgerRec, open map[openKey]*openExec) e
 		if open[key] != nil {
 			return fmt.Errorf("task %d already in flight at %+v", e.Task, ref)
 		}
-		if err := replayAssignSched(j.sched, e.Task, ref); err != nil {
+		schedRef := ref
+		if e.Op == ledgerSpecDispatch {
+			// A twin was granted above the scheduler: no ReplayAssign. Its
+			// schedRef is the live primary's ref, re-derived by the same
+			// deterministic rule the grant used — lowest (site, worker)
+			// among the task's open non-speculative executions.
+			found := false
+			for k, o := range open {
+				if k.task != int32(e.Task) || o.spec || o.cancelled {
+					continue
+				}
+				r := core.WorkerRef{Site: int(k.site), Worker: int(k.worker)}
+				if !found || r.Site < schedRef.Site ||
+					(r.Site == schedRef.Site && r.Worker < schedRef.Worker) {
+					schedRef, found = r, true
+				}
+			}
+			if !found {
+				return fmt.Errorf("speculative dispatch of task %d with no live primary", e.Task)
+			}
+		} else if err := replayAssignSched(j.sched, e.Task, ref); err != nil {
 			return err
 		}
 		sh := s.shardOf(j.id)
@@ -430,7 +516,10 @@ func (s *Service) replayEvent(j *job, e ledgerRec, open map[openKey]*openExec) e
 		j.sched.NoteBatch(ref.Site, task.Files, fetched, evicted)
 		j.transfers += int64(len(fetched))
 		j.dispatched++
-		open[key] = &openExec{}
+		if e.Op == ledgerSpecDispatch {
+			j.speculated++
+		}
+		open[key] = &openExec{spec: e.Op == ledgerSpecDispatch, schedRef: schedRef}
 	case ledgerSuccess, ledgerFailure, ledgerExpire:
 		o := open[key]
 		if o == nil {
@@ -441,12 +530,19 @@ func (s *Service) replayEvent(j *job, e ledgerRec, open map[openKey]*openExec) e
 		case o.cancelled:
 			j.cancelled++
 		case e.Op == ledgerSuccess:
-			victims := j.sched.OnTaskComplete(e.Task, ref)
+			victims := j.sched.OnTaskComplete(e.Task, o.schedRef)
 			j.completed++
 			for _, v := range victims {
 				vk := openKey{task: int32(e.Task), site: int32(v.Site), worker: int32(v.Worker)}
 				if vo := open[vk]; vo != nil {
 					vo.cancelled = true
+				}
+			}
+			// First-report-wins blanket cancel, mirroring applyReportLocked:
+			// every other open execution of the task is obsolete.
+			for k2, o2 := range open {
+				if k2.task == int32(e.Task) && !o2.cancelled {
+					o2.cancelled = true
 				}
 			}
 			if j.sched.Remaining() == 0 {
@@ -459,19 +555,31 @@ func (s *Service) replayEvent(j *job, e ledgerRec, open map[openKey]*openExec) e
 			}
 		case e.Op == ledgerFailure:
 			j.failed++
-			if j.sched != nil {
-				j.sched.OnExecutionFailed(e.Task, ref)
+			if j.sched != nil && !openSibling(open, int32(e.Task), o.schedRef) {
+				j.sched.OnExecutionFailed(e.Task, o.schedRef)
 			}
 		default: // ledgerExpire
 			j.expired++
-			if j.sched != nil {
-				j.sched.OnExecutionFailed(e.Task, ref)
+			if j.sched != nil && !openSibling(open, int32(e.Task), o.schedRef) {
+				j.sched.OnExecutionFailed(e.Task, o.schedRef)
 			}
 		}
 	default:
 		return fmt.Errorf("unknown ledger op %d", e.Op)
 	}
 	return nil
+}
+
+// openSibling mirrors liveSiblingLocked for replay: another open,
+// non-cancelled execution of the task shares schedRef, so the failed or
+// expired half of a primary/twin pair must not requeue the task.
+func openSibling(open map[openKey]*openExec, task int32, schedRef core.WorkerRef) bool {
+	for k, o := range open {
+		if k.task == task && !o.cancelled && o.schedRef == schedRef {
+			return true
+		}
+	}
+	return false
 }
 
 // completeJobReplay is completeJobLocked minus the live-only concerns
@@ -490,6 +598,9 @@ func (s *Service) completeJobReplay(j *job, tsMillis int64) {
 // path does; counting later would drive the tenant negative and defeat
 // pruning forever.
 func (s *Service) addRecoveredJob(rs *recoveryState, j *job) {
+	if j.state == api.JobRunning && j.deadlineMs > 0 && s.now().UnixMilli() >= j.deadlineMs {
+		j.urgent.Store(true) // sweeps refine this; seed the overdue case now
+	}
 	s.shardOf(j.id).jobs[j.id] = j
 	if j.submissionID != "" {
 		s.coord.submissions[j.submissionID] = j.id
@@ -518,6 +629,7 @@ func (s *Service) restoreCounters() {
 			c.Failures += int64(j.failed)
 			c.Cancellations += int64(j.cancelled)
 			c.Expired += int64(j.expired)
+			c.Speculated += int64(j.speculated)
 		}
 	}
 	s.counters.JobsSubmitted.Store(c.Jobs)
@@ -527,6 +639,7 @@ func (s *Service) restoreCounters() {
 	s.counters.Failures.Store(c.Failures)
 	s.counters.Cancellations.Store(c.Cancellations)
 	s.counters.LeasesExpired.Store(c.Expired)
+	s.counters.SpeculativeDispatches.Store(c.Speculated)
 	s.counters.OpenJobs.Store(open)
 }
 

@@ -60,7 +60,9 @@ import (
 	"log"
 	"net/http"
 	"runtime"
+	"slices"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -163,6 +165,29 @@ type Config struct {
 	// service writes a compacting snapshot and rotates the journal.
 	// Defaults to 4096.
 	SnapshotEvery int
+
+	// Clock overrides the service's time source: journal timestamps,
+	// lease deadlines, and sweep scheduling all read it. Nil uses
+	// time.Now. The policy-trace harness injects a fake clock here so
+	// time-driven behavior (expiry, straggler detection, deadline
+	// urgency) is a deterministic function of the scripted timeline.
+	Clock func() time.Time
+
+	// Speculation enables straggler mitigation: the sweeper compares
+	// each live lease's age against the owning job's observed
+	// task-duration distribution and grants a speculative second lease
+	// for the slowest stragglers; first report wins, the loser is
+	// rejected as stale. See docs/SCHEDULING.md.
+	Speculation bool
+	// SpeculationPercentile is the quantile of the job's recent task
+	// durations that defines "expected duration". Defaults to 0.95.
+	SpeculationPercentile float64
+	// SpeculationFactor is how many multiples of the percentile a lease
+	// must age past before it is a straggler. Defaults to 2.
+	SpeculationFactor float64
+	// SpeculationMinSamples is the per-job observation floor below which
+	// no lease is ever speculated (cold start). Defaults to 3.
+	SpeculationMinSamples int
 }
 
 func (c *Config) normalize() error {
@@ -206,6 +231,15 @@ func (c *Config) normalize() error {
 	}
 	if c.SnapshotEvery < 1 {
 		c.SnapshotEvery = 4096
+	}
+	if c.SpeculationPercentile == 0 {
+		c.SpeculationPercentile = 0.95
+	}
+	if c.SpeculationFactor == 0 {
+		c.SpeculationFactor = 2
+	}
+	if c.SpeculationMinSamples == 0 {
+		c.SpeculationMinSamples = 3
 	}
 	if c.DataDir != "" && c.NewScheduler == nil {
 		return fmt.Errorf("service: DataDir requires a NewScheduler factory (recovery rebuilds schedulers by name)")
@@ -306,6 +340,26 @@ type job struct {
 	// released on completion with the rest of the heavy state.
 	ledger []ledgerRec
 
+	// Context-aware scheduling state (docs/SCHEDULING.md). requires and
+	// deadlineMs are immutable after registration and journaled with the
+	// submit record; urgent is a sweep-maintained cache of the deadline
+	// projection read by the dispatch candidate ordering. durs,
+	// specPending, and specMarked are shard-guarded liveness state for
+	// straggler detection: the ring of recent task durations, the sorted
+	// queue of straggling tasks awaiting a speculative twin, and the
+	// tasks already queued or twinned (so one straggler is speculated at
+	// most once at a time). None of the three is journaled — after a
+	// crash there are no live leases left to speculate on.
+	requires    []string
+	deadlineMs  int64 // soft deadline, unix millis; 0 = none
+	urgent      atomic.Bool
+	durs        durRing
+	specPending []workload.TaskID
+	specMarked  map[workload.TaskID]bool
+	// speculated counts speculative grants over the job's lifetime; it
+	// is journaled via the ledger and part of the recovery identity.
+	speculated int
+
 	dispatched int
 	completed  int
 	failed     int
@@ -322,6 +376,9 @@ type worker struct {
 	id      string
 	ref     core.WorkerRef
 	expires time.Time
+	// tags are the capability tags the worker registered with; jobs with
+	// a requires list only dispatch to workers carrying every tag.
+	tags []string
 	// assignments are the worker's outstanding leases by assignment id. A
 	// long-poll worker holds at most one; a streaming worker pipelines up
 	// to its stream's batch size.
@@ -338,8 +395,8 @@ type worker struct {
 }
 
 // assignment is one leased task execution. id, job, task, workerID, ref,
-// and staged are immutable; deadline and cancelled are guarded by the
-// owning job's shard.
+// granted, speculative, schedRef, and staged are immutable; deadline and
+// cancelled are guarded by the owning job's shard.
 type assignment struct {
 	id        string
 	job       *job
@@ -349,6 +406,20 @@ type assignment struct {
 	deadline  time.Time
 	cancelled bool // obsoleted by another replica's completion
 	staged    int
+	// granted is the journaled grant timestamp (unix millis): the Ts of
+	// the opDispatch record. A success report's journaled Ts minus
+	// granted is the duration sample folded into worker telemetry, which
+	// keeps the telemetry a pure function of the record stream.
+	granted int64
+	// speculative marks a straggler twin granted by the sweeper outside
+	// the scheduler's view (the scheduler never saw a NextFor for it).
+	speculative bool
+	// schedRef is the worker ref the scheduler associates with this
+	// execution: the assignment's own ref for a primary, the PRIMARY's
+	// ref for a speculative twin. Every scheduler callback for the
+	// assignment must use schedRef, never ref — the scheduler only knows
+	// about one execution per (task, ref) and the twin is invisible.
+	schedRef core.WorkerRef
 }
 
 // hub is the long-poll wakeup primitive: waiters grab the current channel
@@ -402,6 +473,10 @@ type Service struct {
 	coord  *coordinator
 	reg    *registry
 	hub    *hub
+	// tel is the per-slot worker-context store (tags + outcome EWMAs),
+	// fed from report traffic and consumed by context-aware schedulers,
+	// GET /v1/workers, and /metrics. Leaf lock.
+	tel *telemetry
 
 	// nextSweep is the earliest known lease deadline (unix nanos);
 	// maybeSweep skips the cross-shard sweep until it is due. 0 means
@@ -437,6 +512,7 @@ func New(cfg Config) (*Service, error) {
 		coord:     newCoordinator(),
 		reg:       newRegistry(cfg.Sites, cfg.WorkersPerSite),
 		hub:       newHub(),
+		tel:       newTelemetry(cfg.Topology),
 		sweepStop: make(chan struct{}),
 		sweepDone: make(chan struct{}),
 	}
@@ -491,6 +567,17 @@ func (s *Service) Close() {
 	}
 }
 
+// now is the service clock (Config.Clock when set, else time.Now). All
+// scheduling-visible time — journal timestamps, lease deadlines, sweep
+// decisions — goes through it; wall-clock plumbing like long-poll park
+// timers stays on real time.
+func (s *Service) now() time.Time {
+	if s.cfg.Clock != nil {
+		return s.cfg.Clock()
+	}
+	return time.Now()
+}
+
 // sweeper periodically expires leases even when no worker is polling.
 func (s *Service) sweeper() {
 	defer close(s.sweepDone)
@@ -501,7 +588,7 @@ func (s *Service) sweeper() {
 		case <-s.sweepStop:
 			return
 		case <-t.C:
-			s.maybeSweep(time.Now())
+			s.maybeSweep(s.now())
 		}
 	}
 }
@@ -561,11 +648,26 @@ func (s *Service) SubmitJob(req api.SubmitJobRequest) (string, error) {
 			return id, nil
 		}
 	}
-	sched, err := s.cfg.NewScheduler(req.Algorithm, req.Workload, s.cfg.Topology, req.Seed)
+	sched, err := s.buildScheduler(req.Algorithm, req.Workload, req.Seed)
 	if err != nil {
 		return "", errf(http.StatusBadRequest, "service: %v", err)
 	}
 	return s.submitJob(req, sched)
+}
+
+// buildScheduler resolves an algorithm name through the configured
+// factory. The "context:" prefix wraps the named strategy in the
+// context-aware gate fed by the service's worker telemetry; the prefixed
+// name is what gets journaled, so recovery rebuilds the same wrapping.
+func (s *Service) buildScheduler(algorithm string, w *workload.Workload, seed int64) (core.Scheduler, error) {
+	if inner, ok := strings.CutPrefix(algorithm, "context:"); ok {
+		sched, err := s.cfg.NewScheduler(inner, w, s.cfg.Topology, seed)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewContextAware(sched, s.tel, core.ContextPolicy{}), nil
+	}
+	return s.cfg.NewScheduler(algorithm, w, s.cfg.Topology, seed)
 }
 
 // submitJob validates, journals (before acknowledging), and registers one
@@ -581,6 +683,12 @@ func (s *Service) submitJob(req api.SubmitJobRequest, sched core.Scheduler) (str
 	if err := validateFairShare(&req); err != nil {
 		return "", err
 	}
+	if err := validateTags("requires tag", req.Requires); err != nil {
+		return "", err
+	}
+	if req.DeadlineMillis < 0 {
+		return "", errf(http.StatusBadRequest, "service: deadlineMillis = %d", req.DeadlineMillis)
+	}
 	if err := w.Validate(); err != nil {
 		return "", errf(http.StatusBadRequest, "service: %v", err)
 	}
@@ -590,7 +698,7 @@ func (s *Service) submitJob(req api.SubmitJobRequest, sched core.Scheduler) (str
 	if s.closed.Load() {
 		return "", errf(http.StatusServiceUnavailable, "service: closed")
 	}
-	now := time.Now()
+	now := s.now()
 	j := &job{
 		name:         name,
 		algorithm:    req.Algorithm,
@@ -603,7 +711,14 @@ func (s *Service) submitJob(req api.SubmitJobRequest, sched core.Scheduler) (str
 		w:            w,
 		sched:        sched,
 		state:        api.JobRunning,
+		requires:     slices.Clone(req.Requires),
+		deadlineMs:   req.DeadlineMillis,
 		submitted:    now,
+	}
+	if j.deadlineMs > 0 && now.UnixMilli() >= j.deadlineMs {
+		// Already past deadline at submission: urgent from the start; the
+		// sweeper keeps the flag current from here on.
+		j.urgent.Store(true)
 	}
 	for i := 0; i < s.cfg.Sites; i++ {
 		st, err := storage.New(s.cfg.CapacityFiles, s.cfg.Policy)
@@ -642,6 +757,7 @@ func (s *Service) submitJob(req api.SubmitJobRequest, sched core.Scheduler) (str
 			Op: opSubmit, Ts: now.UnixMilli(), Job: j.id,
 			Name: name, Algorithm: req.Algorithm, Seed: req.Seed, Submission: submissionID,
 			Tenant: j.tenant, Weight: j.weight,
+			Requires: j.requires, Deadline: j.deadlineMs,
 			Workload: w,
 		})
 		if err != nil {
@@ -694,7 +810,7 @@ func (s *Service) DeleteJob(jobID string) error {
 	var lsn uint64
 	if s.pst != nil {
 		var err error
-		lsn, err = s.appendRecord(&record{Op: opDelete, Ts: time.Now().UnixMilli(), Job: jobID})
+		lsn, err = s.appendRecord(&record{Op: opDelete, Ts: s.now().UnixMilli(), Job: jobID})
 		if err != nil {
 			sh.mu.Unlock()
 			return err
@@ -756,7 +872,10 @@ func jobStatusLocked(j *job) api.JobStatus {
 		Failed:          j.failed,
 		Cancelled:       j.cancelled,
 		Expired:         j.expired,
+		Speculated:      j.speculated,
 		Transfers:       j.transfers,
+		Requires:        j.requires,
+		DeadlineMillis:  j.deadlineMs,
 		SubmittedAtUnix: j.submitted.Unix(),
 	}
 	if !j.finished.IsZero() {
@@ -790,7 +909,7 @@ func (s *Service) SetTenantQuota(tenant string, maxInFlight int) (*api.TenantSta
 	if s.pst != nil {
 		var err error
 		lsn, err = s.appendRecord(&record{
-			Op: opQuota, Ts: time.Now().UnixMilli(), Tenant: tenant, Quota: maxInFlight,
+			Op: opQuota, Ts: s.now().UnixMilli(), Tenant: tenant, Quota: maxInFlight,
 		})
 		if err != nil {
 			c.mu.Unlock()
@@ -867,6 +986,42 @@ func (s *Service) tenantStatusLocked(t *tenantState, totalWeight int64) api.Tena
 		st.ShareTarget = float64(t.weight) / float64(totalWeight)
 	}
 	return st
+}
+
+// Workers lists every live registered worker with its slot, tags, lease
+// count, and observed context — the path behind GET /v1/workers. Sorted
+// by (site, worker); the registry holds at most one live registration
+// per slot, so the order is total.
+func (s *Service) Workers() []api.WorkerStatus {
+	s.reg.mu.Lock()
+	out := make([]api.WorkerStatus, 0, len(s.reg.workers))
+	for _, w := range s.reg.workers {
+		out = append(out, api.WorkerStatus{
+			WorkerID:      w.id,
+			Site:          w.ref.Site,
+			Worker:        w.ref.Worker,
+			Tags:          slices.Clone(w.tags),
+			Assignments:   len(w.assignments),
+			ExpiresAtUnix: w.expires.Unix(),
+		})
+	}
+	s.reg.mu.Unlock()
+	for i := range out {
+		ref := core.WorkerRef{Site: out[i].Site, Worker: out[i].Worker}
+		if ctx, ok := s.tel.WorkerContext(ref); ok {
+			out[i].MeanTaskMillis = ctx.MeanTaskMillis
+			out[i].FailureRate = ctx.FailureRate
+			out[i].Samples = ctx.Samples
+			out[i].Events = ctx.Events
+		}
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].Site != out[k].Site {
+			return out[i].Site < out[k].Site
+		}
+		return out[i].Worker < out[k].Worker
+	})
+	return out
 }
 
 // Health summarizes liveness for /healthz.

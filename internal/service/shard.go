@@ -15,6 +15,7 @@ package service
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -124,9 +125,13 @@ func (s *Service) cancelExecutionLocked(sh *shard, j *job, id workload.TaskID, r
 func (s *Service) expireAssignmentLocked(sh *shard, a *assignment, now time.Time) {
 	delete(sh.assignments, a.id)
 	j := a.job
+	if a.speculative {
+		delete(j.specMarked, a.task.ID)
+	}
 	// Same residency guard as Report: never journal history for a job id
 	// that snapshots no longer carry.
-	if s.pst != nil && sh.jobs[j.id] == j {
+	recorded := sh.jobs[j.id] == j
+	if s.pst != nil && recorded {
 		s.mustAppend(&record{
 			Op: opExpire, Ts: now.UnixMilli(), Job: j.id,
 			Task: a.task.ID, Site: a.ref.Site, Worker: a.ref.Worker,
@@ -139,14 +144,33 @@ func (s *Service) expireAssignmentLocked(sh *shard, a *assignment, now time.Time
 			})
 		}
 	}
+	if recorded {
+		// Telemetry treats every recorded expiry as a failure event on the
+		// slot that let the lease lapse, cancelled or not — the journal
+		// record carries no cancelled bit and replay must fold the same.
+		s.tel.observeFailure(a.ref)
+	}
 	if a.cancelled {
 		j.cancelled++
 		s.counters.Cancellations.Add(1)
+		if a.speculative {
+			s.counters.SpeculationLosses.Add(1)
+		}
 	} else {
 		j.expired++
 		s.counters.LeasesExpired.Add(1)
-		if j.sched != nil { // defensive: unreachable once completed (cancel-marked)
-			j.sched.OnExecutionFailed(a.task.ID, a.ref)
+		if a.speculative {
+			s.counters.SpeculationLosses.Add(1)
+		}
+		// Sibling rule (see applyReportLocked): while the other half of a
+		// primary/twin pair still runs, the scheduler's one known execution
+		// of the task is alive and the expiry must not requeue it. This is
+		// also what keeps worker deregistration sound mid-speculation:
+		// expiring the primary leaves the twin as the task's execution,
+		// expiring the twin leaves the primary — only when the LAST of the
+		// pair dies does the task go back to the scheduler.
+		if j.sched != nil && !liveSiblingLocked(sh, a) {
+			j.sched.OnExecutionFailed(a.task.ID, a.schedRef)
 		}
 	}
 	s.finishLease(a)
@@ -217,6 +241,7 @@ func (s *Service) dropJobLocked(sh *shard, j *job) {
 		s.pst.carry.Failures += int64(j.failed)
 		s.pst.carry.Cancellations += int64(j.cancelled)
 		s.pst.carry.Expired += int64(j.expired)
+		s.pst.carry.Speculated += int64(j.speculated)
 	}
 	c.mu.Unlock()
 }
@@ -243,6 +268,13 @@ func (s *Service) noteDeadline(t time.Time) {
 			return
 		}
 	}
+}
+
+// specStage is one straggling (job, task) found by a sweep, staged so the
+// enqueue order can be sorted before it becomes visible.
+type specStage struct {
+	j    *job
+	task workload.TaskID
 }
 
 // sweep expires overdue worker registrations and assignment leases across
@@ -286,21 +318,83 @@ func (s *Service) sweep(now time.Time) {
 		sh.mu.Unlock()
 	}
 
+	deadlines := false
 	for _, sh := range s.shards {
 		sh.mu.Lock()
+		var stragglers []specStage
 		for _, a := range sh.assignments {
 			if now.After(a.deadline) {
 				s.expireAssignmentLocked(sh, a, now)
 				changed = true
-			} else {
-				lower(a.deadline)
+				continue
 			}
+			lower(a.deadline)
+			// Straggler detection: a live primary lease whose age has
+			// outrun the job's observed duration distribution gets queued
+			// for a speculative twin. Staged first, queued after, sorted —
+			// the assignment-map iteration order must never leak into the
+			// queue order (determinism).
+			if s.cfg.Speculation && !a.cancelled && !a.speculative && a.granted > 0 {
+				j := a.job
+				if sh.jobs[j.id] == j && j.state == api.JobRunning && !j.specMarked[a.task.ID] &&
+					shouldSpeculate(now.UnixMilli()-a.granted, &j.durs,
+						s.cfg.SpeculationPercentile, s.cfg.SpeculationFactor, s.cfg.SpeculationMinSamples) {
+					stragglers = append(stragglers, specStage{j: j, task: a.task.ID})
+				}
+			}
+		}
+		sort.Slice(stragglers, func(i, k int) bool {
+			if stragglers[i].j.seq != stragglers[k].j.seq {
+				return stragglers[i].j.seq < stragglers[k].j.seq
+			}
+			return stragglers[i].task < stragglers[k].task
+		})
+		for _, st := range stragglers {
+			if st.j.specMarked[st.task] {
+				continue // two replicas of one task both straggled; queue once
+			}
+			if st.j.specMarked == nil {
+				st.j.specMarked = make(map[workload.TaskID]bool)
+			}
+			st.j.specMarked[st.task] = true
+			st.j.specPending = append(st.j.specPending, st.task)
+			changed = true // wake parked pulls: there is twin work to hand out
+		}
+		// Deadline urgency: project the job's finish as now + mean task
+		// duration × remaining waves over the live worker pool, and boost
+		// it when the projection misses the deadline. Cold start (no
+		// duration samples) boosts only once the deadline itself passed.
+		for _, j := range sh.jobs {
+			if j.state != api.JobRunning || j.deadlineMs == 0 {
+				continue
+			}
+			deadlines = true
+			urgent := now.UnixMilli() >= j.deadlineMs
+			if !urgent && j.sched != nil {
+				if mean, ok := j.durs.mean(); ok {
+					workers := s.counters.ActiveWorkers.Load()
+					if workers < 1 {
+						workers = 1
+					}
+					waves := (int64(j.sched.Remaining()) + workers - 1) / workers
+					urgent = now.UnixMilli()+mean*waves >= j.deadlineMs
+				}
+			}
+			j.urgent.Store(urgent)
 		}
 		sh.mu.Unlock()
 	}
 
 	if next.IsZero() {
 		next = now.Add(s.cfg.SweepInterval)
+	}
+	if s.cfg.Speculation || deadlines {
+		// Straggler detection and urgency are time-driven even when no
+		// lease is near expiry; a far-future lease deadline must not defer
+		// the next look past one sweep interval.
+		if capAt := now.Add(s.cfg.SweepInterval); capAt.Before(next) {
+			next = capAt
+		}
 	}
 	s.nextSweep.Store(next.UnixNano())
 	if changed {

@@ -91,7 +91,7 @@ func (s *Service) claimStream(workerID string) (*worker, error) {
 	if s.closed.Load() {
 		return nil, errf(http.StatusServiceUnavailable, "service: closed")
 	}
-	now := time.Now()
+	now := s.now()
 	s.maybeSweep(now)
 	r := s.reg
 	r.mu.Lock()
@@ -155,13 +155,13 @@ func (s *Service) streamLeases(ctx context.Context, w io.Writer, flusher http.Fl
 	if renewEvery <= 0 {
 		renewEvery = time.Second
 	}
-	lastRenew := time.Now()
+	lastRenew := s.now()
 	done := ctx.Done()
 	for {
 		if s.closed.Load() {
 			return
 		}
-		now := time.Now()
+		now := s.now()
 		s.maybeSweep(now)
 
 		r := s.reg
@@ -173,7 +173,7 @@ func (s *Service) streamLeases(ctx context.Context, w io.Writer, flusher http.Fl
 		}
 		wk.expires = now.Add(s.cfg.LeaseTTL)
 		free := batch - len(wk.assignments)
-		ref := wk.ref
+		ref, tags := wk.ref, wk.tags
 		var held []*assignment
 		renewDue := now.Sub(lastRenew) >= renewEvery
 		if renewDue && len(wk.assignments) > 0 {
@@ -198,7 +198,7 @@ func (s *Service) streamLeases(ctx context.Context, w io.Writer, flusher http.Fl
 		var maxLSN uint64
 		dispatchStart := time.Now()
 		for free > 0 {
-			a, resp, lsn := s.dispatchOnce(wk.id, ref, now)
+			a, resp, lsn := s.dispatchOnce(wk.id, ref, tags, now)
 			if a == nil {
 				break
 			}

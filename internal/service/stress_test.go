@@ -1,15 +1,21 @@
 package service_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"gridsched/internal/core"
+	"gridsched/internal/faultinject"
 	"gridsched/internal/service"
 	"gridsched/internal/service/api"
+	"gridsched/internal/service/client"
 )
 
 // TestConcurrentMixedTraffic drives every mutation class at once across
@@ -220,5 +226,213 @@ func TestConcurrentMixedTraffic(t *testing.T) {
 	}
 	if want := submitters*jobsEach - int(deleted.Load()); resident != want {
 		t.Fatalf("recovered %d job records, want %d (%d deleted)", resident, want, deleted.Load())
+	}
+}
+
+// TestSpeculativeChurnStress mixes speculative re-execution with the two
+// ways executions die ugly — severed streams and worker churn — under
+// real concurrency (CI runs this under -race). A "molasses" worker sits
+// on every lease long enough to be flagged as a straggler, so twins are
+// continuously granted into a pool of fast classic workers (which
+// deregister and re-register mid-run) and one streaming worker behind a
+// connection-severing proxy. The invariants: the job drains, completions
+// are exactly-once despite first-report-wins races and batch retries,
+// speculation actually fired, and a crash afterwards recovers to the
+// identical job state.
+func TestSpeculativeChurnStress(t *testing.T) {
+	const tasks = 60
+	dir := t.TempDir()
+	cfg := durableConfig(dir)
+	cfg.LeaseTTL = 600 * time.Millisecond
+	cfg.SweepInterval = 10 * time.Millisecond
+	cfg.Speculation = true
+	s, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	proxy, err := faultinject.NewProxy("127.0.0.1:0", ts.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	cl := client.New("http://"+proxy.Addr(), nil)
+
+	jobID, err := s.SubmitByName("spec-churn", "workqueue", syntheticWorkload(tasks, 2), 11, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Chaos: sever every proxied connection (the streaming worker's lease
+	// channel and report batches) on a cadence that lets work through.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				proxy.CloseConns()
+			}
+		}
+	}()
+
+	// Streaming worker through the proxy.
+	streamDone := make(chan error, 1)
+	go func() {
+		streamDone <- cl.RunWorker(ctx, client.WorkerConfig{
+			StreamBatch:   8,
+			ReconnectWait: 30 * time.Millisecond,
+			Execute: func(execCtx context.Context, _ core.WorkerRef, _ *api.Assignment) error {
+				select {
+				case <-execCtx.Done():
+				case <-time.After(time.Millisecond):
+				}
+				return nil
+			},
+			OnIdle: func(_ context.Context, resp *api.PullResponse) (bool, error) {
+				return resp.OpenJobs == 0, nil
+			},
+		})
+	}()
+
+	// Molasses: holds each lease far past the fast workers' p95, making
+	// every one of its leases a speculation candidate. Reports directly
+	// (no proxy), so its late success races the twin's — whoever loses
+	// comes back stale or cancelled, never as a second completion.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		reg, err := s.Register(0)
+		if err != nil {
+			t.Errorf("molasses register: %v", err)
+			return
+		}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := s.Pull(nil, reg.WorkerID, 20*time.Millisecond)
+			if err != nil {
+				t.Errorf("molasses pull: %v", err)
+				return
+			}
+			if resp.Status != api.StatusAssigned {
+				if resp.OpenJobs == 0 {
+					return
+				}
+				continue
+			}
+			time.Sleep(150 * time.Millisecond)
+			if _, err := s.Report(resp.Assignment.ID, reg.WorkerID, api.OutcomeSuccess); err != nil {
+				t.Errorf("molasses report: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Classic workers with churn: fast pull/report loops that sometimes
+	// fail a task and sometimes drop their registration and come back —
+	// both paths fold failure events into the very telemetry speculation
+	// reads while it is being read.
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + n)))
+			reg, err := s.Register(n % 2)
+			if err != nil {
+				t.Errorf("worker register: %v", err)
+				return
+			}
+			for {
+				select {
+				case <-stop:
+					_ = s.Deregister(reg.WorkerID)
+					return
+				default:
+				}
+				resp, err := s.Pull(nil, reg.WorkerID, 20*time.Millisecond)
+				if err != nil {
+					t.Errorf("worker pull: %v", err)
+					return
+				}
+				if resp.Status == api.StatusAssigned {
+					outcome := api.OutcomeSuccess
+					if rng.Intn(10) == 0 {
+						outcome = api.OutcomeFailure
+					}
+					time.Sleep(time.Duration(rng.Intn(3)) * time.Millisecond)
+					if _, err := s.Report(resp.Assignment.ID, reg.WorkerID, outcome); err != nil {
+						t.Errorf("worker report: %v", err)
+						return
+					}
+				} else if resp.OpenJobs == 0 {
+					return
+				}
+				if rng.Intn(40) == 0 {
+					_ = s.Deregister(reg.WorkerID)
+					if reg, err = s.Register(n % 2); err != nil {
+						t.Errorf("re-register: %v", err)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+
+	deadline := time.Now().Add(80 * time.Second)
+	for s.Counters().OpenJobs.Load() != 0 {
+		if time.Now().After(deadline) {
+			st, _ := s.JobStatus(jobID)
+			t.Fatalf("drain stalled: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if err := <-streamDone; err != nil {
+		t.Fatalf("streaming worker: %v", err)
+	}
+
+	pre, err := s.JobStatus(jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.State != api.JobCompleted || pre.Completed != tasks || pre.Remaining != 0 {
+		t.Fatalf("job after churn: %+v", pre)
+	}
+	if got := s.Counters().Completions.Load(); got != tasks {
+		t.Fatalf("completions = %d, want exactly %d (exactly-once broken)", got, tasks)
+	}
+	if got := s.Counters().SpeculativeDispatches.Load(); got == 0 {
+		t.Fatal("no speculative dispatch fired; the stress did not exercise speculation")
+	}
+
+	// Crash and recover: the journal must reproduce the post-churn state.
+	s.CrashForTest()
+	r, err := service.New(durableConfig(dir))
+	if err != nil {
+		t.Fatalf("recovery after speculative churn: %v", err)
+	}
+	defer r.Close()
+	post, err := r.JobStatus(jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pre, post) {
+		t.Fatalf("recovery identity broken:\n live %+v\nrecov %+v", pre, post)
 	}
 }

@@ -1,0 +1,184 @@
+// Policy traces: a deterministic harness that replays a scripted worker
+// timeline — heterogeneous speeds, flaky nodes — against a scheduling
+// backend and reports makespan and per-worker completion counts. The
+// ROADMAP's rule is that every scheduling policy is validated on
+// simulation traces before it touches the live path; this file is the
+// trace driver, and internal/service wires the real gridschedd service
+// (fake clock, seeded RNG) behind the PolicyBackend interface so the same
+// script exercises the production dispatch, speculation, and recovery
+// code rather than a model of it.
+//
+// Determinism: the trace runs on the discrete-event Kernel, so all
+// activity is single-threaded and ordered by (virtual time, schedule
+// sequence). The backend's clock is advanced to the kernel's clock before
+// every interaction, which makes time-driven backend behavior (lease
+// sweeps, straggler detection) a pure function of the script.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// PolicyWorker scripts one worker's behavior.
+type PolicyWorker struct {
+	// Site the worker registers at.
+	Site int
+	// Tags are the capability tags it registers with.
+	Tags []string
+	// TaskMillis is how long the worker takes to execute one task.
+	TaskMillis int64
+	// FailEvery makes every Nth execution (1-based) report failure;
+	// 0 never fails. FailEvery=1 is a permanently flaky worker.
+	FailEvery int
+}
+
+// PolicyScript is one scripted timeline.
+type PolicyScript struct {
+	Workers []PolicyWorker
+	// PollMillis is the idle re-poll cadence; defaults to 50ms.
+	PollMillis int64
+	// LimitMillis aborts the trace if the backend has not drained by
+	// then; defaults to 10 minutes of virtual time.
+	LimitMillis int64
+}
+
+// PolicyBackend is the scheduling surface a trace drives. Implementations
+// must be synchronous: every call completes (and has all its effects)
+// before it returns.
+type PolicyBackend interface {
+	// Register adds a worker and returns its id.
+	Register(site int, tags []string) (workerID string, err error)
+	// Pull asks for one assignment without blocking; ok=false means
+	// nothing was dispatchable.
+	Pull(workerID string) (assignmentID string, ok bool, err error)
+	// Report finishes an assignment. applied is true when the backend
+	// accepted it as a fresh, non-stale, non-cancelled completion.
+	Report(workerID, assignmentID string, fail bool) (applied bool, err error)
+	// AdvanceTo moves the backend clock to the given virtual
+	// milliseconds (monotonic across calls) and runs any time-driven
+	// maintenance due by then.
+	AdvanceTo(millis int64)
+	// Open reports whether unfinished work remains.
+	Open() (bool, error)
+}
+
+// PolicyResult summarizes one trace run.
+type PolicyResult struct {
+	// MakespanMillis is the virtual time of the last applied completion.
+	MakespanMillis int64
+	// Applied counts completions the backend accepted as fresh.
+	Applied int
+	// Failed counts executions scripted to fail.
+	Failed int
+	// Stale counts reports the backend rejected as stale or cancelled
+	// (e.g. the losing lease of a speculated task).
+	Stale int
+	// AppliedByWorker is Applied split by worker index.
+	AppliedByWorker []int
+}
+
+// RunPolicyTrace replays script against b and returns the summary. The
+// trace ends when the backend reports no open work and every in-flight
+// execution has reported; it errors out at LimitMillis.
+func RunPolicyTrace(script PolicyScript, b PolicyBackend) (*PolicyResult, error) {
+	poll := script.PollMillis
+	if poll <= 0 {
+		poll = 50
+	}
+	limit := script.LimitMillis
+	if limit <= 0 {
+		limit = 10 * 60 * 1000
+	}
+	k := NewKernel()
+	res := &PolicyResult{AppliedByWorker: make([]int, len(script.Workers))}
+	ids := make([]string, len(script.Workers))
+	execs := make([]int, len(script.Workers)) // executions started, for FailEvery
+	var traceErr error
+	drained := false
+
+	millis := func() int64 { return int64(math.Round(k.Now() * 1000)) }
+	fail := func(err error) {
+		if traceErr == nil {
+			traceErr = err
+		}
+		k.Stop()
+	}
+
+	var pullLoop func(i int)
+	pullLoop = func(i int) {
+		if traceErr != nil || drained {
+			return
+		}
+		now := millis()
+		b.AdvanceTo(now)
+		aid, ok, err := b.Pull(ids[i])
+		if err != nil {
+			fail(fmt.Errorf("sim: worker %d pull at t=%dms: %w", i, now, err))
+			return
+		}
+		if !ok {
+			open, err := b.Open()
+			if err != nil {
+				fail(err)
+				return
+			}
+			if !open {
+				drained = true // this worker observed the drain; all others stop at their next wake
+				return
+			}
+			k.Schedule(float64(poll)/1000, func() { pullLoop(i) })
+			return
+		}
+		execs[i]++
+		scripted := script.Workers[i]
+		failThis := scripted.FailEvery > 0 && execs[i]%scripted.FailEvery == 0
+		k.Schedule(float64(scripted.TaskMillis)/1000, func() {
+			if traceErr != nil {
+				return
+			}
+			done := millis()
+			b.AdvanceTo(done)
+			applied, err := b.Report(ids[i], aid, failThis)
+			if err != nil {
+				fail(fmt.Errorf("sim: worker %d report at t=%dms: %w", i, done, err))
+				return
+			}
+			switch {
+			case failThis:
+				res.Failed++
+			case applied:
+				res.Applied++
+				res.AppliedByWorker[i]++
+				res.MakespanMillis = done
+			default:
+				res.Stale++
+			}
+			pullLoop(i)
+		})
+	}
+
+	for i := range script.Workers {
+		id, err := b.Register(script.Workers[i].Site, script.Workers[i].Tags)
+		if err != nil {
+			return nil, fmt.Errorf("sim: worker %d register: %w", i, err)
+		}
+		ids[i] = id
+		idx := i
+		k.Schedule(0, func() { pullLoop(idx) })
+	}
+	k.RunUntil(float64(limit) / 1000)
+	if traceErr != nil {
+		return nil, traceErr
+	}
+	if !drained {
+		open, err := b.Open()
+		if err != nil {
+			return nil, err
+		}
+		if open {
+			return nil, fmt.Errorf("sim: trace did not drain within %dms (applied %d)", limit, res.Applied)
+		}
+	}
+	return res, nil
+}
