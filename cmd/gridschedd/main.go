@@ -15,6 +15,7 @@
 //	gridschedd -auth-tokens tokens.conf               # per-tenant bearer auth (SIGHUP reloads the file)
 //	gridschedd -rate-limit 500 -rate-burst 1000       # token-bucket throttling per IP and tenant
 //	gridschedd -shed-p99 250ms                        # shed pulls/submits when p99 breaches the bound
+//	gridschedd -partition-index 0 -partition-count 2  # one partition of a scaled-out deployment (front with gridrouter; docs/PARTITIONING.md)
 //	gridschedd -data-dir d2 -follow http://leader:8080     # hot standby replicating the leader's journal
 //	gridschedd -data-dir d2 -follow ... -auto-promote 5s   # ... that self-promotes when the leader goes silent
 //	gridschedd -pprof   # also serve net/http/pprof under /debug/pprof/
@@ -152,6 +153,8 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 		snapshot = fs.Int("snapshot-every", 4096, "journal records between compacting snapshots")
 		spec     = fs.Bool("speculate", false, "re-execute straggler leases speculatively (first report wins; see docs/SCHEDULING.md)")
 		specPct  = fs.Float64("speculate-percentile", 0.95, "duration percentile a lease must exceed (times the factor) to count as a straggler")
+		partIdx  = fs.Int("partition-index", 0, "this daemon's partition index in a partitioned deployment (see docs/PARTITIONING.md)")
+		partCnt  = fs.Int("partition-count", 0, "total partitions in the deployment (0 or 1: standalone); ids mint in this partition's residue class")
 		follow   = fs.String("follow", "", "run as a hot standby replicating the leader at this base URL (requires -data-dir); read-only until promoted")
 		replTok  = fs.String("replication-token", "", "bearer token presented to the leader's replication stream (an admin token when the leader runs -auth-tokens)")
 		autoProm = fs.Duration("auto-promote", 0, "standby only: promote automatically after this long without leader contact (0: manual promotion via POST /v1/replication/promote)")
@@ -199,6 +202,8 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 		LeaseTTL:          *lease,
 		SweepInterval:     *sweep,
 		Shards:            *shards,
+		PartitionIndex:    *partIdx,
+		PartitionCount:    *partCnt,
 		DefaultWeight:     *weight,
 		TenantMaxInFlight: *quota,
 		DataDir:           *dataDir,
@@ -291,6 +296,10 @@ func run(ctx context.Context, args []string, onReady func(addr string)) error {
 		wrapper.store(buildIngress(svc.Handler(), svc.TenantWeight))
 		log.Printf("gridschedd: listening on %s (%d sites x %d workers, capacity %d files, lease %s)",
 			ln.Addr(), *sites, *workers, *capacity, *lease)
+		if *partCnt > 1 {
+			log.Printf("gridschedd: partition %d of %d (minting ids in residue class %d mod %d; front with gridrouter)",
+				*partIdx, *partCnt, *partIdx, *partCnt)
+		}
 	}
 	if onReady != nil {
 		onReady(ln.Addr().String())

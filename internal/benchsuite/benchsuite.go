@@ -356,7 +356,15 @@ func ServiceDispatchSpeculative(b *testing.B) {
 		next, err := svc.Pull(nil, slow.WorkerID, 0)
 		must(err, "straggler pull")
 		if next.Status != api.StatusAssigned {
-			panic("benchsuite: straggler starved")
+			// The twin+primary reports just drained the job's last task —
+			// the same ~100k-iteration boundary as the fast path above,
+			// landing on this pull instead. Refill and retry.
+			submit()
+			next, err = svc.Pull(nil, slow.WorkerID, 0)
+			must(err, "straggler pull")
+			if next.Status != api.StatusAssigned {
+				panic("benchsuite: straggler starved")
+			}
 		}
 		hold = next.Assignment.ID
 	}
@@ -447,6 +455,118 @@ func ServiceDispatchParallel(shards int) func(b *testing.B) {
 // Handler exposes the service handler type for TCP variants without
 // making consumers import net/http/httptest here.
 func Handler(svc *service.Service) http.Handler { return svc.Handler() }
+
+// ServiceDispatchPartitioned measures aggregate durable dispatch
+// throughput across parts independent gridschedd partitions, each a
+// journaled SyncAlways service behind its own real TCP socket — the
+// horizontal scale-out configuration of docs/PARTITIONING.md with the
+// router bypassed (partition-aware clients talk to the owning partition
+// directly, so the steady-state data path has no extra hop to measure).
+// One streaming binary-codec worker per partition: every granted lease
+// frame and every report batch costs one fsync on that partition's WAL,
+// which is the durable dispatch bottleneck partitioning multiplies.
+// Each iteration is one completed task, aggregated across partitions,
+// so dispatches/sec here scales with how well the independent WAL
+// fsyncs overlap — the ISSUE-10 acceptance bar reads parts=2 against
+// parts=1 (≥1.7× on a multi-core host; a single-core host still
+// overlaps the fsync I/O waits, just less — PERFORMANCE.md records what
+// each recorded run's host could show, with NumCPU in the JSON).
+//
+// PartitionedBatch and PartitionedWorkers fix the per-partition scale:
+// one streaming worker at WireBatch pipeline depth keeps each
+// partition's serial chain honest — its CPU work and its WAL fsyncs
+// interleave, the shape one steady worker presents — without letting a
+// single partition saturate the host by itself, which would flatten
+// the curve the benchmark exists to show.
+const (
+	PartitionedBatch   = 32
+	PartitionedWorkers = 1
+)
+
+func ServiceDispatchPartitioned(parts int) func(b *testing.B) {
+	return func(b *testing.B) {
+		ctx := context.Background()
+		type streamWorker struct {
+			cl   *client.Client
+			part int
+			wid  string
+			ls   *client.LeaseStream
+		}
+		var workers []*streamWorker
+		for i := 0; i < parts; i++ {
+			dir, err := os.MkdirTemp("", "gridsched-bench-part-*")
+			must(err, "partition dir")
+			defer os.RemoveAll(dir)
+			svc, err := service.New(service.Config{
+				Topology:       service.Topology{Sites: PartitionedWorkers, WorkersPerSite: 1, CapacityFiles: 1024},
+				NewScheduler:   gridsched.SchedulerFactory(),
+				DataDir:        dir,
+				Fsync:          journal.SyncAlways,
+				SnapshotEvery:  1 << 30,
+				PartitionIndex: i,
+				PartitionCount: parts,
+			})
+			must(err, "partitioned service")
+			defer svc.Close()
+			ts := httptest.NewServer(svc.Handler())
+			defer ts.Close()
+			cl := client.New(ts.URL, nil)
+			must(cl.SetCodec("binary"), "codec")
+			_, err = cl.SubmitJob(ctx, fmt.Sprintf("bench-part-%d", i), "workqueue", 0, dispatchWorkload(100_000))
+			must(err, "submit")
+			for w := 0; w < PartitionedWorkers; w++ {
+				reg, err := cl.Register(ctx, nil)
+				must(err, "register")
+				ls, err := cl.StreamLeases(ctx, reg.WorkerID, PartitionedBatch)
+				must(err, "stream")
+				defer ls.Close()
+				workers = append(workers, &streamWorker{cl: cl, part: i, wid: reg.WorkerID, ls: ls})
+			}
+		}
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for i, w := range workers {
+			n := b.N / len(workers)
+			if i < b.N%len(workers) {
+				n++
+			}
+			if n == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(w *streamWorker, n int) {
+				defer wg.Done()
+				items := make([]api.ReportItem, 0, PartitionedBatch)
+				for done := 0; done < n; {
+					lb, err := w.ls.Next()
+					must(err, "partitioned stream next")
+					if len(lb.Assignments) == 0 {
+						if lb.OpenJobs == 0 {
+							// This partition's job drained mid-benchmark;
+							// refill (rare: every 100k tasks per partition).
+							_, err := w.cl.SubmitJob(ctx, fmt.Sprintf("bench-part-%d", w.part), "workqueue", 0, dispatchWorkload(100_000))
+							must(err, "refill submit")
+						}
+						continue // keepalive frame
+					}
+					items = items[:0]
+					for k := range lb.Assignments {
+						items = append(items, api.ReportItem{AssignmentID: lb.Assignments[k].ID, Outcome: api.OutcomeSuccess})
+					}
+					res, err := w.cl.ReportBatch(ctx, w.wid, items)
+					must(err, "partitioned report batch")
+					for k := range res {
+						if !res[k].Accepted {
+							panic("benchsuite: partitioned report rejected (lease lapsed mid-benchmark?)")
+						}
+					}
+					done += len(items)
+				}
+			}(w, n)
+		}
+		wg.Wait()
+	}
+}
 
 // WireBatch is the streaming pipeline depth of the wire benchmark — the
 // batch size the HTTP and codec costs amortize across.

@@ -56,6 +56,13 @@ type ServiceCounters struct {
 	ReplayRecords    atomic.Int64 // snapshot ledger + log records replayed at startup
 	ReplayNanos      atomic.Int64 // time the startup replay took
 	RecoveredExpired atomic.Int64 // in-flight leases expired by recovery
+
+	// Stop-the-world snapshot pause (the lockAll hold across state
+	// collection, marshal, file replacement, and log rotation): last
+	// observed and running maximum, in nanoseconds. Rendered at /metrics
+	// in milliseconds as gridsched_snapshot_pause_ms.
+	SnapshotPauseLastNanos atomic.Int64
+	SnapshotPauseMaxNanos  atomic.Int64
 }
 
 // ObserveDispatch folds one dispatch duration into the latency summary.
@@ -65,6 +72,17 @@ func (c *ServiceCounters) ObserveDispatch(nanos int64) {
 	for {
 		cur := c.DispatchMaxNanos.Load()
 		if nanos <= cur || c.DispatchMaxNanos.CompareAndSwap(cur, nanos) {
+			return
+		}
+	}
+}
+
+// ObserveSnapshotPause records one stop-the-world snapshot pause.
+func (c *ServiceCounters) ObserveSnapshotPause(nanos int64) {
+	c.SnapshotPauseLastNanos.Store(nanos)
+	for {
+		cur := c.SnapshotPauseMaxNanos.Load()
+		if nanos <= cur || c.SnapshotPauseMaxNanos.CompareAndSwap(cur, nanos) {
 			return
 		}
 	}
@@ -122,8 +140,17 @@ func (c *ServiceCounters) WriteText(w io.Writer) error {
 		float64(c.DispatchMaxNanos.Load())/nsPerSec); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w,
+	if _, err := fmt.Fprintf(w,
 		"# TYPE gridsched_replay_seconds gauge\ngridsched_replay_seconds %g\n",
-		float64(c.ReplayNanos.Load())/nsPerSec)
+		float64(c.ReplayNanos.Load())/nsPerSec); err != nil {
+		return err
+	}
+	const nsPerMs = 1e6
+	_, err := fmt.Fprintf(w,
+		"# TYPE gridsched_snapshot_pause_ms gauge\n"+
+			"gridsched_snapshot_pause_ms{stat=\"last\"} %g\n"+
+			"gridsched_snapshot_pause_ms{stat=\"max\"} %g\n",
+		float64(c.SnapshotPauseLastNanos.Load())/nsPerMs,
+		float64(c.SnapshotPauseMaxNanos.Load())/nsPerMs)
 	return err
 }

@@ -30,3 +30,24 @@ func TestServiceCountersWriteText(t *testing.T) {
 		}
 	}
 }
+
+func TestSnapshotPauseGauges(t *testing.T) {
+	c := NewServiceCounters()
+	c.ObserveSnapshotPause(2_500_000) // 2.5ms
+	c.ObserveSnapshotPause(1_000_000) // 1ms: last moves, max stays
+
+	var sb strings.Builder
+	if err := c.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE gridsched_snapshot_pause_ms gauge",
+		`gridsched_snapshot_pause_ms{stat="last"} 1`,
+		`gridsched_snapshot_pause_ms{stat="max"} 2.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,359 @@
+package partition
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+
+	"gridsched/internal/service/api"
+)
+
+// handleJobs merges every partition's job list, ordered by the minted
+// sequence number (globally unique across partitions by construction).
+func (rt *Router) handleJobs(w http.ResponseWriter, r *http.Request) {
+	parts := fanOut[[]api.JobStatus](rt, r.Context(), "/v1/jobs")
+	merged := []api.JobStatus{}
+	for _, p := range parts {
+		if p != nil {
+			merged = append(merged, *p...)
+		}
+	}
+	sort.Slice(merged, func(i, k int) bool { return idSeq(merged[i].ID) < idSeq(merged[k].ID) })
+	finishAggregate(w, parts, merged)
+}
+
+// idSeq is the numeric part of a minted id, for ordering only (routing
+// uses Owner, which never overflows; list ordering tolerates the
+// approximation for absurd ids).
+func idSeq(id string) int64 {
+	var n int64
+	for i := 1; i < len(id) && id[i] >= '0' && id[i] <= '9'; i++ {
+		n = n*10 + int64(id[i]-'0')
+	}
+	return n
+}
+
+// handleWorkers concatenates every partition's worker list. Slot
+// coordinates (site, worker) repeat across partitions — each partition
+// runs the full configured topology — so ordering is by site, slot, then
+// id, which groups the per-partition replicas of a slot together.
+func (rt *Router) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	parts := fanOut[[]api.WorkerStatus](rt, r.Context(), "/v1/workers")
+	merged := []api.WorkerStatus{}
+	for _, p := range parts {
+		if p != nil {
+			merged = append(merged, *p...)
+		}
+	}
+	sort.Slice(merged, func(i, k int) bool {
+		a, b := merged[i], merged[k]
+		if a.Site != b.Site {
+			return a.Site < b.Site
+		}
+		if a.Worker != b.Worker {
+			return a.Worker < b.Worker
+		}
+		return a.WorkerID < b.WorkerID
+	})
+	finishAggregate(w, parts, merged)
+}
+
+// handleTenants merges per-partition tenant rows by name: monotone
+// counts sum; ShareTarget is recomputed from the merged weights;
+// ShareAchieved is the dispatch-weighted mean of the partitions' sliding
+// windows. Quotas (MaxInFlight) are enforced per partition, so the
+// aggregated row reports the per-partition cap, not a global one.
+func (rt *Router) handleTenants(w http.ResponseWriter, r *http.Request) {
+	parts := fanOut[[]api.TenantStatus](rt, r.Context(), "/v1/tenants")
+	finishAggregate(w, parts, mergeTenants(parts))
+}
+
+func mergeTenants(parts []*[]api.TenantStatus) []api.TenantStatus {
+	byName := map[string]*api.TenantStatus{}
+	achievedW := map[string]float64{} // dispatch-weighted ShareAchieved numerator
+	var totalWeight int64
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		for _, t := range *p {
+			m := byName[t.Tenant]
+			if m == nil {
+				m = &api.TenantStatus{Tenant: t.Tenant}
+				byName[t.Tenant] = m
+			}
+			m.Weight += t.Weight
+			m.RunningJobs += t.RunningJobs
+			m.InFlight += t.InFlight
+			m.Dispatches += t.Dispatches
+			m.Throttles += t.Throttles
+			if t.MaxInFlight > m.MaxInFlight {
+				m.MaxInFlight = t.MaxInFlight
+			}
+			achievedW[t.Tenant] += t.ShareAchieved * float64(t.Dispatches)
+			totalWeight += t.Weight
+		}
+	}
+	merged := make([]api.TenantStatus, 0, len(byName))
+	for _, m := range byName {
+		if totalWeight > 0 {
+			m.ShareTarget = float64(m.Weight) / float64(totalWeight)
+		}
+		if m.Dispatches > 0 {
+			m.ShareAchieved = achievedW[m.Tenant] / float64(m.Dispatches)
+		}
+		merged = append(merged, *m)
+	}
+	sort.Slice(merged, func(i, k int) bool { return merged[i].Tenant < merged[k].Tenant })
+	return merged
+}
+
+// handleTenantQuota fans a quota override out to every partition: quotas
+// are enforced at lease grant inside each partition, so a deployment-wide
+// override must land everywhere. The call is idempotent; if any
+// partition could not be reached the router reports 503 and the caller
+// retries until all partitions converge.
+func (rt *Router) handleTenantQuota(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSniffBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+		return
+	}
+	type outcome struct {
+		status api.TenantStatus
+		err    error
+		code   int
+	}
+	results := make([]outcome, len(rt.urls))
+	path := "/v1/tenants/" + r.PathValue("tenant")
+	done := make(chan int, len(rt.urls))
+	for i := range rt.urls {
+		go func(i int) {
+			defer func() { done <- i }()
+			ctx, cancel := context.WithTimeout(r.Context(), rt.aggTO)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodPut, rt.urls[i]+path, bytes.NewReader(body))
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				rt.mark(i, err)
+				results[i].err = err
+				return
+			}
+			defer resp.Body.Close()
+			rt.mark(i, nil)
+			data, _ := io.ReadAll(io.LimitReader(resp.Body, maxSniffBytes))
+			results[i].code = resp.StatusCode
+			if resp.StatusCode/100 != 2 {
+				results[i].err = fmt.Errorf("partition %d: %s", i, strings.TrimSpace(string(data)))
+				return
+			}
+			results[i].err = json.Unmarshal(data, &results[i].status)
+		}(i)
+	}
+	for range rt.urls {
+		<-done
+	}
+	// A client-side rejection (4xx) is the same on every partition; relay
+	// the first one as-is. Reachability failures mean partial application:
+	// 503 so the caller retries the idempotent PUT to convergence.
+	statuses := make([]*[]api.TenantStatus, len(results))
+	for i, res := range results {
+		if res.err != nil {
+			if res.code >= 400 && res.code < 500 {
+				writeError(w, res.code, res.err.Error())
+				return
+			}
+			continue
+		}
+		statuses[i] = &[]api.TenantStatus{res.status}
+	}
+	for _, res := range results {
+		if res.err != nil {
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("quota applied partially: %v (retry to converge)", res.err))
+			return
+		}
+	}
+	finishAggregate(w, statuses, mergeTenants(statuses)[0])
+}
+
+// topology probes every partition's /readyz and assembles the deployment
+// view served at /v1/partitions and /readyz.
+func (rt *Router) topology(ctx context.Context) api.PartitionTopology {
+	topo := api.PartitionTopology{
+		Count:      len(rt.urls),
+		Partitions: make([]api.PartitionInfo, len(rt.urls)),
+	}
+	parts := fanOut[api.Readiness](rt, ctx, "/readyz")
+	for i := range rt.urls {
+		info := api.PartitionInfo{Index: i, URL: rt.urls[i]}
+		if parts[i] != nil {
+			info.Up = parts[i].Status == "ready"
+			info.Status = parts[i].Status
+			if parts[i].Role != "" {
+				info.Status = parts[i].Status + "/" + parts[i].Role
+			}
+		} else {
+			info.Status = rt.downErr(i)
+		}
+		topo.Partitions[i] = info
+	}
+	return topo
+}
+
+// handlePartitions serves the deployment topology with live per-partition
+// health. Partition-aware clients fetch this once and route id-keyed
+// traffic directly.
+func (rt *Router) handlePartitions(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, rt.topology(r.Context()))
+}
+
+// handleReadyz aggregates readiness: 200 only when every partition is
+// ready, 503 with the same per-partition body otherwise. Degraded
+// operation (some partitions up) still serves traffic — readyz speaks to
+// "is the whole deployment healthy", not "can anything be dispatched".
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	topo := rt.topology(r.Context())
+	code := http.StatusOK
+	for _, p := range topo.Partitions {
+		if !p.Up {
+			code = http.StatusServiceUnavailable
+			break
+		}
+	}
+	writeJSON(w, code, topo)
+}
+
+// handleHealthz sums live-partition job/worker gauges; unreachable
+// partitions are excluded and named in the PartitionsDownHeader.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	parts := fanOut[api.Health](rt, r.Context(), "/healthz")
+	sum := api.Health{Status: "ok"}
+	for _, p := range parts {
+		if p != nil {
+			sum.Jobs += p.Jobs
+			sum.Workers += p.Workers
+			sum.OpenJobs += p.OpenJobs
+		}
+	}
+	finishAggregate(w, parts, sum)
+}
+
+// handleMetrics federates /metrics: each partition's exposition text is
+// re-emitted with a partition="<i>" label injected into every sample (so
+// series from different partitions never collide), prefixed by the
+// router's own per-partition up gauges.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	texts := make([][]byte, len(rt.urls))
+	parts := make([]*struct{}, len(rt.urls))
+	var wg int
+	done := make(chan struct{})
+	for i := range rt.urls {
+		wg++
+		go func(i int) {
+			defer func() { done <- struct{}{} }()
+			ctx, cancel := context.WithTimeout(r.Context(), rt.aggTO)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, rt.urls[i]+"/metrics", nil)
+			if err != nil {
+				rt.mark(i, err)
+				return
+			}
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				rt.mark(i, err)
+				return
+			}
+			defer resp.Body.Close()
+			data, err := io.ReadAll(io.LimitReader(resp.Body, maxSniffBytes))
+			if err != nil || resp.StatusCode != http.StatusOK {
+				rt.mark(i, fmt.Errorf("metrics: HTTP %d, %v", resp.StatusCode, err))
+				return
+			}
+			rt.mark(i, nil)
+			texts[i] = data
+			parts[i] = &struct{}{}
+		}(i)
+	}
+	for ; wg > 0; wg-- {
+		<-done
+	}
+	var downIdx []string
+	alive := 0
+	for i, p := range parts {
+		if p == nil {
+			downIdx = append(downIdx, fmt.Sprint(i))
+		} else {
+			alive++
+		}
+	}
+	if len(downIdx) > 0 {
+		w.Header().Set(api.PartitionsDownHeader, strings.Join(downIdx, ","))
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if alive == 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	fmt.Fprintf(w, "# TYPE gridsched_partition_up gauge\n")
+	for i := range rt.urls {
+		up := 0
+		if parts[i] != nil {
+			up = 1
+		}
+		fmt.Fprintf(w, "gridsched_partition_up{partition=\"%d\"} %d\n", i, up)
+	}
+	for i, text := range texts {
+		if text != nil {
+			_, _ = w.Write(injectLabel(text, fmt.Sprintf("partition=\"%d\"", i)))
+		}
+	}
+}
+
+// injectLabel adds one label to every sample line of a Prometheus text
+// exposition. Comment lines (# TYPE, # HELP) pass through untouched.
+func injectLabel(text []byte, label string) []byte {
+	var out bytes.Buffer
+	out.Grow(len(text) + len(text)/8)
+	for _, line := range bytes.Split(text, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		if line[0] == '#' {
+			out.Write(line)
+			out.WriteByte('\n')
+			continue
+		}
+		// name{labels} value  |  name value
+		sp := bytes.IndexByte(line, ' ')
+		if sp < 0 {
+			out.Write(line)
+			out.WriteByte('\n')
+			continue
+		}
+		name, rest := line[:sp], line[sp:]
+		if brace := bytes.IndexByte(name, '{'); brace >= 0 {
+			out.Write(name[:brace+1])
+			out.WriteString(label)
+			out.WriteByte(',')
+			out.Write(name[brace+1:])
+		} else {
+			out.Write(name)
+			out.WriteByte('{')
+			out.WriteString(label)
+			out.WriteByte('}')
+		}
+		out.Write(rest)
+		out.WriteByte('\n')
+	}
+	return out.Bytes()
+}

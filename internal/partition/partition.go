@@ -1,0 +1,56 @@
+// Package partition implements horizontal scale-out for gridschedd: N
+// independent service processes ("partitions") behind a thin, stateless
+// HTTP router (cmd/gridrouter) that forwards each request to the
+// partition owning its key. See docs/PARTITIONING.md.
+//
+// The keying is the same arithmetic that picks a lock stripe inside one
+// process: partition i of n mints every job, assignment, and worker
+// sequence number ≡ i (mod n) (service.Config.PartitionIndex), so the
+// owner of any minted id is `numeric part mod n` — no lookup table, no
+// shared state, and any component holding an id (the router, a
+// partition-aware client) can route it locally. Submissions, which have
+// no id yet, are placed by hashing their idempotency key, which keeps a
+// retried submission on the partition that already dedupes it.
+package partition
+
+import "hash/fnv"
+
+// Owner names the partition owning a minted id ("j17", "a42",
+// "w9-1a2b3c4d") among count partitions: the id's leading digit run
+// (after the one-rune kind prefix) modulo count. ok is false when the id
+// carries no digits — such an id was never minted by a partition and
+// cannot be routed.
+func Owner(id string, count int) (int, bool) {
+	if count < 1 {
+		return 0, false
+	}
+	i := 0
+	for i < len(id) && (id[i] < '0' || id[i] > '9') {
+		i++
+	}
+	if i != 1 || i >= len(id) {
+		// Minted ids are exactly one kind rune followed by digits.
+		return 0, false
+	}
+	n := 0
+	j := i
+	for ; j < len(id) && id[j] >= '0' && id[j] <= '9'; j++ {
+		n = n*10%count + int(id[j]-'0') // mod as we go: immune to overflow
+	}
+	if j == i {
+		return 0, false
+	}
+	return n % count, true
+}
+
+// SubmitOwner places a submission idempotency key on a partition
+// (FNV-1a). Deterministic, so a retried submission lands on the
+// partition holding the original and dedupes instead of duplicating.
+func SubmitOwner(submissionID string, count int) int {
+	if count < 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(submissionID))
+	return int(h.Sum32() % uint32(count))
+}

@@ -1,0 +1,57 @@
+package partition
+
+import "testing"
+
+func TestOwner(t *testing.T) {
+	cases := []struct {
+		id    string
+		count int
+		want  int
+		ok    bool
+	}{
+		{"j17", 4, 1, true},
+		{"a42", 4, 2, true},
+		{"w9-1a2b3c4d", 4, 1, true}, // instance suffix after the digit run is ignored
+		{"j0", 4, 0, true},
+		{"j1", 1, 0, true},
+		{"j123456789012345678901234567890", 7, 0, true}, // mod-as-you-go: no overflow
+		{"", 4, 0, false},
+		{"j", 4, 0, false},     // kind rune, no digits
+		{"17", 4, 0, false},    // no kind rune
+		{"job17", 4, 0, false}, // multi-rune prefix was never minted
+		{"j17", 0, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := Owner(c.id, c.count)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("Owner(%q, %d) = %d, %v; want %d, %v", c.id, c.count, got, ok, c.want, c.ok)
+		}
+	}
+	// Overflow immunity: the mod-as-you-go digits really match the
+	// big-integer answer (123456789012345678901234567890 mod 4 = 2).
+	if got, _ := Owner("j123456789012345678901234567890", 4); got != 2 {
+		t.Errorf("overflow case: got %d, want 2", got)
+	}
+}
+
+func TestSubmitOwner(t *testing.T) {
+	for _, count := range []int{1, 2, 3, 8} {
+		seen := map[int]bool{}
+		for _, sid := range []string{"a", "b", "c", "d", "e", "f", "g", "h", "0011aabb"} {
+			p := SubmitOwner(sid, count)
+			if p < 0 || p >= count {
+				t.Fatalf("SubmitOwner(%q, %d) = %d out of range", sid, count, p)
+			}
+			if p != SubmitOwner(sid, count) {
+				t.Fatalf("SubmitOwner(%q, %d) not deterministic", sid, count)
+			}
+			seen[p] = true
+		}
+		if count > 1 && len(seen) < 2 {
+			t.Errorf("SubmitOwner spread over %d partitions hit only %d", count, len(seen))
+		}
+	}
+	if SubmitOwner("anything", 0) != 0 {
+		t.Error("count<1 must pin to 0")
+	}
+}

@@ -1,0 +1,358 @@
+package partition
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridsched/internal/service/api"
+)
+
+// maxSniffBytes bounds how much of a submit body the router reads to
+// extract the idempotency key — the same cap the service puts on bodies.
+const maxSniffBytes = 64 << 20
+
+// Config configures a Router.
+type Config struct {
+	// Partitions are the partitions' base URLs in index order: the i-th
+	// entry must be the daemon running with -partition-index i. Length is
+	// the partition count.
+	Partitions []string
+	// Transport is the outbound round-tripper for forwarded requests. Nil
+	// uses a pooled transport sized for many concurrent worker streams.
+	Transport http.RoundTripper
+	// AggregateTimeout bounds each per-partition leg of a fan-out read
+	// (GET /v1/jobs, /v1/tenants, /v1/workers, /metrics, probes).
+	// Defaults to 10s. Keyed forwards are not bounded by the router; the
+	// client's own context governs long polls and streams.
+	AggregateTimeout time.Duration
+}
+
+// Router is the job-keyed HTTP front for a partitioned deployment. It is
+// stateless — every routing decision is arithmetic on the request itself
+// — except for a last-known per-partition health mark used to steer
+// unkeyed placements (register, keyless submit) away from dead
+// partitions and to label aggregate responses.
+type Router struct {
+	urls    []string
+	proxies []*httputil.ReverseProxy
+	client  *http.Client // fan-out reads and probes
+	aggTO   time.Duration
+	rr      atomic.Uint64
+
+	mu   sync.Mutex
+	down []string // last forward/probe error per partition; "" = up
+}
+
+// New validates cfg and builds the router.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Partitions) == 0 {
+		return nil, fmt.Errorf("partition: no partitions configured")
+	}
+	transport := cfg.Transport
+	if transport == nil {
+		t := http.DefaultTransport.(*http.Transport).Clone()
+		t.MaxIdleConnsPerHost = 256
+		transport = t
+	}
+	rt := &Router{
+		urls:   make([]string, len(cfg.Partitions)),
+		client: &http.Client{Transport: transport},
+		aggTO:  cfg.AggregateTimeout,
+		down:   make([]string, len(cfg.Partitions)),
+	}
+	if rt.aggTO <= 0 {
+		rt.aggTO = 10 * time.Second
+	}
+	for i, raw := range cfg.Partitions {
+		base := strings.TrimRight(raw, "/")
+		target, err := url.Parse(base)
+		if err != nil || target.Scheme == "" || target.Host == "" {
+			return nil, fmt.Errorf("partition: bad partition %d URL %q", i, raw)
+		}
+		rt.urls[i] = base
+		i := i
+		rt.proxies = append(rt.proxies, &httputil.ReverseProxy{
+			Rewrite: func(pr *httputil.ProxyRequest) {
+				pr.SetURL(target)
+				pr.Out.Host = target.Host
+				// SetURL joins paths; the targets are bare hosts, so the
+				// inbound path passes through unchanged.
+			},
+			Transport: transport,
+			// Immediate flush: lease-stream frames and long-poll responses
+			// must not sit in a proxy buffer.
+			FlushInterval: -1,
+			ErrorHandler: func(w http.ResponseWriter, r *http.Request, err error) {
+				rt.mark(i, err)
+				writeError(w, http.StatusServiceUnavailable,
+					fmt.Sprintf("partition %d unreachable: %v", i, err))
+			},
+			ModifyResponse: func(*http.Response) error {
+				rt.mark(i, nil)
+				return nil
+			},
+		})
+	}
+	return rt, nil
+}
+
+// Count returns the number of partitions.
+func (rt *Router) Count() int { return len(rt.urls) }
+
+func (rt *Router) mark(i int, err error) {
+	rt.mu.Lock()
+	if err != nil {
+		rt.down[i] = err.Error()
+	} else {
+		rt.down[i] = ""
+	}
+	rt.mu.Unlock()
+}
+
+func (rt *Router) downErr(i int) string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.down[i]
+}
+
+// pick chooses a partition for an unkeyed placement: round-robin,
+// skipping partitions last seen down (they still get retried once the
+// rotation has no live alternative).
+func (rt *Router) pick() int {
+	n := len(rt.urls)
+	start := int(rt.rr.Add(1)-1) % n
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for off := 0; off < n; off++ {
+		i := (start + off) % n
+		if rt.down[i] == "" {
+			return i
+		}
+	}
+	return start
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(api.ErrorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Handler returns the router's HTTP surface: the service's own route
+// table, with id-keyed routes forwarded to the owning partition, unkeyed
+// placements spread round-robin, and cross-partition reads aggregated.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", rt.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", rt.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", rt.forwardByID("id"))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", rt.forwardByID("id"))
+	mux.HandleFunc("GET /v1/tenants", rt.handleTenants)
+	mux.HandleFunc("PUT /v1/tenants/{tenant}", rt.handleTenantQuota)
+	mux.HandleFunc("POST /v1/workers", rt.handleRegister)
+	mux.HandleFunc("GET /v1/workers", rt.handleWorkers)
+	mux.HandleFunc("DELETE /v1/workers/{id}", rt.forwardByID("id"))
+	mux.HandleFunc("POST /v1/workers/{id}/pull", rt.forwardByID("id"))
+	mux.HandleFunc("GET /v1/workers/{id}/stream", rt.forwardByID("id"))
+	mux.HandleFunc("POST /v1/workers/{id}/reports", rt.forwardByID("id"))
+	mux.HandleFunc("POST /v1/assignments/{id}/heartbeat", rt.forwardByID("id"))
+	mux.HandleFunc("POST /v1/assignments/{id}/report", rt.forwardByID("id"))
+	mux.HandleFunc("GET /v1/partitions", rt.handlePartitions)
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /readyz", rt.handleReadyz)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	// Everything else (replication internals, promotion) is a
+	// per-partition operator action with no routing key.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound,
+			fmt.Sprintf("partition router: %s %s has no routing key; address a partition directly (GET /v1/partitions lists them)", r.Method, r.URL.Path))
+	})
+	return mux
+}
+
+// forwardByID routes a request whose {pathValue} path segment is a
+// minted id to the partition that minted it.
+func (rt *Router) forwardByID(pathValue string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue(pathValue)
+		owner, ok := Owner(id, len(rt.urls))
+		if !ok {
+			writeError(w, http.StatusNotFound,
+				fmt.Sprintf("partition router: id %q has no partition key", id))
+			return
+		}
+		rt.proxies[owner].ServeHTTP(w, r)
+	}
+}
+
+// handleSubmit places a job submission: on the partition its idempotency
+// key hashes to (so a retry dedupes against the original), or round-robin
+// when the submission carries no key. The body is read once to extract
+// the key and forwarded verbatim, whichever codec it is in.
+func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSniffBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+		return
+	}
+	if len(body) > maxSniffBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "request body too large")
+		return
+	}
+	target := -1
+	if sid := sniffSubmissionID(r.Header.Get("Content-Type"), body); sid != "" {
+		target = SubmitOwner(sid, len(rt.urls))
+	} else {
+		target = rt.pick()
+	}
+	r2 := r.Clone(r.Context())
+	r2.Body = io.NopCloser(bytes.NewReader(body))
+	r2.ContentLength = int64(len(body))
+	rt.proxies[target].ServeHTTP(w, r2)
+}
+
+// sniffSubmissionID extracts the idempotency key from a submit body
+// without validating the rest; malformed bodies yield "" and are placed
+// anywhere — the owning partition produces the real 400.
+func sniffSubmissionID(contentType string, body []byte) string {
+	if api.IsBinary(contentType) {
+		var req api.SubmitJobRequest
+		if api.Binary.Unmarshal(body, &req) == nil {
+			return req.SubmissionID
+		}
+		return ""
+	}
+	var key struct {
+		SubmissionID string `json:"submissionId"`
+	}
+	_ = json.Unmarshal(body, &key)
+	return key.SubmissionID
+}
+
+// handleRegister places a new worker on a live partition. The worker's
+// minted id carries the partition's residue, so every subsequent
+// id-keyed call (pull, stream, reports, heartbeat, report) pins to the
+// partition that granted it.
+func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
+	rt.proxies[rt.placeWorker(r.Context())].ServeHTTP(w, r)
+}
+
+// placeWorker chooses the partition for a fresh registration: the live
+// partition with the most open jobs, so a fleet re-registering after a
+// failover lands where the work is waiting instead of piling onto
+// whichever partition round-robin offers next. Without this, a restarted
+// partition that recovered open jobs from its journal would never see a
+// worker again — the fleet migrated to the survivors during the outage
+// and idle workers have no reason to move on their own (they do, via
+// WorkerConfig.RebalanceWait, but only back through this placement).
+// Ties — including the all-idle steady state, where every partition
+// reports zero — fall back to round-robin. Registration is rare, so the
+// health probe per call is cheap.
+func (rt *Router) placeWorker(ctx context.Context) int {
+	parts := fanOut[api.Health](rt, ctx, "/healthz")
+	maxOpen := 0
+	for _, p := range parts {
+		if p != nil && p.OpenJobs > maxOpen {
+			maxOpen = p.OpenJobs
+		}
+	}
+	if maxOpen == 0 {
+		return rt.pick()
+	}
+	var busiest []int
+	for i, p := range parts {
+		if p != nil && p.OpenJobs == maxOpen {
+			busiest = append(busiest, i)
+		}
+	}
+	return busiest[int(rt.rr.Add(1)-1)%len(busiest)]
+}
+
+// fanOut performs one aggregate leg against every partition and decodes
+// each JSON response into a fresh V. Failed partitions (transport error
+// or non-2xx) come back as nil entries with health marked.
+func fanOut[V any](rt *Router, ctx context.Context, path string) []*V {
+	out := make([]*V, len(rt.urls))
+	var wg sync.WaitGroup
+	for i := range rt.urls {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var v V
+			if err := rt.getJSON(ctx, i, path, &v); err != nil {
+				rt.mark(i, err)
+				return
+			}
+			rt.mark(i, nil)
+			out[i] = &v
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+func (rt *Router) getJSON(ctx context.Context, i int, path string, v any) error {
+	ctx, cancel := context.WithTimeout(ctx, rt.aggTO)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rt.urls[i]+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxSniffBytes))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e api.ErrorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("partition %d: %s", i, e.Error)
+		}
+		return fmt.Errorf("partition %d: HTTP %d", i, resp.StatusCode)
+	}
+	return json.Unmarshal(data, v)
+}
+
+// finishAggregate annotates a partially successful fan-out: a 200 with
+// the PartitionsDownHeader naming unreachable partitions, or a 503 when
+// no partition answered at all.
+func finishAggregate[V any](w http.ResponseWriter, parts []*V, body any) {
+	var downIdx []string
+	alive := 0
+	for i, p := range parts {
+		if p == nil {
+			downIdx = append(downIdx, fmt.Sprint(i))
+		} else {
+			alive++
+		}
+	}
+	if alive == 0 {
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("all %d partitions unreachable", len(parts)))
+		return
+	}
+	if len(downIdx) > 0 {
+		w.Header().Set(api.PartitionsDownHeader, strings.Join(downIdx, ","))
+	}
+	writeJSON(w, http.StatusOK, body)
+}

@@ -1,0 +1,414 @@
+package partition_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gridsched"
+	"gridsched/internal/partition"
+	"gridsched/internal/service"
+	"gridsched/internal/service/api"
+	"gridsched/internal/service/client"
+	"gridsched/internal/workload"
+)
+
+// testDeployment is two real partitions behind a real router, all over
+// loopback TCP: the smallest topology where every cross-partition code
+// path (keyed forwards, fan-out reads, degraded aggregation) is live.
+type testDeployment struct {
+	servers []*httptest.Server
+	clients []*client.Client // direct per-partition clients
+	router  *httptest.Server
+	hits    atomic.Int64 // requests that went through the router
+	cl      *client.Client
+}
+
+func newDeployment(t *testing.T, parts int) *testDeployment {
+	t.Helper()
+	d := &testDeployment{}
+	urls := make([]string, parts)
+	for i := 0; i < parts; i++ {
+		svc, err := service.New(service.Config{
+			Topology:       service.Topology{Sites: 2, WorkersPerSite: 2, CapacityFiles: 1024},
+			NewScheduler:   gridsched.SchedulerFactory(),
+			PartitionIndex: i,
+			PartitionCount: parts,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(svc.Close)
+		ts := httptest.NewServer(svc.Handler())
+		t.Cleanup(ts.Close)
+		d.servers = append(d.servers, ts)
+		d.clients = append(d.clients, client.New(ts.URL, nil))
+		urls[i] = ts.URL
+	}
+	rt, err := partition.New(partition.Config{Partitions: urls, AggregateTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := rt.Handler()
+	d.router = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d.hits.Add(1)
+		h.ServeHTTP(w, r)
+	}))
+	t.Cleanup(d.router.Close)
+	d.cl = client.New(d.router.URL, nil)
+	return d
+}
+
+func testWorkload(tasks int) *workload.Workload {
+	w := &workload.Workload{Name: "part-test", NumFiles: 64}
+	for i := 0; i < tasks; i++ {
+		w.Tasks = append(w.Tasks, workload.Task{
+			ID:    workload.TaskID(i),
+			Files: []workload.FileID{workload.FileID(i % 64)},
+		})
+	}
+	return w
+}
+
+// TestRouterSubmitEquivalence: a submission routed through the router
+// lands on the partition its idempotency key hashes to, and a direct
+// retry of the same submission against that partition dedupes to the
+// same job id — the "zero extra hops" contract partition-aware clients
+// rely on.
+func TestRouterSubmitEquivalence(t *testing.T) {
+	d := newDeployment(t, 2)
+	ctx := context.Background()
+	for k := 0; k < 4; k++ {
+		sid := fmt.Sprintf("equiv-%d", k)
+		req := api.SubmitJobRequest{
+			Name: "equiv", Algorithm: "workqueue", Workload: testWorkload(4),
+			SubmissionID: sid,
+		}
+		viaRouter, err := d.cl.SubmitJobIdempotent(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOwner := partition.SubmitOwner(sid, 2)
+		gotOwner, ok := partition.Owner(viaRouter, 2)
+		if !ok || gotOwner != wantOwner {
+			t.Fatalf("job %q minted by partition %d (ok=%v), submission %q hashes to %d",
+				viaRouter, gotOwner, ok, sid, wantOwner)
+		}
+		direct, err := d.clients[wantOwner].SubmitJobIdempotent(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if direct != viaRouter {
+			t.Fatalf("direct retry minted %q, router submit minted %q — dedupe broken", direct, viaRouter)
+		}
+		// The router can fetch the job by id (keyed forward)...
+		st, err := d.cl.Job(ctx, viaRouter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.ID != viaRouter {
+			t.Fatalf("job fetch through router: got %q", st.ID)
+		}
+		// ...and the non-owner knows nothing about it.
+		if _, err := d.clients[1-wantOwner].Job(ctx, viaRouter); err == nil {
+			t.Fatalf("non-owning partition served job %q", viaRouter)
+		}
+	}
+}
+
+// TestRouterAggregation: cross-partition reads merge every partition's
+// answer, and a dead partition degrades them to an explicit partial
+// (200 + X-Gridsched-Partitions-Down) instead of an error.
+func TestRouterAggregation(t *testing.T) {
+	d := newDeployment(t, 2)
+	ctx := context.Background()
+
+	perPart := make([]int, 2)
+	for k := 0; k < 6; k++ {
+		sid := fmt.Sprintf("agg-%d", k)
+		if _, err := d.cl.SubmitJobIdempotent(ctx, api.SubmitJobRequest{
+			Name: "agg", Algorithm: "workqueue", Workload: testWorkload(2),
+			Tenant: fmt.Sprintf("tenant-%d", k%2), Weight: 1,
+			SubmissionID: sid,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		perPart[partition.SubmitOwner(sid, 2)]++
+	}
+	if perPart[0] == 0 || perPart[1] == 0 {
+		t.Fatalf("submissions all hashed to one partition (%v); pick different ids", perPart)
+	}
+
+	jobs, err := d.cl.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 6 {
+		t.Fatalf("aggregated jobs: got %d, want 6", len(jobs))
+	}
+	a, _ := d.clients[0].Jobs(ctx)
+	b, _ := d.clients[1].Jobs(ctx)
+	if len(a)+len(b) != 6 || len(a) != perPart[0] || len(b) != perPart[1] {
+		t.Fatalf("per-partition jobs %d+%d, want %v", len(a), len(b), perPart)
+	}
+
+	h, err := d.cl.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Jobs != 6 {
+		t.Fatalf("aggregated health jobs: got %d, want 6", h.Jobs)
+	}
+
+	tenants, err := d.cl.Tenants(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, tn := range tenants {
+		names[tn.Tenant] = true
+	}
+	if !names["tenant-0"] || !names["tenant-1"] {
+		t.Fatalf("merged tenants missing rows: %v", tenants)
+	}
+
+	// Readiness: all partitions up -> ready.
+	resp, err := http.Get(d.router.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz with all partitions up: HTTP %d", resp.StatusCode)
+	}
+
+	// Metrics federation: per-partition up gauges plus relabeled samples.
+	resp, err = http.Get(d.router.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(body)
+	for _, want := range []string{
+		`gridsched_partition_up{partition="0"} 1`,
+		`gridsched_partition_up{partition="1"} 1`,
+		`partition="1"`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("federated metrics missing %q", want)
+		}
+	}
+
+	// Kill partition 1: aggregate reads stay 200 but say what's missing.
+	d.servers[1].Close()
+	jobs, err = d.cl.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != perPart[0] {
+		t.Fatalf("degraded jobs: got %d, want partition 0's %d", len(jobs), perPart[0])
+	}
+	req, _ := http.NewRequest(http.MethodGet, d.router.URL+"/v1/jobs", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded aggregate: HTTP %d, want 200", resp.StatusCode)
+	}
+	if got := resp.Header.Get(api.PartitionsDownHeader); got != "1" {
+		t.Fatalf("%s = %q, want \"1\"", api.PartitionsDownHeader, got)
+	}
+
+	// Readiness flips to 503 and the topology names the dead partition.
+	resp, err = http.Get(d.router.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var topo api.PartitionTopology
+	if err := json.NewDecoder(resp.Body).Decode(&topo); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with a partition down: HTTP %d, want 503", resp.StatusCode)
+	}
+	if len(topo.Partitions) != 2 || topo.Partitions[0].Up == false || topo.Partitions[1].Up {
+		t.Fatalf("topology after kill: %+v", topo.Partitions)
+	}
+
+	// A keyed forward to the dead partition is an explicit 503 (transient
+	// for clients), not a hang or a 404.
+	var probe string
+	for _, j := range append(a, b...) {
+		if owner, _ := partition.Owner(j.ID, 2); owner == 1 {
+			probe = j.ID
+			break
+		}
+	}
+	if probe == "" {
+		t.Fatal("no partition-1 job to probe")
+	}
+	resp, err = http.Get(d.router.URL + "/v1/jobs/" + probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("keyed forward to dead partition: HTTP %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestRouterWorkerFlow: a worker registered through the router gets a
+// partition-keyed id, and its whole lease lifecycle (pull, heartbeat,
+// report) pins to the granting partition through the router, exactly
+// once per task.
+func TestRouterWorkerFlow(t *testing.T) {
+	d := newDeployment(t, 2)
+	ctx := context.Background()
+
+	total := 0
+	for k := 0; k < 4; k++ {
+		if _, err := d.cl.SubmitJobIdempotent(ctx, api.SubmitJobRequest{
+			Name: "flow", Algorithm: "workqueue", Workload: testWorkload(5),
+			SubmissionID: fmt.Sprintf("flow-%d", k),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		total += 5
+	}
+
+	// Register enough workers to land on both partitions (round-robin).
+	type wrk struct {
+		id    string
+		owner int
+	}
+	var workers []wrk
+	owners := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		reg, err := d.cl.Register(ctx, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		owner, ok := partition.Owner(reg.WorkerID, 2)
+		if !ok {
+			t.Fatalf("worker id %q has no partition key", reg.WorkerID)
+		}
+		owners[owner] = true
+		workers = append(workers, wrk{reg.WorkerID, owner})
+	}
+	if len(owners) != 2 {
+		t.Fatalf("round-robin registration used partitions %v, want both", owners)
+	}
+
+	// Drain everything through the router; count completions per task id.
+	done := map[string]int{}
+	idle := 0
+	for completed := 0; completed < total && idle < 200; {
+		progressed := false
+		for _, w := range workers {
+			resp, err := d.cl.Pull(ctx, w.id, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.Status != api.StatusAssigned {
+				continue
+			}
+			if owner, _ := partition.Owner(resp.Assignment.ID, 2); owner != w.owner {
+				t.Fatalf("assignment %q minted by partition %d granted to worker of partition %d",
+					resp.Assignment.ID, owner, w.owner)
+			}
+			if _, err := d.cl.Heartbeat(ctx, resp.Assignment.ID, w.id); err != nil {
+				t.Fatal(err)
+			}
+			rep, err := d.cl.Report(ctx, resp.Assignment.ID, w.id, api.OutcomeSuccess)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Accepted {
+				done[resp.Assignment.JobID+"/"+fmt.Sprint(resp.Assignment.Task.ID)]++
+				completed++
+				progressed = true
+			}
+		}
+		if !progressed {
+			idle++
+		}
+	}
+	if len(done) != total {
+		t.Fatalf("completed %d distinct tasks, want %d", len(done), total)
+	}
+	for k, n := range done {
+		if n != 1 {
+			t.Fatalf("task %s completed %d times", k, n)
+		}
+	}
+}
+
+// TestClientPartitionRouting: after RefreshPartitions a client sends
+// id-keyed requests straight to the owning partition (zero router hits),
+// and falls back through the router when the direct endpoint dies.
+func TestClientPartitionRouting(t *testing.T) {
+	d := newDeployment(t, 2)
+	ctx := context.Background()
+
+	topo, err := d.cl.RefreshPartitions(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Count != 2 || len(topo.Partitions) != 2 {
+		t.Fatalf("topology: %+v", topo)
+	}
+
+	jobID, err := d.cl.SubmitJobIdempotent(ctx, api.SubmitJobRequest{
+		Name: "direct", Algorithm: "workqueue", Workload: testWorkload(2),
+		SubmissionID: "direct-1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Keyed reads must bypass the router entirely.
+	before := d.hits.Load()
+	for i := 0; i < 3; i++ {
+		if _, err := d.cl.Job(ctx, jobID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := d.hits.Load() - before; got != 0 {
+		t.Fatalf("%d keyed reads hit the router despite topology routing", got)
+	}
+
+	// Kill the owning partition: the next keyed call drops the topology
+	// and falls back through the router (which answers 503 for the dead
+	// owner — an explicit error, not a transport failure).
+	owner, _ := partition.Owner(jobID, 2)
+	d.servers[owner].Close()
+	before = d.hits.Load()
+	_, err = d.cl.Job(ctx, jobID)
+	if err == nil {
+		t.Fatal("job fetch succeeded with its partition dead")
+	}
+	if d.hits.Load() == before {
+		// First call burns the dead direct endpoint; the retry (or any
+		// subsequent call) must route through the router again.
+		if _, err := d.cl.Job(ctx, jobID); err == nil {
+			t.Fatal("job fetch succeeded with its partition dead")
+		}
+		if d.hits.Load() == before {
+			t.Fatal("client never fell back to the router after the direct endpoint died")
+		}
+	}
+}

@@ -19,6 +19,7 @@
 //	POST   /v1/assignments/{id}/report  ReportRequest     -> ReportResponse
 //	GET    /v1/replication/stream?from=N                  -> chunked frame stream (internal/replicate)
 //	POST   /v1/replication/promote                        -> PromoteResponse (followers only)
+//	GET    /v1/partitions                                 -> PartitionTopology (see docs/PARTITIONING.md)
 //	GET    /healthz                                       -> Health
 //	GET    /readyz                                        -> Readiness (role + replication lag)
 //	GET    /metrics                                       -> text (see internal/metrics)
@@ -327,11 +328,53 @@ type TenantQuotaRequest struct {
 	MaxInFlight int `json:"maxInFlight"`
 }
 
+// PartitionInfo describes one partition of a horizontally partitioned
+// deployment (docs/PARTITIONING.md).
+type PartitionInfo struct {
+	// Index is the partition's identity: it owns exactly the ids whose
+	// numeric part ≡ Index (mod PartitionTopology.Count).
+	Index int `json:"index"`
+	// URL is the partition's base URL. Set by the router (which knows the
+	// deployment); a partition answering directly reports only itself.
+	URL string `json:"url,omitempty"`
+	// Up is the router's live view of the partition (a fresh probe or the
+	// outcome of the request being answered). A partition answering about
+	// itself is trivially up.
+	Up bool `json:"up"`
+	// Status carries the partition's readiness status ("ready",
+	// "recovering", a role) when known, or the probe error when Up is
+	// false.
+	Status string `json:"status,omitempty"`
+}
+
+// PartitionTopology is the GET /v1/partitions body. A partition-aware
+// client fetches it once (from the router) and routes id-keyed requests
+// straight to the owning partition, skipping the router hop.
+type PartitionTopology struct {
+	// Count is the number of partitions; 1 means unpartitioned.
+	Count int `json:"count"`
+	// Self is the answering partition's own index; absent (0) on a router,
+	// which speaks for all of them.
+	Self int `json:"self,omitempty"`
+	// Partitions lists every partition with its URL and health, in index
+	// order. Only the router fills it; a bare partition leaves it empty.
+	Partitions []PartitionInfo `json:"partitions,omitempty"`
+}
+
+// PartitionsDownHeader is set by the router on aggregated reads that
+// succeeded only partially: a comma-separated list of partition indexes
+// that could not be reached. Its presence means totals are a lower bound.
+const PartitionsDownHeader = "X-Gridsched-Partitions-Down"
+
 // Health is the /healthz body.
 type Health struct {
 	Status  string `json:"status"` // "ok"
 	Jobs    int    `json:"jobs"`
 	Workers int    `json:"workers"`
+	// OpenJobs counts jobs still running (Jobs includes completed ones
+	// until they are deleted). The partition router reads it to place
+	// fresh worker registrations on the partition with work waiting.
+	OpenJobs int `json:"openJobs"`
 }
 
 // Replication roles, reported by GET /readyz so load balancers can route

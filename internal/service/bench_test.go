@@ -80,3 +80,15 @@ func BenchmarkDispatchRoundTripJournaledBatch(b *testing.B) {
 func BenchmarkDispatchRoundTripJournaledAlways(b *testing.B) {
 	benchsuite.ServiceDispatchJournaled(journal.SyncAlways)(b)
 }
+
+// BenchmarkServiceDispatchPartitioned: the ISSUE-10 horizontal scale-out
+// comparison — aggregate durable (fsync-per-frame) dispatch throughput
+// over real TCP with 1, 2, and 4 independent partitions, one streaming
+// binary-codec worker each. The acceptance bar reads parts=2 at ≥1.7×
+// the parts=1 throughput on a multi-core runner; BENCH_PR10.json records
+// the curve.
+func BenchmarkServiceDispatchPartitioned(b *testing.B) {
+	for _, parts := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("parts=%d", parts), benchsuite.ServiceDispatchPartitioned(parts))
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gridsched/internal/partition"
 	"gridsched/internal/service/api"
 	"gridsched/internal/workload"
 )
@@ -35,11 +36,26 @@ import (
 type Client struct {
 	http *http.Client
 
-	// mu guards endpoints/cur. endpoints never shrinks; cur indexes the
-	// endpoint requests currently go to.
+	// mu guards endpoints/cur and the sweep-backoff state. endpoints never
+	// shrinks; cur indexes the endpoint requests currently go to.
 	mu        sync.Mutex
 	endpoints []string
 	cur       int
+	// sweepFails counts consecutive transport-level failovers; once it
+	// reaches len(endpoints) — a full rotation sweep with every endpoint
+	// down — sweepDelay grows by the capped-jitter schedule and sweepSleep
+	// arms, making the next attempt wait instead of spinning the rotation
+	// in a tight loop against a fully-down deployment.
+	sweepFails int
+	sweepDelay time.Duration
+	sweepSleep time.Duration
+
+	// topo is the learned partition topology (RefreshPartitions): when
+	// set, id-keyed requests and keyed submissions go straight to the
+	// owning partition — zero router hops on the hot path. A transport
+	// failure on a direct partition link drops the topology, falling back
+	// through the configured endpoints (the router) until refreshed.
+	topo atomic.Pointer[partitionTopo]
 
 	// ResubmitWindow bounds how long SubmitJob keeps resubmitting through
 	// transient failures (connection refused/reset, server restarting)
@@ -153,15 +169,50 @@ func (c *Client) Endpoint() string {
 	return c.endpoints[c.cur]
 }
 
+// Sweep-backoff schedule: after every configured endpoint has failed in
+// one rotation, delays double from ~sweepInitial up to sweepMax (with
+// nextDelay's jitter), and reset the moment any endpoint answers.
+const (
+	sweepInitial = 100 * time.Millisecond
+	sweepMax     = 5 * time.Second
+)
+
 // failover rotates away from a failed endpoint. The from guard keeps
 // concurrent failures from skipping endpoints: only the first caller that
-// saw `from` fail moves the cursor.
+// saw `from` fail moves the cursor. Completing a full rotation — every
+// endpoint failed in turn — arms the sweep backoff, so a fully-down
+// deployment is probed at the capped-jitter cadence instead of in a tight
+// loop.
 func (c *Client) failover(from string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if len(c.endpoints) > 1 && c.endpoints[c.cur] == from {
 		c.cur = (c.cur + 1) % len(c.endpoints)
+		c.sweepFails++
+		if c.sweepFails >= len(c.endpoints) {
+			c.sweepFails = 0
+			c.sweepDelay = nextDelay(c.sweepDelay, 0, sweepInitial, sweepMax)
+			c.sweepSleep = c.sweepDelay
+		}
 	}
+}
+
+// noteReachable resets the sweep backoff: some endpoint produced an HTTP
+// response, so the deployment is not fully down (even an error reply
+// proves the node is alive).
+func (c *Client) noteReachable() {
+	c.mu.Lock()
+	c.sweepFails, c.sweepDelay, c.sweepSleep = 0, 0, 0
+	c.mu.Unlock()
+}
+
+// takeSweepSleep consumes the pending sweep-backoff sleep, if any.
+func (c *Client) takeSweepSleep() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := c.sweepSleep
+	c.sweepSleep = 0
+	return d
 }
 
 // follow jumps to the leader a 421 reply announced. An unknown URL is
@@ -183,6 +234,79 @@ func (c *Client) follow(from, leader string) {
 	}
 	c.endpoints = append(c.endpoints, leader)
 	c.cur = len(c.endpoints) - 1
+}
+
+// partitionTopo is the learned partition layout: urls[i] is the base URL
+// of partition i of count.
+type partitionTopo struct {
+	count int
+	urls  []string
+}
+
+// baseFor names the partition base URL owning a request, or ok=false for
+// requests that must go through the configured endpoints (aggregated
+// reads, unkeyed registrations, everything without a partition key).
+func (t *partitionTopo) baseFor(path string, in any) (string, bool) {
+	var id string
+	switch {
+	case path == "/v1/jobs":
+		// Submissions route by their idempotency key — the same hash the
+		// router uses, so a direct submit and its routed retry dedupe on
+		// the same partition.
+		if req, ok := in.(api.SubmitJobRequest); ok && req.SubmissionID != "" {
+			return t.urls[partition.SubmitOwner(req.SubmissionID, t.count)], true
+		}
+		return "", false
+	case strings.HasPrefix(path, "/v1/jobs/"):
+		id = path[len("/v1/jobs/"):]
+	case strings.HasPrefix(path, "/v1/workers/"):
+		id = path[len("/v1/workers/"):]
+	case strings.HasPrefix(path, "/v1/assignments/"):
+		id = path[len("/v1/assignments/"):]
+	default:
+		return "", false
+	}
+	if i := strings.IndexByte(id, '/'); i >= 0 {
+		id = id[:i]
+	}
+	if p, ok := partition.Owner(id, t.count); ok {
+		return t.urls[p], true
+	}
+	return "", false
+}
+
+// RefreshPartitions fetches GET /v1/partitions from the current endpoint
+// (normally a gridrouter) and, when it describes a partitioned deployment
+// with full URLs, switches the client to partition-aware routing: every
+// id-keyed request and keyed submission then goes straight to the owning
+// partition, adding zero extra hops to the hot dispatch path. Against an
+// unpartitioned server (or a bare partition, which does not know its
+// peers' URLs) the call clears any stale topology and the client keeps
+// using its configured endpoints. The learned topology is dropped
+// automatically when a direct partition link fails; call this again after
+// recovery to re-learn it.
+func (c *Client) RefreshPartitions(ctx context.Context) (*api.PartitionTopology, error) {
+	var topo api.PartitionTopology
+	if err := c.do(ctx, http.MethodGet, "/v1/partitions", nil, &topo); err != nil {
+		return nil, err
+	}
+	usable := topo.Count > 1 && len(topo.Partitions) == topo.Count
+	if usable {
+		urls := make([]string, topo.Count)
+		for _, p := range topo.Partitions {
+			if p.Index < 0 || p.Index >= topo.Count || p.URL == "" {
+				usable = false
+				break
+			}
+			urls[p.Index] = strings.TrimRight(p.URL, "/")
+		}
+		if usable {
+			c.topo.Store(&partitionTopo{count: topo.Count, urls: urls})
+			return &topo, nil
+		}
+	}
+	c.topo.Store(nil)
+	return &topo, nil
 }
 
 // APIError is a non-2xx server reply.
@@ -208,6 +332,11 @@ func (e *APIError) Error() string {
 // (SubmitJobIdempotent, RunWorker), and their next attempt lands on the
 // new endpoint.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	if d := c.takeSweepSleep(); d > 0 {
+		if err := sleepCtx(ctx, d); err != nil {
+			return err
+		}
+	}
 	useBin := c.binaryWire()
 	var body io.Reader
 	inBin := false
@@ -225,7 +354,12 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 		body = bytes.NewReader(b)
 	}
-	base := c.Endpoint()
+	base, routed := c.Endpoint(), false
+	if t := c.topo.Load(); t != nil {
+		if b, ok := t.baseFor(path, in); ok {
+			base, routed = b, true
+		}
+	}
 	req, err := http.NewRequestWithContext(ctx, method, base+path, body)
 	if err != nil {
 		return err
@@ -252,10 +386,19 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	resp, err := c.http.Do(req)
 	if err != nil {
 		if ctx.Err() == nil {
-			c.failover(base)
+			if routed {
+				// The direct partition link failed; forget the topology so
+				// the caller's retry goes back through the configured
+				// endpoints (the router), which can still reach the
+				// surviving partitions.
+				c.topo.Store(nil)
+			} else {
+				c.failover(base)
+			}
 		}
 		return err
 	}
+	c.noteReachable()
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		return c.responseError(base, resp)

@@ -53,7 +53,19 @@ func (ls *LeaseStream) Close() error {
 // heartbeats needed — and pushes grants and cancellation notices as frames.
 // The codec follows SetCodec, negotiated per-stream via Accept.
 func (c *Client) StreamLeases(ctx context.Context, workerID string, batch int) (*LeaseStream, error) {
-	base := c.Endpoint()
+	if d := c.takeSweepSleep(); d > 0 {
+		if err := sleepCtx(ctx, d); err != nil {
+			return nil, err
+		}
+	}
+	base, routed := c.Endpoint(), false
+	if t := c.topo.Load(); t != nil {
+		// A worker id is partition-keyed: the stream pins to the partition
+		// that registered the worker and grants its leases.
+		if b, ok := t.baseFor("/v1/workers/"+workerID+"/stream", nil); ok {
+			base, routed = b, true
+		}
+	}
 	path := base + "/v1/workers/" + workerID + "/stream"
 	if batch > 0 {
 		path += "?batch=" + strconv.Itoa(batch)
@@ -74,10 +86,15 @@ func (c *Client) StreamLeases(ctx context.Context, workerID string, batch int) (
 	if err != nil {
 		cancel()
 		if ctx.Err() == nil {
-			c.failover(base)
+			if routed {
+				c.topo.Store(nil)
+			} else {
+				c.failover(base)
+			}
 		}
 		return nil, err
 	}
+	c.noteReachable()
 	if resp.StatusCode != http.StatusOK {
 		err := c.responseError(base, resp)
 		resp.Body.Close()

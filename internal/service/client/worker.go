@@ -62,6 +62,16 @@ type WorkerConfig struct {
 	// registrations — re-registration is the designed reconnect path.
 	// Zero keeps the historical fail-fast behavior.
 	ReconnectWait time.Duration
+	// RebalanceWait, when positive, lets an idle worker move to where the
+	// work is: after this long of empty polls with zero open jobs on its
+	// current server, the worker deregisters and re-registers. Behind a
+	// partition router a fresh registration is placed on the live
+	// partition with the most open jobs, so an idle fleet drains a
+	// partition that recovered work after an outage instead of starving
+	// it. Against a single gridschedd re-registering is a harmless no-op
+	// move. Zero disables rebalancing. Pull-mode only (streaming workers
+	// hold a lease channel open; see docs/PARTITIONING.md).
+	RebalanceWait time.Duration
 	// DrainGrace, when positive, makes shutdown graceful: after ctx is
 	// cancelled an in-flight execution keeps running for up to this long
 	// — heartbeats included — so the task finishes and its outcome is
@@ -135,9 +145,11 @@ func (c *Client) RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	}
 
 	var shed time.Duration
+	var idleSince time.Time // first empty poll of the current idle stretch
 	for ctx.Err() == nil {
 		resp, err := c.Pull(ctx, reg.WorkerID, cfg.PollWait)
 		if err != nil {
+			idleSince = time.Time{}
 			if ctx.Err() != nil {
 				return nil
 			}
@@ -190,8 +202,31 @@ func (c *Client) RunWorker(ctx context.Context, cfg WorkerConfig) error {
 					return err
 				}
 			}
+			if cfg.RebalanceWait > 0 && resp.OpenJobs == 0 {
+				if idleSince.IsZero() {
+					idleSince = time.Now()
+				} else if time.Since(idleSince) >= cfg.RebalanceWait {
+					// Nothing left here; re-enroll for fresh placement (a
+					// partition router puts the registration where open
+					// jobs are waiting). Deregistering first frees the
+					// slot; if re-registration fails terminally the loop
+					// ends like any registration failure.
+					_ = c.Deregister(ctx, reg.WorkerID)
+					reg = nil
+					if reg, err = register(); err != nil {
+						if authErr(err) {
+							return fmt.Errorf("client: worker credentials rejected: %w", err)
+						}
+						return err
+					}
+					idleSince = time.Time{}
+				}
+			} else {
+				idleSince = time.Time{}
+			}
 			continue
 		}
+		idleSince = time.Time{}
 		rep, outcome := c.runAssignment(ctx, reg, resp.Assignment, cfg)
 		if rep != nil && cfg.OnReport != nil && cfg.OnReport(ctx, resp.Assignment, outcome, rep) {
 			return nil

@@ -36,6 +36,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/assignments/{id}/heartbeat", s.handleHeartbeat)
 	mux.HandleFunc("POST /v1/assignments/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /v1/replication/stream", s.handleReplicationStream)
+	mux.HandleFunc("GET /v1/partitions", s.handlePartitions)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -271,6 +272,17 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Health())
 }
 
+// handlePartitions reports this service's partition identity. A bare
+// partition only knows itself; the router overlays the full deployment
+// view (URLs, per-partition health) on the same route. See
+// docs/PARTITIONING.md.
+func (s *Service) handlePartitions(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, api.PartitionTopology{
+		Count: s.cfg.PartitionCount,
+		Self:  s.cfg.PartitionIndex,
+	})
+}
+
 // handleReadyz answers readiness probes: 200 once recovery completed, 503
 // before. A constructed Service is always ready (New only returns after
 // recovery), so the 503 arm matters to servers that bind their listener
@@ -291,6 +303,10 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if err := s.counters.WriteText(w); err != nil {
 		// Connection-level failure; nothing more to do.
 		return
+	}
+	if s.cfg.PartitionCount > 1 {
+		fmt.Fprintf(w, "# TYPE gridsched_partition_index gauge\ngridsched_partition_index %d\n", s.cfg.PartitionIndex)
+		fmt.Fprintf(w, "# TYPE gridsched_partition_count gauge\ngridsched_partition_count %d\n", s.cfg.PartitionCount)
 	}
 	s.repl.LocalLSN.Store(int64(s.ReplicationLastLSN()))
 	if err := metrics.WriteReplicationText(w, api.RoleLeader, s.repl); err != nil {

@@ -101,7 +101,7 @@ func (s *Service) RegisterWorker(site int, tags []string) (*api.RegisterResponse
 	// journaled, so a recovered process would otherwise re-mint ids that
 	// pre-crash workers still present.
 	w := &worker{
-		id:          fmt.Sprintf("w%d-%s", s.seq.Add(1), s.instance),
+		id:          fmt.Sprintf("w%d-%s", s.nextSeq(), s.instance),
 		ref:         core.WorkerRef{Site: target, Worker: slot},
 		expires:     now.Add(s.cfg.LeaseTTL),
 		tags:        slices.Clone(tags),

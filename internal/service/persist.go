@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"gridsched/internal/core"
 	"gridsched/internal/journal"
@@ -123,10 +124,16 @@ type carryCounters struct {
 // replaying the ledger through a freshly built scheduler, which reproduces
 // the exact state (including pending random draws) of the crashed process.
 type snapshot struct {
-	Version int           `json:"version"`
-	Seq     int64         `json:"seq"`
-	LastLSN uint64        `json:"lastLsn"`
-	Carry   carryCounters `json:"carry"`
+	Version int   `json:"version"`
+	Seq     int64 `json:"seq"`
+	// Partition identity the data dir was written under (see
+	// Config.PartitionIndex). Count 0 marks a pre-partitioning snapshot,
+	// which recovers only as the standalone identity 0 of 1 — the only
+	// identity such a dir can have minted ids for.
+	PartitionIndex int           `json:"partitionIndex,omitempty"`
+	PartitionCount int           `json:"partitionCount,omitempty"`
+	LastLSN        uint64        `json:"lastLsn"`
+	Carry          carryCounters `json:"carry"`
 	// VTime is the fair-share arbiter's virtual time floor and Tenants its
 	// per-tenant durable state; journal tail records re-apply charges on
 	// top (see recovery.go). Both absent in pre-fair-share snapshots,
@@ -327,13 +334,16 @@ func (s *Service) snapshotIfDue() {
 // be in flight, so LastLSN names a frozen log position whose every
 // record's effect the snapshot contains. Callers hold snapMu.
 func (s *Service) snapshot() error {
+	pauseStart := time.Now()
 	s.lockAll()
 	snap := snapshot{
-		Version: snapshotVersion,
-		Seq:     s.seq.Load(),
-		LastLSN: s.pst.w.LastLSN(),
-		Carry:   s.pst.carry,
-		VTime:   s.coord.vtime,
+		Version:        snapshotVersion,
+		Seq:            s.seq.Load(),
+		PartitionIndex: s.cfg.PartitionIndex,
+		PartitionCount: s.cfg.PartitionCount,
+		LastLSN:        s.pst.w.LastLSN(),
+		Carry:          s.pst.carry,
+		VTime:          s.coord.vtime,
 	}
 	tenantNames := make([]string, 0, len(s.coord.tenants))
 	for name := range s.coord.tenants {
@@ -392,8 +402,13 @@ func (s *Service) snapshot() error {
 	// Rotate truncates the whole log, so an append landing between the
 	// LastLSN capture and the truncation would be destroyed without being
 	// represented in the snapshot. With every stripe held no such append
-	// can exist.
-	defer s.unlockAll()
+	// can exist. The full lockAll→unlockAll span is the stop-the-world
+	// pause every in-flight request rides out; record it so the pause is
+	// visible in /metrics rather than only as tail latency.
+	defer func() {
+		s.unlockAll()
+		s.counters.ObserveSnapshotPause(time.Since(pauseStart).Nanoseconds())
+	}()
 	data, err := json.Marshal(&snap)
 	if err != nil {
 		return err

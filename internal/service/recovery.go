@@ -102,7 +102,10 @@ func (s *Service) recover() error {
 	data, err := os.ReadFile(s.snapshotPath())
 	switch {
 	case os.IsNotExist(err):
+		// Fresh data dir: keep the partition-seeded sequence New installed
+		// rather than clobbering it with the zero value.
 		snap.Version = snapshotVersion
+		snap.Seq = s.seq.Load()
 	case err != nil:
 		return err
 	default:
@@ -111,6 +114,18 @@ func (s *Service) recover() error {
 		}
 		if snap.Version != snapshotVersion {
 			return fmt.Errorf("service: snapshot version %d, this binary speaks %d", snap.Version, snapshotVersion)
+		}
+		// Partition identity check: ids in this dir were minted in the
+		// recorded partition's residue class, so recovering under any other
+		// identity would mis-route every one of them. Pre-partitioning
+		// snapshots (count 0) can only be the standalone identity.
+		snapIdx, snapCnt := snap.PartitionIndex, snap.PartitionCount
+		if snapCnt == 0 {
+			snapIdx, snapCnt = 0, 1
+		}
+		if snapIdx != s.cfg.PartitionIndex || snapCnt != s.cfg.PartitionCount {
+			return fmt.Errorf("service: data dir belongs to partition %d of %d, configured as %d of %d (re-partitioning needs a migration, not a restart)",
+				snapIdx, snapCnt, s.cfg.PartitionIndex, s.cfg.PartitionCount)
 		}
 	}
 	s.seq.Store(snap.Seq)

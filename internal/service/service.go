@@ -137,6 +137,22 @@ type Config struct {
 	// count recovers under any other).
 	Shards int
 
+	// PartitionIndex and PartitionCount place this service in a
+	// horizontally partitioned deployment (docs/PARTITIONING.md): N
+	// independent gridschedd processes behind a job-keyed router
+	// (cmd/gridrouter). Partition identity is encoded into minted ids the
+	// same way job ids pick a shard stripe: partition i of n mints
+	// job/assignment/worker sequence numbers ≡ i (mod n), so any component
+	// holding an id — the router, a partition-aware client — can name the
+	// owning partition with arithmetic alone, no lookup table. The zero
+	// value (0 of 0) normalizes to the standalone identity 0 of 1, whose
+	// id sequence is byte-identical to the pre-partitioning one. The
+	// identity is persisted in snapshots; a DataDir written under one
+	// identity refuses to recover under another (re-partitioning is a
+	// migration, not a flag flip).
+	PartitionIndex int
+	PartitionCount int
+
 	// DefaultWeight is the fair-share weight given to jobs submitted
 	// without one. Defaults to 1. See arbiter.go for the dispatch
 	// discipline.
@@ -219,6 +235,15 @@ func (c *Config) normalize() error {
 	}
 	if c.Shards > maxShards {
 		c.Shards = maxShards
+	}
+	if c.PartitionCount == 0 {
+		c.PartitionCount = 1
+	}
+	if c.PartitionCount < 0 {
+		return fmt.Errorf("service: PartitionCount = %d", c.PartitionCount)
+	}
+	if c.PartitionIndex < 0 || c.PartitionIndex >= c.PartitionCount {
+		return fmt.Errorf("service: PartitionIndex %d outside [0,%d)", c.PartitionIndex, c.PartitionCount)
 	}
 	if c.DefaultWeight <= 0 {
 		c.DefaultWeight = 1
@@ -521,6 +546,11 @@ func New(cfg Config) (*Service, error) {
 		s.shards[i] = newShard()
 	}
 	s.counters.Shards.Store(int64(cfg.Shards))
+	// Seed the id sequence into this partition's residue class: nextSeq
+	// strides by PartitionCount, so every value it ever mints stays
+	// ≡ PartitionIndex (mod PartitionCount). Standalone (0 of 1) yields
+	// the classic 1, 2, 3, …
+	s.seq.Store(int64(cfg.PartitionIndex))
 	if cfg.DataDir != "" {
 		s.pst = &persistence{dir: cfg.DataDir}
 		if err := s.recover(); err != nil {
@@ -593,8 +623,16 @@ func (s *Service) sweeper() {
 	}
 }
 
+// nextSeq mints the next id sequence number. The stride keeps the value
+// in the partition's residue class (see Config.PartitionIndex); recovery
+// restores seq from ids of the same class, so the invariant survives
+// restarts.
+func (s *Service) nextSeq() int64 {
+	return s.seq.Add(int64(s.cfg.PartitionCount))
+}
+
 func (s *Service) nextID(prefix string) string {
-	return fmt.Sprintf("%s%d", prefix, s.seq.Add(1))
+	return fmt.Sprintf("%s%d", prefix, s.nextSeq())
 }
 
 // Submit adds a job built around a caller-constructed scheduler. The
@@ -730,7 +768,7 @@ func (s *Service) submitJob(req api.SubmitJobRequest, sched core.Scheduler) (str
 		sched.AttachSite(i)
 	}
 
-	n := s.seq.Add(1)
+	n := s.nextSeq()
 	j.id, j.seq = fmt.Sprintf("j%d", n), n
 	sh := s.shardOf(j.id)
 	sh.mu.Lock()
@@ -1035,5 +1073,10 @@ func (s *Service) Health() api.Health {
 	s.reg.mu.Lock()
 	workers := len(s.reg.workers)
 	s.reg.mu.Unlock()
-	return api.Health{Status: "ok", Jobs: jobs, Workers: workers}
+	return api.Health{
+		Status:   "ok",
+		Jobs:     jobs,
+		Workers:  workers,
+		OpenJobs: int(s.counters.OpenJobs.Load()),
+	}
 }
